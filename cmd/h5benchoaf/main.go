@@ -1,0 +1,77 @@
+// Command h5benchoaf runs the h5bench write/read kernels over the
+// HDF5/NVMe-oAF co-design, plain NVMe/TCP, or the NFS baseline,
+// reproducing the paper's application-level evaluation (§5.7).
+//
+// Examples:
+//
+//	h5benchoaf -backend oaf -config 1
+//	h5benchoaf -backend nfs -config 2
+//	h5benchoaf -backend oaf-coalesce -config 2
+//	h5benchoaf -scale case2 -shm 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvmeoaf/internal/exp"
+	"nvmeoaf/internal/h5bench"
+)
+
+func main() {
+	backend := flag.String("backend", "oaf", "storage backend: oaf, oaf-coalesce, tcp-25g, nfs")
+	config := flag.Int("config", 1, "h5bench configuration: 1 (one dataset x 16M) or 2 (8 datasets x 8M)")
+	timesteps := flag.Int("timesteps", 1, "number of timesteps (dataset groups)")
+	scale := flag.String("scale", "", "run the scale-out experiment instead: case1 or case2")
+	shmKernels := flag.Int("shm", 0, "scale-out: number of kernels (0-4) using the shared-memory channel")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	if *scale != "" {
+		var sc exp.ScaleCase
+		switch *scale {
+		case "case1":
+			sc = exp.Case1
+		case "case2":
+			sc = exp.Case2
+		default:
+			fmt.Fprintf(os.Stderr, "h5benchoaf: unknown -scale %q\n", *scale)
+			os.Exit(2)
+		}
+		w, r, err := exp.RunH5Scale(sc, *shmKernels, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "h5benchoaf:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale-out %s, SHM kernels %d/4 (config-1 per kernel)\n", *scale, *shmKernels)
+		fmt.Printf("  aggregate write : %.3f GB/s\n", w)
+		fmt.Printf("  aggregate read  : %.3f GB/s\n", r)
+		return
+	}
+
+	var kernel h5bench.Config
+	switch *config {
+	case 1:
+		kernel = h5bench.Config1()
+	case 2:
+		kernel = h5bench.Config2()
+	default:
+		fmt.Fprintf(os.Stderr, "h5benchoaf: unknown -config %d\n", *config)
+		os.Exit(2)
+	}
+	kernel.Timesteps = *timesteps
+	res, err := exp.RunH5(exp.H5Config{
+		Backend: exp.H5Backend(*backend),
+		Kernel:  kernel,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h5benchoaf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("h5bench config-%d over %s (%d datasets x %d particles x %dB)\n",
+		*config, *backend, kernel.Datasets, kernel.Particles, kernel.ElemSize)
+	fmt.Printf("  write kernel : %v\n", res.Write)
+	fmt.Printf("  read kernel  : %v\n", res.Read)
+}

@@ -1,0 +1,188 @@
+// Command oafperf is the SPDK-perf equivalent: it drives microbenchmark
+// workloads against simulated NVMe-oF targets over a chosen fabric and
+// reports bandwidth, IOPS, latency percentiles, and the paper's
+// three-way latency breakdown.
+//
+// Examples:
+//
+//	oafperf -fabric nvme-oaf -rw read -size 128K -qd 128 -streams 4
+//	oafperf -fabric tcp-25g -rw randrw -mix 70 -size 512K -t 2s
+//	oafperf -fabric nvme-oaf -design shm-lock-free -rw read -size 512K
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/exp"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/perf"
+)
+
+// parseSize parses 4K/128K/1M style sizes.
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "B"):
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// parseSizeMix parses "4K:3,128K:1" into a weighted distribution.
+func parseSizeMix(s string) ([]perf.SizeWeight, error) {
+	var out []perf.SizeWeight
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		size, err := parseSize(kv[0])
+		if err != nil {
+			return nil, err
+		}
+		weight := 1
+		if len(kv) == 2 {
+			weight, err = strconv.Atoi(kv[1])
+			if err != nil || weight <= 0 {
+				return nil, fmt.Errorf("bad weight %q", kv[1])
+			}
+		}
+		out = append(out, perf.SizeWeight{Size: size, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size mix")
+	}
+	return out, nil
+}
+
+func parseDesign(s string) (core.Design, error) {
+	switch s {
+	case "", "shm-0-copy":
+		return core.DesignSHMZeroCopy, nil
+	case "shm-flow-ctl":
+		return core.DesignSHMFlowCtl, nil
+	case "shm-lock-free":
+		return core.DesignSHMLockFree, nil
+	case "shm-baseline":
+		return core.DesignSHMBaseline, nil
+	case "tcp":
+		return core.DesignTCP, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q", s)
+	}
+}
+
+func main() {
+	fabric := flag.String("fabric", "nvme-oaf", "fabric: tcp-10g, tcp-25g, tcp-100g, rdma-ib56, roce-100g, nvme-oaf")
+	design := flag.String("design", "shm-0-copy", "oAF shared-memory design: shm-baseline, shm-lock-free, shm-flow-ctl, shm-0-copy, tcp")
+	rw := flag.String("rw", "read", "workload: read, write, randread, randwrite, rw, randrw")
+	mix := flag.Int("mix", 70, "read percentage for rw/randrw workloads")
+	sizeStr := flag.String("size", "128K", "I/O size (e.g. 4K, 128K, 1M)")
+	sizeMix := flag.String("size-mix", "", "weighted size distribution, e.g. 4K:3,128K:1 (overrides -size)")
+	qd := flag.Int("qd", 128, "queue depth")
+	streams := flag.Int("streams", 1, "client/SSD pairs (1:1)")
+	dur := flag.Duration("t", time.Second, "measured window (virtual time)")
+	warmup := flag.Duration("warmup", 100*time.Millisecond, "warmup excluded from measurement")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	chunk := flag.Int("chunk", 0, "TCP chunk size override in bytes (0 = 128K default)")
+	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oafperf:", err)
+		os.Exit(2)
+	}
+	d, err := parseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oafperf:", err)
+		os.Exit(2)
+	}
+
+	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup}
+	if *sizeMix != "" {
+		mixes, err := parseSizeMix(*sizeMix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oafperf:", err)
+			os.Exit(2)
+		}
+		w.SizeMix = mixes
+	}
+	switch *rw {
+	case "read":
+		w.Seq, w.ReadPct = true, 100
+	case "write":
+		w.Seq, w.ReadPct = true, 0
+	case "randread":
+		w.ReadPct = 100
+	case "randwrite":
+		w.ReadPct = 0
+	case "rw":
+		w.Seq, w.ReadPct = true, *mix
+	case "randrw":
+		w.ReadPct = *mix
+	default:
+		fmt.Fprintf(os.Stderr, "oafperf: unknown -rw %q\n", *rw)
+		os.Exit(2)
+	}
+
+	cfg := exp.Config{
+		Kind:     exp.Kind(*fabric),
+		Design:   d,
+		Streams:  *streams,
+		Workload: w,
+		Seed:     *seed,
+	}
+	if *chunk > 0 || *poll > 0 {
+		tp := model.DefaultTCPTransport()
+		if *chunk > 0 {
+			tp.ChunkSize = *chunk
+		}
+		tp.BusyPoll = *poll
+		cfg.TP = tp
+	}
+
+	res, err := exp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oafperf:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d window=%v\n",
+		*fabric, d, *rw, *sizeStr, *qd, *streams, *dur)
+	agg := res.Agg
+	fmt.Printf("  bandwidth : %.3f GB/s (%.0f IOPS)\n", agg.Throughput.GBps(), agg.Throughput.IOPS())
+	fmt.Printf("  latency   : avg %.1f us  p50 %.1f  p99 %.1f  p99.9 %.1f  p99.99 %.1f\n",
+		agg.BD.MeanTotal(),
+		float64(agg.Latency.P50())/1e3, float64(agg.Latency.P99())/1e3,
+		float64(agg.Latency.P999())/1e3, float64(agg.Latency.P9999())/1e3)
+	fmt.Printf("  breakdown : io %.1f us, comm %.1f us, other %.1f us\n",
+		agg.BD.MeanIO(), agg.BD.MeanComm(), agg.BD.MeanOther())
+	fmt.Printf("  wire      : %.1f MB crossed the network; %.1f MB moved over shared memory\n",
+		float64(res.WireBytes)/1e6, float64(res.SHMBytes)/1e6)
+	if agg.Errors > 0 {
+		fmt.Printf("  ERRORS    : %d\n", agg.Errors)
+		os.Exit(1)
+	}
+	for i, s := range res.PerStream {
+		fmt.Printf("  stream %d  : %.3f GB/s, avg %.1f us\n", i, s.Throughput.GBps(), s.BD.MeanTotal())
+	}
+	for i, dev := range res.Devices {
+		fmt.Printf("  ssd %d     : util %.0f%%, %d reads / %d writes\n",
+			i, dev.SSD().Utilization()*100, dev.SSD().ReadOps, dev.SSD().WriteOps)
+	}
+}

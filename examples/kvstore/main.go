@@ -1,0 +1,134 @@
+// Kvstore: a log-structured key-value store running on NVMe-oF — the
+// class of application (Crail-KV, KV-SSD stacks) the paper's related work
+// places on disaggregated flash. The same store runs over the adaptive
+// fabric and over NVMe/TCP-25G under YCSB-style workloads, showing the
+// fabric's effect on a latency-sensitive application beyond HDF5.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/blockfs"
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/kvstore"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/transport"
+)
+
+const (
+	capacity = 256 << 20
+	keys     = 2000
+	valueLen = 1024
+	ops      = 10000
+)
+
+// build wires a store over the chosen fabric and returns it with its
+// engine.
+func build(useSHM bool, seed int64) (*sim.Engine, func(p *sim.Proc) *kvstore.Store) {
+	e := sim.NewEngine(seed)
+	tgt := target.New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem("nqn.kv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sub.AddNamespace(1, bdev.NewSimSSD(e, "kv", capacity, model.DefaultSSD(), true, transport.BlockSize)); err != nil {
+		log.Fatal(err)
+	}
+	if useSHM {
+		fabric := core.NewFabric(e, model.DefaultSHM())
+		srv := core.NewServer(e, tgt, core.ServerConfig{
+			NQN: "nqn.kv", Design: core.DesignSHMZeroCopy, Fabric: fabric,
+			TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+		})
+		link := netsim.NewLoopLink(e, model.Loopback())
+		srv.Serve(link.B)
+		region, _ := fabric.RegionFor(core.DesignSHMZeroCopy, "h", "h", 1<<20, 128<<10, 32)
+		return e, func(p *sim.Proc) *kvstore.Store {
+			c, err := core.Connect(p, link.A, core.ClientConfig{
+				NQN: "nqn.kv", QueueDepth: 32, Design: core.DesignSHMZeroCopy, Region: region,
+				TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return kvstore.Open(blockfs.New(e, c, capacity), kvstore.Config{GroupCommitBytes: 64 << 10})
+		}
+	}
+	srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: "nqn.kv", TP: model.DefaultTCPTransport(), Host: model.DefaultHost()})
+	link := netsim.NewLoopLink(e, model.TCP25G())
+	srv.Serve(link.B)
+	return e, func(p *sim.Proc) *kvstore.Store {
+		c, err := tcp.Connect(p, link.A, tcp.ClientConfig{NQN: "nqn.kv", QueueDepth: 32, TP: model.DefaultTCPTransport(), Host: model.DefaultHost()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return kvstore.Open(blockfs.New(e, c, capacity), kvstore.Config{GroupCommitBytes: 64 << 10})
+	}
+}
+
+// run loads the store and executes a YCSB-style mix, returning ops/s.
+func run(useSHM bool, readPct int) float64 {
+	e, open := build(useSHM, 42)
+	var opsPerSec float64
+	e.Go("ycsb", func(p *sim.Proc) {
+		s := open(p)
+		rng := rand.New(rand.NewSource(7))
+		val := make([]byte, valueLen)
+		for i := 0; i < keys; i++ {
+			if err := s.Put(p, fmt.Sprintf("user%04d", i), val); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := s.Flush(p); err != nil {
+			log.Fatal(err)
+		}
+		start := p.Now()
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("user%04d", rng.Intn(keys))
+			if rng.Intn(100) < readPct {
+				if _, ok, err := s.Get(p, key); err != nil || !ok {
+					log.Fatalf("get %s: %v %v", key, ok, err)
+				}
+			} else {
+				if err := s.Put(p, key, val); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if err := s.Flush(p); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := p.Now().Sub(start)
+		opsPerSec = float64(ops) / elapsed.Seconds()
+	})
+	if err := e.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return opsPerSec
+}
+
+func main() {
+	fmt.Printf("log-structured KV store, %d keys x %dB values, %d ops\n", keys, valueLen, ops)
+	for _, wl := range []struct {
+		name    string
+		readPct int
+	}{
+		{"YCSB-A (50/50 read/update)", 50},
+		{"YCSB-B (95/5)", 95},
+		{"YCSB-C (100% read)", 100},
+	} {
+		oafOps := run(true, wl.readPct)
+		tcpOps := run(false, wl.readPct)
+		fmt.Printf("  %-28s adaptive %8.0f ops/s | tcp-25g %8.0f ops/s | %.2fx\n",
+			wl.name, oafOps, tcpOps, oafOps/tcpOps)
+	}
+}

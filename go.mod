@@ -1,0 +1,3 @@
+module nvmeoaf
+
+go 1.23

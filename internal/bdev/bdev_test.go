@@ -1,0 +1,96 @@
+package bdev
+
+import (
+	"errors"
+	"testing"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/ssd"
+)
+
+func calm() model.SSDParams {
+	p := model.DefaultSSD()
+	p.JitterFrac = 0
+	p.StallProb = 0
+	return p
+}
+
+func TestSSDBdevGeometry(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := NewSimSSD(e, "d0", 1<<20, calm(), false, 512)
+	if b.Name() != "d0" || b.BlockSize() != 512 || b.Blocks() != (1<<20)/512 {
+		t.Fatalf("geometry: %s %d %d", b.Name(), b.BlockSize(), b.Blocks())
+	}
+	if b.SSD() == nil {
+		t.Fatal("missing underlying device")
+	}
+}
+
+func TestBadBlockSizePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned capacity accepted")
+		}
+	}()
+	NewSimSSD(e, "d0", 1000, calm(), false, 512) // 1000 % 512 != 0
+}
+
+func TestSubmitThroughBdev(t *testing.T) {
+	e := sim.NewEngine(1)
+	b := NewSimSSD(e, "d0", 1<<20, calm(), false, 512)
+	e.Go("io", func(p *sim.Proc) {
+		res := b.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 4096}).Wait(p)
+		if res.Err != nil {
+			t.Error(res.Err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.SSD().ReadOps != 1 {
+		t.Fatalf("read ops %d", b.SSD().ReadOps)
+	}
+}
+
+func TestFaultyBdevPeriodicity(t *testing.T) {
+	e := sim.NewEngine(1)
+	inner := NewSimSSD(e, "d0", 1<<20, calm(), false, 512)
+	f := NewFaulty(e, inner, 4, errors.New("boom"))
+	fails := 0
+	e.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			res := f.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 512}).Wait(p)
+			if res.Err != nil {
+				fails++
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fails != 3 {
+		t.Fatalf("failures %d, want 3 (every 4th of 12)", fails)
+	}
+	// Geometry passes through the wrapper.
+	if f.BlockSize() != 512 || f.Blocks() != inner.Blocks() {
+		t.Fatal("wrapper geometry mismatch")
+	}
+}
+
+func TestFaultyDisabledWhenEveryZero(t *testing.T) {
+	e := sim.NewEngine(1)
+	inner := NewSimSSD(e, "d0", 1<<20, calm(), false, 512)
+	f := NewFaulty(e, inner, 0, errors.New("boom"))
+	e.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if res := f.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 512}).Wait(p); res.Err != nil {
+				t.Error("injection should be disabled")
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"nvmeoaf/internal/model"
+)
+
+// This file implements the adaptive policies of §4.5: the fabric does not
+// just *support* tuned chunk sizes and busy-poll budgets, it selects them
+// itself — chunk size from the underlying link hardware (Fig 9's finding
+// that the optimum tracks the network generation), and the busy-poll
+// budget from the live workload mix (Fig 10's finding that writes want
+// long budgets and reads short ones).
+
+// SelectChunkSize picks the application-level chunk size for a link, per
+// the paper's guidance that "optimal chunk size can be adaptively chosen
+// based on underlying hardware architecture". Slow wires amortize per-PDU
+// costs with modest chunks; faster wires benefit from larger ones until
+// target memory becomes the constraint (Fig 9: 512 KiB is ideal for
+// 25 GbE).
+func SelectChunkSize(link model.LinkParams) int {
+	switch {
+	case link.WireBytesPerSec < 1.5e9: // ~10 GbE
+		return 256 << 10
+	case link.WireBytesPerSec < 4e9: // ~25 GbE
+		return 512 << 10
+	default: // 100 GbE and the intra-node path
+		return 1 << 20
+	}
+}
+
+// Busy-poll budgets of the workload-aware policy (§4.5, Fig 10).
+const (
+	pollBudgetRead  = 25 * time.Microsecond
+	pollBudgetMixed = 50 * time.Microsecond
+	pollBudgetWrite = 100 * time.Microsecond
+)
+
+// pollPolicy tracks the live read/write mix with an exponentially
+// weighted moving average and recommends a busy-poll budget.
+type pollPolicy struct {
+	// writeFrac is the EWMA of the write share in [0,1].
+	writeFrac float64
+	warm      int
+}
+
+// observe records one submitted command's direction.
+func (a *pollPolicy) observe(write bool) {
+	const alpha = 0.05
+	v := 0.0
+	if write {
+		v = 1.0
+	}
+	if a.warm == 0 {
+		a.writeFrac = v
+	} else {
+		a.writeFrac = (1-alpha)*a.writeFrac + alpha*v
+	}
+	if a.warm < 1<<30 {
+		a.warm++
+	}
+}
+
+// budget recommends the busy-poll duration for the observed mix. Before
+// enough samples accumulate it stays conservative (mixed).
+func (a *pollPolicy) budget() time.Duration {
+	if a.warm < 16 {
+		return pollBudgetMixed
+	}
+	switch {
+	case a.writeFrac >= 0.6:
+		return pollBudgetWrite
+	case a.writeFrac <= 0.4:
+		return pollBudgetRead
+	default:
+		return pollBudgetMixed
+	}
+}

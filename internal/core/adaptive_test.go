@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/transport"
+)
+
+func TestSelectChunkSize(t *testing.T) {
+	cases := []struct {
+		link model.LinkParams
+		want int
+	}{
+		{model.TCP10G(), 256 << 10},
+		{model.TCP25G(), 512 << 10},
+		{model.TCP100G(), 1 << 20},
+		{model.Loopback(), 1 << 20},
+	}
+	for _, tc := range cases {
+		if got := SelectChunkSize(tc.link); got != tc.want {
+			t.Errorf("%s: chunk %d, want %d", tc.link.Name, got, tc.want)
+		}
+	}
+}
+
+func TestPollPolicySwitchesWithWorkload(t *testing.T) {
+	var pol pollPolicy
+	// Cold start: conservative.
+	if pol.budget() != pollBudgetMixed {
+		t.Fatalf("cold budget %v", pol.budget())
+	}
+	// Pure writes: long budget.
+	for i := 0; i < 200; i++ {
+		pol.observe(true)
+	}
+	if pol.budget() != pollBudgetWrite {
+		t.Fatalf("write budget %v", pol.budget())
+	}
+	// Flip to pure reads: short budget after the EWMA adapts.
+	for i := 0; i < 200; i++ {
+		pol.observe(false)
+	}
+	if pol.budget() != pollBudgetRead {
+		t.Fatalf("read budget %v", pol.budget())
+	}
+	// Balanced mix: middle budget.
+	for i := 0; i < 400; i++ {
+		pol.observe(i%2 == 0)
+	}
+	if pol.budget() != pollBudgetMixed {
+		t.Fatalf("mixed budget %v", pol.budget())
+	}
+}
+
+func TestAutoChunkNegotiatedAtConnect(t *testing.T) {
+	r := newRig(t, DesignSHMZeroCopy, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		tp := model.DefaultTCPTransport()
+		tp.AutoChunk = true
+		c, err := Connect(p, r.link.A, ClientConfig{
+			NQN: testNQN, QueueDepth: 8, Design: DesignSHMZeroCopy, Region: r.region,
+			TP: tp, Host: model.DefaultHost(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The rig's control link is the loopback path: 1 MiB expected.
+		if c.cfg.TP.ChunkSize != 1<<20 {
+			t.Errorf("auto chunk %d, want 1MiB", c.cfg.TP.ChunkSize)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoBusyPollAdaptsOnLiveTraffic(t *testing.T) {
+	r := newRig(t, DesignSHMZeroCopy, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		tp := model.DefaultTCPTransport()
+		tp.AutoBusyPoll = true
+		c, err := Connect(p, r.link.A, ClientConfig{
+			NQN: testNQN, QueueDepth: 8, Design: DesignSHMZeroCopy, Region: r.region,
+			TP: tp, Host: model.DefaultHost(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			c.Submit(p, &transport.IO{Write: true, Offset: int64(i) * 4096, Size: 4096}).Wait(p)
+		}
+		if got := c.pollBudget(); got != 100*time.Microsecond {
+			t.Errorf("after writes budget %v, want 100us", got)
+		}
+		for i := 0; i < 128; i++ {
+			c.Submit(p, &transport.IO{Offset: int64(i) * 4096, Size: 4096}).Wait(p)
+		}
+		if got := c.pollBudget(); got != 25*time.Microsecond {
+			t.Errorf("after reads budget %v, want 25us", got)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/transport"
+)
+
+// cmdFlagSHMSlot marks a command capsule whose PRP1 carries a shared-
+// memory slot index holding the write payload (the in-capsule-style flow
+// of the shared-memory flow-control optimization, §4.4.2).
+const cmdFlagSHMSlot = 0x01
+
+// pollMissCPU is the busy-poll expiry cost (syscall return + re-arm).
+const pollMissCPU = 8 * time.Microsecond
+
+// ClientConfig configures one NVMe-oAF host queue.
+type ClientConfig struct {
+	// NQN names the target subsystem.
+	NQN string
+	// QueueDepth bounds outstanding commands.
+	QueueDepth int
+	// Design selects the shared-memory data-path design; DesignTCP (or a
+	// nil Region) uses the optimized TCP path.
+	Design Design
+	// Region is the shared-memory mapping hotplugged for this
+	// client-target pair; nil when the pair is remote.
+	Region *shm.Region
+	// TP holds TCP-channel knobs (chunk size, in-capsule threshold, busy
+	// poll budget).
+	TP model.TCPTransportParams
+	// Host holds client software costs.
+	Host model.HostParams
+	// HostNQN identifies this host in the Fabrics Connect command.
+	HostNQN string
+}
+
+// afPending decorates a pending request with its shared-memory state.
+type afPending struct {
+	*transport.Pending
+	slot *shm.Slot // H2C payload slot for writes (non-chunked designs)
+	// Chunked-design write progress: the conservative stop-and-wait flow
+	// sends one chunk per target acknowledgement.
+	wNext, wEnd int
+}
+
+// Client is the NVMe-oAF host queue: control path over TCP, data path
+// over shared memory when the locality check succeeded at connect time.
+type Client struct {
+	e       *sim.Engine
+	ep      *netsim.Endpoint
+	cfg     ClientConfig
+	cids    *nvme.CIDTable
+	submitQ *sim.Queue[*afPending]
+	kick    *sim.Signal
+	icresp  *pdu.ICResp
+	region  *shm.Region // non-nil when the AF negotiated shared memory
+	closing bool
+	drained *sim.Signal
+	policy  pollPolicy
+
+	// Completed counts finished commands; SHMPayloadBytes counts payload
+	// moved over the shared-memory channel instead of the wire.
+	Completed       int64
+	SHMPayloadBytes int64
+}
+
+// Connect performs the adaptive-fabric handshake on ep. The Connection
+// Manager proposes the hotplugged region (if any); the target's locality
+// check accepts or declines it, and the client falls back to the TCP data
+// path when declined.
+func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.TP.ChunkSize <= 0 {
+		cfg.TP = model.DefaultTCPTransport()
+	}
+	if cfg.TP.AutoChunk {
+		// Adaptive chunk selection from the link hardware (§4.5).
+		cfg.TP.ChunkSize = SelectChunkSize(ep.Params())
+	}
+	e := p.Engine()
+	c := &Client{
+		e:       e,
+		ep:      ep,
+		cfg:     cfg,
+		cids:    nvme.NewCIDTable(cfg.QueueDepth),
+		submitQ: sim.NewQueue[*afPending](e, 0),
+		kick:    sim.NewSignal(e),
+		drained: sim.NewSignal(e),
+	}
+	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
+	if cfg.Design.UsesSHM() && cfg.Region != nil {
+		req.AFCapab = true
+		req.SHMKey = cfg.Region.Key
+	}
+	transport.SendPDUs(p, ep, req)
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return nil, fmt.Errorf("core: handshake: %w", err)
+	}
+	icresp, ok := pdus[0].(*pdu.ICResp)
+	if !ok {
+		return nil, fmt.Errorf("core: handshake: unexpected %v", pdus[0].Type())
+	}
+	c.icresp = icresp
+	if icresp.AFEnabled {
+		c.region = cfg.Region
+	}
+	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
+		return nil, err
+	}
+	e.GoDaemon("oaf-client-reactor", c.reactor)
+	return c, nil
+}
+
+// fabricsConnect performs the NVMe-oF Connect command over the control
+// path: the target validates the subsystem NQN before admitting I/O.
+func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) error {
+	if hostNQN == "" {
+		hostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
+	}
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, subNQN)})
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return fmt.Errorf("core: connect: %w", err)
+	}
+	resp, ok := pdus[0].(*pdu.CapsuleResp)
+	if !ok {
+		return fmt.Errorf("core: connect: unexpected %v", pdus[0].Type())
+	}
+	if resp.Rsp.Status.IsError() {
+		return fmt.Errorf("core: connect rejected: %w", resp.Rsp.Status.Error())
+	}
+	return nil
+}
+
+// SHMEnabled reports whether the data path uses shared memory.
+func (c *Client) SHMEnabled() bool { return c.region != nil }
+
+// ICResp returns the negotiated connection parameters.
+func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
+
+// AllocBuffer returns an I/O buffer from the Buffer Manager: a shared-
+// memory-resident buffer in the zero-copy design (the co-design hook the
+// paper adds to SPDK perf and h5bench), a private buffer otherwise. The
+// returned IO should be submitted with NoFill if the caller charges its
+// own generation cost.
+func (c *Client) AllocBuffer(size int) []byte {
+	// The slot itself is claimed at submission; this sizes the private
+	// staging buffer the app fills. Zero-copy submissions with real data
+	// copy into the slot as bookkeeping only.
+	return make([]byte, size)
+}
+
+// Submit implements transport.Queue. The submitting process pays payload
+// generation and, depending on the design, the shared-memory claim and
+// copy-in (flow control pushes back here when all slots are busy).
+func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	fut := sim.NewFuture[*transport.Result](c.e)
+	if c.closing {
+		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
+		return fut
+	}
+	if io.Admin == 0 && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
+		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return fut
+	}
+	if io.Admin == 0 && c.region != nil && !c.cfg.Design.Chunked() && io.Size > c.region.SlotSize {
+		// The negotiated shared-memory slot bounds the transfer size
+		// (the fabric's MDTS); larger I/O must be split by the caller.
+		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return fut
+	}
+	pend := &afPending{Pending: &transport.Pending{IO: io, Fut: fut}}
+	if io.Admin == 0 {
+		c.policy.observe(io.Write)
+	}
+	if io.Write && io.Admin == 0 {
+		c.prepareWrite(p, pend)
+	}
+	p.Sleep(c.cfg.Host.SubmitCPU)
+	pend.SubmitAt = p.Now()
+	c.submitQ.TryPut(pend)
+	c.kick.Fire()
+	return fut
+}
+
+// prepareWrite produces the payload and stages it for the selected data
+// path.
+func (c *Client) prepareWrite(p *sim.Proc, pend *afPending) {
+	io := pend.IO
+	fill := func() {
+		if !io.NoFill {
+			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+		}
+	}
+	if c.region == nil || c.cfg.Design.Chunked() {
+		// TCP path, or chunked SHM (slots claimed after R2T): payload is
+		// produced into a private buffer now.
+		fill()
+		return
+	}
+	// Whole-I/O slot designs: claim the slot up front (shared-memory flow
+	// control: this blocks while all slots are busy).
+	slot := c.region.Claim(p, shm.H2C)
+	pend.slot = slot
+	if c.cfg.Design.ZeroCopy() && !c.region.Encrypted() {
+		// The application buffer *is* the slot: fill in place, no copy.
+		fill()
+		if io.Data != nil {
+			copy(slot.Bytes(), io.Data) // bookkeeping only: app wrote here directly
+		}
+	} else if c.cfg.Design.ZeroCopy() {
+		// Channel encryption (§6 extension) forfeits part of the
+		// zero-copy benefit: the payload must be enciphered into the
+		// region.
+		fill()
+		slot.CopyIn(p, io.Data, io.Size)
+	} else {
+		// Fill privately, then copy into the shared region.
+		fill()
+		slot.CopyIn(p, io.Data, io.Size)
+	}
+	c.SHMPayloadBytes += int64(io.Size)
+}
+
+// Close initiates orderly shutdown.
+func (c *Client) Close() {
+	if c.closing {
+		return
+	}
+	c.closing = true
+	c.kick.Fire()
+}
+
+// WaitClosed blocks until the reactor has exited.
+func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
+
+// reactor is the connection's single-core event loop.
+func (c *Client) reactor(p *sim.Proc) {
+	c.ep.OnDeliver = c.kick.Fire
+	defer c.drained.Fire()
+	for {
+		worked := false
+		for !c.cids.Full() {
+			pend, ok := c.submitQ.TryGet()
+			if !ok {
+				break
+			}
+			c.start(p, pend)
+			worked = true
+		}
+		for {
+			msg := c.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			c.handle(p, msg)
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
+			return
+		}
+		if budget := c.pollBudget(); budget > 0 && c.cids.Outstanding() > 0 {
+			if msg := c.ep.RecvPoll(p, budget); msg != nil {
+				c.handle(p, msg)
+				continue
+			}
+			// Spin the budget, then fall through to the blocking wait
+			// (SO_BUSY_POLL semantics).
+			p.Sleep(pollMissCPU)
+		}
+		c.kick.Reset()
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+			continue
+		}
+		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
+			continue
+		}
+		c.kick.Wait(p)
+		if c.ep.Pending() > 0 {
+			c.ep.ChargeWakeup(p)
+		}
+	}
+}
+
+// pollBudget returns the busy-poll budget: the static configuration, or
+// the workload-aware adaptive policy's recommendation (§4.5).
+func (c *Client) pollBudget() time.Duration {
+	if c.cfg.TP.AutoBusyPoll {
+		return c.policy.budget()
+	}
+	return c.cfg.TP.BusyPoll
+}
+
+// start transmits the command capsule.
+func (c *Client) start(p *sim.Proc, pend *afPending) {
+	cid, err := c.cids.Alloc(pend)
+	if err != nil {
+		panic(err)
+	}
+	pend.CID = cid
+	io := pend.IO
+	if io.Admin != 0 {
+		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return
+	}
+	slba := uint64(io.Offset / transport.BlockSize)
+	nlb := uint32(io.Size / transport.BlockSize)
+	if !io.Write {
+		cmd := nvme.NewRead(cid, io.Nsid(), slba, nlb)
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return
+	}
+	cmd := nvme.NewWrite(cid, io.Nsid(), slba, nlb)
+	if io.Data != nil {
+		// Tell the target real bytes sit in shared memory so it
+		// materializes its bounce buffer (simulation bookkeeping).
+		cmd.PRP2 = 1
+	}
+	switch {
+	case pend.slot != nil:
+		// Shared-memory flow control: the payload already sits in the
+		// slot; the capsule names it and no R2T round trip happens
+		// regardless of I/O size (steps 2 and 4 of Fig 7 eliminated).
+		cmd.Flags = cmdFlagSHMSlot
+		cmd.PRP1 = uint64(pend.slot.Index)
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+	case c.region != nil:
+		// Chunked SHM design: conservative flow; wait for R2T, then move
+		// payload through chunk slots.
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+	case io.Size <= c.cfg.TP.InCapsuleThreshold:
+		capsule := &pdu.CapsuleCmd{Cmd: cmd}
+		if io.Data != nil {
+			capsule.Data = io.Data
+		} else {
+			capsule.VirtualLen = io.Size
+		}
+		pend.Sent = io.Size
+		transport.SendPDUs(p, c.ep, capsule)
+	default:
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+	}
+}
+
+// handle processes one received network message.
+func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("oaf client: bad message: %v", err))
+	}
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.R2T:
+			c.onR2T(p, v)
+		case *pdu.Data:
+			c.onTCPData(p, v, transit)
+		case *pdu.SHMNotify:
+			c.onSHMNotify(p, v, transit)
+		case *pdu.SHMRelease:
+			c.onSHMRelease(p, v)
+		case *pdu.CapsuleResp:
+			c.onResp(p, v, transit)
+		case *pdu.Term:
+		default:
+			panic(fmt.Sprintf("oaf client: unexpected PDU %v", u.Type()))
+		}
+		transit = 0
+	}
+}
+
+// onR2T moves write payload: through chunk slots on the shared-memory
+// channel, or as H2CData PDUs on the TCP path.
+func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
+	ctx, ok := c.cids.Lookup(r.CID)
+	if !ok {
+		panic(fmt.Sprintf("oaf client: R2T for unknown CID %d", r.CID))
+	}
+	pend := ctx.(*afPending)
+	io := pend.IO
+	if c.region != nil {
+		// Chunked shared-memory transfer with conservative stop-and-wait
+		// flow control (the naive pre-flow-control data path): one chunk
+		// moves per target acknowledgement, exactly the extra control
+		// messages §4.4.2 eliminates.
+		pend.wNext = int(r.Offset)
+		pend.wEnd = int(r.Offset) + int(r.Length)
+		c.sendWriteChunk(p, pend)
+		return
+	}
+	transport.ChunkSizes(int(r.Length), c.cfg.TP.ChunkSize, func(off, n int) {
+		dataOff := int(r.Offset) + off
+		d := &pdu.Data{
+			Dir:    pdu.TypeH2CData,
+			CID:    r.CID,
+			TTag:   r.TTag,
+			Offset: uint32(dataOff),
+			Last:   dataOff+n >= io.Size,
+		}
+		if io.Data != nil {
+			d.Payload = io.Data[dataOff : dataOff+n]
+		} else {
+			d.VirtualLen = n
+		}
+		transport.SendPDUs(p, c.ep, d)
+	})
+	pend.Sent += int(r.Length)
+}
+
+// sendWriteChunk moves the next chunk of a conservative write into a
+// shared-memory slot and notifies the target.
+func (c *Client) sendWriteChunk(p *sim.Proc, pend *afPending) {
+	io := pend.IO
+	n := c.region.SlotSize
+	if n > pend.wEnd-pend.wNext {
+		n = pend.wEnd - pend.wNext
+	}
+	dataOff := pend.wNext
+	slot := c.region.Claim(p, shm.H2C)
+	var src []byte
+	if io.Data != nil {
+		src = io.Data[dataOff : dataOff+n]
+	}
+	slot.CopyIn(p, src, n)
+	transport.SendPDUs(p, c.ep, &pdu.SHMNotify{
+		CID:    pend.CID,
+		Slot:   slot.Index,
+		Offset: uint64(dataOff),
+		Length: uint32(n),
+		Last:   dataOff+n >= io.Size,
+	})
+	pend.wNext += n
+	pend.Sent += n
+	c.SHMPayloadBytes += int64(n)
+}
+
+// onSHMRelease is the target's per-chunk acknowledgement in the
+// conservative flow: send the next chunk.
+func (c *Client) onSHMRelease(p *sim.Proc, rel *pdu.SHMRelease) {
+	ctx, ok := c.cids.Lookup(rel.CID)
+	if !ok {
+		return // command already completed
+	}
+	pend := ctx.(*afPending)
+	if pend.wNext < pend.wEnd {
+		c.sendWriteChunk(p, pend)
+	}
+}
+
+// onTCPData receives one read payload chunk over the TCP path.
+func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
+	ctx, ok := c.cids.Lookup(d.CID)
+	if !ok {
+		panic(fmt.Sprintf("oaf client: data for unknown CID %d", d.CID))
+	}
+	pend := ctx.(*afPending)
+	n := len(d.Payload)
+	if n == 0 {
+		n = d.VirtualLen
+	}
+	if d.Payload != nil && pend.IO.Data != nil {
+		copy(pend.IO.Data[d.Offset:], d.Payload)
+	}
+	pend.Received += n
+	pend.Comm += transit
+}
+
+// onSHMNotify consumes read payload from a shared-memory slot: a charged
+// copy-out in the non-zero-copy designs, an in-place consume (bookkeeping
+// copy only) in the zero-copy design. The slot returns to the target's
+// allocator immediately — slot state lives in the shared region itself,
+// so no release message crosses the wire.
+func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
+	ctx, ok := c.cids.Lookup(n.CID)
+	if !ok {
+		panic(fmt.Sprintf("oaf client: SHM notify for unknown CID %d", n.CID))
+	}
+	pend := ctx.(*afPending)
+	slot, err := c.region.Open(shm.C2H, n.Slot)
+	if err != nil {
+		panic(fmt.Sprintf("oaf client: %v", err))
+	}
+	io := pend.IO
+	if c.cfg.Design.ZeroCopy() && !c.region.Encrypted() {
+		// The app buffer is shared-memory resident: no copy-out. The Go
+		// copy below only materializes the bytes for the caller's view.
+		if io.Data != nil {
+			copy(io.Data[n.Offset:], slot.Bytes()[:n.Length])
+		}
+	} else {
+		var dst []byte
+		if io.Data != nil {
+			dst = io.Data[n.Offset : uint32(n.Offset)+n.Length]
+		}
+		slot.CopyOut(p, dst, int(n.Length))
+	}
+	slot.Release()
+	pend.Received += int(n.Length)
+	pend.Comm += transit
+	c.SHMPayloadBytes += int64(n.Length)
+	// Conservative flow control (chunked designs): acknowledge the chunk
+	// so the target moves the next one.
+	if c.cfg.Design.Chunked() && !n.Last {
+		transport.SendPDUs(p, c.ep, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
+	}
+}
+
+// onResp completes a command.
+func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
+	ctx, err := c.cids.Complete(r.Rsp.CID)
+	if err != nil {
+		panic(fmt.Sprintf("oaf client: %v", err))
+	}
+	pend := ctx.(*afPending)
+	pend.Comm += transit
+	p.Sleep(c.cfg.Host.CompleteCPU)
+	var data []byte
+	if !pend.IO.Write && pend.IO.Data != nil {
+		data = pend.IO.Data[:pend.Received]
+	}
+	pend.Finish(p.Now(), r, data)
+	c.Completed++
+	c.kick.Fire()
+}

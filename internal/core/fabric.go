@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+)
+
+// Fabric is the Locality Awareness component: the stand-in for the
+// hypervisor / resource manager (Kubernetes, OpenStack, SLURM) that
+// hotplugs an IVSHMEM/ICSHMEM region between a client VM and a target VM
+// on the same physical host and announces it to both sides (§4.2).
+//
+// Experiments place clients and targets on named hosts; Provision only
+// yields a region when both sides are co-located, which is exactly the
+// locality check the Connection Manager performs during the handshake.
+type Fabric struct {
+	e       *sim.Engine
+	params  model.SHMParams
+	nextKey uint64
+	regions map[uint64]*shm.Region
+}
+
+// NewFabric creates the registry.
+func NewFabric(e *sim.Engine, params model.SHMParams) *Fabric {
+	return &Fabric{e: e, params: params, nextKey: 1, regions: make(map[uint64]*shm.Region)}
+}
+
+// Params returns the shared-memory parameters.
+func (f *Fabric) Params() model.SHMParams { return f.params }
+
+// Provision allocates a dedicated region for one client-target pair when
+// they share a host. It returns (nil, false) for remote pairs — the
+// adaptive fabric then stays on the TCP path. Each pair gets its own
+// region (the paper's security posture: tenants never share a mapping).
+func (f *Fabric) Provision(clientHost, targetHost string, slotSize, slotCount int, mode shm.Mode, policy shm.ClaimPolicy) (*shm.Region, bool) {
+	if clientHost == "" || clientHost != targetHost {
+		return nil, false
+	}
+	key := f.nextKey
+	f.nextKey++
+	r, err := shm.NewRegion(f.e, key, slotSize, slotCount, f.params, mode, policy)
+	if err != nil {
+		panic(fmt.Sprintf("core: provision: %v", err))
+	}
+	f.regions[key] = r
+	return r, true
+}
+
+// Lookup resolves a region key announced during the handshake, as the
+// peer side does when mapping the same physical pages.
+func (f *Fabric) Lookup(key uint64) (*shm.Region, bool) {
+	r, ok := f.regions[key]
+	return r, ok
+}
+
+// RegionFor picks the slot geometry a design needs and provisions a
+// region: chunk-sized slots for the chunked designs, whole-I/O slots
+// otherwise. maxIO is the largest I/O the workload will issue; depth the
+// queue depth (slots per direction, per the paper's slot-per-queue-entry
+// layout).
+func (f *Fabric) RegionFor(design Design, clientHost, targetHost string, maxIO, chunk, depth int) (*shm.Region, bool) {
+	if !design.UsesSHM() {
+		return nil, false
+	}
+	slotSize := maxIO
+	slotCount := depth
+	if design.Chunked() {
+		slotSize = chunk
+		// Chunked transfers claim several slots per I/O; keep the same
+		// total footprint as one whole-I/O slot per queue entry.
+		n := (maxIO + chunk - 1) / chunk
+		slotCount = depth * n
+	}
+	return f.Provision(clientHost, targetHost, slotSize, slotCount, design.LockMode(), shm.ClaimRoundRobin)
+}

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/mempool"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/transport"
+)
+
+// ServerConfig configures the adaptive-fabric transport of one target.
+type ServerConfig struct {
+	// NQN selects the served subsystem.
+	NQN string
+	// Design must match the client's shared-memory design (negotiated
+	// deployments run one design fleet-wide; the ablation harness sets
+	// both sides).
+	Design Design
+	// Fabric resolves shared-memory region keys during the locality
+	// check.
+	Fabric *Fabric
+	// TP holds protocol knobs; DataBuffers chunk-sized buffers form the
+	// DPDK-style data pool.
+	TP model.TCPTransportParams
+	// Host holds target software costs.
+	Host model.HostParams
+}
+
+// Server is the NVMe-oAF transport of one target.
+type Server struct {
+	e    *sim.Engine
+	tgt  *target.Target
+	cfg  ServerConfig
+	pool *mempool.Pool
+
+	// BufferWaits counts commands that waited for DPDK pool buffers.
+	BufferWaits int64
+	// SHMConns counts connections that negotiated shared memory.
+	SHMConns int64
+}
+
+// NewServer creates the adaptive-fabric transport for tgt.
+func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
+	if cfg.TP.ChunkSize <= 0 {
+		cfg.TP = model.DefaultTCPTransport()
+	}
+	return &Server{
+		e:    e,
+		tgt:  tgt,
+		cfg:  cfg,
+		pool: mempool.New("oaf-data/"+cfg.NQN, cfg.TP.ChunkSize, cfg.TP.DataBuffers),
+	}
+}
+
+// Pool exposes the data buffer pool.
+func (s *Server) Pool() *mempool.Pool { return s.pool }
+
+// Serve starts a connection handler on ep.
+func (s *Server) Serve(ep *netsim.Endpoint) {
+	conn := &srvConn{
+		srv:      s,
+		ep:       ep,
+		txQ:      sim.NewQueue[*txBatch](s.e, 0),
+		kick:     sim.NewSignal(s.e),
+		writes:   make(map[uint16]*writeCtx),
+		readAcks: make(map[uint16]*sim.Queue[struct{}]),
+		waits:    sim.NewQueue[*allocWait](s.e, 0),
+	}
+	s.e.GoDaemon("oaf-server-conn", conn.run)
+}
+
+type txBatch struct {
+	pdus  []pdu.PDU
+	after func()
+}
+
+type writeCtx struct {
+	cmd      nvme.Command
+	size     int
+	received int
+	real     bool // client payload is real bytes, not modeled
+	data     []byte
+	bufs     []*mempool.Buf
+	comm     time.Duration
+	copyTime time.Duration
+}
+
+type allocWait struct {
+	need int
+	run  func(bufs []*mempool.Buf)
+}
+
+type srvConn struct {
+	srv    *Server
+	ep     *netsim.Endpoint
+	txQ    *sim.Queue[*txBatch]
+	kick   *sim.Signal
+	writes map[uint16]*writeCtx
+	// readAcks routes the client's per-chunk acknowledgements to the
+	// read worker driving a conservative chunked transfer.
+	readAcks map[uint16]*sim.Queue[struct{}]
+	waits    *sim.Queue[*allocWait]
+	region   *shm.Region // non-nil after a successful locality check
+	closed   bool
+}
+
+func (c *srvConn) post(after func(), pdus ...pdu.PDU) {
+	c.txQ.TryPut(&txBatch{pdus: pdus, after: after})
+	c.kick.Fire()
+}
+
+func (c *srvConn) run(p *sim.Proc) {
+	c.ep.OnDeliver = c.kick.Fire
+	for !c.closed {
+		worked := false
+		for {
+			msg := c.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			c.handle(p, msg)
+			worked = true
+		}
+		for {
+			batch, ok := c.txQ.TryGet()
+			if !ok {
+				break
+			}
+			transport.SendPDUs(p, c.ep, batch.pdus...)
+			if batch.after != nil {
+				batch.after()
+			}
+			worked = true
+		}
+		c.retryWaits()
+		if worked {
+			continue
+		}
+		if c.srv.cfg.TP.BusyPoll > 0 {
+			if msg := c.ep.RecvPoll(p, c.srv.cfg.TP.BusyPoll); msg != nil {
+				c.handle(p, msg)
+				continue
+			}
+			p.Sleep(pollMissCPU)
+		}
+		c.kick.Reset()
+		if c.ep.Pending() > 0 || c.txQ.Len() > 0 || c.closed {
+			continue
+		}
+		c.kick.Wait(p)
+		if c.ep.Pending() > 0 {
+			c.ep.ChargeWakeup(p)
+		}
+	}
+	for {
+		batch, ok := c.txQ.TryGet()
+		if !ok {
+			break
+		}
+		transport.SendPDUs(p, c.ep, batch.pdus...)
+		if batch.after != nil {
+			batch.after()
+		}
+	}
+}
+
+func (c *srvConn) retryWaits() {
+	for c.waits.Len() > 0 {
+		w, _ := c.waits.TryGet()
+		bufs, ok := c.allocBufs(w.need)
+		if !ok {
+			rest := []*allocWait{w}
+			for c.waits.Len() > 0 {
+				x, _ := c.waits.TryGet()
+				rest = append(rest, x)
+			}
+			for _, x := range rest {
+				c.waits.TryPut(x)
+			}
+			return
+		}
+		w.run(bufs)
+	}
+}
+
+func (c *srvConn) allocBufs(n int) ([]*mempool.Buf, bool) {
+	if c.srv.pool.Available() < n {
+		return nil, false
+	}
+	bufs := make([]*mempool.Buf, 0, n)
+	for i := 0; i < n; i++ {
+		b, ok := c.srv.pool.Get()
+		if !ok {
+			for _, prev := range bufs {
+				prev.Free()
+			}
+			return nil, false
+		}
+		bufs = append(bufs, b)
+	}
+	return bufs, true
+}
+
+func (c *srvConn) withBufs(n int, fn func(bufs []*mempool.Buf)) {
+	if bufs, ok := c.allocBufs(n); ok {
+		fn(bufs)
+		return
+	}
+	c.srv.BufferWaits++
+	c.waits.TryPut(&allocWait{need: n, run: fn})
+}
+
+func freeBufs(bufs []*mempool.Buf) {
+	for _, b := range bufs {
+		b.Free()
+	}
+}
+
+func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("oaf server: bad message: %v", err))
+	}
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.ICReq:
+			c.onICReq(v)
+		case *pdu.CapsuleCmd:
+			c.onCommand(p, v, transit)
+		case *pdu.Data:
+			c.onTCPData(p, v, transit)
+		case *pdu.SHMNotify:
+			c.onSHMNotify(p, v, transit)
+		case *pdu.SHMRelease:
+			if ackQ, ok := c.readAcks[v.CID]; ok {
+				ackQ.TryPut(struct{}{})
+			}
+		case *pdu.Term:
+			c.closed = true
+			c.kick.Fire()
+		default:
+			panic(fmt.Sprintf("oaf server: unexpected PDU %v", u.Type()))
+		}
+		transit = 0
+	}
+}
+
+// onICReq is the Connection Manager's locality check: the client's
+// proposed region key must resolve in the fabric registry (i.e. the
+// helper process hotplugged the same region on this host).
+func (c *srvConn) onICReq(req *pdu.ICReq) {
+	resp := &pdu.ICResp{PFV: req.PFV, CPDA: 4, MaxH2CData: uint32(c.srv.cfg.TP.ChunkSize)}
+	if req.AFCapab && req.SHMKey != 0 && c.srv.cfg.Fabric != nil && c.srv.cfg.Design.UsesSHM() {
+		if region, ok := c.srv.cfg.Fabric.Lookup(req.SHMKey); ok {
+			c.region = region
+			c.srv.SHMConns++
+			resp.AFEnabled = true
+			resp.SHMKey = region.Key
+			resp.SHMSize = uint64(region.Size())
+			resp.SlotSize = uint32(region.SlotSize)
+			resp.SlotCount = uint32(region.SlotCount)
+		}
+	}
+	c.post(nil, resp)
+}
+
+func (c *srvConn) onCommand(p *sim.Proc, cap *pdu.CapsuleCmd, transit time.Duration) {
+	cmd := cap.Cmd
+	if cmd.Opcode == nvme.FabricsCommandType {
+		status := nvme.StatusInvalidField
+		if cmd.CDW10 == nvme.FctypeConnect {
+			if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.srv.cfg.NQN {
+				status = nvme.StatusSuccess
+			}
+		}
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
+		return
+	}
+	if cmd.Flags&transport.AdminFlag != 0 {
+		c.onAdmin(cmd, transit)
+		return
+	}
+	switch cmd.Opcode {
+	case nvme.OpRead:
+		c.startRead(cmd, transit)
+	case nvme.OpWrite:
+		size := int(cmd.NLB()) * transport.BlockSize
+		if cmd.Flags&cmdFlagSHMSlot != 0 {
+			c.startSHMWrite(cmd, size, transit)
+			return
+		}
+		inCap := 0
+		if cap.Data != nil {
+			inCap = len(cap.Data)
+		} else {
+			inCap = cap.VirtualLen
+		}
+		if inCap > 0 {
+			c.execWrite(cmd, size, cap.Data, transit, nil, 0)
+			return
+		}
+		c.startConservativeWrite(cmd, size, transit)
+	case nvme.OpFlush:
+		c.srv.e.Go("oaf-flush-worker", func(w *sim.Proc) {
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
+			c.post(nil, c.resp(res, transit, 0))
+		})
+	default:
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
+	}
+}
+
+// onAdmin dispatches admin-queue commands.
+func (c *srvConn) onAdmin(cmd nvme.Command, transit time.Duration) {
+	switch cmd.Opcode {
+	case nvme.AdminIdentify:
+		c.execIdentify(cmd, transit)
+	case nvme.AdminGetLogPage:
+		c.execGetLogPage(cmd, transit)
+	case nvme.AdminKeepAlive:
+		c.post(nil, &pdu.CapsuleResp{
+			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
+			TgtCommNs: uint64(transit),
+		})
+	default:
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
+	}
+}
+
+// execGetLogPage serves the discovery log page (Get Log Page, LID 0x70).
+func (c *srvConn) execGetLogPage(cmd nvme.Command, comm time.Duration) {
+	if cmd.CDW10&0xFF != nvme.LIDDiscovery&0xFF {
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
+		return
+	}
+	page := c.srv.tgt.DiscoveryLog(nvme.TrTypeAdaptive, "storage-host")
+	c.post(nil,
+		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
+		&pdu.CapsuleResp{
+			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
+			TgtCommNs: uint64(comm),
+		})
+}
+
+// startSHMWrite serves a write whose payload sits in a named slot: copy
+// it into a DPDK buffer (mandatory for device DMA, §4.4.3), release the
+// slot, execute.
+func (c *srvConn) startSHMWrite(cmd nvme.Command, size int, transit time.Duration) {
+	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
+	slotIdx := uint32(cmd.PRP1)
+	c.withBufs(need, func(bufs []*mempool.Buf) {
+		c.srv.e.Go("oaf-shm-write-worker", func(w *sim.Proc) {
+			slot, err := c.region.Open(shm.H2C, slotIdx)
+			if err != nil {
+				panic(fmt.Sprintf("oaf server: %v", err))
+			}
+			var data []byte
+			if cmd.PRP2 == 1 { // client placed real bytes in the slot
+				data = make([]byte, size)
+			}
+			copyStart := w.Now()
+			slot.CopyOut(w, data, size)
+			copyTime := w.Now().Sub(copyStart)
+			slot.Release() // slot credit returns through shared state
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
+			freeBufs(bufs)
+			c.kick.Fire()
+			c.post(nil, c.resp(res, transit, copyTime))
+		})
+	})
+}
+
+func (c *srvConn) startConservativeWrite(cmd nvme.Command, size int, transit time.Duration) {
+	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
+	c.withBufs(need, func(bufs []*mempool.Buf) {
+		ctx := &writeCtx{cmd: cmd, size: size, bufs: bufs, comm: transit, real: cmd.PRP2 == 1}
+		c.writes[cmd.CID] = ctx
+		c.post(nil, &pdu.R2T{CID: cmd.CID, TTag: cmd.CID, Offset: 0, Length: uint32(size)})
+	})
+}
+
+// onTCPData accumulates H2CData for a conservative TCP-path write.
+func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
+	ctx, ok := c.writes[d.CID]
+	if !ok {
+		panic(fmt.Sprintf("oaf server: data for unknown write CID %d", d.CID))
+	}
+	n := len(d.Payload)
+	if n == 0 {
+		n = d.VirtualLen
+	}
+	if d.Payload != nil {
+		if ctx.data == nil {
+			ctx.data = make([]byte, ctx.size)
+		}
+		copy(ctx.data[d.Offset:], d.Payload)
+	}
+	ctx.received += n
+	ctx.comm += transit
+	if ctx.received >= ctx.size {
+		delete(c.writes, d.CID)
+		c.execWrite(ctx.cmd, ctx.size, ctx.data, ctx.comm, ctx.bufs, ctx.copyTime)
+	}
+}
+
+// onSHMNotify consumes a chunk of write payload from a shared-memory
+// slot (the chunked designs' data path). The copy-out runs on the
+// connection handler — the single target core serializing these copies is
+// part of what the lock-free + flow-control optimizations relieve.
+func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
+	ctx, ok := c.writes[n.CID]
+	if !ok {
+		panic(fmt.Sprintf("oaf server: SHM notify for unknown write CID %d", n.CID))
+	}
+	slot, err := c.region.Open(shm.H2C, n.Slot)
+	if err != nil {
+		panic(fmt.Sprintf("oaf server: %v", err))
+	}
+	var dst []byte
+	if ctx.real {
+		if ctx.data == nil {
+			ctx.data = make([]byte, ctx.size)
+		}
+		dst = ctx.data[n.Offset : int(n.Offset)+int(n.Length)]
+	}
+	copyStart := p.Now()
+	slot.CopyOut(p, dst, int(n.Length))
+	ctx.copyTime += p.Now().Sub(copyStart)
+	slot.Release()
+	ctx.received += int(n.Length)
+	ctx.comm += transit
+	if ctx.received >= ctx.size {
+		delete(c.writes, n.CID)
+		c.execWrite(ctx.cmd, ctx.size, ctx.data, ctx.comm, ctx.bufs, ctx.copyTime)
+		return
+	}
+	// Conservative flow control: acknowledge so the client sends the
+	// next chunk.
+	c.post(nil, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
+}
+
+func (c *srvConn) execWrite(cmd nvme.Command, size int, data []byte, comm time.Duration, bufs []*mempool.Buf, copyTime time.Duration) {
+	c.srv.e.Go("oaf-write-worker", func(w *sim.Proc) {
+		res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
+		if bufs != nil {
+			freeBufs(bufs)
+			c.kick.Fire()
+		}
+		c.post(nil, c.resp(res, comm, copyTime))
+	})
+}
+
+// startRead serves a read: over shared memory when negotiated (payload
+// copied once from the DPDK buffer into C2H slots), over TCP otherwise.
+func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
+	size := int(cmd.NLB()) * transport.BlockSize
+	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
+	c.withBufs(need, func(bufs []*mempool.Buf) {
+		c.srv.e.Go("oaf-read-worker", func(w *sim.Proc) {
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
+			if res.CQE.Status.IsError() {
+				freeBufs(bufs)
+				c.kick.Fire()
+				c.post(nil, c.resp(res, transit, 0))
+				return
+			}
+			if c.region != nil && (c.srv.cfg.Design.Chunked() || size <= c.region.SlotSize) {
+				c.sendReadOverSHM(w, cmd, size, res, transit, bufs)
+				return
+			}
+			c.sendReadOverTCP(cmd, size, res, transit, bufs)
+		})
+	})
+}
+
+// sendReadOverSHM moves the payload through C2H slots: per-chunk slots
+// and notifications for the chunked designs, one whole-I/O slot and a
+// single notification under shared-memory flow control.
+func (c *srvConn) sendReadOverSHM(w *sim.Proc, cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
+	if !c.srv.cfg.Design.Chunked() {
+		// Shared-memory flow control: one whole-I/O slot, one
+		// notification batched with the response.
+		slot := c.region.Claim(w, shm.C2H)
+		t0 := w.Now()
+		slot.CopyIn(w, res.Data, size)
+		copyTime := w.Now().Sub(t0)
+		freeBufs(bufs)
+		c.kick.Fire()
+		c.post(nil,
+			&pdu.SHMNotify{CID: cmd.CID, Slot: slot.Index, Offset: 0, Length: uint32(size), Last: true},
+			c.resp(res, transit, copyTime))
+		return
+	}
+	// Chunked conservative transfer: one slot + notification per chunk,
+	// stop-and-wait on the client's acknowledgement — the naive flow the
+	// shared-memory flow control replaces (§4.4.2).
+	ackQ := sim.NewQueue[struct{}](c.srv.e, 0)
+	c.readAcks[cmd.CID] = ackQ
+	var copyTime time.Duration
+	transport.ChunkSizes(size, c.region.SlotSize, func(off, n int) {
+		slot := c.region.Claim(w, shm.C2H)
+		var src []byte
+		if res.Data != nil {
+			src = res.Data[off : off+n]
+		}
+		t0 := w.Now()
+		slot.CopyIn(w, src, n)
+		copyTime += w.Now().Sub(t0)
+		last := off+n >= size
+		nf := &pdu.SHMNotify{CID: cmd.CID, Slot: slot.Index, Offset: uint64(off), Length: uint32(n), Last: last}
+		if last {
+			c.post(nil, nf, c.resp(res, transit, copyTime))
+		} else {
+			c.post(nil, nf)
+			ackQ.Get(w) // wait for the client's per-chunk credit
+		}
+	})
+	delete(c.readAcks, cmd.CID)
+	freeBufs(bufs)
+	c.kick.Fire()
+}
+
+// sendReadOverTCP streams the payload as chunked C2HData PDUs.
+func (c *srvConn) sendReadOverTCP(cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
+	chunk := c.srv.cfg.TP.ChunkSize
+	var batches []*txBatch
+	transport.ChunkSizes(size, chunk, func(off, n int) {
+		d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Offset: uint32(off), Last: off+n >= size}
+		if res.Data != nil {
+			d.Payload = res.Data[off : off+n]
+		} else {
+			d.VirtualLen = n
+		}
+		batches = append(batches, &txBatch{pdus: []pdu.PDU{d}})
+	})
+	last := batches[len(batches)-1]
+	last.pdus = append(last.pdus, c.resp(res, transit, 0))
+	last.after = func() { freeBufs(bufs) }
+	for _, b := range batches {
+		c.txQ.TryPut(b)
+	}
+	c.kick.Fire()
+}
+
+func (c *srvConn) execIdentify(cmd nvme.Command, transit time.Duration) {
+	var page []byte
+	switch cmd.CDW10 {
+	case nvme.CNSController:
+		if id, err := c.srv.tgt.IdentifyController(c.srv.cfg.NQN); err == nil {
+			page = id.Encode()
+		}
+	case nvme.CNSNamespace:
+		if sub, ok := c.srv.tgt.Subsystem(c.srv.cfg.NQN); ok {
+			if ns, ok := sub.Namespace(cmd.NSID); ok {
+				idns := ns.Identify()
+				page = idns.Encode()
+			}
+		}
+	}
+	if page == nil {
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
+		return
+	}
+	c.post(nil,
+		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
+		&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
+	)
+}
+
+// resp builds the response capsule; the target's shared-memory copy time
+// is accounted as target-side "other" (buffer management).
+func (c *srvConn) resp(res target.ExecResult, comm time.Duration, copyTime time.Duration) *pdu.CapsuleResp {
+	return &pdu.CapsuleResp{
+		Rsp:        res.CQE,
+		IOTimeNs:   uint64(res.IOTime),
+		TgtCommNs:  uint64(comm),
+		TgtOtherNs: uint64(res.OtherTime + copyTime),
+	}
+}

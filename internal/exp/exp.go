@@ -1,0 +1,285 @@
+// Package exp builds the paper's experiment topologies and runs the
+// microbenchmark configurations behind every figure: a physical host with
+// client VMs and a target VM (SR-IOV hairpin through a shared NIC),
+// emulated NVMe-SSDs behind per-service subsystems, and one of the
+// evaluated fabrics — NVMe/TCP at three link speeds, NVMe/RDMA,
+// NVMe/RoCE, or NVMe-oAF with any of its shared-memory designs.
+package exp
+
+import (
+	"fmt"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/rdma"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/transport"
+)
+
+// Kind names a fabric under test.
+type Kind string
+
+// The evaluated fabrics.
+const (
+	TCP10G  Kind = "tcp-10g"
+	TCP25G  Kind = "tcp-25g"
+	TCP100G Kind = "tcp-100g"
+	RDMA56  Kind = "rdma-ib56"
+	RoCE100 Kind = "roce-100g"
+	OAF     Kind = "nvme-oaf"
+	// OAFRDMACtl is the paper's future-work variant (§5.5, §8): the
+	// adaptive fabric's control plane runs over an intra-node RDMA path
+	// instead of loopback TCP, attacking the control-message overhead
+	// that dominates oAF at small I/O sizes.
+	OAFRDMACtl Kind = "nvme-oaf-rdmactl"
+)
+
+// AllTCP lists the Ethernet fabrics in speed order.
+func AllTCP() []Kind { return []Kind{TCP10G, TCP25G, TCP100G} }
+
+// Config describes one experiment run.
+type Config struct {
+	// Kind selects the fabric.
+	Kind Kind
+	// Design selects the shared-memory design for OAF runs (defaults to
+	// DesignSHMZeroCopy, the paper's headline configuration).
+	Design core.Design
+	// Streams is the number of client/SSD pairs (1:1 mapping, §3.1).
+	Streams int
+	// Workload is the per-stream pattern.
+	Workload perf.Workload
+	// TP carries the TCP-channel knobs (chunk size, in-capsule
+	// threshold, busy-poll budget) for TCP and OAF runs.
+	TP model.TCPTransportParams
+	// Seed drives all randomness.
+	Seed int64
+	// RetainData materializes payload bytes end to end.
+	RetainData bool
+	// SSD overrides the device model (zero value = model.DefaultSSD()).
+	SSD model.SSDParams
+	// SSDCapacity per device (default 2 GiB).
+	SSDCapacity int64
+	// MaxIO bounds the largest I/O for shared-memory slot sizing
+	// (defaults to the workload size).
+	MaxIO int
+	// RDMA overrides the RDMA fabric parameters (nil = model defaults),
+	// for ablations such as disabling registration-cache misses.
+	RDMA *model.RDMAParams
+}
+
+func (c Config) withDefaults() Config {
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
+	if c.TP.ChunkSize <= 0 {
+		c.TP = model.DefaultTCPTransport()
+	}
+	if c.SSD.Channels == 0 {
+		c.SSD = model.DefaultSSD()
+	}
+	if c.SSDCapacity <= 0 {
+		c.SSDCapacity = 2 << 30
+	}
+	if c.MaxIO <= 0 {
+		c.MaxIO = c.Workload.IOSize
+		for _, sw := range c.Workload.SizeMix {
+			if sw.Size > c.MaxIO {
+				c.MaxIO = sw.Size
+			}
+		}
+		if c.MaxIO <= 0 {
+			c.MaxIO = 4096
+		}
+	}
+	if c.Kind == "" {
+		c.Kind = OAF
+	}
+	if (c.Kind == OAF || c.Kind == OAFRDMACtl) && c.Design == core.DesignTCP {
+		c.Design = core.DesignSHMZeroCopy
+	}
+	return c
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Agg       perf.Aggregate
+	PerStream []*perf.Result
+	// Devices exposes the SSD models for utilization queries.
+	Devices []*bdev.SSDBdev
+	// PoolFootprint is the target data-pool memory (chunk-size study).
+	PoolFootprint int
+	// WireBytes is the total payload+control bytes that crossed the
+	// network (shared-memory payloads excluded by construction).
+	WireBytes int64
+	// SHMBytes is the payload volume moved through shared memory.
+	SHMBytes int64
+}
+
+// rdmaParams resolves the RDMA parameter set for a configuration.
+func rdmaParams(cfg Config) model.RDMAParams {
+	if cfg.RDMA != nil {
+		return *cfg.RDMA
+	}
+	if cfg.Kind == RoCE100 {
+		return model.RoCE100G()
+	}
+	return model.RDMA56G()
+}
+
+// nqnFor names the per-SSD storage service.
+func nqnFor(i int) string { return fmt.Sprintf("nqn.2022-06.io.oaf:ssd%d", i) }
+
+// Run executes the configuration and returns aggregated results.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	e := sim.NewEngine(cfg.Seed)
+	tgt := target.New(e, model.DefaultHost())
+
+	res := &Result{}
+	for i := 0; i < cfg.Streams; i++ {
+		sub, err := tgt.AddSubsystem(nqnFor(i))
+		if err != nil {
+			return nil, err
+		}
+		bd := bdev.NewSimSSD(e, fmt.Sprintf("nvme%d", i), cfg.SSDCapacity, cfg.SSD, cfg.RetainData, transport.BlockSize)
+		if _, err := sub.AddNamespace(1, bd); err != nil {
+			return nil, err
+		}
+		res.Devices = append(res.Devices, bd)
+	}
+
+	// One shared physical NIC: all client and target VMs sit on the same
+	// host; SR-IOV traffic hairpins through it (§3.1, §5.1).
+	var links []*netsim.Link
+	var linkParams model.LinkParams
+	switch cfg.Kind {
+	case TCP10G:
+		linkParams = model.TCP10G()
+	case TCP25G:
+		linkParams = model.TCP25G()
+	case TCP100G:
+		linkParams = model.TCP100G()
+	case RDMA56:
+		linkParams = rdma.LinkParams(model.RDMA56G())
+	case RoCE100:
+		linkParams = rdma.LinkParams(model.RoCE100G())
+	case OAF:
+		linkParams = model.Loopback()
+	case OAFRDMACtl:
+		linkParams = rdma.LinkParams(model.RDMA56G())
+	default:
+		return nil, fmt.Errorf("exp: unknown fabric %q", cfg.Kind)
+	}
+	nic := netsim.NewNIC(e, linkParams.WireBytesPerSec)
+	for i := 0; i < cfg.Streams; i++ {
+		links = append(links, netsim.NewLink(e, linkParams, nic, nic))
+	}
+
+	// Fabric servers + shared-memory provisioning.
+	var fabric *core.Fabric
+	var regions []*shm.Region
+	switch cfg.Kind {
+	case RDMA56, RoCE100:
+		prm := rdmaParams(cfg)
+		for i := 0; i < cfg.Streams; i++ {
+			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnFor(i), Params: prm, Host: model.DefaultHost()})
+			srv.Serve(links[i].B)
+		}
+	case OAF, OAFRDMACtl:
+		fabric = core.NewFabric(e, model.DefaultSHM())
+		for i := 0; i < cfg.Streams; i++ {
+			srv := core.NewServer(e, tgt, core.ServerConfig{
+				NQN: nqnFor(i), Design: cfg.Design, Fabric: fabric,
+				TP: cfg.TP, Host: model.DefaultHost(),
+			})
+			srv.Serve(links[i].B)
+			res.PoolFootprint += srv.Pool().FootprintBytes()
+			region, ok := fabric.RegionFor(cfg.Design, "host0", "host0", cfg.MaxIO, cfg.TP.ChunkSize, cfg.Workload.QueueDepth)
+			if !ok {
+				region = nil
+			}
+			regions = append(regions, region)
+		}
+	default: // TCP kinds
+		for i := 0; i < cfg.Streams; i++ {
+			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i), TP: cfg.TP, Host: model.DefaultHost()})
+			srv.Serve(links[i].B)
+			res.PoolFootprint += srv.Pool().FootprintBytes()
+		}
+	}
+
+	// Connect clients and run one perf stream per pair.
+	streams := make([]*perf.Stream, cfg.Streams)
+	var oafClients []*core.Client
+	setupErr := sim.NewFuture[error](e)
+	e.Go("setup", func(p *sim.Proc) {
+		for i := 0; i < cfg.Streams; i++ {
+			w := cfg.Workload
+			w.Name = fmt.Sprintf("%s-s%d", cfg.Kind, i)
+			w.Span = cfg.SSDCapacity
+			var q transport.Queue
+			switch cfg.Kind {
+			case RDMA56, RoCE100:
+				prm := rdmaParams(cfg)
+				c, err := rdma.Connect(p, links[i].A, rdma.ClientConfig{
+					NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
+				})
+				if err != nil {
+					setupErr.Resolve(err)
+					return
+				}
+				q = c
+			case OAF, OAFRDMACtl:
+				c, err := core.Connect(p, links[i].A, core.ClientConfig{
+					NQN: nqnFor(i), QueueDepth: w.QueueDepth, Design: cfg.Design,
+					Region: regions[i], TP: cfg.TP, Host: model.DefaultHost(),
+				})
+				if err != nil {
+					setupErr.Resolve(err)
+					return
+				}
+				oafClients = append(oafClients, c)
+				q = c
+			default:
+				c, err := tcp.Connect(p, links[i].A, tcp.ClientConfig{
+					NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: cfg.TP, Host: model.DefaultHost(),
+				})
+				if err != nil {
+					setupErr.Resolve(err)
+					return
+				}
+				q = c
+			}
+			streams[i] = perf.NewStream(e, q, w)
+		}
+		for _, s := range streams {
+			s.Start()
+		}
+		setupErr.Resolve(nil)
+	})
+
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	if err, ok := setupErr.Value(); ok && err != nil {
+		return nil, err
+	}
+
+	for _, s := range streams {
+		res.PerStream = append(res.PerStream, s.Result())
+	}
+	res.Agg = perf.Merge(res.PerStream...)
+	for _, l := range links {
+		res.WireBytes += l.A.BytesSent + l.B.BytesSent
+	}
+	for _, c := range oafClients {
+		res.SHMBytes += c.SHMPayloadBytes
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"testing"
+
+	"nvmeoaf/internal/h5bench"
+)
+
+func TestShapeFig16OneDataset(t *testing.T) {
+	// Config-1: oAF should beat NFS by roughly 6x on both kernels.
+	oaf, err := RunH5(H5Config{Backend: H5OAF, Kernel: h5bench.Config1(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfsRes, err := RunH5(H5Config{Backend: H5NFS, Kernel: h5bench.Config1(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("config-1 write: oaf %.2f GB/s, nfs %.2f GB/s (%.2fx)",
+		oaf.Write.GBps(), nfsRes.Write.GBps(), oaf.Write.GBps()/nfsRes.Write.GBps())
+	t.Logf("config-1 read:  oaf %.2f GB/s, nfs %.2f GB/s (%.2fx)",
+		oaf.Read.GBps(), nfsRes.Read.GBps(), oaf.Read.GBps()/nfsRes.Read.GBps())
+	if oaf.Write.GBps() < 2*nfsRes.Write.GBps() {
+		t.Fatalf("oaf write should clearly beat NFS for config-1")
+	}
+	if oaf.Read.GBps() < 2*nfsRes.Read.GBps() {
+		t.Fatalf("oaf read should clearly beat NFS for config-1")
+	}
+}
+
+func TestShapeFig17EightDatasets(t *testing.T) {
+	// Config-2: plain oAF loses to NFS; coalescing restores the win.
+	plain, err := RunH5(H5Config{Backend: H5OAF, Kernel: h5bench.Config2(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfsRes, err := RunH5(H5Config{Backend: H5NFS, Kernel: h5bench.Config2(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coal, err := RunH5(H5Config{Backend: H5OAFCoalesce, Kernel: h5bench.Config2(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("config-2 write: plain %.2f, nfs %.2f, coalesced %.2f GB/s",
+		plain.Write.GBps(), nfsRes.Write.GBps(), coal.Write.GBps())
+	t.Logf("config-2 read:  plain %.2f, nfs %.2f, coalesced %.2f GB/s",
+		plain.Read.GBps(), nfsRes.Read.GBps(), coal.Read.GBps())
+	if plain.Write.GBps() >= nfsRes.Write.GBps() {
+		t.Fatalf("plain oaf write (%.2f) should lose to NFS (%.2f) for config-2",
+			plain.Write.GBps(), nfsRes.Write.GBps())
+	}
+	if coal.Write.GBps() < 2*nfsRes.Write.GBps() {
+		t.Fatalf("coalesced oaf write (%.2f) should clearly beat NFS (%.2f)",
+			coal.Write.GBps(), nfsRes.Write.GBps())
+	}
+	if coal.Read.GBps() < 2*nfsRes.Read.GBps() {
+		t.Fatalf("coalesced oaf read (%.2f) should clearly beat NFS (%.2f)",
+			coal.Read.GBps(), nfsRes.Read.GBps())
+	}
+}
+
+func TestShapeFig19ScaleOut(t *testing.T) {
+	// Case-2: aggregate bandwidth grows with the SHM fraction.
+	w0, r0, err := RunH5Scale(Case2, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, r4, err := RunH5Scale(Case2, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("case-2 SHM0%%: w %.2f r %.2f; SHM100%%: w %.2f r %.2f (gain w %.2fx r %.2fx)",
+		w0, r0, w4, r4, w4/w0, r4/r0)
+	if w4 <= w0 || r4 <= r0 {
+		t.Fatal("full SHM should beat pure TCP")
+	}
+}
+
+func TestShapeFig18Case1(t *testing.T) {
+	// Case-1: clients on one node, SSDs remote; gains grow with the
+	// shared-memory fraction.
+	w0, r0, err := RunH5Scale(Case1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, r3, err := RunH5Scale(Case1, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("case-1 SHM0%%: w %.2f r %.2f; SHM75%%: w %.2f r %.2f", w0, r0, w3, r3)
+	if w3 <= w0 || r3 <= r0 {
+		t.Fatal("SHM kernels should lift case-1 aggregate bandwidth")
+	}
+}
+
+func TestUnknownH5BackendRejected(t *testing.T) {
+	_, err := RunH5(H5Config{Backend: H5Backend("bogus"), Kernel: h5bench.Config1()})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestScaleKernelCountValidated(t *testing.T) {
+	if _, _, err := RunH5Scale(Case2, 9, 1); err == nil {
+		t.Fatal("out-of-range SHM kernel count accepted")
+	}
+}

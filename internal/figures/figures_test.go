@@ -1,0 +1,309 @@
+package figures
+
+import (
+	"testing"
+	"time"
+)
+
+// find returns the row matching the predicate.
+func findMicro(t *testing.T, rows []MicroRow, fabric, op string, size int) MicroRow {
+	t.Helper()
+	for _, r := range rows {
+		if string(r.Fabric) == fabric && r.Op == op && r.IOSize == size {
+			return r
+		}
+	}
+	t.Fatalf("row %s/%s/%d not found", fabric, op, size)
+	return MicroRow{}
+}
+
+func TestFig2PaperShape(t *testing.T) {
+	rows, err := Fig2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128K read bandwidth ordering: 10G < 25G < 100G < RDMA.
+	prev := 0.0
+	for _, f := range []string{"tcp-10g", "tcp-25g", "tcp-100g", "rdma-ib56"} {
+		r := findMicro(t, rows, f, "read", 128<<10)
+		if r.GBps <= prev {
+			t.Fatalf("read ordering violated at %s: %.2f <= %.2f", f, r.GBps, prev)
+		}
+		prev = r.GBps
+	}
+	// Peak gaps (paper: RDMA ~1.46x TCP-100G read, ~1.85x write).
+	readGap := findMicro(t, rows, "rdma-ib56", "read", 128<<10).GBps /
+		findMicro(t, rows, "tcp-100g", "read", 128<<10).GBps
+	if readGap < 1.2 || readGap > 1.9 {
+		t.Fatalf("RDMA/TCP-100G read gap %.2f, paper ~1.46", readGap)
+	}
+	writeGap := findMicro(t, rows, "rdma-ib56", "write", 128<<10).GBps /
+		findMicro(t, rows, "tcp-100g", "write", 128<<10).GBps
+	if writeGap < 1.2 || writeGap > 2.3 {
+		t.Fatalf("RDMA/TCP-100G write gap %.2f, paper ~1.85", writeGap)
+	}
+	// 4K: 25G barely beats 10G (network speed does not help small I/O).
+	r10 := findMicro(t, rows, "tcp-10g", "read", 4<<10).GBps
+	r25 := findMicro(t, rows, "tcp-25g", "read", 4<<10).GBps
+	if r25 > r10*1.25 {
+		t.Fatalf("4K: TCP-25G (%.2f) should be close to TCP-10G (%.2f)", r25, r10)
+	}
+	// Fig 3 breakdown: comm time dominates I/O time for TCP at 128K.
+	bd := findMicro(t, rows, "tcp-10g", "read", 128<<10)
+	if bd.CommUs <= bd.IOUs {
+		t.Fatalf("TCP-10G 128K comm (%.0f) should dominate io (%.0f)", bd.CommUs, bd.IOUs)
+	}
+}
+
+func TestFig11PaperShape(t *testing.T) {
+	rows, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oaf := findMicro(t, rows, "nvme-oaf", "read", 128<<10)
+	tcp10 := findMicro(t, rows, "tcp-10g", "read", 128<<10)
+	rdma := findMicro(t, rows, "rdma-ib56", "read", 128<<10)
+	// Paper: oAF ~7.1x TCP-10G peak read bandwidth, ~1.78x RDMA.
+	if ratio := oaf.GBps / tcp10.GBps; ratio < 5 || ratio > 10 {
+		t.Fatalf("oAF/TCP-10G read ratio %.2f, paper ~7.1", ratio)
+	}
+	if ratio := oaf.GBps / rdma.GBps; ratio < 1.3 {
+		t.Fatalf("oAF/RDMA read ratio %.2f, paper ~1.78", ratio)
+	}
+	// Paper: TCP-10G 128K read latency ~4.2x oAF's.
+	if ratio := tcp10.AvgUs / oaf.AvgUs; ratio < 3 || ratio > 12 {
+		t.Fatalf("TCP-10G/oAF read latency ratio %.2f, paper ~4.2", ratio)
+	}
+	// Paper: TCP-25G 128K write latency ~2.97x oAF's.
+	oafW := findMicro(t, rows, "nvme-oaf", "write", 128<<10)
+	tcp25W := findMicro(t, rows, "tcp-25g", "write", 128<<10)
+	if ratio := tcp25W.AvgUs / oafW.AvgUs; ratio < 2 || ratio > 8 {
+		t.Fatalf("TCP-25G/oAF write latency ratio %.2f, paper ~2.97", ratio)
+	}
+	// Fig 12: oAF "other" time for writes is small (zero-copy removes the
+	// client buffer preparation) compared to TCP's.
+	tcpOther := findMicro(t, rows, "tcp-100g", "write", 128<<10).OtherUs
+	if oafW.OtherUs > tcpOther/2 {
+		t.Fatalf("oAF write other time %.0fus should be well under TCP's %.0fus", oafW.OtherUs, tcpOther)
+	}
+}
+
+func TestFig8PaperShape(t *testing.T) {
+	rows, err := Fig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig8Row{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	tcp := byName["tcp-25g(ref)"]
+	base := byName["shm-baseline"]
+	lf := byName["shm-lock-free"]
+	fc := byName["shm-flow-ctl"]
+	zc := byName["shm-0-copy"]
+	// Paper: naive shared memory already beats TCP-25G (~1.83x).
+	if base.GBps < 1.2*tcp.GBps {
+		t.Fatalf("baseline (%.2f) should beat TCP-25G (%.2f)", base.GBps, tcp.GBps)
+	}
+	// Paper: lock-free cuts p99.99 tail drastically (-38%).
+	if lf.P9999Us > 0.75*base.P9999Us {
+		t.Fatalf("lock-free tail %.0fus should be well under baseline %.0fus", lf.P9999Us, base.P9999Us)
+	}
+	// Each successive optimization must not lose bandwidth; the full
+	// stack lands well above the baseline (paper: ~1.83x on top).
+	if lf.GBps < base.GBps || fc.GBps < lf.GBps*0.98 || zc.GBps < fc.GBps {
+		t.Fatalf("bandwidth should be monotone: %.2f %.2f %.2f %.2f",
+			base.GBps, lf.GBps, fc.GBps, zc.GBps)
+	}
+	if zc.GBps < 1.8*base.GBps {
+		t.Fatalf("full optimization stack (%.2f) should be >=1.8x baseline (%.2f)", zc.GBps, base.GBps)
+	}
+	// Zero-copy also trims the tail versus flow-ctl (paper: -22%).
+	if zc.P9999Us > fc.P9999Us*1.05 {
+		t.Fatalf("zero-copy tail %.0fus should not exceed flow-ctl %.0fus", zc.P9999Us, fc.P9999Us)
+	}
+}
+
+func TestFig9PaperShape(t *testing.T) {
+	rows, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(chunk, size int) Fig9Row {
+		for _, r := range rows {
+			if r.Chunk == chunk && r.IOSize == size {
+				return r
+			}
+		}
+		t.Fatalf("row %d/%d missing", chunk, size)
+		return Fig9Row{}
+	}
+	// Small chunks hurt large-I/O bandwidth (paper: "choosing a very low
+	// chunk size hurts bandwidth").
+	if at(64<<10, 2<<20).GBps >= at(512<<10, 2<<20).GBps*0.95 {
+		t.Fatalf("64K chunk (%.2f) should clearly trail 512K chunk (%.2f) at 2M I/O",
+			at(64<<10, 2<<20).GBps, at(512<<10, 2<<20).GBps)
+	}
+	// 512K is near-optimal: within 7% of the best chunk for every I/O
+	// size (paper: "close to the highest bandwidth").
+	for _, size := range Fig9IOSizes {
+		best := 0.0
+		for _, chunk := range Fig9Chunks {
+			if g := at(chunk, size).GBps; g > best {
+				best = g
+			}
+		}
+		if got := at(512<<10, size).GBps; got < 0.93*best {
+			t.Fatalf("512K chunk at %d I/O: %.3f vs best %.3f", size, got, best)
+		}
+	}
+	// Memory grows linearly with chunk size (the reason not to use 2M).
+	if at(2<<20, 64<<10).PoolMB < 3.9*at(512<<10, 64<<10).PoolMB {
+		t.Fatalf("2M chunk pool (%.0f MB) should be ~4x 512K pool (%.0f MB)",
+			at(2<<20, 64<<10).PoolMB, at(512<<10, 64<<10).PoolMB)
+	}
+}
+
+func TestFig10PaperShape(t *testing.T) {
+	rows, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(wl string, poll time.Duration) float64 {
+		for _, r := range rows {
+			if r.Workload == wl && r.Poll == poll {
+				return r.GBps
+			}
+		}
+		t.Fatalf("row %s/%v missing", wl, poll)
+		return 0
+	}
+	// Writes: the long budget wins, the short budget underperforms it
+	// and does not beat interrupt mode (paper §4.5).
+	w0 := at("seq-write", 0)
+	w25 := at("seq-write", 25*time.Microsecond)
+	w100 := at("seq-write", 100*time.Microsecond)
+	if w100 <= w25 {
+		t.Fatalf("write: 100us (%.3f) should beat 25us (%.3f)", w100, w25)
+	}
+	if w25 > w0*1.01 {
+		t.Fatalf("write: 25us (%.3f) should not beat interrupt (%.3f)", w25, w0)
+	}
+	// Reads: peak at 25-50us, degraded at 100us.
+	r25 := at("seq-read", 25*time.Microsecond)
+	r100 := at("seq-read", 100*time.Microsecond)
+	r0 := at("seq-read", 0)
+	if r25 < r0 {
+		t.Fatalf("read: 25us (%.3f) should be at least interrupt (%.3f)", r25, r0)
+	}
+	if r100 > 0.95*r25 {
+		t.Fatalf("read: 100us (%.3f) should degrade vs 25us (%.3f)", r100, r25)
+	}
+}
+
+func TestFig13PaperShape(t *testing.T) {
+	rows, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(f string) Fig13Row {
+		for _, r := range rows {
+			if r.Fabric == f {
+				return r
+			}
+		}
+		t.Fatalf("fabric %s missing", f)
+		return Fig13Row{}
+	}
+	oaf := at("nvme-oaf")
+	tcp100 := at("tcp-100g")
+	rdma := at("rdma-ib56")
+	long := at("rdma-ib56(3x run)")
+	// Paper: oAF tail ~3x below TCP-100G and RDMA.
+	if tcp100.P9999Us < 1.7*oaf.P9999Us {
+		t.Fatalf("TCP-100G tail %.0f should be ~3x oAF %.0f", tcp100.P9999Us, oaf.P9999Us)
+	}
+	if rdma.P9999Us < 1.7*oaf.P9999Us {
+		t.Fatalf("RDMA tail %.0f should be ~3x oAF %.0f", rdma.P9999Us, oaf.P9999Us)
+	}
+	// RDMA's average stays competitive while its tail blows up
+	// (registration overheads, §5.4).
+	if rdma.P999Us < 2.5*rdma.AvgUs {
+		t.Fatalf("RDMA p99.9 %.0f should blow past its avg %.0f", rdma.P999Us, rdma.AvgUs)
+	}
+	// The 3x-longer run dilutes the registration events out of p99.9.
+	if long.P999Us > 0.7*rdma.P999Us {
+		t.Fatalf("long-run RDMA p99.9 %.0f should drop well below short-run %.0f", long.P999Us, rdma.P999Us)
+	}
+}
+
+func TestFig14PaperShape(t *testing.T) {
+	rows, err := Fig14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(f string, qd int) float64 {
+		for _, r := range rows {
+			if string(r.Fabric) == f && r.QD == qd {
+				return r.GBps
+			}
+		}
+		t.Fatalf("row %s/%d missing", f, qd)
+		return 0
+	}
+	// TCP: queue depth beyond 8 barely helps (paper: "almost constant").
+	if at("tcp-25g", 128) > 1.6*at("tcp-25g", 8) {
+		t.Fatalf("TCP-25G should flatten after QD8: %.2f vs %.2f", at("tcp-25g", 128), at("tcp-25g", 8))
+	}
+	// oAF: near-linear scaling until the device limit.
+	if at("nvme-oaf", 8) < 3.5*at("nvme-oaf", 1) {
+		t.Fatalf("oAF QD8 (%.2f) should be ~8x QD1 (%.2f)", at("nvme-oaf", 8), at("nvme-oaf", 1))
+	}
+	// oAF at QD1 gains little (control-plane overhead, §5.5): it should
+	// not beat RoCE there.
+	if at("nvme-oaf", 1) > at("roce-100g", 1) {
+		t.Fatalf("oAF QD1 (%.3f) should trail RoCE (%.3f): control overhead", at("nvme-oaf", 1), at("roce-100g", 1))
+	}
+	// At saturation oAF reaches the device limit, far above TCP.
+	if at("nvme-oaf", 128) < 2.5*at("tcp-25g", 128) {
+		t.Fatalf("oAF saturated (%.2f) should be >>TCP (%.2f)", at("nvme-oaf", 128), at("tcp-25g", 128))
+	}
+}
+
+func TestFig15PaperShape(t *testing.T) {
+	rows, err := Fig15(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(f string, mix int) float64 {
+		for _, r := range rows {
+			if string(r.Fabric) == f && r.ReadPct == mix {
+				return r.GBps
+			}
+		}
+		t.Fatalf("row %s/%d missing", f, mix)
+		return 0
+	}
+	for _, mix := range Fig15Mixes {
+		// Paper: network speed has slight impact on TCP throughput.
+		if at("tcp-100g", mix) > 1.25*at("tcp-10g", mix) {
+			t.Fatalf("mix %d: TCP insensitive to network speed expected", mix)
+		}
+		// Paper: oAF ~2.33x TCP-100G on average; within ~15% of RDMA.
+		ratio := at("nvme-oaf", mix) / at("tcp-100g", mix)
+		if ratio < 1.8 || ratio > 4 {
+			t.Fatalf("mix %d: oAF/TCP-100G ratio %.2f, paper ~2.33", mix, ratio)
+		}
+		if rd := at("nvme-oaf", mix) / at("rdma-ib56", mix); rd < 0.85 || rd > 1.3 {
+			t.Fatalf("mix %d: oAF within ~15%% of RDMA expected, got %.2f", mix, rd)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	if len(s) < 200 {
+		t.Fatalf("table too short:\n%s", s)
+	}
+}

@@ -1,0 +1,214 @@
+// Package h5bench reimplements the h5bench VPIC-IO write and read kernels
+// the paper uses for its application-level evaluation (§5.7): 1-D particle
+// arrays stored as contiguous HDF5 datasets, written and read through the
+// hdf5.Storage seam (the VOL connector over NVMe-oAF, or the NFS client).
+//
+// Two configurations mirror the paper:
+//
+//   - config-1 writes 16M particles into one dataset with a single full-
+//     array H5Dwrite per dataset — the large contiguous transfer that the
+//     VOL's direct path pipelines;
+//   - config-2 writes 8 datasets of 8M particles each. Like VPIC's
+//     per-variable emitters, the kernel produces the variables in particle
+//     batches, so HDF5 issues synchronous partial writes that alternate
+//     across the 8 dataset extents — the small-I/O pattern that plain
+//     NVMe-oAF handles poorly until I/O coalescing is enabled (Fig 17).
+package h5bench
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/hdf5"
+	"nvmeoaf/internal/sim"
+)
+
+// Config describes one kernel configuration.
+type Config struct {
+	// Datasets is the number of 1-D variables.
+	Datasets int
+	// Particles is the element count per dataset.
+	Particles int64
+	// ElemSize is bytes per element (8 in our runs).
+	ElemSize int
+	// BatchParticles, when nonzero, emits the variables in interleaved
+	// batches of this many particles (VPIC-style partial writes); zero
+	// writes each dataset with one full-array call.
+	BatchParticles int64
+	// FillPerByteNanos charges payload generation (compute producing the
+	// particles).
+	FillPerByteNanos float64
+	// Timesteps repeats the emission loop, as VPIC writes one dataset
+	// group per simulation step (the paper uses one timestep; h5bench
+	// supports many). Zero means one.
+	Timesteps int
+}
+
+// Config1 is the paper's first configuration: 16M particles, one dataset.
+func Config1() Config {
+	return Config{Datasets: 1, Particles: 16 << 20, ElemSize: 8}
+}
+
+// Config2 is the paper's second configuration: 8M particles in each of 8
+// datasets, emitted in interleaved batches.
+func Config2() Config {
+	return Config{Datasets: 8, Particles: 8 << 20, ElemSize: 8, BatchParticles: 4096}
+}
+
+// steps returns the effective timestep count.
+func (c Config) steps() int {
+	if c.Timesteps <= 0 {
+		return 1
+	}
+	return c.Timesteps
+}
+
+// TotalBytes is the payload volume of one kernel run.
+func (c Config) TotalBytes() int64 {
+	return int64(c.steps()) * int64(c.Datasets) * c.Particles * int64(c.ElemSize)
+}
+
+// Result reports one kernel execution.
+type Result struct {
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// GBps returns the kernel bandwidth in GB/s.
+func (r Result) GBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e9 / r.Elapsed.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d bytes in %v (%.3f GB/s)", r.Bytes, r.Elapsed, r.GBps())
+}
+
+// dsName names the i-th variable like VPIC's particle fields.
+func dsName(i int) string {
+	names := []string{"x", "y", "z", "px", "py", "pz", "id1", "id2"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("var%d", i)
+}
+
+// WriteKernel runs the write kernel on st and returns the measured
+// bandwidth (creation through close, as h5bench reports).
+func WriteKernel(p *sim.Proc, st hdf5.Storage, cfg Config) (Result, error) {
+	start := p.Now()
+	f := hdf5.Create(st)
+	var dss []*hdf5.Dataset
+	for step := 0; step < cfg.steps(); step++ {
+		for i := 0; i < cfg.Datasets; i++ {
+			d, err := f.CreateDataset(stepName(step, i, cfg.steps()), cfg.ElemSize, cfg.Particles)
+			if err != nil {
+				return Result{}, err
+			}
+			dss = append(dss, d)
+		}
+	}
+	fill := func(elems int64) {
+		if cfg.FillPerByteNanos > 0 {
+			p.Sleep(time.Duration(float64(elems*int64(cfg.ElemSize)) * cfg.FillPerByteNanos))
+		}
+	}
+	for step := 0; step < cfg.steps(); step++ {
+		group := dss[step*cfg.Datasets : (step+1)*cfg.Datasets]
+		if cfg.BatchParticles <= 0 || cfg.BatchParticles >= cfg.Particles {
+			// One full-array write per dataset.
+			for _, d := range group {
+				fill(cfg.Particles)
+				if err := d.Write(p, 0, cfg.Particles, nil); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
+		// Interleaved batches across all variables.
+		for off := int64(0); off < cfg.Particles; off += cfg.BatchParticles {
+			n := cfg.BatchParticles
+			if n > cfg.Particles-off {
+				n = cfg.Particles - off
+			}
+			for _, d := range group {
+				fill(n)
+				if err := d.Write(p, off, n, nil); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	if err := f.Close(p); err != nil {
+		return Result{}, err
+	}
+	return Result{Bytes: cfg.TotalBytes(), Elapsed: p.Now().Sub(start)}, nil
+}
+
+// stepName names a dataset within a timestep group.
+func stepName(step, i, steps int) string {
+	if steps == 1 {
+		return dsName(i)
+	}
+	return fmt.Sprintf("t%d/%s", step, dsName(i))
+}
+
+// ReadKernel performs a full read of the datasets previously written,
+// mirroring the write kernel's access pattern.
+func ReadKernel(p *sim.Proc, st hdf5.Storage, cfg Config) (Result, error) {
+	start := p.Now()
+	f, err := hdf5.Open(p, st)
+	if err != nil {
+		return Result{}, err
+	}
+	dss := f.Datasets()
+	if len(dss) != cfg.Datasets*cfg.steps() {
+		return Result{}, fmt.Errorf("h5bench: found %d datasets, want %d", len(dss), cfg.Datasets*cfg.steps())
+	}
+	for step := 0; step < cfg.steps(); step++ {
+		group := dss[step*cfg.Datasets : (step+1)*cfg.Datasets]
+		if cfg.BatchParticles <= 0 || cfg.BatchParticles >= cfg.Particles {
+			for _, d := range group {
+				if err := d.Read(p, 0, d.Count, nil); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
+		for off := int64(0); off < cfg.Particles; off += cfg.BatchParticles {
+			n := cfg.BatchParticles
+			if n > cfg.Particles-off {
+				n = cfg.Particles - off
+			}
+			for _, d := range group {
+				if err := d.Read(p, off, n, nil); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+	if err := f.Close(p); err != nil {
+		return Result{}, err
+	}
+	return Result{Bytes: cfg.TotalBytes(), Elapsed: p.Now().Sub(start)}, nil
+}
+
+// AggregateBandwidth sums per-kernel results over a common wall window,
+// for the scale-out experiments (Figs 18/19): total bytes divided by the
+// slowest kernel's elapsed time.
+func AggregateBandwidth(results []Result) float64 {
+	var bytes int64
+	var longest time.Duration
+	for _, r := range results {
+		bytes += r.Bytes
+		if r.Elapsed > longest {
+			longest = r.Elapsed
+		}
+	}
+	if longest <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e9 / longest.Seconds()
+}

@@ -1,0 +1,190 @@
+package h5bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/sim"
+)
+
+// countingStorage records I/O calls and advances time per byte.
+type countingStorage struct {
+	writes, reads, flushes int
+	writeBytes, readBytes  int64
+	perByte                time.Duration
+	buf                    []byte
+}
+
+func newCounting(size int) *countingStorage {
+	return &countingStorage{buf: make([]byte, size), perByte: time.Nanosecond}
+}
+
+func (c *countingStorage) WriteAt(p *sim.Proc, off int64, data []byte, size int) error {
+	if off < 0 || off+int64(size) > int64(len(c.buf)) {
+		return fmt.Errorf("counting: oob write [%d,%d)", off, off+int64(size))
+	}
+	c.writes++
+	c.writeBytes += int64(size)
+	if data != nil {
+		copy(c.buf[off:], data[:size])
+	}
+	p.Sleep(time.Duration(size) * c.perByte)
+	return nil
+}
+
+func (c *countingStorage) ReadAt(p *sim.Proc, off int64, buf []byte, size int) error {
+	if off < 0 || off+int64(size) > int64(len(c.buf)) {
+		return fmt.Errorf("counting: oob read [%d,%d)", off, off+int64(size))
+	}
+	c.reads++
+	c.readBytes += int64(size)
+	if buf != nil {
+		copy(buf[:size], c.buf[off:])
+	}
+	p.Sleep(time.Duration(size) * c.perByte)
+	return nil
+}
+
+func (c *countingStorage) Flush(p *sim.Proc) error { c.flushes++; return nil }
+
+func run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	e.Go("bench", fn)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigsMatchPaper(t *testing.T) {
+	c1 := Config1()
+	if c1.Datasets != 1 || c1.Particles != 16<<20 {
+		t.Fatalf("config-1: %+v", c1)
+	}
+	c2 := Config2()
+	if c2.Datasets != 8 || c2.Particles != 8<<20 || c2.BatchParticles == 0 {
+		t.Fatalf("config-2: %+v", c2)
+	}
+	if c1.TotalBytes() != 16<<20*8 {
+		t.Fatalf("config-1 bytes %d", c1.TotalBytes())
+	}
+	if c2.TotalBytes() != 8*(8<<20)*8 {
+		t.Fatalf("config-2 bytes %d", c2.TotalBytes())
+	}
+}
+
+func TestWriteThenReadKernelSmall(t *testing.T) {
+	st := newCounting(64 << 20)
+	cfg := Config{Datasets: 2, Particles: 1 << 16, ElemSize: 8}
+	run(t, func(p *sim.Proc) {
+		w, err := WriteKernel(p, st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Bytes != cfg.TotalBytes() || w.Elapsed <= 0 || w.GBps() <= 0 {
+			t.Fatalf("write result: %v", w)
+		}
+		r, err := ReadKernel(p, st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bytes != cfg.TotalBytes() {
+			t.Fatalf("read result: %v", r)
+		}
+	})
+	if st.writeBytes < cfg.TotalBytes() {
+		t.Fatalf("wrote %d bytes, want >= %d (payload+metadata)", st.writeBytes, cfg.TotalBytes())
+	}
+	if st.flushes == 0 {
+		t.Fatal("kernels must flush on close")
+	}
+}
+
+func TestBatchedKernelIssuesInterleavedWrites(t *testing.T) {
+	st := newCounting(64 << 20)
+	cfg := Config{Datasets: 4, Particles: 1 << 14, ElemSize: 8, BatchParticles: 1 << 12}
+	run(t, func(p *sim.Proc) {
+		if _, err := WriteKernel(p, st, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 4 batches x 4 datasets = 16 payload writes (+2 metadata).
+	if st.writes != 16+2 {
+		t.Fatalf("writes %d, want 18", st.writes)
+	}
+}
+
+func TestReadKernelValidatesDatasetCount(t *testing.T) {
+	st := newCounting(16 << 20)
+	run(t, func(p *sim.Proc) {
+		if _, err := WriteKernel(p, st, Config{Datasets: 1, Particles: 1024, ElemSize: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadKernel(p, st, Config{Datasets: 3, Particles: 1024, ElemSize: 8}); err == nil {
+			t.Fatal("mismatched dataset count accepted")
+		}
+	})
+}
+
+func TestFillCostCharged(t *testing.T) {
+	slow := newCounting(16 << 20)
+	fast := newCounting(16 << 20)
+	cfg := Config{Datasets: 1, Particles: 1 << 16, ElemSize: 8}
+	var withFill, noFill time.Duration
+	run(t, func(p *sim.Proc) {
+		cfgF := cfg
+		cfgF.FillPerByteNanos = 2
+		w, err := WriteKernel(p, slow, cfgF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withFill = w.Elapsed
+		w, err = WriteKernel(p, fast, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noFill = w.Elapsed
+	})
+	if withFill <= noFill {
+		t.Fatalf("fill cost not charged: %v vs %v", withFill, noFill)
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	rs := []Result{
+		{Bytes: 1e9, Elapsed: time.Second},
+		{Bytes: 1e9, Elapsed: 2 * time.Second},
+	}
+	// 2 GB over the slowest kernel's 2s window = 1 GB/s.
+	if got := AggregateBandwidth(rs); got != 1.0 {
+		t.Fatalf("aggregate %.3f", got)
+	}
+	if AggregateBandwidth(nil) != 0 {
+		t.Fatal("empty aggregate")
+	}
+	if rs[0].String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMultiTimestepKernels(t *testing.T) {
+	st := newCounting(256 << 20)
+	cfg := Config{Datasets: 2, Particles: 1 << 14, ElemSize: 8, Timesteps: 3}
+	run(t, func(p *sim.Proc) {
+		w, err := WriteKernel(p, st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Bytes != 3*2*(1<<14)*8 {
+			t.Fatalf("bytes %d", w.Bytes)
+		}
+		r, err := ReadKernel(p, st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bytes != w.Bytes {
+			t.Fatalf("read bytes %d", r.Bytes)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+// Package hdf5 implements a miniature HDF5-style container sufficient for
+// the paper's h5bench workloads: a superblock, a dataset table, and
+// contiguous 1-D datasets of fixed-size elements. Real bytes are written
+// for all metadata; dataset payloads may be modeled (virtual) so that
+// multi-gigabyte kernels stay within host memory.
+//
+// All I/O flows through the Storage interface, which the VOL connector
+// (package vol) implements over the adaptive fabric and the NFS client
+// (package nfs) implements over its page cache — exactly the interception
+// seam the paper uses to co-design HDF5 with NVMe-oAF (§5.7.1).
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nvmeoaf/internal/sim"
+)
+
+// Storage is the byte-addressed backend beneath an HDF5 file.
+type Storage interface {
+	// WriteAt stores size bytes at off; data may be nil for modeled
+	// payloads.
+	WriteAt(p *sim.Proc, off int64, data []byte, size int) error
+	// ReadAt loads size bytes at off into buf (nil for modeled).
+	ReadAt(p *sim.Proc, off int64, buf []byte, size int) error
+	// Flush makes all buffered writes durable (file close semantics).
+	Flush(p *sim.Proc) error
+}
+
+const (
+	magic         = "OAFHDF5\x00"
+	superblockOff = 0
+	superblockLen = 64
+	// dataStart is the first data extent offset (metadata reserved below).
+	dataStart = 1 << 16
+	// tableEntryLen is the on-disk size of one dataset table entry.
+	tableEntryLen = 64 + 4 + 8 + 8 + 8
+	nameLen       = 64
+)
+
+// Dataset is one contiguous 1-D dataset.
+type Dataset struct {
+	Name     string
+	ElemSize int
+	Count    int64
+	// DataOff is the dataset's extent offset within the file.
+	DataOff int64
+
+	file *File
+}
+
+// Bytes returns the dataset payload size.
+func (d *Dataset) Bytes() int64 { return d.Count * int64(d.ElemSize) }
+
+// File is an open container.
+type File struct {
+	st       Storage
+	datasets []*Dataset
+	byName   map[string]*Dataset
+	nextData int64
+	writable bool
+}
+
+// Create starts a new empty container on st.
+func Create(st Storage) *File {
+	return &File{
+		st:       st,
+		byName:   make(map[string]*Dataset),
+		nextData: dataStart,
+		writable: true,
+	}
+}
+
+// CreateDataset allocates a contiguous extent for count elements of
+// elemSize bytes.
+func (f *File) CreateDataset(name string, elemSize int, count int64) (*Dataset, error) {
+	if !f.writable {
+		return nil, fmt.Errorf("hdf5: file not writable")
+	}
+	if len(name) == 0 || len(name) > nameLen {
+		return nil, fmt.Errorf("hdf5: invalid dataset name %q", name)
+	}
+	if elemSize <= 0 || count <= 0 {
+		return nil, fmt.Errorf("hdf5: invalid dataset geometry %dx%d", count, elemSize)
+	}
+	if _, dup := f.byName[name]; dup {
+		return nil, fmt.Errorf("hdf5: dataset %q already exists", name)
+	}
+	d := &Dataset{Name: name, ElemSize: elemSize, Count: count, DataOff: f.nextData, file: f}
+	// Extents are 4 KiB aligned so dataset I/O stays block aligned.
+	size := (d.Bytes() + 4095) / 4096 * 4096
+	f.nextData += size
+	f.datasets = append(f.datasets, d)
+	f.byName[name] = d
+	return d, nil
+}
+
+// Dataset returns a dataset by name.
+func (f *File) Dataset(name string) (*Dataset, bool) {
+	d, ok := f.byName[name]
+	return d, ok
+}
+
+// Datasets lists datasets in creation order.
+func (f *File) Datasets() []*Dataset { return f.datasets }
+
+// Write stores count elements starting at element offset elemOff. data
+// carries real bytes or is nil for a modeled payload.
+func (d *Dataset) Write(p *sim.Proc, elemOff, count int64, data []byte) error {
+	if err := d.checkRange(elemOff, count); err != nil {
+		return err
+	}
+	if data != nil && int64(len(data)) != count*int64(d.ElemSize) {
+		return fmt.Errorf("hdf5: data length %d != %d elements", len(data), count)
+	}
+	off := d.DataOff + elemOff*int64(d.ElemSize)
+	return d.file.st.WriteAt(p, off, data, int(count*int64(d.ElemSize)))
+}
+
+// Read loads count elements starting at elemOff into buf (nil = modeled).
+func (d *Dataset) Read(p *sim.Proc, elemOff, count int64, buf []byte) error {
+	if err := d.checkRange(elemOff, count); err != nil {
+		return err
+	}
+	off := d.DataOff + elemOff*int64(d.ElemSize)
+	return d.file.st.ReadAt(p, off, buf, int(count*int64(d.ElemSize)))
+}
+
+func (d *Dataset) checkRange(elemOff, count int64) error {
+	if elemOff < 0 || count < 0 || elemOff+count > d.Count {
+		return fmt.Errorf("hdf5: range [%d,%d) outside dataset %q of %d elements",
+			elemOff, elemOff+count, d.Name, d.Count)
+	}
+	return nil
+}
+
+// Close writes the dataset table and superblock and flushes the backend.
+func (f *File) Close(p *sim.Proc) error {
+	if !f.writable {
+		return f.st.Flush(p)
+	}
+	// Dataset table sits right after the superblock.
+	table := make([]byte, len(f.datasets)*tableEntryLen)
+	le := binary.LittleEndian
+	for i, d := range f.datasets {
+		e := table[i*tableEntryLen:]
+		copy(e[:nameLen], d.Name)
+		le.PutUint32(e[nameLen:], uint32(d.ElemSize))
+		le.PutUint64(e[nameLen+4:], uint64(d.Count))
+		le.PutUint64(e[nameLen+12:], uint64(d.DataOff))
+		le.PutUint64(e[nameLen+20:], uint64(d.Bytes()))
+	}
+	if len(table) > 0 {
+		if err := f.st.WriteAt(p, superblockLen, table, len(table)); err != nil {
+			return err
+		}
+	}
+	sb := make([]byte, superblockLen)
+	copy(sb, magic)
+	le.PutUint32(sb[8:], 1) // version
+	le.PutUint32(sb[12:], uint32(len(f.datasets)))
+	le.PutUint64(sb[16:], uint64(f.nextData)) // end of file
+	if err := f.st.WriteAt(p, superblockOff, sb, superblockLen); err != nil {
+		return err
+	}
+	f.writable = false
+	return f.st.Flush(p)
+}
+
+// Open reads an existing container's metadata from st.
+func Open(p *sim.Proc, st Storage) (*File, error) {
+	sb := make([]byte, superblockLen)
+	if err := st.ReadAt(p, superblockOff, sb, superblockLen); err != nil {
+		return nil, err
+	}
+	if string(sb[:8]) != magic {
+		return nil, fmt.Errorf("hdf5: bad superblock magic %q", sb[:8])
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(sb[12:]))
+	f := &File{st: st, byName: make(map[string]*Dataset), nextData: int64(le.Uint64(sb[16:]))}
+	if n > 0 {
+		table := make([]byte, n*tableEntryLen)
+		if err := st.ReadAt(p, superblockLen, table, len(table)); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			e := table[i*tableEntryLen:]
+			name := e[:nameLen]
+			end := 0
+			for end < nameLen && name[end] != 0 {
+				end++
+			}
+			d := &Dataset{
+				Name:     string(name[:end]),
+				ElemSize: int(le.Uint32(e[nameLen:])),
+				Count:    int64(le.Uint64(e[nameLen+4:])),
+				DataOff:  int64(le.Uint64(e[nameLen+12:])),
+				file:     f,
+			}
+			f.datasets = append(f.datasets, d)
+			f.byName[d.Name] = d
+		}
+	}
+	return f, nil
+}

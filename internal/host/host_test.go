@@ -1,0 +1,155 @@
+package host
+
+import (
+	"testing"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/transport"
+)
+
+const nqn = "nqn.host-test"
+
+// rig builds a target and n adaptive-fabric queues to it.
+func rig(t *testing.T, n int) (*sim.Engine, func(p *sim.Proc) []transport.Queue) {
+	t.Helper()
+	e := sim.NewEngine(3)
+	tgt := target.New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(nqn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdParams := model.DefaultSSD()
+	ssdParams.JitterFrac = 0
+	ssdParams.StallProb = 0
+	if _, err := sub.AddNamespace(1, bdev.NewSimSSD(e, "d", 512<<20, ssdParams, false, transport.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	fabric := core.NewFabric(e, model.DefaultSHM())
+	srv := core.NewServer(e, tgt, core.ServerConfig{
+		NQN: nqn, Design: core.DesignSHMZeroCopy, Fabric: fabric,
+		TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+	})
+	links := make([]*netsim.Link, n)
+	for i := range links {
+		links[i] = netsim.NewLoopLink(e, model.Loopback())
+		srv.Serve(links[i].B)
+	}
+	return e, func(p *sim.Proc) []transport.Queue {
+		var qs []transport.Queue
+		for i := range links {
+			region, _ := fabric.RegionFor(core.DesignSHMZeroCopy, "h", "h", 1<<20, 128<<10, 32)
+			c, err := core.Connect(p, links[i].A, core.ClientConfig{
+				NQN: nqn, QueueDepth: 32, Design: core.DesignSHMZeroCopy, Region: region,
+				TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs = append(qs, c)
+		}
+		return qs
+	}
+}
+
+func TestProbeDiscoversGeometry(t *testing.T) {
+	e, connect := rig(t, 1)
+	e.Go("app", func(p *sim.Proc) {
+		ctrl, err := Probe(p, connect(p)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctrl.CapacityBytes() != 512<<20 {
+			t.Errorf("capacity %d", ctrl.CapacityBytes())
+		}
+		if ctrl.Info.MN == "" || ctrl.Info.NN != 1 {
+			t.Errorf("controller info: %+v", ctrl.Info)
+		}
+		ctrl.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiQueueRoundRobin(t *testing.T) {
+	e, connect := rig(t, 4)
+	e.Go("app", func(p *sim.Proc) {
+		ctrl, err := Probe(p, connect(p)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctrl.Queues() != 4 {
+			t.Fatalf("queues %d", ctrl.Queues())
+		}
+		var futs []*sim.Future[*transport.Result]
+		for i := 0; i < 32; i++ {
+			futs = append(futs, ctrl.Submit(p, &transport.IO{Offset: int64(i) * 4096, Size: 4096}))
+		}
+		for _, f := range futs {
+			if res := f.Wait(p); res.Err() != nil {
+				t.Errorf("io: %v", res.Err())
+			}
+		}
+		ctrl.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostRangeValidation(t *testing.T) {
+	e, connect := rig(t, 1)
+	e.Go("app", func(p *sim.Proc) {
+		ctrl, err := Probe(p, connect(p)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ctrl.Submit(p, &transport.IO{Offset: 512 << 20, Size: 4096}).Wait(p)
+		if res.Status != nvme.StatusLBAOutOfRange {
+			t.Errorf("status %v", res.Status)
+		}
+		ctrl.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeNoQueues(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Go("app", func(p *sim.Proc) {
+		if _, err := Probe(p); err == nil {
+			t.Error("probe with no queues should fail")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoverListsSubsystems(t *testing.T) {
+	e, connect := rig(t, 1)
+	e.Go("app", func(p *sim.Proc) {
+		qs := connect(p)
+		entries, err := Discover(p, qs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 || entries[0].SubNQN != nqn {
+			t.Fatalf("discovery entries: %+v", entries)
+		}
+		if entries[0].TrType == 0 && entries[0].TrAddr == "" {
+			t.Fatal("entry missing transport info")
+		}
+		qs[0].Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,411 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/sim"
+)
+
+// flatParams returns link params with zeroed CPU/penalty costs so tests can
+// isolate wire behaviour.
+func flatParams(bps float64, prop time.Duration) model.LinkParams {
+	return model.LinkParams{Name: "test", WireBytesPerSec: bps, Propagation: prop}
+}
+
+func TestSingleMessageLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	// 1e9 B/s, 10us propagation: a 1000-byte message serializes in 1us
+	// twice (tx wire + rx wire) and propagates in 10us => 12us.
+	link := NewLoopLink(e, flatParams(1e9, 10*time.Microsecond))
+	var recvAt sim.Time
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p)
+		recvAt = p.Now()
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 1000)})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(12 * time.Microsecond)
+	if recvAt != want {
+		t.Fatalf("received at %v, want %v", recvAt, want)
+	}
+}
+
+func TestWireSizeOverride(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e9, 0))
+	var recvAt sim.Time
+	e.Go("rx", func(p *sim.Proc) {
+		m := link.B.Recv(p)
+		recvAt = p.Now()
+		if len(m.Data) != 10 {
+			t.Errorf("data length %d", len(m.Data))
+		}
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		// 10 bytes of real data but 10000 on the wire (e.g. modeled
+		// payload): 10us tx + 10us rx serialization.
+		link.A.Send(p, &Message{Data: make([]byte, 10), Wire: 10000})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != sim.Time(20*time.Microsecond) {
+		t.Fatalf("received at %v, want 20us", recvAt)
+	}
+}
+
+func TestStreamIsWireBandwidthBound(t *testing.T) {
+	e := sim.NewEngine(1)
+	p := flatParams(1e9, 5*time.Microsecond)
+	link := NewLoopLink(e, p)
+	const n, size = 200, 64 << 10
+	var done sim.Time
+	e.Go("rx", func(pr *sim.Proc) {
+		for i := 0; i < n; i++ {
+			link.B.Recv(pr)
+		}
+		done = pr.Now()
+	})
+	e.Go("tx", func(pr *sim.Proc) {
+		for i := 0; i < n; i++ {
+			link.A.Send(pr, &Message{Data: make([]byte, size)})
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gbps := float64(n*size) / done.Seconds() / 1e9
+	if gbps < 0.90 || gbps > 1.0 {
+		t.Fatalf("stream bandwidth %.3f GB/s, want ~0.95", gbps)
+	}
+}
+
+func TestSharedNICContention(t *testing.T) {
+	e := sim.NewEngine(1)
+	p := flatParams(1e9, 5*time.Microsecond)
+	shared := NewNIC(e, p.WireBytesPerSec)
+	const n, size = 100, 64 << 10
+	finish := make([]sim.Time, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		remote := NewNIC(e, p.WireBytesPerSec)
+		link := NewLink(e, p, shared, remote)
+		e.Go("rx", func(pr *sim.Proc) {
+			for j := 0; j < n; j++ {
+				link.B.Recv(pr)
+			}
+			finish[i] = pr.Now()
+		})
+		e.Go("tx", func(pr *sim.Proc) {
+			for j := 0; j < n; j++ {
+				link.A.Send(pr, &Message{Data: make([]byte, size)})
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	last := finish[0]
+	if finish[1] > last {
+		last = finish[1]
+	}
+	agg := float64(2*n*size) / last.Seconds() / 1e9
+	if agg < 0.90 || agg > 1.0 {
+		t.Fatalf("aggregate over shared NIC %.3f GB/s, want ~0.95 (shared wire)", agg)
+	}
+}
+
+func TestStackCPUCostCharged(t *testing.T) {
+	e := sim.NewEngine(1)
+	params := model.LinkParams{
+		Name:            "cpu",
+		WireBytesPerSec: 1e12, // wire negligible
+		PerMsgCPU:       10 * time.Microsecond,
+		PerByteCPUNanos: 1,
+	}
+	link := NewLoopLink(e, params)
+	var sendDone sim.Time
+	e.Go("rx", func(p *sim.Proc) { link.B.Recv(p) })
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 10000)})
+		sendDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender pays 10us + 10000ns = 20us of CPU.
+	if sendDone != sim.Time(20*time.Microsecond) {
+		t.Fatalf("send returned at %v, want 20us", sendDone)
+	}
+}
+
+func TestInterruptWakeupPenalty(t *testing.T) {
+	e := sim.NewEngine(1)
+	params := flatParams(1e12, 0)
+	params.WakeupPenalty = 15 * time.Microsecond
+	link := NewLoopLink(e, params)
+	var recvAt sim.Time
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p) // blocks: penalty applies
+		recvAt = p.Now()
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		p.Sleep(100 * time.Microsecond)
+		link.A.Send(p, &Message{Data: make([]byte, 1)})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != sim.Time(115*time.Microsecond) {
+		t.Fatalf("recv at %v, want 115us (100 arrival + 15 penalty)", recvAt)
+	}
+	if link.B.Wakeups != 1 {
+		t.Fatalf("wakeups = %d", link.B.Wakeups)
+	}
+}
+
+func TestNoPenaltyWhenDataReady(t *testing.T) {
+	e := sim.NewEngine(1)
+	params := flatParams(1e12, 0)
+	params.WakeupPenalty = 15 * time.Microsecond
+	link := NewLoopLink(e, params)
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 1)})
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		p.Sleep(50 * time.Microsecond) // message already delivered
+		start := p.Now()
+		link.B.Recv(p)
+		if p.Now() != start {
+			t.Errorf("penalty charged for ready data: %v -> %v", start, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if link.B.Wakeups != 0 {
+		t.Fatalf("wakeups = %d, want 0", link.B.Wakeups)
+	}
+}
+
+func TestBusyPollHitAndMiss(t *testing.T) {
+	e := sim.NewEngine(1)
+	params := flatParams(1e12, 0)
+	params.WakeupPenalty = 15 * time.Microsecond
+	link := NewLoopLink(e, params)
+	e.Go("tx", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		link.A.Send(p, &Message{Data: make([]byte, 1)})
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		// First poll misses (budget 5us < 10us arrival).
+		if m := link.B.RecvPoll(p, 5*time.Microsecond); m != nil {
+			t.Error("expected miss")
+		}
+		if p.Now() != sim.Time(5*time.Microsecond) {
+			t.Errorf("poll miss should burn full budget, now=%v", p.Now())
+		}
+		// Second poll hits at arrival with no wakeup penalty.
+		if m := link.B.RecvPoll(p, 50*time.Microsecond); m == nil {
+			t.Error("expected hit")
+		}
+		if p.Now() != sim.Time(10*time.Microsecond) {
+			t.Errorf("hit at %v, want 10us", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if link.B.PollHits != 1 || link.B.PollMisses != 1 {
+		t.Fatalf("hits=%d misses=%d", link.B.PollHits, link.B.PollMisses)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e12, 0))
+	e.Go("rx", func(p *sim.Proc) {
+		if m := link.B.TryRecv(p); m != nil {
+			t.Error("TryRecv on empty inbox should return nil")
+		}
+		p.Sleep(time.Millisecond)
+		if m := link.B.TryRecv(p); m == nil {
+			t.Error("TryRecv should return delivered message")
+		}
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 8)})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderBackpressure(t *testing.T) {
+	e := sim.NewEngine(1)
+	// Slow wire: 1e6 B/s. 100 KB takes 100 ms >> 2 ms backlog cap, so a
+	// second send must block until the backlog drains below the cap.
+	link := NewLoopLink(e, flatParams(1e6, 0))
+	var secondSendAt sim.Time
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 100_000)})
+		link.A.Send(p, &Message{Data: make([]byte, 1)})
+		secondSendAt = p.Now()
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p)
+		link.B.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondSendAt < sim.Time(80*time.Millisecond) {
+		t.Fatalf("second send returned at %v; backpressure not applied", secondSendAt)
+	}
+}
+
+func TestFIFODeliveryOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e9, 3*time.Microsecond))
+	var got []byte
+	e.Go("tx", func(p *sim.Proc) {
+		for i := byte(0); i < 10; i++ {
+			link.A.Send(p, &Message{Data: []byte{i}})
+		}
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			m := link.B.Recv(p)
+			got = append(got, m.Data[0])
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e9, 0))
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 100)})
+		link.A.Send(p, &Message{Data: make([]byte, 200)})
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p)
+		link.B.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if link.A.MsgsSent != 2 || link.A.BytesSent != 300 {
+		t.Fatalf("tx counters: %d msgs %d bytes", link.A.MsgsSent, link.A.BytesSent)
+	}
+	if link.B.MsgsRecv != 2 || link.B.BytesRecv != 300 {
+		t.Fatalf("rx counters: %d msgs %d bytes", link.B.MsgsRecv, link.B.BytesRecv)
+	}
+}
+
+func TestLossRetransmissionDelaysDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	params := flatParams(1e9, 10*time.Microsecond)
+	link := NewLoopLink(e, params)
+	link.A.SetLoss(1.0, 500*time.Microsecond) // every segment lost once
+	var recvAt sim.Time
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p)
+		recvAt = p.Now()
+	})
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: make([]byte, 1000)})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1us tx + 500us RTO + 1us retransmit + 10us prop + 1us rx = 513us.
+	if recvAt < sim.Time(500*time.Microsecond) {
+		t.Fatalf("lost segment delivered at %v; retransmission not modeled", recvAt)
+	}
+	if link.A.Retransmits != 1 {
+		t.Fatalf("retransmits %d", link.A.Retransmits)
+	}
+}
+
+func TestLossDisabledByDefault(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e9, 0))
+	e.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			link.A.Send(p, &Message{Data: make([]byte, 100)})
+		}
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			link.B.Recv(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if link.A.Retransmits != 0 {
+		t.Fatalf("unexpected retransmits %d", link.A.Retransmits)
+	}
+}
+
+func TestTracerRecordsBothDirections(t *testing.T) {
+	e := sim.NewEngine(1)
+	link := NewLoopLink(e, flatParams(1e9, 0))
+	tr := NewTracer("test-ep")
+	link.A.AttachTracer(tr)
+	e.Go("tx", func(p *sim.Proc) {
+		link.A.Send(p, &Message{Data: mustPDU(t)})
+	})
+	e.Go("rx", func(p *sim.Proc) {
+		link.B.Recv(p)
+		link.B.Send(p, &Message{Data: mustPDU(t)})
+	})
+	e.Go("rx2", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		link.A.Recv(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events %d, want 2", len(evs))
+	}
+	if evs[0].Dir != "tx" || evs[1].Dir != "rx" {
+		t.Fatalf("directions: %+v", evs)
+	}
+	if len(evs[0].PDUs) != 1 {
+		t.Fatalf("pdus: %+v", evs[0])
+	}
+	if tr.String() == "" {
+		t.Fatal("empty trace rendering")
+	}
+}
+
+// mustPDU builds a valid R2T encoding for trace tests.
+func mustPDU(t *testing.T) []byte {
+	t.Helper()
+	return (&tracePDU{}).encode()
+}
+
+type tracePDU struct{}
+
+func (*tracePDU) encode() []byte {
+	// An R2T PDU: type 0x09, plen 20, cid 7.
+	return []byte{0x09, 0, 8, 0, 20, 0, 0, 0, 7, 0, 2, 0, 0, 0x10, 0, 0, 0, 0x10, 0, 0}
+}

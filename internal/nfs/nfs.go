@@ -1,0 +1,423 @@
+// Package nfs implements the NFS baseline of the paper's h5bench
+// comparison (§5.7.1): an async-mounted network file system with a
+// client-side page cache and a server exporting a file backed by the same
+// class of NVMe-SSD.
+//
+// The behaviour the experiments depend on is modeled faithfully:
+//
+//   - writes land in the client cache at memory speed (the async mount's
+//     advantage while the kernel runs);
+//   - close-to-open consistency flushes all dirty pages at close and
+//     COMMITs them, forcing the server's disk writes — the measured
+//     h5bench window therefore includes the full backend path;
+//   - sequential reads use a bounded readahead window; the server's page
+//     cache is cold for the read kernel (fresh mount), so reads pay the
+//     disk.
+package nfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/ssd"
+)
+
+// RPC opcodes.
+const (
+	opWrite  = 1
+	opRead   = 2
+	opCommit = 3
+	opReply  = 4
+)
+
+// rpcHeaderLen is the wire size of an RPC header.
+const rpcHeaderLen = 22
+
+// encodeRPC builds an RPC message. Payload may be nil with a modeled
+// size.
+func encodeRPC(op uint8, xid uint32, off int64, size int, data []byte) *netsim.Message {
+	hdr := make([]byte, rpcHeaderLen, rpcHeaderLen+len(data))
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], xid)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(off))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(size))
+	if data != nil {
+		hdr[17] = 1
+	}
+	msg := &netsim.Message{Data: append(hdr, data...)}
+	if data == nil {
+		msg.Wire = rpcHeaderLen + size
+	}
+	return msg
+}
+
+// rpc is a decoded message.
+type rpc struct {
+	op   uint8
+	xid  uint32
+	off  int64
+	size int
+	data []byte
+}
+
+func decodeRPC(msg *netsim.Message) (rpc, error) {
+	b := msg.Data
+	if len(b) < rpcHeaderLen {
+		return rpc{}, fmt.Errorf("nfs: short RPC: %d bytes", len(b))
+	}
+	r := rpc{
+		op:   b[0],
+		xid:  binary.LittleEndian.Uint32(b[1:]),
+		off:  int64(binary.LittleEndian.Uint64(b[5:])),
+		size: int(binary.LittleEndian.Uint32(b[13:])),
+	}
+	if b[17] == 1 {
+		r.data = b[rpcHeaderLen:]
+	}
+	return r, nil
+}
+
+// Server exports one flat file (a bdev) over a network endpoint.
+type Server struct {
+	e      *sim.Engine
+	ep     *netsim.Endpoint
+	dev    bdev.Device
+	params model.NFSParams
+
+	// dirty tracks unstable (acknowledged but uncommitted) extents.
+	dirty []extent
+
+	// WriteRPCs, ReadRPCs, Commits count served operations.
+	WriteRPCs, ReadRPCs, Commits int64
+}
+
+type extent struct {
+	off   int64
+	size  int
+	data  []byte
+	dirty bool
+}
+
+// NewServer starts an NFS server on ep backed by dev.
+func NewServer(e *sim.Engine, ep *netsim.Endpoint, dev bdev.Device, params model.NFSParams) *Server {
+	s := &Server{e: e, ep: ep, dev: dev, params: params}
+	e.GoDaemon("nfs-server", s.run)
+	return s
+}
+
+func (s *Server) run(p *sim.Proc) {
+	for {
+		msg := s.ep.Recv(p)
+		req, err := decodeRPC(msg)
+		if err != nil {
+			panic(err)
+		}
+		p.Sleep(s.params.PerRPCCPU)
+		switch req.op {
+		case opWrite:
+			// Async export: the write lands in server memory and is
+			// acknowledged unstable; the disk write happens at COMMIT.
+			s.WriteRPCs++
+			var data []byte
+			if req.data != nil {
+				data = append([]byte(nil), req.data[:req.size]...)
+			}
+			s.dirty = append(s.dirty, extent{off: req.off, size: req.size, data: data})
+			s.ep.Send(p, encodeRPC(opReply, req.xid, req.off, 0, nil))
+		case opRead:
+			// nfsd thread pool: disk reads proceed concurrently, replies
+			// are posted back through the shared connection.
+			s.ReadRPCs++
+			req := req
+			s.e.Go("nfsd-read", func(w *sim.Proc) {
+				res := s.dev.Submit(&ssd.Request{Op: ssd.OpRead, Offset: req.off, Size: req.size}).Wait(w)
+				if res.Err != nil {
+					panic(res.Err)
+				}
+				s.ep.Send(w, encodeRPC(opReply, req.xid, req.off, req.size, res.Data))
+			})
+		case opCommit:
+			// Force unstable writes to disk before replying.
+			s.Commits++
+			s.commit(p)
+			s.ep.Send(p, encodeRPC(opReply, req.xid, 0, 0, nil))
+		default:
+			panic(fmt.Sprintf("nfs: unknown op %d", req.op))
+		}
+	}
+}
+
+// commit writes all dirty extents to the device with CommitDepth
+// concurrency.
+func (s *Server) commit(p *sim.Proc) {
+	extents := s.dirty
+	s.dirty = nil
+	sort.Slice(extents, func(i, j int) bool { return extents[i].off < extents[j].off })
+	depth := s.params.CommitDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	doneQ := sim.NewQueue[error](s.e, 0)
+	outstanding := 0
+	next := 0
+	issue := func() {
+		e := extents[next]
+		next++
+		outstanding++
+		fut := s.dev.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: e.off, Size: e.size, Data: e.data})
+		fut.OnResolve(func(r ssd.Result) { doneQ.TryPut(r.Err) })
+	}
+	for next < len(extents) && outstanding < depth {
+		issue()
+	}
+	for outstanding > 0 {
+		err, _ := doneQ.Get(p)
+		outstanding--
+		if err != nil {
+			panic(err)
+		}
+		if next < len(extents) {
+			issue()
+		}
+	}
+}
+
+// Client is an async-mounted NFS client implementing hdf5.Storage.
+type Client struct {
+	e      *sim.Engine
+	ep     *netsim.Endpoint
+	params model.NFSParams
+	xid    uint32
+
+	// page cache: cached extents (written or prefetched).
+	cached     []extent
+	dirtyBytes int
+	// readahead windows, one per concurrent sequential stream.
+	windows []raWindow
+
+	// CacheHits, CacheMisses, Flushes count client-side events.
+	CacheHits, CacheMisses, Flushes int64
+}
+
+// NewClient mounts the export reachable through ep.
+func NewClient(e *sim.Engine, ep *netsim.Endpoint, params model.NFSParams) *Client {
+	if params.WSize == 0 {
+		params = model.DefaultNFS()
+	}
+	return &Client{e: e, ep: ep, params: params}
+}
+
+// call performs one synchronous RPC.
+func (c *Client) call(p *sim.Proc, op uint8, off int64, size int, data []byte) *netsim.Message {
+	c.xid++
+	p.Sleep(c.params.PerRPCCPU)
+	c.ep.Send(p, encodeRPC(op, c.xid, off, size, data))
+	return c.ep.Recv(p)
+}
+
+// cacheCopy charges the page-cache memcpy for size bytes.
+func (c *Client) cacheCopy(p *sim.Proc, size int) {
+	p.Sleep(time.Duration(float64(size) / c.params.CacheCopyBytesPerSec * 1e9))
+}
+
+// WriteAt implements hdf5.Storage: the async mount absorbs the write into
+// the page cache at memory speed; dirty data flushes at Flush (close) or
+// when the cache budget is exceeded.
+func (c *Client) WriteAt(p *sim.Proc, off int64, data []byte, size int) error {
+	if size <= 0 {
+		return nil
+	}
+	c.cacheCopy(p, size)
+	var stored []byte
+	if data != nil {
+		stored = append([]byte(nil), data[:size]...)
+	}
+	c.mergeCached(extent{off: off, size: size, data: stored, dirty: true})
+	c.dirtyBytes += size
+	if c.dirtyBytes > c.params.CacheBytes {
+		// Dirty-ratio throttling: write back inline.
+		return c.Flush(p)
+	}
+	return nil
+}
+
+// mergeCached appends or extends a cached extent (sequential pattern).
+func (c *Client) mergeCached(e extent) {
+	for i := range c.cached {
+		ex := &c.cached[i]
+		if ex.off+int64(ex.size) == e.off && (ex.data == nil) == (e.data == nil) && ex.dirty == e.dirty {
+			if ex.data != nil {
+				ex.data = append(ex.data, e.data...)
+			}
+			ex.size += e.size
+			return
+		}
+	}
+	c.cached = append(c.cached, e)
+}
+
+// raWindow is one prefetched range.
+type raWindow struct{ off, end int64 }
+
+// maxRAWindows bounds per-stream readahead state, as the kernel's
+// per-file readahead tracks a bounded number of streams.
+const maxRAWindows = 16
+
+// lookup returns cached bytes covering [off, off+size), if any extent
+// fully contains the range.
+func (c *Client) lookup(off int64, size int) (extent, bool) {
+	for _, ex := range c.cached {
+		if off >= ex.off && off+int64(size) <= ex.off+int64(ex.size) {
+			return ex, true
+		}
+	}
+	return extent{}, false
+}
+
+// ReadAt implements hdf5.Storage: cache hit at memory speed, otherwise
+// RPC reads with sequential readahead.
+func (c *Client) ReadAt(p *sim.Proc, off int64, buf []byte, size int) error {
+	if size <= 0 {
+		return nil
+	}
+	if ex, ok := c.lookup(off, size); ok {
+		c.CacheHits++
+		c.cacheCopy(p, size)
+		if buf != nil && ex.data != nil {
+			copy(buf[:size], ex.data[off-ex.off:])
+		}
+		return nil
+	}
+	c.CacheMisses++
+	if buf == nil {
+		for _, w := range c.windows {
+			if off >= w.off && off+int64(size) <= w.end {
+				// Served by a readahead window.
+				c.cacheCopy(p, size)
+				return nil
+			}
+		}
+	}
+	if buf == nil {
+		// Sequential modeled read: fetch a readahead window in rsize
+		// RPCs, keeping FlushDepth requests in flight (RPC slot table).
+		win := int64(c.params.ReadAheadBytes)
+		if win < int64(size) {
+			win = int64(size)
+		}
+		depth := c.params.ReadDepth
+		if depth <= 0 {
+			depth = 1
+		}
+		inFlight := 0
+		fetched := int64(0)
+		for fetched < win {
+			n := c.params.RSize
+			if int64(n) > win-fetched {
+				n = int(win - fetched)
+			}
+			c.xid++
+			p.Sleep(c.params.PerRPCCPU)
+			c.ep.Send(p, encodeRPC(opRead, c.xid, off+fetched, n, nil))
+			fetched += int64(n)
+			inFlight++
+			if inFlight >= depth {
+				c.ep.Recv(p)
+				inFlight--
+			}
+		}
+		for inFlight > 0 {
+			c.ep.Recv(p)
+			inFlight--
+		}
+		c.windows = append(c.windows, raWindow{off: off, end: off + win})
+		if len(c.windows) > maxRAWindows {
+			c.windows = c.windows[1:]
+		}
+		return nil
+	}
+	// Real-byte read: rsize RPCs, assembling the payload.
+	got := 0
+	for got < size {
+		n := c.params.RSize
+		if n > size-got {
+			n = size - got
+		}
+		reply := c.call(p, opRead, off+int64(got), n, nil)
+		rep, err := decodeRPC(reply)
+		if err != nil {
+			return err
+		}
+		if rep.data != nil {
+			copy(buf[got:got+n], rep.data)
+		}
+		got += n
+	}
+	return nil
+}
+
+// Flush implements hdf5.Storage: close-to-open consistency. Dirty extents
+// stream to the server as wsize WRITE RPCs with FlushDepth in flight,
+// then a COMMIT forces them to disk.
+func (c *Client) Flush(p *sim.Proc) error {
+	if c.dirtyBytes == 0 {
+		return nil
+	}
+	c.Flushes++
+	type chunk struct {
+		off  int64
+		size int
+		data []byte
+	}
+	var chunks []chunk
+	for i := range c.cached {
+		ex := &c.cached[i]
+		if !ex.dirty {
+			continue
+		}
+		ex.dirty = false
+		for o := 0; o < ex.size; o += c.params.WSize {
+			n := c.params.WSize
+			if n > ex.size-o {
+				n = ex.size - o
+			}
+			ck := chunk{off: ex.off + int64(o), size: n}
+			if ex.data != nil {
+				ck.data = ex.data[o : o+n]
+			}
+			chunks = append(chunks, ck)
+		}
+	}
+	// Pipeline WRITE RPCs with FlushDepth outstanding. Replies return in
+	// FIFO order on the connection, so awaiting one reply per issued
+	// request beyond the window keeps exactly FlushDepth in flight.
+	depth := c.params.FlushDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	inFlight := 0
+	for _, ck := range chunks {
+		c.xid++
+		p.Sleep(c.params.PerRPCCPU)
+		c.ep.Send(p, encodeRPC(opWrite, c.xid, ck.off, ck.size, ck.data))
+		inFlight++
+		if inFlight >= depth {
+			c.ep.Recv(p)
+			inFlight--
+		}
+	}
+	for inFlight > 0 {
+		c.ep.Recv(p)
+		inFlight--
+	}
+	c.call(p, opCommit, 0, 0, nil)
+	c.dirtyBytes = 0
+	// Written data stays cached clean for subsequent reads this session.
+	return nil
+}

@@ -1,0 +1,91 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Get Log Page identifiers.
+const (
+	// LIDDiscovery is the NVMe-oF discovery log page.
+	LIDDiscovery uint32 = 0x70
+)
+
+// Fabrics command types (the fctype of opcode 0x7F capsules).
+const (
+	// FctypeConnect associates a host with a subsystem and queue.
+	FctypeConnect uint32 = 0x01
+)
+
+// EncodeConnectData builds the Fabrics Connect command's data block:
+// host NQN and subsystem NQN, NUL-separated, as the spec's connect data
+// carries them in fixed fields.
+func EncodeConnectData(hostNQN, subNQN string) []byte {
+	buf := make([]byte, 2*discNQNLen)
+	copy(buf[:discNQNLen], hostNQN)
+	copy(buf[discNQNLen:], subNQN)
+	return buf
+}
+
+// DecodeConnectData parses a Fabrics Connect data block.
+func DecodeConnectData(buf []byte) (hostNQN, subNQN string, err error) {
+	if len(buf) < 2*discNQNLen {
+		return "", "", fmt.Errorf("nvme: short connect data: %d bytes", len(buf))
+	}
+	return trimPadded(buf[:discNQNLen]), trimPadded(buf[discNQNLen : 2*discNQNLen]), nil
+}
+
+// Transport types reported in discovery log entries.
+const (
+	TrTypeTCP      uint8 = 3
+	TrTypeRDMA     uint8 = 1
+	TrTypeAdaptive uint8 = 0xFA // vendor-specific: adaptive fabric
+)
+
+// DiscoveryEntry describes one subsystem a discovery controller exposes.
+type DiscoveryEntry struct {
+	TrType uint8
+	SubNQN string // up to 223 bytes per spec
+	TrAddr string // transport address (host name in this repository)
+}
+
+const (
+	discNQNLen   = 224
+	discAddrLen  = 64
+	discEntryLen = 4 + discNQNLen + discAddrLen
+)
+
+// EncodeDiscoveryLog serializes a discovery log page: an 8-byte header
+// with the entry count followed by fixed-size entries.
+func EncodeDiscoveryLog(entries []DiscoveryEntry) []byte {
+	buf := make([]byte, 8+len(entries)*discEntryLen)
+	binary.LittleEndian.PutUint64(buf, uint64(len(entries)))
+	for i, e := range entries {
+		off := 8 + i*discEntryLen
+		buf[off] = e.TrType
+		copy(buf[off+4:off+4+discNQNLen], e.SubNQN)
+		copy(buf[off+4+discNQNLen:off+discEntryLen], e.TrAddr)
+	}
+	return buf
+}
+
+// DecodeDiscoveryLog parses a discovery log page.
+func DecodeDiscoveryLog(buf []byte) ([]DiscoveryEntry, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("nvme: short discovery log: %d bytes", len(buf))
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	if int(n) < 0 || len(buf) < 8+int(n)*discEntryLen {
+		return nil, fmt.Errorf("nvme: discovery log truncated: %d entries, %d bytes", n, len(buf))
+	}
+	out := make([]DiscoveryEntry, 0, n)
+	for i := 0; i < int(n); i++ {
+		off := 8 + i*discEntryLen
+		out = append(out, DiscoveryEntry{
+			TrType: buf[off],
+			SubNQN: trimPadded(buf[off+4 : off+4+discNQNLen]),
+			TrAddr: trimPadded(buf[off+4+discNQNLen : off+discEntryLen]),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Identify CNS values.
+const (
+	CNSNamespace  uint32 = 0x00
+	CNSController uint32 = 0x01
+)
+
+// IdentifyController is the subset of the 4096-byte identify-controller
+// data structure that the fabric uses.
+type IdentifyController struct {
+	VID      uint16 // vendor
+	SN       string // serial number (20 bytes)
+	MN       string // model number (40 bytes)
+	NN       uint32 // number of namespaces
+	MDTS     uint8  // max data transfer size, as power-of-two pages
+	IOQueues uint16 // supported I/O queue pairs
+}
+
+// IdentifyNamespace is the subset of the identify-namespace structure the
+// fabric uses.
+type IdentifyNamespace struct {
+	NSZE      uint64 // namespace size in logical blocks
+	NCAP      uint64 // capacity in logical blocks
+	BlockSize uint32 // bytes per logical block
+}
+
+const identifySize = 4096
+
+func putPadded(dst []byte, s string) {
+	copy(dst, s)
+	for i := len(s); i < len(dst); i++ {
+		dst[i] = ' '
+	}
+}
+
+func trimPadded(b []byte) string {
+	end := len(b)
+	for end > 0 && (b[end-1] == ' ' || b[end-1] == 0) {
+		end--
+	}
+	return string(b[:end])
+}
+
+// Encode serializes the identify-controller page.
+func (id *IdentifyController) Encode() []byte {
+	buf := make([]byte, identifySize)
+	le := binary.LittleEndian
+	le.PutUint16(buf[0:], id.VID)
+	putPadded(buf[4:24], id.SN)
+	putPadded(buf[24:64], id.MN)
+	buf[77] = id.MDTS
+	le.PutUint32(buf[516:], id.NN)
+	le.PutUint16(buf[520:], id.IOQueues)
+	return buf
+}
+
+// DecodeIdentifyController parses an identify-controller page.
+func DecodeIdentifyController(buf []byte) (IdentifyController, error) {
+	if len(buf) < identifySize {
+		return IdentifyController{}, fmt.Errorf("nvme: short identify page: %d", len(buf))
+	}
+	le := binary.LittleEndian
+	return IdentifyController{
+		VID:      le.Uint16(buf[0:]),
+		SN:       trimPadded(buf[4:24]),
+		MN:       trimPadded(buf[24:64]),
+		MDTS:     buf[77],
+		NN:       le.Uint32(buf[516:]),
+		IOQueues: le.Uint16(buf[520:]),
+	}, nil
+}
+
+// Encode serializes the identify-namespace page.
+func (id *IdentifyNamespace) Encode() []byte {
+	buf := make([]byte, identifySize)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], id.NSZE)
+	le.PutUint64(buf[8:], id.NCAP)
+	le.PutUint32(buf[128:], id.BlockSize)
+	return buf
+}
+
+// DecodeIdentifyNamespace parses an identify-namespace page.
+func DecodeIdentifyNamespace(buf []byte) (IdentifyNamespace, error) {
+	if len(buf) < identifySize {
+		return IdentifyNamespace{}, fmt.Errorf("nvme: short identify page: %d", len(buf))
+	}
+	le := binary.LittleEndian
+	return IdentifyNamespace{
+		NSZE:      le.Uint64(buf[0:]),
+		NCAP:      le.Uint64(buf[8:]),
+		BlockSize: le.Uint32(buf[128:]),
+	}, nil
+}

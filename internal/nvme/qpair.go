@@ -1,0 +1,82 @@
+package nvme
+
+import "fmt"
+
+// CIDTable allocates and tracks command identifiers for one queue pair,
+// enforcing the NVMe invariant that a CID is unique among outstanding
+// commands on its queue. The table also carries a per-command context
+// pointer so completions can be matched back to requests.
+type CIDTable struct {
+	depth    int
+	free     []uint16
+	inflight map[uint16]interface{}
+}
+
+// NewCIDTable creates a table for a queue of the given depth.
+func NewCIDTable(depth int) *CIDTable {
+	t := &CIDTable{
+		depth:    depth,
+		free:     make([]uint16, 0, depth),
+		inflight: make(map[uint16]interface{}, depth),
+	}
+	for i := depth - 1; i >= 0; i-- {
+		t.free = append(t.free, uint16(i))
+	}
+	return t
+}
+
+// Depth returns the queue depth.
+func (t *CIDTable) Depth() int { return t.depth }
+
+// Outstanding returns the number of commands in flight.
+func (t *CIDTable) Outstanding() int { return len(t.inflight) }
+
+// Full reports whether the queue has no free CIDs.
+func (t *CIDTable) Full() bool { return len(t.free) == 0 }
+
+// Alloc reserves a CID and associates ctx with it. It fails when the queue
+// is full.
+func (t *CIDTable) Alloc(ctx interface{}) (uint16, error) {
+	if len(t.free) == 0 {
+		return 0, fmt.Errorf("nvme: queue full (%d outstanding)", len(t.inflight))
+	}
+	cid := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.inflight[cid] = ctx
+	return cid, nil
+}
+
+// Complete releases a CID and returns its context. Completing an unknown
+// CID is a protocol violation and returns an error.
+func (t *CIDTable) Complete(cid uint16) (interface{}, error) {
+	ctx, ok := t.inflight[cid]
+	if !ok {
+		return nil, fmt.Errorf("nvme: completion for unknown CID %d", cid)
+	}
+	delete(t.inflight, cid)
+	t.free = append(t.free, cid)
+	return ctx, nil
+}
+
+// Lookup returns the context of an in-flight CID without completing it.
+func (t *CIDTable) Lookup(cid uint16) (interface{}, bool) {
+	ctx, ok := t.inflight[cid]
+	return ctx, ok
+}
+
+// LBARange validates a read/write command against a namespace geometry
+// and converts it into a byte offset and size.
+func LBARange(cmd *Command, blockSize int, blocks int64) (offset int64, size int, status Status) {
+	if !cmd.IsIO() {
+		return 0, 0, StatusInvalidOpcode
+	}
+	slba := cmd.SLBA()
+	nlb := cmd.NLB()
+	if nlb == 0 {
+		return 0, 0, StatusInvalidField
+	}
+	if slba+uint64(nlb) > uint64(blocks) {
+		return 0, 0, StatusLBAOutOfRange
+	}
+	return int64(slba) * int64(blockSize), int(nlb) * blockSize, StatusSuccess
+}

@@ -1,0 +1,67 @@
+package nvme
+
+import "fmt"
+
+// Status is an NVMe status field value (status code type in bits 10:8,
+// status code in bits 7:0, phase bit excluded).
+type Status uint16
+
+// Generic command status codes (SCT 0).
+const (
+	StatusSuccess          Status = 0x000
+	StatusInvalidOpcode    Status = 0x001
+	StatusInvalidField     Status = 0x002
+	StatusCIDConflict      Status = 0x003
+	StatusDataTransferErr  Status = 0x004
+	StatusInternalError    Status = 0x006
+	StatusAbortRequested   Status = 0x007
+	StatusInvalidNamespace Status = 0x00B
+	StatusLBAOutOfRange    Status = 0x080
+	StatusCapacityExceeded Status = 0x081
+	StatusNamespaceNotRdy  Status = 0x082
+)
+
+// IsError reports whether the status indicates failure.
+func (s Status) IsError() bool { return s != StatusSuccess }
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusInvalidOpcode:
+		return "invalid opcode"
+	case StatusInvalidField:
+		return "invalid field"
+	case StatusCIDConflict:
+		return "command id conflict"
+	case StatusDataTransferErr:
+		return "data transfer error"
+	case StatusInternalError:
+		return "internal error"
+	case StatusAbortRequested:
+		return "abort requested"
+	case StatusInvalidNamespace:
+		return "invalid namespace or format"
+	case StatusLBAOutOfRange:
+		return "LBA out of range"
+	case StatusCapacityExceeded:
+		return "capacity exceeded"
+	case StatusNamespaceNotRdy:
+		return "namespace not ready"
+	default:
+		return fmt.Sprintf("status(0x%03x)", uint16(s))
+	}
+}
+
+// Error converts a non-success status into an error (nil for success).
+func (s Status) Error() error {
+	if s == StatusSuccess {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+// StatusError wraps a failing NVMe status as a Go error.
+type StatusError struct{ Status Status }
+
+func (e *StatusError) Error() string { return "nvme: " + e.Status.String() }

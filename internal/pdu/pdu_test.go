@@ -1,0 +1,244 @@
+package pdu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nvmeoaf/internal/nvme"
+)
+
+// roundTrip encodes p, decodes the bytes, and returns the decoded PDU.
+func roundTrip(t *testing.T, p PDU) PDU {
+	t.Helper()
+	buf := Marshal(p)
+	if len(buf) == 0 {
+		t.Fatal("empty encoding")
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode %v: %v", p.Type(), err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestICReqRoundTrip(t *testing.T) {
+	p := &ICReq{PFV: 0, HPDA: 4, MaxR2T: 16, AFCapab: true}
+	got := roundTrip(t, p).(*ICReq)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestICRespRoundTrip(t *testing.T) {
+	p := &ICResp{
+		PFV: 0, CPDA: 4, MaxH2CData: 128 << 10, AFEnabled: true,
+		SHMKey: 0xDEADBEEF01234567, SHMSize: 256 << 20,
+		SlotSize: 512 << 10, SlotCount: 128,
+	}
+	got := roundTrip(t, p).(*ICResp)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestCapsuleCmdInCapsuleData(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	p := &CapsuleCmd{Cmd: nvme.NewWrite(5, 1, 0, 1), Data: data}
+	got := roundTrip(t, p).(*CapsuleCmd)
+	if got.Cmd != p.Cmd {
+		t.Fatalf("cmd mismatch: %+v vs %+v", got.Cmd, p.Cmd)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("in-capsule data mismatch")
+	}
+	if got.WireLen() != p.WireLen() {
+		t.Fatalf("wire len %d vs %d", got.WireLen(), p.WireLen())
+	}
+}
+
+func TestCapsuleCmdVirtualPayload(t *testing.T) {
+	p := &CapsuleCmd{Cmd: nvme.NewWrite(5, 1, 0, 8), VirtualLen: 4096}
+	if p.WireLen() <= 80 {
+		t.Fatalf("wire len %d should include virtual payload", p.WireLen())
+	}
+	// Encoded bytes must be small even though the wire length is 4KB+.
+	buf := Marshal(p)
+	if len(buf) >= 4096 {
+		t.Fatalf("virtual payload materialized: %d bytes", len(buf))
+	}
+	got := roundTrip(t, p).(*CapsuleCmd)
+	if got.VirtualLen != 4096 || got.Data != nil {
+		t.Fatalf("virtual len %d data %v", got.VirtualLen, got.Data)
+	}
+}
+
+func TestCapsuleRespRoundTrip(t *testing.T) {
+	p := &CapsuleResp{Rsp: nvme.Completion{Result: 7, SQHead: 3, SQID: 1, CID: 99, Status: nvme.StatusLBAOutOfRange}}
+	got := roundTrip(t, p).(*CapsuleResp)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestDataPDURealPayload(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	for _, dir := range []Type{TypeH2CData, TypeC2HData} {
+		p := &Data{Dir: dir, CID: 12, TTag: 3, Offset: 4096, Last: true, Payload: payload}
+		got := roundTrip(t, p).(*Data)
+		if got.Dir != dir || got.CID != 12 || got.TTag != 3 || got.Offset != 4096 || !got.Last {
+			t.Fatalf("%v header mismatch: %+v", dir, got)
+		}
+		if !bytes.Equal(got.Payload, payload) {
+			t.Fatal("payload mismatch")
+		}
+	}
+}
+
+func TestDataPDUVirtualPayload(t *testing.T) {
+	p := &Data{Dir: TypeC2HData, CID: 1, VirtualLen: 128 << 10}
+	buf := Marshal(p)
+	if len(buf) > 64 {
+		t.Fatalf("virtual data materialized: %d bytes", len(buf))
+	}
+	if p.WireLen() != len(buf)+(128<<10) {
+		t.Fatalf("wire len %d", p.WireLen())
+	}
+	got := roundTrip(t, p).(*Data)
+	if got.VirtualLen != 128<<10 || got.Last {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestR2TRoundTrip(t *testing.T) {
+	p := &R2T{CID: 42, TTag: 7, Offset: 128 << 10, Length: 128 << 10}
+	got := roundTrip(t, p).(*R2T)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestSHMNotifyRoundTrip(t *testing.T) {
+	p := &SHMNotify{CID: 9, Slot: 77, Offset: 13 << 20, Length: 512 << 10, Last: true}
+	got := roundTrip(t, p).(*SHMNotify)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestSHMReleaseRoundTrip(t *testing.T) {
+	p := &SHMRelease{CID: 5, Slot: 31}
+	got := roundTrip(t, p).(*SHMRelease)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x04},                                   // short header
+		{0xFF, 0, 8, 0, 8, 0, 0, 0},              // unknown type
+		{0x00, 0, 8, 0, 4, 0, 0, 0},              // PLEN below header size
+		{0x00, 0, 8, 0, 200, 0, 0, 0},            // PLEN beyond buffer
+		{0x00, 0, 8, 0, 10, 0, 0, 0, 0, 0},       // ICReq body too short
+		{0x09, 0, 8, 0, 12, 0, 0, 0, 0, 0, 0, 0}, // R2T body too short
+	}
+	for i, buf := range cases {
+		if _, _, err := Decode(buf); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}
+
+func TestTruncatedPayloadRejected(t *testing.T) {
+	p := &Data{Dir: TypeC2HData, CID: 1, Payload: make([]byte, 100)}
+	buf := Marshal(p)
+	// Claim full PLEN but hand a shorter slice via an inner corruption:
+	// shrink payload while keeping declared lengths.
+	corrupted := append([]byte(nil), buf[:len(buf)-50]...)
+	if _, _, err := Decode(corrupted); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestStreamOfPDUs(t *testing.T) {
+	// Multiple PDUs back-to-back in one buffer decode sequentially, as a
+	// TCP bytestream delivers them.
+	var stream []byte
+	pdus := []PDU{
+		&ICReq{PFV: 0, MaxR2T: 4},
+		&CapsuleCmd{Cmd: nvme.NewRead(1, 1, 0, 8)},
+		&R2T{CID: 1, TTag: 2, Length: 4096},
+		&SHMRelease{Slot: 5},
+	}
+	for _, p := range pdus {
+		stream = p.Encode(stream)
+	}
+	off := 0
+	for i, want := range pdus {
+		got, n, err := Decode(stream[off:])
+		if err != nil {
+			t.Fatalf("pdu %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Fatalf("pdu %d: type %v want %v", i, got.Type(), want.Type())
+		}
+		off += n
+	}
+	if off != len(stream) {
+		t.Fatalf("consumed %d of %d", off, len(stream))
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, typ := range []Type{TypeICReq, TypeICResp, TypeH2CTermReq, TypeC2HTermReq,
+		TypeCapsuleCmd, TypeCapsuleResp, TypeH2CData, TypeC2HData, TypeR2T,
+		TypeSHMNotify, TypeSHMRelease, Type(0xEE)} {
+		if typ.String() == "" {
+			t.Fatalf("empty string for type %#x", uint8(typ))
+		}
+	}
+}
+
+func TestR2TPropertyRoundTrip(t *testing.T) {
+	f := func(cid, ttag uint16, off, length uint32) bool {
+		p := &R2T{CID: cid, TTag: ttag, Offset: off, Length: length}
+		got, n, err := Decode(Marshal(p))
+		if err != nil || n != p.WireLen() {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSHMNotifyPropertyRoundTrip(t *testing.T) {
+	f := func(cid uint16, slot uint32, off uint64, length uint32, last bool) bool {
+		p := &SHMNotify{CID: cid, Slot: slot, Offset: off, Length: length, Last: last}
+		got, _, err := Decode(Marshal(p))
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapsuleRespTimingTrailer(t *testing.T) {
+	p := &CapsuleResp{
+		Rsp:        nvme.Completion{CID: 4, Status: nvme.StatusSuccess},
+		IOTimeNs:   123456789,
+		TgtCommNs:  987654,
+		TgtOtherNs: 42,
+	}
+	got := roundTrip(t, p).(*CapsuleResp)
+	if *got != *p {
+		t.Fatalf("got %+v want %+v", got, p)
+	}
+}

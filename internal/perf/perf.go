@@ -1,0 +1,282 @@
+// Package perf implements the SPDK-perf-equivalent workload engine the
+// paper uses for all microbenchmarks: per-stream sequential/random
+// read/write/mixed generators with a fixed queue depth, warmup, a
+// measured window, and per-request latency plus breakdown accounting.
+//
+// One Stream models one perf instance pinned to a core: a single driver
+// process keeps QueueDepth commands outstanding against one transport
+// queue and resubmits on every completion, exactly like SPDK perf's
+// completion-driven loop.
+package perf
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/stats"
+	"nvmeoaf/internal/transport"
+)
+
+// Workload describes one stream's I/O pattern.
+type Workload struct {
+	// Name labels the stream in results.
+	Name string
+	// Seq selects sequential offsets (wrapping over Span); otherwise
+	// offsets are uniformly random block-aligned positions.
+	Seq bool
+	// ReadPct is the percentage of reads (100 = pure read, 0 = pure
+	// write, 70 = the paper's 70:30 mix).
+	ReadPct int
+	// IOSize is the request size in bytes (block aligned).
+	IOSize int
+	// SizeMix, when non-empty, draws each request's size from a weighted
+	// distribution instead of the fixed IOSize — the "diverse workloads
+	// with varying I/O sizes" of §3.3.
+	SizeMix []SizeWeight
+	// QueueDepth is the number of outstanding commands.
+	QueueDepth int
+	// Span is the working-set size in bytes (defaults to 1 GiB).
+	Span int64
+	// Warmup is excluded from measurement.
+	Warmup time.Duration
+	// Duration is the measured window (the paper uses 20 s).
+	Duration time.Duration
+}
+
+// SizeWeight is one entry of a request-size distribution.
+type SizeWeight struct {
+	Size   int
+	Weight int
+}
+
+// withDefaults normalizes the workload.
+func (w Workload) withDefaults() Workload {
+	if w.Span <= 0 {
+		w.Span = 1 << 30
+	}
+	if w.QueueDepth <= 0 {
+		w.QueueDepth = 128
+	}
+	if w.Duration <= 0 {
+		w.Duration = time.Second
+	}
+	if w.IOSize <= 0 {
+		w.IOSize = 4096
+	}
+	return w
+}
+
+// Result captures one stream's measured window.
+type Result struct {
+	Name       string
+	Throughput stats.Throughput
+	// Latency histograms: all ops, plus read/write splits.
+	Latency, ReadLatency, WriteLatency *stats.Histogram
+	// BD accumulates the paper's three-way latency decomposition.
+	BD stats.Breakdown
+	// Errors counts failed commands.
+	Errors int64
+}
+
+// Stream drives one workload against one transport queue.
+type Stream struct {
+	e     *sim.Engine
+	q     transport.Queue
+	w     Workload
+	rng   *rand.Rand
+	res   *Result
+	done  *sim.Signal
+	start sim.Time
+}
+
+// NewStream prepares a stream; Start launches its driver process.
+func NewStream(e *sim.Engine, q transport.Queue, w Workload) *Stream {
+	w = w.withDefaults()
+	return &Stream{
+		e:   e,
+		q:   q,
+		w:   w,
+		rng: e.Rand("perf/" + w.Name),
+		res: &Result{
+			Name:         w.Name,
+			Latency:      stats.NewHistogram(),
+			ReadLatency:  stats.NewHistogram(),
+			WriteLatency: stats.NewHistogram(),
+		},
+		done: sim.NewSignal(e),
+	}
+}
+
+// Start launches the driver process at the current virtual time.
+func (s *Stream) Start() {
+	s.e.Go("perf/"+s.w.Name, s.drive)
+}
+
+// Wait blocks until the stream has drained after its measured window.
+func (s *Stream) Wait(p *sim.Proc) *Result {
+	s.done.Wait(p)
+	return s.res
+}
+
+// Result returns the results (valid once the stream is done).
+func (s *Stream) Result() *Result { return s.res }
+
+// op is one in-flight operation's bookkeeping.
+type op struct {
+	write bool
+	size  int
+}
+
+// drive is the stream's single-core driver loop.
+func (s *Stream) drive(p *sim.Proc) {
+	defer s.done.Fire()
+	s.start = p.Now()
+	measureFrom := s.start.Add(s.w.Warmup)
+	measureTo := measureFrom.Add(s.w.Duration)
+
+	completions := sim.NewQueue[compl](s.e, 0)
+	var seqOffset int64
+	outstanding := 0
+
+	submit := func() {
+		io := s.nextIO(&seqOffset)
+		o := op{write: io.Write, size: io.Size}
+		fut := s.q.Submit(p, io)
+		submitAt := p.Now()
+		fut.OnResolve(func(r *transport.Result) {
+			completions.TryPut(compl{op: o, res: r, at: s.e.Now(), submitAt: submitAt})
+		})
+		outstanding++
+	}
+
+	for i := 0; i < s.w.QueueDepth; i++ {
+		submit()
+	}
+	for outstanding > 0 {
+		c, ok := completions.Get(p)
+		if !ok {
+			break
+		}
+		outstanding--
+		s.record(c, measureFrom, measureTo)
+		if p.Now() < measureTo {
+			submit()
+		}
+	}
+	s.res.Throughput.Start = time.Duration(measureFrom)
+	s.res.Throughput.End = time.Duration(measureTo)
+}
+
+type compl struct {
+	op       op
+	res      *transport.Result
+	at       sim.Time
+	submitAt sim.Time
+}
+
+// record accounts one completion if it falls inside the measured window.
+func (s *Stream) record(c compl, from, to sim.Time) {
+	if c.res.Status.IsError() {
+		s.res.Errors++
+		return
+	}
+	if c.at < from || c.at >= to {
+		return
+	}
+	s.res.Throughput.Ops++
+	s.res.Throughput.Bytes += int64(c.op.size)
+	lat := int64(c.res.Latency)
+	s.res.Latency.Record(lat)
+	if c.op.write {
+		s.res.WriteLatency.Record(lat)
+	} else {
+		s.res.ReadLatency.Record(lat)
+	}
+	s.res.BD.Add(c.res.IOTime, c.res.CommTime, c.res.OtherTime)
+}
+
+// pickSize draws the next request size.
+func (s *Stream) pickSize() int {
+	if len(s.w.SizeMix) == 0 {
+		return s.w.IOSize
+	}
+	total := 0
+	for _, sw := range s.w.SizeMix {
+		total += sw.Weight
+	}
+	n := s.rng.Intn(total)
+	for _, sw := range s.w.SizeMix {
+		n -= sw.Weight
+		if n < 0 {
+			return sw.Size
+		}
+	}
+	return s.w.SizeMix[len(s.w.SizeMix)-1].Size
+}
+
+// nextIO produces the next request of the pattern.
+func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
+	w := s.w
+	write := s.rng.Intn(100) >= w.ReadPct
+	size := s.pickSize()
+	var off int64
+	if w.Seq {
+		off = *seqOffset
+		*seqOffset += int64(size)
+		if *seqOffset+int64(size) > w.Span {
+			*seqOffset = 0
+		}
+	} else {
+		blocks := (w.Span - int64(size)) / transport.BlockSize
+		if blocks <= 0 {
+			blocks = 1
+		}
+		off = s.rng.Int63n(blocks) * transport.BlockSize
+	}
+	return &transport.IO{Write: write, Offset: off, Size: size}
+}
+
+// Aggregate combines several stream results into experiment-level
+// figures: summed bandwidth over the common window, merged latency
+// histograms, merged breakdowns.
+type Aggregate struct {
+	Throughput stats.Throughput
+	Latency    *stats.Histogram
+	ReadLat    *stats.Histogram
+	WriteLat   *stats.Histogram
+	BD         stats.Breakdown
+	Errors     int64
+}
+
+// Merge aggregates the given results.
+func Merge(results ...*Result) Aggregate {
+	agg := Aggregate{
+		Latency:  stats.NewHistogram(),
+		ReadLat:  stats.NewHistogram(),
+		WriteLat: stats.NewHistogram(),
+	}
+	for i, r := range results {
+		if i == 0 {
+			agg.Throughput.Start = r.Throughput.Start
+			agg.Throughput.End = r.Throughput.End
+		}
+		agg.Throughput.Ops += r.Throughput.Ops
+		agg.Throughput.Bytes += r.Throughput.Bytes
+		agg.Latency.Merge(r.Latency)
+		agg.ReadLat.Merge(r.ReadLatency)
+		agg.WriteLat.Merge(r.WriteLatency)
+		agg.BD.Merge(r.BD)
+		agg.Errors += r.Errors
+	}
+	return agg
+}
+
+// String renders a one-line summary.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%.3f GB/s, %.0f IOPS, avg %.1fus (io %.1f / comm %.1f / other %.1f), p99.99 %.1fus",
+		a.Throughput.GBps(), a.Throughput.IOPS(), a.BD.MeanTotal(),
+		a.BD.MeanIO(), a.BD.MeanComm(), a.BD.MeanOther(),
+		float64(a.Latency.P9999())/1e3)
+}

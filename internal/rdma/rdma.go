@@ -1,0 +1,503 @@
+// Package rdma implements the NVMe/RDMA baseline transport: kernel-bypass
+// queue pairs with direct data placement (no R2T round trip, no
+// application-level chunking, near-zero per-byte host cost) and a memory-
+// registration cache whose misses inject the large latencies behind
+// RDMA's short-run tail behaviour (§5.4, Fig 13 of the paper).
+//
+// The paper evaluates NVMe/RDMA over 56 Gb IB FDR (SR-IOV) and NVMe/RoCE
+// over 100 GbE on bare metal; both are instances of this transport with
+// different model.RDMAParams.
+package rdma
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/transport"
+)
+
+// LinkParams converts RDMA fabric parameters into link-model terms: the
+// HCA moves payload bytes without host CPU, and completion-queue polling
+// avoids interrupt wakeups.
+func LinkParams(r model.RDMAParams) model.LinkParams {
+	return model.LinkParams{
+		Name:            r.Name,
+		WireBytesPerSec: r.WireBytesPerSec,
+		Propagation:     r.Propagation,
+		PerMsgCPU:       r.PerOpCPU,
+		PerByteCPUNanos: 0,
+		WakeupPenalty:   0,
+	}
+}
+
+// ClientConfig configures one NVMe/RDMA host queue pair.
+type ClientConfig struct {
+	NQN        string
+	QueueDepth int
+	Params     model.RDMAParams
+	Host       model.HostParams
+}
+
+// Client is the host side of one RDMA queue pair.
+type Client struct {
+	e       *sim.Engine
+	ep      *netsim.Endpoint
+	cfg     ClientConfig
+	cids    *nvme.CIDTable
+	submitQ *sim.Queue[*transport.Pending]
+	kick    *sim.Signal
+	closing bool
+	drained *sim.Signal
+	rng     interface{ Float64() float64 }
+
+	// Completed counts finished commands; it also drives the
+	// registration-cache warmup model.
+	Completed int64
+	// RegMisses counts memory-registration cache misses.
+	RegMisses int64
+}
+
+// Connect starts a client on ep (connection setup over the RDMA CM is
+// modeled by the ICReq/ICResp exchange).
+func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	e := p.Engine()
+	c := &Client{
+		e:       e,
+		ep:      ep,
+		cfg:     cfg,
+		cids:    nvme.NewCIDTable(cfg.QueueDepth),
+		submitQ: sim.NewQueue[*transport.Pending](e, 0),
+		kick:    sim.NewSignal(e),
+		drained: sim.NewSignal(e),
+		rng:     e.Rand("rdma/" + cfg.Params.Name),
+	}
+	transport.SendPDUs(p, ep, &pdu.ICReq{PFV: 0})
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return nil, fmt.Errorf("rdma: handshake: %w", err)
+	}
+	if _, ok := pdus[0].(*pdu.ICResp); !ok {
+		return nil, fmt.Errorf("rdma: handshake: unexpected %v", pdus[0].Type())
+	}
+	if err := fabricsConnect(p, ep, cfg.NQN); err != nil {
+		return nil, err
+	}
+	e.GoDaemon("rdma-client-reactor", c.reactor)
+	return c, nil
+}
+
+// fabricsConnect performs the NVMe-oF Connect command.
+func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, subNQN string) error {
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{
+		Cmd:  cmd,
+		Data: nvme.EncodeConnectData("nqn.2014-08.org.nvmexpress:uuid:sim-host", subNQN),
+	})
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return fmt.Errorf("rdma: connect: %w", err)
+	}
+	resp, ok := pdus[0].(*pdu.CapsuleResp)
+	if !ok {
+		return fmt.Errorf("rdma: connect: unexpected %v", pdus[0].Type())
+	}
+	if resp.Rsp.Status.IsError() {
+		return fmt.Errorf("rdma: connect rejected: %w", resp.Rsp.Status.Error())
+	}
+	return nil
+}
+
+// Submit implements transport.Queue.
+func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	fut := sim.NewFuture[*transport.Result](c.e)
+	if c.closing {
+		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
+		return fut
+	}
+	if io.Admin == 0 && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
+		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return fut
+	}
+	if io.Write && !io.NoFill {
+		p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+	}
+	p.Sleep(c.cfg.Host.SubmitCPU)
+	pend := &transport.Pending{IO: io, Fut: fut, SubmitAt: p.Now()}
+	c.submitQ.TryPut(pend)
+	c.kick.Fire()
+	return fut
+}
+
+// Close initiates orderly shutdown.
+func (c *Client) Close() {
+	if c.closing {
+		return
+	}
+	c.closing = true
+	c.kick.Fire()
+}
+
+// WaitClosed blocks until the reactor has exited.
+func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
+
+// registrationDelay models the HCA memory-registration cache. The I/O
+// buffer pool registers at connect time; during a run the registration
+// cache occasionally misses (buffer-pool growth, eviction, fragmentation)
+// and the affected command must wait for a multi-millisecond region
+// registration (page pinning + HCA table update). The miss probability
+// decays with completed work, so a short run carries a heavy registration
+// tail that a 3-4x longer run dilutes below the p99.9/p99.99 thresholds —
+// the paper's §5.4 observation. The expected number of events converges
+// to evictMissScale x MemRegWarmOps.
+func (c *Client) registrationDelay() time.Duration {
+	prm := c.cfg.Params
+	prob := evictMissScale*math.Exp(-float64(c.Completed)/prm.MemRegWarmOps) + prm.MemRegFloorProb
+	if c.rng.Float64() >= prob {
+		return 0
+	}
+	c.RegMisses++
+	return time.Duration(float64(prm.MemRegCost) * (0.7 + 0.6*c.rng.Float64()))
+}
+
+// evictMissScale is the initial per-op registration-miss probability.
+const evictMissScale = 0.007
+
+// reactor is the client event loop: CQ polling, no interrupt penalty.
+func (c *Client) reactor(p *sim.Proc) {
+	c.ep.OnDeliver = c.kick.Fire
+	defer c.drained.Fire()
+	for {
+		worked := false
+		for !c.cids.Full() {
+			pend, ok := c.submitQ.TryGet()
+			if !ok {
+				break
+			}
+			c.start(p, pend)
+			worked = true
+		}
+		for {
+			msg := c.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			c.handle(p, msg)
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
+			return
+		}
+		c.kick.Reset()
+		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
+			continue
+		}
+		c.kick.Wait(p)
+	}
+}
+
+// start posts the work request for one command. Writes carry their full
+// payload with the capsule: the target's HCA places the data directly
+// into the reserved buffer (no R2T exchange).
+func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
+	cid, err := c.cids.Alloc(pend)
+	if err != nil {
+		panic(err)
+	}
+	pend.CID = cid
+	io := pend.IO
+	var cmd nvme.Command
+	if io.Admin != 0 {
+		cmd = nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return
+	}
+	slba := uint64(io.Offset / transport.BlockSize)
+	nlb := uint32(io.Size / transport.BlockSize)
+	var capsule *pdu.CapsuleCmd
+	if io.Write {
+		cmd = nvme.NewWrite(cid, io.Nsid(), slba, nlb)
+		capsule = &pdu.CapsuleCmd{Cmd: cmd}
+		if io.Data != nil {
+			capsule.Data = io.Data
+		} else {
+			capsule.VirtualLen = io.Size
+		}
+		pend.Sent = io.Size
+	} else {
+		cmd = nvme.NewRead(cid, io.Nsid(), slba, nlb)
+		capsule = &pdu.CapsuleCmd{Cmd: cmd}
+	}
+	if delay := c.registrationDelay(); delay > 0 {
+		// Registration runs on a kernel helper: only this command waits;
+		// the reactor keeps serving the queue.
+		ep := c.ep
+		c.e.Go("rdma-memreg", func(w *sim.Proc) {
+			w.Sleep(delay)
+			transport.SendPDUs(w, ep, capsule)
+		})
+		return
+	}
+	transport.SendPDUs(p, c.ep, capsule)
+}
+
+// handle processes inbound completions and data.
+func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("rdma client: bad message: %v", err))
+	}
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.Data:
+			ctx, ok := c.cids.Lookup(v.CID)
+			if !ok {
+				panic(fmt.Sprintf("rdma client: data for unknown CID %d", v.CID))
+			}
+			pend := ctx.(*transport.Pending)
+			n := len(v.Payload)
+			if n == 0 {
+				n = v.VirtualLen
+			}
+			if v.Payload != nil && pend.IO.Data != nil {
+				copy(pend.IO.Data[v.Offset:], v.Payload)
+			}
+			pend.Received += n
+			pend.Comm += transit
+		case *pdu.CapsuleResp:
+			ctx, err := c.cids.Complete(v.Rsp.CID)
+			if err != nil {
+				panic(fmt.Sprintf("rdma client: %v", err))
+			}
+			pend := ctx.(*transport.Pending)
+			pend.Comm += transit
+			p.Sleep(c.cfg.Host.CompleteCPU)
+			var data []byte
+			if !pend.IO.Write && pend.IO.Data != nil {
+				data = pend.IO.Data[:pend.Received]
+			}
+			pend.Finish(p.Now(), v, data)
+			c.Completed++
+			c.kick.Fire()
+		case *pdu.Term:
+		default:
+			panic(fmt.Sprintf("rdma client: unexpected PDU %v", u.Type()))
+		}
+		transit = 0
+	}
+}
+
+// ServerConfig configures the target side.
+type ServerConfig struct {
+	NQN    string
+	Params model.RDMAParams
+	Host   model.HostParams
+}
+
+// Server is the target-side RDMA transport.
+type Server struct {
+	e   *sim.Engine
+	tgt *target.Target
+	cfg ServerConfig
+}
+
+// NewServer creates the RDMA transport for tgt.
+func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
+	return &Server{e: e, tgt: tgt, cfg: cfg}
+}
+
+// Serve starts a connection handler on ep.
+func (s *Server) Serve(ep *netsim.Endpoint) {
+	conn := &conn{srv: s, ep: ep, txQ: sim.NewQueue[[]pdu.PDU](s.e, 0), kick: sim.NewSignal(s.e)}
+	s.e.GoDaemon("rdma-server-conn", conn.run)
+}
+
+type conn struct {
+	srv    *Server
+	ep     *netsim.Endpoint
+	txQ    *sim.Queue[[]pdu.PDU]
+	kick   *sim.Signal
+	closed bool
+}
+
+func (c *conn) post(pdus ...pdu.PDU) {
+	c.txQ.TryPut(pdus)
+	c.kick.Fire()
+}
+
+func (c *conn) run(p *sim.Proc) {
+	c.ep.OnDeliver = c.kick.Fire
+	for !c.closed {
+		worked := false
+		for {
+			msg := c.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			c.handle(p, msg)
+			worked = true
+		}
+		for {
+			batch, ok := c.txQ.TryGet()
+			if !ok {
+				break
+			}
+			transport.SendPDUs(p, c.ep, batch...)
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		c.kick.Reset()
+		if c.ep.Pending() > 0 || c.txQ.Len() > 0 || c.closed {
+			continue
+		}
+		c.kick.Wait(p)
+	}
+	for {
+		batch, ok := c.txQ.TryGet()
+		if !ok {
+			break
+		}
+		transport.SendPDUs(p, c.ep, batch...)
+	}
+}
+
+func (c *conn) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("rdma server: bad message: %v", err))
+	}
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.ICReq:
+			c.post(&pdu.ICResp{PFV: v.PFV})
+		case *pdu.CapsuleCmd:
+			c.onCommand(v, transit)
+		case *pdu.Term:
+			c.closed = true
+			c.kick.Fire()
+		default:
+			panic(fmt.Sprintf("rdma server: unexpected PDU %v", u.Type()))
+		}
+		transit = 0
+	}
+}
+
+func (c *conn) onCommand(cap *pdu.CapsuleCmd, transit time.Duration) {
+	cmd := cap.Cmd
+	if cmd.Opcode == nvme.FabricsCommandType {
+		status := nvme.StatusInvalidField
+		if cmd.CDW10 == nvme.FctypeConnect {
+			if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.srv.cfg.NQN {
+				status = nvme.StatusSuccess
+			}
+		}
+		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
+		return
+	}
+	if cmd.Flags&transport.AdminFlag != 0 {
+		c.onAdmin(cmd, transit)
+		return
+	}
+	switch cmd.Opcode {
+	case nvme.OpRead:
+		size := int(cmd.NLB()) * transport.BlockSize
+		c.srv.e.Go("rdma-read-worker", func(w *sim.Proc) {
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
+			if res.CQE.Status.IsError() {
+				c.post(c.resp(res, transit))
+				return
+			}
+			// One RDMA write moves the whole payload; the completion
+			// capsule rides behind it.
+			d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Last: true}
+			if res.Data != nil {
+				d.Payload = res.Data
+			} else {
+				d.VirtualLen = size
+			}
+			c.post(d, c.resp(res, transit))
+		})
+	case nvme.OpWrite:
+		data := cap.Data
+		c.srv.e.Go("rdma-write-worker", func(w *sim.Proc) {
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
+			c.post(c.resp(res, transit))
+		})
+	default:
+		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
+	}
+}
+
+// onAdmin dispatches admin-queue commands.
+func (c *conn) onAdmin(cmd nvme.Command, transit time.Duration) {
+	switch cmd.Opcode {
+	case nvme.AdminIdentify:
+		c.onIdentify(cmd, transit)
+	case nvme.AdminGetLogPage:
+		if cmd.CDW10&0xFF != nvme.LIDDiscovery&0xFF {
+			c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
+			return
+		}
+		page := c.srv.tgt.DiscoveryLog(nvme.TrTypeRDMA, "storage-host")
+		c.post(
+			&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
+			&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
+		)
+	default:
+		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
+	}
+}
+
+func (c *conn) onIdentify(cmd nvme.Command, transit time.Duration) {
+	var page []byte
+	switch cmd.CDW10 {
+	case nvme.CNSController:
+		id, err := c.srv.tgt.IdentifyController(c.srv.cfg.NQN)
+		if err == nil {
+			page = id.Encode()
+		}
+	case nvme.CNSNamespace:
+		if sub, ok := c.srv.tgt.Subsystem(c.srv.cfg.NQN); ok {
+			if ns, ok := sub.Namespace(cmd.NSID); ok {
+				idns := ns.Identify()
+				page = idns.Encode()
+			}
+		}
+	}
+	if page == nil {
+		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
+		return
+	}
+	c.post(
+		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
+		&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
+	)
+}
+
+func (c *conn) resp(res target.ExecResult, comm time.Duration) *pdu.CapsuleResp {
+	return &pdu.CapsuleResp{
+		Rsp:        res.CQE,
+		IOTimeNs:   uint64(res.IOTime),
+		TgtCommNs:  uint64(comm),
+		TgtOtherNs: uint64(res.OtherTime),
+	}
+}

@@ -1,0 +1,312 @@
+// Package shm implements the shared-memory channel of the adaptive fabric:
+// a real byte region shared between NVMe-oF client and target (standing in
+// for an IVSHMEM/ICSHMEM mapping), organized as the paper's lock-free
+// double buffer (§4.4.1).
+//
+// The region is logically split into two halves — one written by the
+// client (host-to-controller payloads), one written by the target
+// (controller-to-host payloads) — and each half is divided into slots of
+// the I/O size, one per queue-depth entry. Slot ownership is claimed with
+// atomic compare-and-swap in round-robin order, so concurrent I/O streams
+// touch disjoint offsets without a lock. A legacy locked mode reproduces
+// the paper's "SHM-baseline" design for the Fig 8 ablation, and a
+// free-list claimer exists as an ablation alternative to round-robin.
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/stats"
+)
+
+// Direction selects a half of the double buffer.
+type Direction int
+
+const (
+	// H2C is the client-owned half (write payloads travelling to the
+	// target).
+	H2C Direction = iota
+	// C2H is the target-owned half (read payloads travelling to the
+	// client).
+	C2H
+)
+
+func (d Direction) String() string {
+	if d == H2C {
+		return "h2c"
+	}
+	return "c2h"
+}
+
+// Mode selects the concurrency design of the region.
+type Mode int
+
+const (
+	// ModeLockFree is the paper's lock-free double-buffer design: slots
+	// are claimed with atomic CAS, copies proceed concurrently.
+	ModeLockFree Mode = iota
+	// ModeLocked is the naive SHM-baseline: one region lock guards every
+	// shared-memory access and is held for the duration of the copy,
+	// serializing all data movement (Fig 8's first bar).
+	ModeLocked
+)
+
+func (m Mode) String() string {
+	if m == ModeLocked {
+		return "locked"
+	}
+	return "lock-free"
+}
+
+// ClaimPolicy selects how slots are picked within a half.
+type ClaimPolicy int
+
+const (
+	// ClaimRoundRobin walks slots in order relative to the I/O depth, as
+	// the paper describes (§4.4.1).
+	ClaimRoundRobin ClaimPolicy = iota
+	// ClaimFreeList pops the most recently released slot (ablation
+	// alternative; better cache locality, more contention on the head).
+	ClaimFreeList
+)
+
+const (
+	slotFree uint32 = iota
+	slotBusy
+)
+
+// Region is one shared-memory mapping between a client and a target.
+type Region struct {
+	Key       uint64
+	SlotSize  int
+	SlotCount int
+
+	e      *sim.Engine
+	params model.SHMParams
+	mode   Mode
+	policy ClaimPolicy
+	data   []byte // real backing bytes: [H2C slots][C2H slots]
+
+	state   [2][]uint32 // atomic slot ownership per half
+	rr      [2]uint32   // round-robin cursors
+	freeLst [2][]uint32 // free-list stacks (ClaimFreeList)
+	credits [2]*sim.Semaphore
+	lock    *sim.Semaphore // region lock (ModeLocked)
+
+	rng *rand.Rand
+
+	// Encryption state (see crypto.go).
+	encKey uint64
+	encBps float64
+
+	// Metrics.
+	Claims, Releases int64
+	CopiedBytes      int64
+	FutexStalls      int64
+	ClaimWait        *stats.Histogram // time spent waiting for a free slot
+	LockWait         *stats.Histogram // time spent waiting for the region lock
+}
+
+// NewRegion allocates a region with slotCount slots of slotSize bytes in
+// each direction.
+func NewRegion(e *sim.Engine, key uint64, slotSize, slotCount int, params model.SHMParams, mode Mode, policy ClaimPolicy) (*Region, error) {
+	if slotSize <= 0 || slotCount <= 0 {
+		return nil, fmt.Errorf("shm: invalid geometry %dx%d", slotCount, slotSize)
+	}
+	total := 2 * slotSize * slotCount
+	r := &Region{
+		Key:       key,
+		SlotSize:  slotSize,
+		SlotCount: slotCount,
+		e:         e,
+		params:    params,
+		mode:      mode,
+		policy:    policy,
+		data:      make([]byte, total),
+		lock:      sim.NewSemaphore(e, 1),
+		rng:       e.Rand(fmt.Sprintf("shm/%d", key)),
+		ClaimWait: stats.NewHistogram(),
+		LockWait:  stats.NewHistogram(),
+	}
+	for d := 0; d < 2; d++ {
+		r.state[d] = make([]uint32, slotCount)
+		r.credits[d] = sim.NewSemaphore(e, slotCount)
+		if policy == ClaimFreeList {
+			r.freeLst[d] = make([]uint32, 0, slotCount)
+			for i := slotCount - 1; i >= 0; i-- {
+				r.freeLst[d] = append(r.freeLst[d], uint32(i))
+			}
+		}
+	}
+	return r, nil
+}
+
+// Mode returns the region's concurrency mode.
+func (r *Region) Mode() Mode { return r.mode }
+
+// Size returns the total region size in bytes.
+func (r *Region) Size() int { return len(r.data) }
+
+// Slot is a claimed element of the double buffer.
+type Slot struct {
+	r      *Region
+	dir    Direction
+	Index  uint32
+	buf    []byte
+	closed bool
+}
+
+// slotBytes returns the backing slice for (dir, idx).
+func (r *Region) slotBytes(dir Direction, idx uint32) []byte {
+	base := int(dir)*r.SlotSize*r.SlotCount + int(idx)*r.SlotSize
+	return r.data[base : base+r.SlotSize : base+r.SlotSize]
+}
+
+// Claim acquires a slot in the given direction, blocking while all slots
+// are busy (this is the shared-memory flow control: payloads stay in the
+// region until the peer consumes them, so slot credits bound the in-flight
+// data, §4.4.2). The claim itself is lock-free: an atomic CAS over the
+// round-robin cursor or free list.
+func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
+	t0 := p.Now()
+	r.credits[dir].Acquire(p)
+	r.ClaimWait.RecordDuration(p.Now().Sub(t0))
+	p.Sleep(r.params.SlotOverhead)
+
+	var idx uint32
+	switch r.policy {
+	case ClaimFreeList:
+		lst := r.freeLst[dir]
+		idx = lst[len(lst)-1]
+		r.freeLst[dir] = lst[:len(lst)-1]
+		if !atomic.CompareAndSwapUint32(&r.state[dir][idx], slotFree, slotBusy) {
+			panic("shm: free-list slot was busy")
+		}
+	default: // round-robin
+		for {
+			i := atomic.AddUint32(&r.rr[dir], 1) - 1
+			idx = i % uint32(r.SlotCount)
+			if atomic.CompareAndSwapUint32(&r.state[dir][idx], slotFree, slotBusy) {
+				break
+			}
+			// Credit accounting guarantees a free slot exists; skip the
+			// busy ones (out-of-order completion leaves holes).
+		}
+	}
+	r.Claims++
+	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}
+}
+
+// Open adopts an already-claimed slot by index, as the peer side does when
+// an out-of-band notification names the slot it should read.
+func (r *Region) Open(dir Direction, idx uint32) (*Slot, error) {
+	if int(idx) >= r.SlotCount {
+		return nil, fmt.Errorf("shm: slot %d out of range (%d)", idx, r.SlotCount)
+	}
+	if atomic.LoadUint32(&r.state[dir][idx]) != slotBusy {
+		return nil, fmt.Errorf("shm: slot %s/%d not busy", dir, idx)
+	}
+	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}, nil
+}
+
+// Release returns the slot to the allocator.
+func (s *Slot) Release() {
+	if s.closed {
+		panic("shm: slot released twice")
+	}
+	s.closed = true
+	r := s.r
+	if !atomic.CompareAndSwapUint32(&r.state[s.dir][s.Index], slotBusy, slotFree) {
+		panic("shm: releasing a free slot")
+	}
+	if r.policy == ClaimFreeList {
+		r.freeLst[s.dir] = append(r.freeLst[s.dir], s.Index)
+	}
+	r.Releases++
+	r.credits[s.dir].Release()
+}
+
+// Bytes exposes the slot's backing memory for zero-copy use: the
+// application fills (or reads) the shared bytes in place.
+func (s *Slot) Bytes() []byte { return s.buf }
+
+// copyCost returns the modeled time to move n bytes across the region
+// boundary.
+func (r *Region) copyCost(n int) time.Duration {
+	return time.Duration(float64(n) / r.params.CopyBytesPerSec * 1e9)
+}
+
+// acquireLockIfNeeded takes the region lock in ModeLocked, charging the
+// extra critical-section overhead; it returns a release func. A small
+// fraction of acquisitions take the futex slow path (cross-VM mutex
+// handoff through the kernel), the locked design's main tail-latency
+// contribution (§4.4.4).
+func (r *Region) acquireLockIfNeeded(p *sim.Proc) func() {
+	if r.mode != ModeLocked {
+		return func() {}
+	}
+	t0 := p.Now()
+	r.lock.Acquire(p)
+	r.LockWait.RecordDuration(p.Now().Sub(t0))
+	p.Sleep(r.params.LockHold)
+	if r.params.FutexProb > 0 && r.rng.Float64() < r.params.FutexProb {
+		r.FutexStalls++
+		p.Sleep(time.Duration(float64(r.params.FutexPenalty) * (0.5 + r.rng.Float64())))
+	}
+	return r.lock.Release
+}
+
+// CopyIn moves payload bytes from a private buffer into the slot. data may
+// be nil for modeled payloads: the time cost is charged either way, the
+// bytes only move when real. n is the payload size. On encrypted regions
+// the payload is enciphered on the way in and the cipher cost charged.
+func (s *Slot) CopyIn(p *sim.Proc, data []byte, n int) {
+	if n > s.r.SlotSize {
+		panic(fmt.Sprintf("shm: payload %d exceeds slot size %d", n, s.r.SlotSize))
+	}
+	unlock := s.r.acquireLockIfNeeded(p)
+	defer unlock()
+	p.Sleep(s.r.copyCost(n) + s.r.cryptoCost(n))
+	if data != nil {
+		copy(s.buf, data[:n])
+	}
+	s.seal(n)
+	s.r.CopiedBytes += int64(n)
+}
+
+// CopyOut moves payload bytes from the slot into a private buffer (nil
+// dst for modeled payloads). It returns the destination slice when real.
+// On encrypted regions the payload is deciphered on the way out.
+func (s *Slot) CopyOut(p *sim.Proc, dst []byte, n int) []byte {
+	if n > s.r.SlotSize {
+		panic(fmt.Sprintf("shm: payload %d exceeds slot size %d", n, s.r.SlotSize))
+	}
+	unlock := s.r.acquireLockIfNeeded(p)
+	defer unlock()
+	p.Sleep(s.r.copyCost(n) + s.r.cryptoCost(n))
+	s.r.CopiedBytes += int64(n)
+	if dst != nil {
+		s.unseal(n)
+		copy(dst, s.buf[:n])
+		s.seal(n) // bytes at rest in the region stay enciphered
+		return dst[:n]
+	}
+	return nil
+}
+
+// Busy returns the number of busy slots in a direction (for tests and
+// introspection).
+func (r *Region) Busy(dir Direction) int {
+	n := 0
+	for i := range r.state[dir] {
+		if atomic.LoadUint32(&r.state[dir][i]) == slotBusy {
+			n++
+		}
+	}
+	return n
+}

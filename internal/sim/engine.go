@@ -1,0 +1,284 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel provides a virtual clock, an event queue, and a cooperative
+// process model: each process is a real goroutine, but exactly one process
+// runs at a time and control is handed back to the engine whenever the
+// process blocks (Sleep, queue operations, semaphores, ...). Events with
+// equal timestamps fire in scheduling (FIFO) order, so every run is
+// bit-reproducible for a given seed.
+//
+// All NVMe-oAF subsystems (links, SSDs, transports, reactors) are built as
+// processes on this kernel. Real bytes move through real data structures;
+// only time is virtual, which gives microsecond-exact, GC-independent
+// measurements that Go's wall-clock timers cannot provide at this scale.
+//
+// Lifecycle note: daemon processes (GoDaemon) that are still parked when
+// the event queue drains remain blocked on their wake channels for the
+// life of the host process. An engine is therefore meant to be used for
+// one simulation run and then dropped; the parked goroutines hold only
+// their (small) stacks and are reclaimed when the process exits. Tests
+// and benchmarks that create thousands of engines stay well under normal
+// memory budgets.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(1<<62 - 1)
+
+// Nanoseconds returns the timestamp as an integer nanosecond count.
+func (t Time) Nanoseconds() int64 { return int64(t) }
+
+// Seconds returns the timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the timestamp in microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Add returns the timestamp shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two timestamps.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// waitToken arbitrates between competing wakeup paths (for example a queue
+// Put and a timeout timer) for one blocked process. The first path to fire
+// consumes the token; the loser is skipped when its event pops.
+type waitToken struct {
+	consumed bool
+	timedOut bool
+}
+
+// event is a single entry in the engine's priority queue. Either wake or fn
+// is set: wake resumes a blocked process, fn runs a callback inline.
+type event struct {
+	at      Time
+	seq     uint64
+	wake    *Proc
+	tok     *waitToken
+	timeout bool
+	fn      func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue and drives all
+// processes. Exactly one flow of control is active at any instant: either
+// the engine loop or a single process goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	cur    *Proc
+	live   int
+	parked map[*Proc]struct{}
+	seed   int64
+	err    error
+	fatal  bool
+}
+
+// NewEngine returns an engine with its clock at zero. The seed drives every
+// random stream derived via Rand, so runs are reproducible per seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+		seed:   seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns a deterministic random stream derived from the engine seed
+// and the stream name. Distinct names yield independent streams, so adding
+// a new consumer does not perturb existing ones.
+func (e *Engine) Rand(stream string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprint(h, stream)
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64())))
+}
+
+// schedule inserts an event at absolute time t (clamped to now).
+func (e *Engine) schedule(t Time, ev *event) {
+	if t < e.now {
+		t = e.now
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// After schedules fn to run at Now()+d. fn executes in engine context; it
+// may spawn processes or schedule further events but must not block.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.schedule(e.now.Add(d), &event{fn: fn})
+}
+
+// At schedules fn at the absolute virtual time t (or now, if t is past).
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, &event{fn: fn})
+}
+
+// Go spawns a new process running fn. The process starts at the current
+// virtual time, after already-scheduled events at this time fire.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background service process (device channel servers,
+// connection reactors). Daemons parked with no pending events do not
+// trigger the deadlock check: an idle server is not a hung simulation.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		engine: e,
+		name:   name,
+		wake:   make(chan struct{}),
+		daemon: daemon,
+	}
+	e.live++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if e.err == nil {
+					e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+				e.fatal = true
+			}
+			p.done = true
+			e.live--
+			for _, w := range p.joiners {
+				e.wakeWaiter(w)
+			}
+			p.joiners = nil
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, &event{wake: p})
+	return p
+}
+
+// wakeWaiter consumes a wait token (if not already consumed) and schedules
+// the owning process to resume at the current time. It reports whether the
+// token was won.
+func (e *Engine) wakeWaiter(w *blocked) bool {
+	if w.tok.consumed {
+		return false
+	}
+	w.tok.consumed = true
+	delete(e.parked, w.p)
+	e.schedule(e.now, &event{wake: w.p})
+	return true
+}
+
+// blocked records one parked process together with its arbitration token.
+type blocked struct {
+	p   *Proc
+	tok *waitToken
+}
+
+// Run drives the simulation until no events remain or a process panics. It
+// returns an error for panics and for deadlock (processes parked forever).
+func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
+
+// RunUntil drives the simulation until the event queue is exhausted or the
+// next event lies beyond the limit; in the latter case the clock is set to
+// the limit and no deadlock check is performed.
+func (e *Engine) RunUntil(limit Time) error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at > limit {
+			e.now = limit
+			return e.err
+		}
+		e.now = ev.at
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.wake != nil:
+			if ev.wake.done {
+				continue
+			}
+			if ev.tok != nil {
+				if ev.tok.consumed {
+					continue // lost the race against another waker
+				}
+				ev.tok.consumed = true
+				ev.tok.timedOut = ev.timeout
+				delete(e.parked, ev.wake)
+			}
+			e.resume(ev.wake)
+			if e.fatal {
+				return e.err
+			}
+		}
+	}
+	var stuck []string
+	for p := range e.parked {
+		if !p.daemon {
+			stuck = append(stuck, p.name)
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("sim: deadlock: %d process(es) parked with no pending events: %v", len(stuck), stuck)
+	}
+	return e.err
+}
+
+// resume hands control to p and blocks until p yields back.
+func (e *Engine) resume(p *Proc) {
+	e.cur = p
+	p.wake <- struct{}{}
+	<-e.yield
+	e.cur = nil
+}
+
+// Live reports the number of processes that have been spawned and not yet
+// finished.
+func (e *Engine) Live() int { return e.live }
+
+// Err returns the first process panic recorded, if any.
+func (e *Engine) Err() error { return e.err }

@@ -1,0 +1,87 @@
+package sim
+
+import "time"
+
+// Proc is a simulation process: a goroutine that runs cooperatively under
+// the engine. Blocking methods (Sleep, and the queue/semaphore operations
+// that take a *Proc) suspend the goroutine and return control to the engine
+// until the wakeup condition fires.
+//
+// A Proc must only be used from its own goroutine (the function passed to
+// Engine.Go).
+type Proc struct {
+	engine  *Engine
+	name    string
+	wake    chan struct{}
+	done    bool
+	daemon  bool
+	joiners []*blocked
+}
+
+// Daemon reports whether this is a background service process.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.engine.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// block yields control to the engine and waits to be resumed.
+func (p *Proc) block() {
+	p.engine.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for the given virtual duration. Non-positive
+// durations yield the processor: the process re-runs at the same timestamp
+// after already-pending events.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.engine.schedule(p.engine.now.Add(d), &event{wake: p})
+	p.block()
+}
+
+// Yield reschedules the process at the current timestamp behind all events
+// already queued for this instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park suspends the process until another party wins its wait token via
+// Engine.wakeWaiter. If timeout is positive a timer competes for the token;
+// park reports true if the timer won (the wait timed out). A non-positive
+// timeout parks indefinitely.
+func (p *Proc) park(tok *waitToken, timeout time.Duration) (timedOut bool) {
+	if timeout > 0 {
+		p.engine.schedule(p.engine.now.Add(timeout), &event{wake: p, tok: tok, timeout: true})
+	} else {
+		p.engine.parked[p] = struct{}{}
+	}
+	p.block()
+	return tok.timedOut
+}
+
+// Join blocks until q has finished. Joining a finished process returns
+// immediately.
+func (p *Proc) Join(q *Proc) {
+	if q.done {
+		return
+	}
+	w := &blocked{p: p, tok: &waitToken{}}
+	q.joiners = append(q.joiners, w)
+	p.park(w.tok, 0)
+}
+
+// JoinAll blocks until every process in qs has finished.
+func (p *Proc) JoinAll(qs ...*Proc) {
+	for _, q := range qs {
+		p.Join(q)
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "time"
+
+// Queue is a FIFO channel analogue for simulation processes. A zero
+// capacity means unbounded. Get blocks while the queue is empty; Put blocks
+// while a bounded queue is full. Wakeups are FIFO among waiters.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	cap     int
+	getters []*blocked
+	putters []*blocked
+	closed  bool
+}
+
+// NewQueue creates a queue on engine e with the given capacity
+// (0 = unbounded).
+func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
+	return &Queue[T]{e: e, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// wakeOne resumes the first waiter whose token is still live.
+func wakeOne(e *Engine, list *[]*blocked) {
+	for len(*list) > 0 {
+		w := (*list)[0]
+		*list = (*list)[1:]
+		if e.wakeWaiter(w) {
+			return
+		}
+	}
+}
+
+// wakeAll resumes every live waiter in the list.
+func wakeAll(e *Engine, list *[]*blocked) {
+	for len(*list) > 0 {
+		w := (*list)[0]
+		*list = (*list)[1:]
+		e.wakeWaiter(w)
+	}
+}
+
+// Put appends v, blocking while a bounded queue is full. Putting to a
+// closed queue panics.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		if q.closed {
+			panic("sim: Put on closed queue")
+		}
+		w := &blocked{p: p, tok: &waitToken{}}
+		q.putters = append(q.putters, w)
+		p.park(w.tok, 0)
+	}
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	q.items = append(q.items, v)
+	wakeOne(q.e, &q.getters)
+}
+
+// TryPut appends v without blocking; it reports whether the item was
+// accepted.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	wakeOne(q.e, &q.getters)
+	return true
+}
+
+// Get removes and returns the head item, blocking while the queue is
+// empty. ok is false if the queue was closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		w := &blocked{p: p, tok: &waitToken{}}
+		q.getters = append(q.getters, w)
+		p.park(w.tok, 0)
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	wakeOne(q.e, &q.putters)
+	return v, true
+}
+
+// GetTimeout is Get with a deadline: ok is false on timeout or on a closed,
+// drained queue. A non-positive timeout blocks indefinitely.
+func (q *Queue[T]) GetTimeout(p *Proc, timeout time.Duration) (v T, ok bool) {
+	if timeout <= 0 {
+		return q.Get(p)
+	}
+	deadline := q.e.now.Add(timeout)
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		remain := deadline.Sub(q.e.now)
+		if remain <= 0 {
+			return v, false
+		}
+		w := &blocked{p: p, tok: &waitToken{}}
+		q.getters = append(q.getters, w)
+		if p.park(w.tok, remain) {
+			return v, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	wakeOne(q.e, &q.putters)
+	return v, true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	wakeOne(q.e, &q.putters)
+	return v, true
+}
+
+// Close marks the queue closed: blocked and future getters drain remaining
+// items and then receive ok=false. Close is idempotent.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	wakeAll(q.e, &q.getters)
+	wakeAll(q.e, &q.putters)
+}

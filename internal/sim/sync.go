@@ -1,0 +1,189 @@
+package sim
+
+import "time"
+
+// Semaphore is a counted semaphore with FIFO wakeup among blocked
+// acquirers.
+type Semaphore struct {
+	e       *Engine
+	permits int
+	waiters []*blocked
+}
+
+// NewSemaphore creates a semaphore holding the given number of permits.
+func NewSemaphore(e *Engine, permits int) *Semaphore {
+	return &Semaphore{e: e, permits: permits}
+}
+
+// Acquire takes one permit, blocking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.permits <= 0 {
+		w := &blocked{p: p, tok: &waitToken{}}
+		s.waiters = append(s.waiters, w)
+		p.park(w.tok, 0)
+	}
+	s.permits--
+}
+
+// TryAcquire takes one permit without blocking; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits <= 0 {
+		return false
+	}
+	s.permits--
+	return true
+}
+
+// Release returns one permit and wakes a blocked acquirer, if any.
+func (s *Semaphore) Release() {
+	s.permits++
+	wakeOne(s.e, &s.waiters)
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.permits }
+
+// Signal is a broadcast condition: processes Wait until Fire is called,
+// after which the signal stays fired (level-triggered) until Reset.
+type Signal struct {
+	e       *Engine
+	fired   bool
+	waiters []*blocked
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks until the signal fires. Returns immediately if already
+// fired. Each Wait parks at most once: a wakeup always corresponds to a
+// Fire call, even if the signal was Reset again before the waiter resumed
+// (edge-triggered wakeup, level-triggered fast path).
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	w := &blocked{p: p, tok: &waitToken{}}
+	s.waiters = append(s.waiters, w)
+	p.park(w.tok, 0)
+}
+
+// WaitTimeout is Wait with a deadline; it reports whether the signal fired
+// (false = timed out). A non-positive timeout blocks indefinitely.
+func (s *Signal) WaitTimeout(p *Proc, timeout time.Duration) bool {
+	if s.fired {
+		return true
+	}
+	if timeout <= 0 {
+		s.Wait(p)
+		return true
+	}
+	w := &blocked{p: p, tok: &waitToken{}}
+	s.waiters = append(s.waiters, w)
+	return !p.park(w.tok, timeout)
+}
+
+// Fire fires the signal, waking all waiters. Idempotent.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	wakeAll(s.e, &s.waiters)
+}
+
+// Reset returns a fired signal to the unfired state.
+func (s *Signal) Reset() { s.fired = false }
+
+// Future carries a single value set exactly once; processes can block until
+// it resolves. It is the simulation analogue of a one-shot channel.
+type Future[T any] struct {
+	sig       *Signal
+	val       T
+	callbacks []func(T)
+}
+
+// NewFuture creates an unresolved future.
+func NewFuture[T any](e *Engine) *Future[T] {
+	return &Future[T]{sig: NewSignal(e)}
+}
+
+// Resolve sets the value, wakes all waiters, and runs registered
+// callbacks. Resolving twice panics.
+func (f *Future[T]) Resolve(v T) {
+	if f.sig.Fired() {
+		panic("sim: Future resolved twice")
+	}
+	f.val = v
+	f.sig.Fire()
+	for _, cb := range f.callbacks {
+		cb(v)
+	}
+	f.callbacks = nil
+}
+
+// OnResolve registers fn to run when the future resolves (immediately if
+// already resolved). fn runs in the resolver's context and must not
+// block.
+func (f *Future[T]) OnResolve(fn func(T)) {
+	if f.sig.Fired() {
+		fn(f.val)
+		return
+	}
+	f.callbacks = append(f.callbacks, fn)
+}
+
+// Resolved reports whether the future carries a value.
+func (f *Future[T]) Resolved() bool { return f.sig.Fired() }
+
+// Wait blocks until the future resolves and returns its value.
+func (f *Future[T]) Wait(p *Proc) T {
+	f.sig.Wait(p)
+	return f.val
+}
+
+// Value returns the value without blocking; ok is false if unresolved.
+func (f *Future[T]) Value() (v T, ok bool) {
+	if !f.sig.Fired() {
+		return v, false
+	}
+	return f.val, true
+}
+
+// WaitGroup waits for a collection of processes or operations to finish.
+type WaitGroup struct {
+	e     *Engine
+	count int
+	sig   *Signal
+}
+
+// NewWaitGroup creates a wait group with a zero count.
+func NewWaitGroup(e *Engine) *WaitGroup {
+	return &WaitGroup{e: e, sig: NewSignal(e)}
+}
+
+// Add increments the pending-operation count by n (n may be negative, as
+// with sync.WaitGroup; Done is Add(-1)).
+func (w *WaitGroup) Add(n int) {
+	w.count += n
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.sig.Fire()
+		w.sig.Reset()
+	}
+}
+
+// Done decrements the pending-operation count.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks until the count reaches zero. A zero count returns
+// immediately.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.sig.Wait(p)
+	}
+}

@@ -1,0 +1,245 @@
+// Package stats provides latency histograms, percentile estimation, and
+// throughput accounting for the NVMe-oAF benchmark harness.
+//
+// The histogram uses HDR-style log-linear buckets: values are grouped by
+// power-of-two magnitude, each magnitude split into a fixed number of
+// linear sub-buckets, giving a bounded relative error (~1.6% with 64
+// sub-buckets) across the full nanosecond-to-seconds range while keeping
+// memory constant.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+const (
+	subBucketBits  = 6 // 64 linear sub-buckets per power of two
+	subBucketCount = 1 << subBucketBits
+)
+
+// Histogram records int64 samples (typically latencies in nanoseconds) in
+// log-linear buckets. The zero value is not usable; use NewHistogram.
+type Histogram struct {
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]int64, (64-subBucketBits)*subBucketCount),
+		min:    math.MaxInt64,
+	}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBucketCount {
+		return int(v)
+	}
+	// Magnitude = position of highest bit above the sub-bucket resolution.
+	mag := bits.Len64(uint64(v)) - 1 - subBucketBits
+	sub := int(v >> uint(mag)) // in [subBucketCount, 2*subBucketCount)
+	return mag*subBucketCount + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i, saturating at
+// MaxInt64 for buckets past the representable range.
+func bucketLow(i int) int64 {
+	if i < 2*subBucketCount {
+		return int64(i)
+	}
+	mag := i / subBucketCount
+	sub := i % subBucketCount
+	v := uint64(sub+subBucketCount) << uint(mag-1)
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1).
+// For q=1 the true maximum is returned.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			// Upper edge of bucket i, clamped to observed extremes.
+			hi := bucketLow(i+1) - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// P50, P99, P999, P9999 are convenience percentile accessors.
+func (h *Histogram) P50() int64   { return h.Quantile(0.50) }
+func (h *Histogram) P99() int64   { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64  { return h.Quantile(0.999) }
+func (h *Histogram) P9999() int64 { return h.Quantile(0.9999) }
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// Summary is a compact snapshot of a histogram in microseconds, convenient
+// for printing experiment rows.
+type Summary struct {
+	Count int64
+	MeanU float64 // mean, microseconds
+	P50U  float64
+	P99U  float64
+	P999U float64
+	P4N9U float64 // p99.99, microseconds
+	MaxU  float64
+}
+
+// Summarize captures the histogram as a Summary in microseconds.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		MeanU: h.Mean() / 1e3,
+		P50U:  float64(h.P50()) / 1e3,
+		P99U:  float64(h.P99()) / 1e3,
+		P999U: float64(h.P999()) / 1e3,
+		P4N9U: float64(h.P9999()) / 1e3,
+		MaxU:  float64(h.Max()) / 1e3,
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus p99.99=%.1fus max=%.1fus",
+		s.Count, s.MeanU, s.P50U, s.P99U, s.P999U, s.P4N9U, s.MaxU)
+}
+
+// CDFPoint is one point of an exported distribution curve.
+type CDFPoint struct {
+	Quantile float64
+	ValueUs  float64
+}
+
+// CDF exports the latency distribution at standard plotting quantiles
+// (the curve Fig 13 draws).
+func (h *Histogram) CDF() []CDFPoint {
+	qs := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95,
+		0.99, 0.999, 0.9999, 1.0}
+	out := make([]CDFPoint, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, CDFPoint{Quantile: q, ValueUs: float64(h.Quantile(q)) / 1e3})
+	}
+	return out
+}
+
+// Exact computes exact quantiles from a raw sample slice; used in tests to
+// bound the histogram's estimation error.
+func Exact(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("quantile of empty histogram should be 0")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1234)
+	if h.Count() != 1 || h.Min() != 1234 || h.Max() != 1234 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1234 {
+			t.Fatalf("Quantile(%v) = %d, want 1234", q, got)
+		}
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below the sub-bucket count are recorded exactly.
+	h := NewHistogram()
+	for i := int64(0); i < 64; i++ {
+		h.Record(i)
+	}
+	if h.P50() != 32 {
+		t.Fatalf("p50 = %d, want 32", h.P50())
+	}
+	if h.Max() != 63 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestQuantileRelativeErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, like latencies ns..ms.
+		v := int64(math.Exp(rng.Float64()*14) + 1)
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Exact(samples, q)
+		est := h.Quantile(q)
+		relErr := math.Abs(float64(est)-float64(exact)) / float64(exact)
+		if relErr > 0.04 {
+			t.Fatalf("q=%v exact=%d est=%d relErr=%.3f", q, exact, est, relErr)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(rng.Int63n(1e9))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic at q=%v: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("min = %d, want 0", h.Min())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("min=%d max=%d", a.Min(), a.Max())
+	}
+	if a.Sum() != 200*201/2 {
+		t.Fatalf("sum = %d", a.Sum())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(500)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(7)
+	if h.Min() != 7 {
+		t.Fatalf("min after reuse = %d", h.Min())
+	}
+}
+
+func TestRecordDurationAndSummary(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(150 * time.Microsecond)
+	s := h.Summarize()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.MeanU-150) > 3 {
+		t.Fatalf("mean = %.1fus, want ~150us", s.MeanU)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestBucketMappingProperty(t *testing.T) {
+	// Property: every value lands in a bucket whose [low, nextLow) range
+	// contains it, and bucket boundaries are monotone.
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // -MinInt64 is still negative
+			v = math.MaxInt64
+		}
+		i := bucketIndex(v)
+		return bucketLow(i) <= v && (v < bucketLow(i+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCountSumProperty(t *testing.T) {
+	// Property: Count and Sum always match the raw inputs, regardless of
+	// bucketing.
+	f := func(vals []int64) bool {
+		h := NewHistogram()
+		var n, sum int64
+		for _, v := range vals {
+			if v < 0 {
+				v = 0
+			} else if v > 1<<40 {
+				v = 1 << 40
+			}
+			h.Record(v)
+			n++
+			sum += v
+		}
+		return h.Count() == n && h.Sum() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputMath(t *testing.T) {
+	tp := Throughput{Ops: 1000, Bytes: 4096 * 1000, Start: 0, End: time.Second}
+	if got := tp.IOPS(); got != 1000 {
+		t.Fatalf("IOPS = %v", got)
+	}
+	if got := tp.MBps(); math.Abs(got-4.096) > 1e-9 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if tp.String() == "" {
+		t.Fatal("empty string")
+	}
+	var empty Throughput
+	if empty.GBps() != 0 || empty.IOPS() != 0 {
+		t.Fatal("zero window should produce zero rates")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(100*time.Microsecond, 50*time.Microsecond, 25*time.Microsecond)
+	b.Add(200*time.Microsecond, 100*time.Microsecond, 75*time.Microsecond)
+	if b.MeanIO() != 150 || b.MeanComm() != 75 || b.MeanOther() != 50 {
+		t.Fatalf("means: %v %v %v", b.MeanIO(), b.MeanComm(), b.MeanOther())
+	}
+	if b.MeanTotal() != 275 {
+		t.Fatalf("total %v", b.MeanTotal())
+	}
+	var c Breakdown
+	c.Merge(b)
+	if c.N != 2 || c.MeanTotal() != 275 {
+		t.Fatalf("merge: %+v", c)
+	}
+	if b.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestCDFExport(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 10000; i++ {
+		h.Record(i * 1000) // 1..10000 us
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prev := -1.0
+	for _, pt := range cdf {
+		if pt.ValueUs < prev {
+			t.Fatalf("CDF not monotone at q=%v", pt.Quantile)
+		}
+		prev = pt.ValueUs
+	}
+	last := cdf[len(cdf)-1]
+	if last.Quantile != 1.0 || math.Abs(last.ValueUs-10000) > 1 {
+		t.Fatalf("CDF tail %+v", last)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Throughput accumulates completed operations and bytes over a measured
+// virtual-time window and derives bandwidth/IOPS figures.
+type Throughput struct {
+	Ops   int64
+	Bytes int64
+	Start time.Duration // virtual time at measurement start (ns offset)
+	End   time.Duration // virtual time at measurement end
+}
+
+// Window returns the measurement window length.
+func (t Throughput) Window() time.Duration { return t.End - t.Start }
+
+// GBps returns bandwidth in gigabytes (1e9 bytes) per second.
+func (t Throughput) GBps() float64 {
+	w := t.Window().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / 1e9 / w
+}
+
+// MBps returns bandwidth in megabytes (1e6 bytes) per second.
+func (t Throughput) MBps() float64 { return t.GBps() * 1e3 }
+
+// IOPS returns operations per second.
+func (t Throughput) IOPS() float64 {
+	w := t.Window().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / w
+}
+
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.0f IOPS, %.3f GB/s over %v", t.IOPS(), t.GBps(), t.Window())
+}
+
+// Breakdown decomposes the end-to-end latency of remote I/O into the three
+// components the paper reports in Figures 3 and 12: device time, fabric
+// communication time, and everything else (request preparation and
+// processing at client and target).
+type Breakdown struct {
+	IO    time.Duration // time on the SSD
+	Comm  time.Duration // time in transit on the fabric
+	Other time.Duration // preparation + processing
+	N     int64         // number of samples accumulated
+}
+
+// Add accumulates one request's component times.
+func (b *Breakdown) Add(io, comm, other time.Duration) {
+	b.IO += io
+	b.Comm += comm
+	b.Other += other
+	b.N++
+}
+
+// Merge adds all samples of other into b.
+func (b *Breakdown) Merge(other Breakdown) {
+	b.IO += other.IO
+	b.Comm += other.Comm
+	b.Other += other.Other
+	b.N += other.N
+}
+
+// MeanIO, MeanComm, MeanOther return per-request means in microseconds.
+func (b Breakdown) MeanIO() float64    { return b.mean(b.IO) }
+func (b Breakdown) MeanComm() float64  { return b.mean(b.Comm) }
+func (b Breakdown) MeanOther() float64 { return b.mean(b.Other) }
+
+// MeanTotal returns the mean end-to-end latency in microseconds.
+func (b Breakdown) MeanTotal() float64 { return b.MeanIO() + b.MeanComm() + b.MeanOther() }
+
+func (b Breakdown) mean(d time.Duration) float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return float64(d) / float64(b.N) / 1e3
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("io=%.1fus comm=%.1fus other=%.1fus (n=%d)",
+		b.MeanIO(), b.MeanComm(), b.MeanOther(), b.N)
+}

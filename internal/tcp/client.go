@@ -1,0 +1,411 @@
+// Package tcp implements the NVMe/TCP transport on the simulated network:
+// the host-side queue (client) and the target-side connection server,
+// including in-capsule and R2T flow control, application-level chunking,
+// and the interrupt/busy-poll receive modes that the adaptive fabric
+// tunes (§4.5 of the paper).
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/transport"
+)
+
+// pollMissCPU is the fixed cost of a busy-poll budget expiring without
+// data: syscall return, poller re-arm, and scheduler bookkeeping. Frequent
+// misses at short budgets accumulate this overhead — the reason short
+// polls can underperform plain interrupt mode for write workloads (§4.5).
+const pollMissCPU = 8 * time.Microsecond
+
+// ClientConfig configures one NVMe/TCP host queue.
+type ClientConfig struct {
+	// NQN names the target subsystem.
+	NQN string
+	// QueueDepth bounds outstanding commands.
+	QueueDepth int
+	// TP holds protocol knobs (chunk size, in-capsule threshold, busy
+	// poll budget).
+	TP model.TCPTransportParams
+	// Host holds client software costs.
+	Host model.HostParams
+	// KeepAlive, when positive, sends a keep-alive admin command at this
+	// interval so the target's KATO watchdog keeps the connection alive
+	// (NVMe-oF keep-alive timer).
+	KeepAlive time.Duration
+	// HostNQN identifies this host in the Fabrics Connect command
+	// (defaults to a generated NQN).
+	HostNQN string
+}
+
+// Client is one NVMe/TCP host queue pair over a network endpoint.
+type Client struct {
+	e       *sim.Engine
+	ep      *netsim.Endpoint
+	cfg     ClientConfig
+	cids    *nvme.CIDTable
+	submitQ *sim.Queue[*transport.Pending]
+	kick    *sim.Signal
+	icresp  *pdu.ICResp
+	closing bool
+	drained *sim.Signal
+
+	// Stats.
+	Completed int64
+}
+
+// Connect performs the ICReq/ICResp exchange over ep and starts the client
+// reactor. The calling process drives the handshake.
+func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	e := p.Engine()
+	c := &Client{
+		e:       e,
+		ep:      ep,
+		cfg:     cfg,
+		cids:    nvme.NewCIDTable(cfg.QueueDepth),
+		submitQ: sim.NewQueue[*transport.Pending](e, 0),
+		kick:    sim.NewSignal(e),
+		drained: sim.NewSignal(e),
+	}
+	transport.SendPDUs(p, ep, &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16})
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: handshake: %w", err)
+	}
+	icresp, ok := pdus[0].(*pdu.ICResp)
+	if !ok {
+		return nil, fmt.Errorf("tcp: handshake: unexpected %v", pdus[0].Type())
+	}
+	c.icresp = icresp
+	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
+		return nil, err
+	}
+	e.GoDaemon("tcp-client-reactor", c.reactor)
+	if cfg.KeepAlive > 0 {
+		e.GoDaemon("tcp-keepalive", c.keepAliveLoop)
+	}
+	return c, nil
+}
+
+// fabricsConnect performs the NVMe-oF Connect command: it associates the
+// host with the subsystem and lets the target validate the NQN before any
+// I/O flows.
+func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) error {
+	if hostNQN == "" {
+		hostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
+	}
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, subNQN)})
+	msg := ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return fmt.Errorf("tcp: connect: %w", err)
+	}
+	resp, ok := pdus[0].(*pdu.CapsuleResp)
+	if !ok {
+		return fmt.Errorf("tcp: connect: unexpected %v", pdus[0].Type())
+	}
+	if resp.Rsp.Status.IsError() {
+		return fmt.Errorf("tcp: connect rejected: %w", resp.Rsp.Status.Error())
+	}
+	return nil
+}
+
+// keepAliveLoop issues keep-alive admin commands until the client closes.
+func (c *Client) keepAliveLoop(p *sim.Proc) {
+	for !c.closing {
+		p.Sleep(c.cfg.KeepAlive)
+		if c.closing {
+			return
+		}
+		c.Submit(p, &transport.IO{Admin: nvme.AdminKeepAlive})
+	}
+}
+
+// ICResp returns the connection parameters negotiated at handshake.
+func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
+
+// Submit implements transport.Queue. The calling process pays payload
+// generation (writes) and submission CPU; protocol work happens on the
+// reactor.
+func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	fut := sim.NewFuture[*transport.Result](c.e)
+	if c.closing {
+		r := &transport.Result{Status: nvme.StatusAbortRequested}
+		fut.Resolve(r)
+		return fut
+	}
+	if err := validate(io); err != nil {
+		r := &transport.Result{Status: nvme.StatusInvalidField}
+		fut.Resolve(r)
+		return fut
+	}
+	if io.Write && !io.NoFill {
+		p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+	}
+	p.Sleep(c.cfg.Host.SubmitCPU)
+	pend := &transport.Pending{IO: io, Fut: fut, SubmitAt: p.Now()}
+	c.submitQ.TryPut(pend)
+	c.kick.Fire()
+	return fut
+}
+
+// validate checks alignment and size.
+func validate(io *transport.IO) error {
+	if io.Admin != 0 {
+		return nil
+	}
+	if io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0 {
+		return fmt.Errorf("tcp: unaligned io off=%d size=%d", io.Offset, io.Size)
+	}
+	return nil
+}
+
+// Close initiates orderly shutdown: outstanding commands complete, then a
+// termination PDU is sent and the reactor exits.
+func (c *Client) Close() {
+	if c.closing {
+		return
+	}
+	c.closing = true
+	c.kick.Fire()
+}
+
+// WaitClosed blocks until the reactor has exited.
+func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
+
+// reactor is the single-core event loop serving this connection: it admits
+// submissions while CIDs are free, processes received PDUs, and waits in
+// the configured receive mode.
+func (c *Client) reactor(p *sim.Proc) {
+	c.ep.OnDeliver = c.kick.Fire
+	defer c.drained.Fire()
+	for {
+		worked := false
+		for !c.cids.Full() {
+			pend, ok := c.submitQ.TryGet()
+			if !ok {
+				break
+			}
+			c.start(p, pend)
+			worked = true
+		}
+		for {
+			msg := c.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			c.handle(p, msg)
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
+			return
+		}
+		// Busy-poll the socket while commands are in flight: spin up to
+		// the budget inside the receive path (SO_BUSY_POLL semantics).
+		// Submissions arriving mid-poll wait for the poll to return —
+		// the responsiveness cost of long budgets that Fig 10 exposes.
+		if c.cfg.TP.BusyPoll > 0 && c.cids.Outstanding() > 0 {
+			if msg := c.ep.RecvPoll(p, c.cfg.TP.BusyPoll); msg != nil {
+				c.handle(p, msg)
+				continue
+			}
+			// Expired poll: syscall return + re-arm cost, then fall
+			// through to the blocking wait (SO_BUSY_POLL semantics: spin
+			// the budget inside the syscall, then sleep until the
+			// interrupt fires).
+			p.Sleep(pollMissCPU)
+		}
+		c.kick.Reset()
+		// Re-check actionable work: the exit condition (handled at the
+		// top of the loop), received traffic, or an admissible
+		// submission. A backlogged submission with all CIDs in flight is
+		// not actionable until a completion arrives.
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+			continue
+		}
+		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
+			continue
+		}
+		// With commands outstanding (even while closing) the next wake
+		// comes from the network; park until then.
+		c.kick.Wait(p)
+		if c.ep.Pending() > 0 {
+			c.ep.ChargeWakeup(p)
+		}
+	}
+}
+
+// start transmits the command capsule for a newly admitted request.
+func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
+	cid, err := c.cids.Alloc(pend)
+	if err != nil {
+		// Caller ensured a free CID; allocation cannot fail here.
+		panic(err)
+	}
+	pend.CID = cid
+	io := pend.IO
+	var cmd nvme.Command
+	if io.Admin != 0 {
+		cmd = nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return
+	}
+	slba := uint64(io.Offset / transport.BlockSize)
+	nlb := uint32(io.Size / transport.BlockSize)
+	if io.Write {
+		cmd = nvme.NewWrite(cid, io.Nsid(), slba, nlb)
+	} else {
+		cmd = nvme.NewRead(cid, io.Nsid(), slba, nlb)
+	}
+	capsule := &pdu.CapsuleCmd{Cmd: cmd}
+	if io.Write && io.Size <= c.cfg.TP.InCapsuleThreshold {
+		// In-capsule flow: payload rides with the command (§4.4.2).
+		if io.Data != nil {
+			capsule.Data = io.Data
+		} else {
+			capsule.VirtualLen = io.Size
+		}
+		pend.Sent = io.Size
+	}
+	transport.SendPDUs(p, c.ep, capsule)
+}
+
+// handle processes one received network message (one or more PDUs).
+func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("tcp client: bad message: %v", err))
+	}
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.R2T:
+			c.onR2T(p, v)
+		case *pdu.Data:
+			c.onData(p, v, transit)
+		case *pdu.CapsuleResp:
+			c.onResp(p, v, transit)
+		case *pdu.Term:
+			// Target-initiated termination: nothing outstanding to do.
+		default:
+			panic(fmt.Sprintf("tcp client: unexpected PDU %v", u.Type()))
+		}
+		// A message's transit is attributed once even when several PDUs
+		// were coalesced into it.
+		transit = 0
+	}
+}
+
+// onR2T streams the granted write payload as chunk-sized H2CData PDUs.
+func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
+	ctx, ok := c.cids.Lookup(r.CID)
+	if !ok {
+		panic(fmt.Sprintf("tcp client: R2T for unknown CID %d", r.CID))
+	}
+	pend := ctx.(*transport.Pending)
+	io := pend.IO
+	grantEnd := int(r.Offset) + int(r.Length)
+	transport.ChunkSizes(grantEnd-int(r.Offset), c.chunk(), func(off, n int) {
+		dataOff := int(r.Offset) + off
+		d := &pdu.Data{
+			Dir:    pdu.TypeH2CData,
+			CID:    r.CID,
+			TTag:   r.TTag,
+			Offset: uint32(dataOff),
+			Last:   dataOff+n >= io.Size,
+		}
+		if io.Data != nil {
+			d.Payload = io.Data[dataOff : dataOff+n]
+		} else {
+			d.VirtualLen = n
+		}
+		transport.SendPDUs(p, c.ep, d)
+	})
+	pend.Sent += int(r.Length)
+}
+
+// onData receives one read payload chunk.
+func (c *Client) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
+	ctx, ok := c.cids.Lookup(d.CID)
+	if !ok {
+		panic(fmt.Sprintf("tcp client: data for unknown CID %d", d.CID))
+	}
+	pend := ctx.(*transport.Pending)
+	n := len(d.Payload)
+	if n == 0 {
+		n = d.VirtualLen
+	}
+	if d.Payload != nil && pend.IO.Data != nil {
+		copy(pend.IO.Data[d.Offset:], d.Payload)
+	}
+	pend.Received += n
+	pend.Comm += transit
+}
+
+// onResp completes a command.
+func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
+	ctx, err := c.cids.Complete(r.Rsp.CID)
+	if err != nil {
+		panic(fmt.Sprintf("tcp client: %v", err))
+	}
+	pend := ctx.(*transport.Pending)
+	pend.Comm += transit
+	p.Sleep(c.cfg.Host.CompleteCPU)
+	var data []byte
+	if !pend.IO.Write && pend.IO.Data != nil {
+		data = pend.IO.Data[:pend.Received]
+	}
+	pend.Finish(p.Now(), r, data)
+	c.Completed++
+	c.kick.Fire() // a CID freed: admit backlog
+}
+
+// Identify fetches the controller and namespace-1 identify pages through
+// admin commands, as a host does during controller initialization.
+func (c *Client) Identify(p *sim.Proc) (nvme.IdentifyController, nvme.IdentifyNamespace, error) {
+	ctrlBuf := make([]byte, 4096)
+	res := c.Submit(p, &transport.IO{
+		Admin: nvme.AdminIdentify, CDW10: nvme.CNSController, Data: ctrlBuf, Size: 4096,
+	}).Wait(p)
+	if err := res.Err(); err != nil {
+		return nvme.IdentifyController{}, nvme.IdentifyNamespace{}, err
+	}
+	ctrl, err := nvme.DecodeIdentifyController(res.Data)
+	if err != nil {
+		return nvme.IdentifyController{}, nvme.IdentifyNamespace{}, err
+	}
+	nsBuf := make([]byte, 4096)
+	res = c.Submit(p, &transport.IO{
+		Admin: nvme.AdminIdentify, CDW10: nvme.CNSNamespace, NSID: 1, Data: nsBuf, Size: 4096,
+	}).Wait(p)
+	if err := res.Err(); err != nil {
+		return nvme.IdentifyController{}, nvme.IdentifyNamespace{}, err
+	}
+	ns, err := nvme.DecodeIdentifyNamespace(res.Data)
+	if err != nil {
+		return nvme.IdentifyController{}, nvme.IdentifyNamespace{}, err
+	}
+	return ctrl, ns, nil
+}
+
+// chunk returns the effective chunk size.
+func (c *Client) chunk() int {
+	if c.icresp != nil && c.icresp.MaxH2CData > 0 && int(c.icresp.MaxH2CData) < c.cfg.TP.ChunkSize {
+		return int(c.icresp.MaxH2CData)
+	}
+	return c.cfg.TP.ChunkSize
+}

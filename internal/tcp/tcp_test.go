@@ -1,0 +1,451 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/transport"
+)
+
+const testNQN = "nqn.2022-06.io.oaf:testsub"
+
+// rig wires a client and a target through a loopback link.
+type rig struct {
+	e      *sim.Engine
+	srv    *Server
+	link   *netsim.Link
+	bdev   *bdev.SSDBdev
+	retain bool
+}
+
+func newRig(t *testing.T, retainData bool, tpMut func(*model.TCPTransportParams)) *rig {
+	t.Helper()
+	e := sim.NewEngine(1)
+	tgt := target.New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(testNQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdParams := model.DefaultSSD()
+	ssdParams.JitterFrac = 0
+	ssdParams.StallProb = 0
+	bd := bdev.NewSimSSD(e, "nvme0", 1<<30, ssdParams, retainData, transport.BlockSize)
+	if _, err := sub.AddNamespace(1, bd); err != nil {
+		t.Fatal(err)
+	}
+	tp := model.DefaultTCPTransport()
+	if tpMut != nil {
+		tpMut(&tp)
+	}
+	srv := NewServer(e, tgt, ServerConfig{NQN: testNQN, TP: tp, Host: model.DefaultHost()})
+	link := netsim.NewLoopLink(e, model.TCP25G())
+	srv.Serve(link.B)
+	return &rig{e: e, srv: srv, link: link, bdev: bd, retain: retainData}
+}
+
+func (r *rig) connect(t *testing.T, p *sim.Proc, qd int) *Client {
+	c, err := Connect(p, r.link.A, ClientConfig{
+		NQN: testNQN, QueueDepth: qd,
+		TP:   r.srv.cfg.TP,
+		Host: model.DefaultHost(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHandshake(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 8)
+		if c.ICResp().MaxH2CData != uint32(model.DefaultTCPTransport().ChunkSize) {
+			t.Errorf("negotiated chunk %d", c.ICResp().MaxH2CData)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteVirtualPayload(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 8)
+		// Large write: conservative flow with R2T.
+		res := c.Submit(p, &transport.IO{Write: true, Offset: 0, Size: 128 << 10}).Wait(p)
+		if res.Err() != nil {
+			t.Errorf("write: %v", res.Err())
+		}
+		if res.Latency <= 0 || res.IOTime <= 0 || res.CommTime <= 0 {
+			t.Errorf("write timing: %+v", res)
+		}
+		// Read back (virtual).
+		res = c.Submit(p, &transport.IO{Offset: 0, Size: 128 << 10}).Wait(p)
+		if res.Err() != nil {
+			t.Errorf("read: %v", res.Err())
+		}
+		if res.IOTime <= 0 || res.CommTime <= 0 {
+			t.Errorf("read timing: %+v", res)
+		}
+		if got := res.IOTime + res.CommTime + res.OtherTime; got != res.Latency {
+			t.Errorf("breakdown %v != latency %v", got, res.Latency)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealDataRoundTrip(t *testing.T) {
+	r := newRig(t, true, nil)
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i*7 + 3)
+	}
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 8)
+		res := c.Submit(p, &transport.IO{Write: true, Offset: 4096, Size: len(payload), Data: payload}).Wait(p)
+		if res.Err() != nil {
+			t.Fatalf("write: %v", res.Err())
+		}
+		into := make([]byte, len(payload))
+		res = c.Submit(p, &transport.IO{Offset: 4096, Size: len(payload), Data: into}).Wait(p)
+		if res.Err() != nil {
+			t.Fatalf("read: %v", res.Err())
+		}
+		if !bytes.Equal(res.Data, payload) {
+			t.Error("payload mismatch through NVMe/TCP")
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInCapsuleWriteSkipsR2T(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 8)
+		small := c.Submit(p, &transport.IO{Write: true, Offset: 0, Size: 4 << 10}).Wait(p)
+		if small.Err() != nil {
+			t.Fatal(small.Err())
+		}
+		large := c.Submit(p, &transport.IO{Write: true, Offset: 0, Size: 64 << 10}).Wait(p)
+		if large.Err() != nil {
+			t.Fatal(large.Err())
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4KB in-capsule: capsule, resp = 2 messages on client link.
+	// 64KB conservative: capsule, R2T, data, resp = 4 messages.
+	// Plus ICReq/ICResp, Fabrics Connect, and Term.
+	wantSent := int64(1 + 1 + 1 + 2 + 1) // ICReq + connect + small capsule + (large capsule+data) + term
+	if r.link.A.MsgsSent != wantSent {
+		t.Fatalf("client sent %d messages, want %d (in-capsule flow must skip R2T data msg)",
+			r.link.A.MsgsSent, wantSent)
+	}
+}
+
+func TestQueueDepthLimitsOutstanding(t *testing.T) {
+	r := newRig(t, false, nil)
+	const qd, total = 4, 32
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, qd)
+		futs := make([]*sim.Future[*transport.Result], 0, total)
+		for i := 0; i < total; i++ {
+			futs = append(futs, c.Submit(p, &transport.IO{Offset: int64(i) * 4096, Size: 4096}))
+		}
+		for _, f := range futs {
+			if res := f.Wait(p); res.Err() != nil {
+				t.Errorf("io failed: %v", res.Err())
+			}
+		}
+		if c.Completed != total {
+			t.Errorf("completed %d", c.Completed)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkingSplitsLargeIO(t *testing.T) {
+	r := newRig(t, false, func(tp *model.TCPTransportParams) { tp.ChunkSize = 64 << 10 })
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 4)
+		res := c.Submit(p, &transport.IO{Offset: 0, Size: 512 << 10}).Wait(p)
+		if res.Err() != nil {
+			t.Fatal(res.Err())
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The 512KB read must arrive as 8 x 64KB data messages (last batched
+	// with the response): ICResp + connect resp + 8 = 10 messages from
+	// the server.
+	if got := r.link.B.MsgsSent; got != 10 {
+		t.Fatalf("server sent %d messages, want 10", got)
+	}
+}
+
+func TestUnalignedIORejected(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 4)
+		res := c.Submit(p, &transport.IO{Offset: 3, Size: 4096}).Wait(p)
+		if res.Err() == nil {
+			t.Error("unaligned offset accepted")
+		}
+		res = c.Submit(p, &transport.IO{Offset: 0, Size: 100}).Wait(p)
+		if res.Err() == nil {
+			t.Error("unaligned size accepted")
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLBAOutOfRangeStatus(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 4)
+		res := c.Submit(p, &transport.IO{Offset: 1 << 30, Size: 4096}).Wait(p)
+		if res.Status != nvme.StatusLBAOutOfRange {
+			t.Errorf("status %v, want LBA out of range", res.Status)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolBackpressure(t *testing.T) {
+	// Pool with 2 chunk buffers; 8 concurrent 128KB reads must wait for
+	// credits but all complete.
+	r := newRig(t, false, func(tp *model.TCPTransportParams) { tp.DataBuffers = 2 })
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 8)
+		var futs []*sim.Future[*transport.Result]
+		for i := 0; i < 8; i++ {
+			futs = append(futs, c.Submit(p, &transport.IO{Offset: int64(i) * (128 << 10), Size: 128 << 10}))
+		}
+		for _, f := range futs {
+			if res := f.Wait(p); res.Err() != nil {
+				t.Errorf("io: %v", res.Err())
+			}
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.srv.BufferWaits == 0 {
+		t.Fatal("expected buffer waits with a 2-element pool")
+	}
+	if r.srv.Pool().InUse() != 0 {
+		t.Fatalf("leaked %d pool buffers", r.srv.Pool().InUse())
+	}
+}
+
+func TestIdentifyAdminCommand(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		c := r.connect(t, p, 4)
+		ctrl, ns, err := c.Identify(p)
+		if err != nil {
+			t.Fatalf("identify: %v", err)
+		}
+		if ctrl.NN != 1 {
+			t.Errorf("controller NN = %d", ctrl.NN)
+		}
+		if ns.BlockSize != transport.BlockSize || ns.NSZE != uint64((1<<30)/transport.BlockSize) {
+			t.Errorf("namespace: %+v", ns)
+		}
+		c.Close()
+		c.WaitClosed(p)
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFasterLinkIsFaster(t *testing.T) {
+	// Sanity: the same workload completes sooner over 100G than 10G.
+	elapsed := func(link model.LinkParams) sim.Time {
+		e := sim.NewEngine(1)
+		tgt := target.New(e, model.DefaultHost())
+		sub, _ := tgt.AddSubsystem(testNQN)
+		ssdParams := model.DefaultSSD()
+		ssdParams.JitterFrac = 0
+		ssdParams.StallProb = 0
+		sub.AddNamespace(1, bdev.NewSimSSD(e, "d", 1<<30, ssdParams, false, transport.BlockSize))
+		srv := NewServer(e, tgt, ServerConfig{NQN: testNQN, TP: model.DefaultTCPTransport(), Host: model.DefaultHost()})
+		l := netsim.NewLoopLink(e, link)
+		srv.Serve(l.B)
+		var done sim.Time
+		e.Go("app", func(p *sim.Proc) {
+			c, err := Connect(p, l.A, ClientConfig{NQN: testNQN, QueueDepth: 16, TP: model.DefaultTCPTransport(), Host: model.DefaultHost()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var futs []*sim.Future[*transport.Result]
+			for i := 0; i < 64; i++ {
+				futs = append(futs, c.Submit(p, &transport.IO{Offset: int64(i) * (128 << 10), Size: 128 << 10}))
+			}
+			for _, f := range futs {
+				f.Wait(p)
+			}
+			done = p.Now()
+			c.Close()
+			c.WaitClosed(p)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	slow := elapsed(model.TCP10G())
+	fast := elapsed(model.TCP100G())
+	if fast >= slow {
+		t.Fatalf("100G (%v) not faster than 10G (%v)", fast, slow)
+	}
+}
+
+func TestBusyPollEliminatesWakeupPenalties(t *testing.T) {
+	// With commands continuously in flight, a busy-polling client catches
+	// completions on-CPU: no interrupt wakeups, and total time no worse
+	// than interrupt mode.
+	run := func(poll time.Duration) (sim.Time, int64, int64) {
+		// Poll on the client side only: a polling server shifts response
+		// phases and would mask the client-side comparison.
+		r := newRig(t, false, nil)
+		var done sim.Time
+		r.e.Go("app", func(p *sim.Proc) {
+			tp := model.DefaultTCPTransport()
+			tp.BusyPoll = poll
+			c, err := Connect(p, r.link.A, ClientConfig{NQN: testNQN, QueueDepth: 2, TP: tp, Host: model.DefaultHost()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two outstanding reads at a time: after the reactor handles
+			// one completion, the next arrives within the poll budget, so
+			// a busy-polling client catches it on-CPU while interrupt
+			// mode pays a wakeup.
+			var futs []*sim.Future[*transport.Result]
+			for i := 0; i < 50; i++ {
+				futs = append(futs, c.Submit(p, &transport.IO{Offset: int64(i) * 4096, Size: 4096}))
+			}
+			for _, f := range futs {
+				f.Wait(p)
+			}
+			done = p.Now()
+			c.Close()
+			c.WaitClosed(p)
+		})
+		if err := r.e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done, r.link.A.Wakeups, r.link.A.PollHits
+	}
+	intTime, intWakeups, _ := run(0)
+	pollTime, pollWakeups, hits := run(250 * time.Microsecond)
+	if intWakeups == 0 {
+		t.Fatal("interrupt mode should pay wakeups")
+	}
+	if hits == 0 {
+		t.Fatal("busy poll should record hits")
+	}
+	if pollWakeups >= intWakeups {
+		t.Fatalf("poll wakeups %d should be fewer than interrupt %d", pollWakeups, intWakeups)
+	}
+	if pollTime > intTime*11/10 {
+		t.Fatalf("busy poll time %v much worse than interrupt %v", pollTime, intTime)
+	}
+}
+
+func TestKeepAliveKeepsConnectionAlive(t *testing.T) {
+	// A client sending keep-alives survives the target's KATO watchdog
+	// through a long idle period; a silent client gets torn down.
+	run := func(keepAlive time.Duration) bool {
+		e := sim.NewEngine(1)
+		tgt := target.New(e, model.DefaultHost())
+		sub, _ := tgt.AddSubsystem(testNQN)
+		ssdParams := model.DefaultSSD()
+		ssdParams.JitterFrac = 0
+		ssdParams.StallProb = 0
+		sub.AddNamespace(1, bdev.NewSimSSD(e, "d", 1<<20, ssdParams, false, transport.BlockSize))
+		srv := NewServer(e, tgt, ServerConfig{
+			NQN: testNQN, TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+			KATO: 5 * time.Millisecond,
+		})
+		link := netsim.NewLoopLink(e, model.TCP25G())
+		conn := srv.Serve(link.B)
+		e.Go("app", func(p *sim.Proc) {
+			c, err := Connect(p, link.A, ClientConfig{
+				NQN: testNQN, QueueDepth: 4, TP: model.DefaultTCPTransport(),
+				Host: model.DefaultHost(), KeepAlive: keepAlive,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Idle for several KATO periods.
+			p.Sleep(30 * time.Millisecond)
+			c.Close()
+		})
+		if err := e.RunUntil(sim.Time(100 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		return conn.Expired
+	}
+	if expired := run(2 * time.Millisecond); expired {
+		t.Fatal("keep-alive client should not expire")
+	}
+	if expired := run(0); !expired {
+		t.Fatal("silent client should hit the KATO watchdog")
+	}
+}
+
+func TestFabricsConnectRejectsWrongNQN(t *testing.T) {
+	r := newRig(t, false, nil)
+	r.e.Go("app", func(p *sim.Proc) {
+		_, err := Connect(p, r.link.A, ClientConfig{
+			NQN: "nqn.wrong-subsystem", QueueDepth: 4,
+			TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+		})
+		if err == nil {
+			t.Error("connect to unknown subsystem should be rejected")
+		}
+	})
+	if err := r.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,467 @@
+// Package oaf is the public API of the NVMe-oAF library: a simulated HPC
+// cloud in which applications talk to NVMe-oF storage services over the
+// adaptive fabric (shared memory + optimized TCP), plain NVMe/TCP, or
+// NVMe/RDMA, reproducing the system of "NVMe-oAF: Towards Adaptive
+// NVMe-oF for IO-Intensive Workloads on HPC Cloud" (HPDC '22).
+//
+// A Cluster holds simulated hosts; each host can run storage targets
+// (subsystems backed by emulated NVMe-SSDs) and client applications.
+// Application code runs inside Cluster.Run as a simulation process and
+// connects to targets through Connect, which performs the adaptive
+// fabric's locality check: co-located client/target pairs get a
+// shared-memory data channel, remote pairs the optimized TCP path.
+//
+//	c := oaf.NewCluster(oaf.Config{Seed: 1})
+//	c.AddHost("hostA")
+//	c.AddTarget("hostA", "nqn.demo", oaf.TargetConfig{SSDCapacity: 1 << 30})
+//	err := c.Run(func(ctx *oaf.Ctx) error {
+//	    q, err := ctx.Connect("nqn.demo", oaf.ConnectOptions{})
+//	    if err != nil { return err }
+//	    defer q.Close()
+//	    _, err = q.Write(0, make([]byte, 8192))
+//	    return err
+//	})
+package oaf
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/rdma"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/transport"
+)
+
+// Design selects the shared-memory data-path design (the Fig 8 ablation).
+type Design int
+
+// Shared-memory designs, in ablation order. DesignZeroCopy is the paper's
+// headline configuration and the default.
+const (
+	DesignZeroCopy Design = iota
+	DesignFlowCtl
+	DesignLockFree
+	DesignBaseline
+)
+
+func (d Design) internal() core.Design {
+	switch d {
+	case DesignBaseline:
+		return core.DesignSHMBaseline
+	case DesignLockFree:
+		return core.DesignSHMLockFree
+	case DesignFlowCtl:
+		return core.DesignSHMFlowCtl
+	default:
+		return core.DesignSHMZeroCopy
+	}
+}
+
+// Fabric selects the transport family for a connection.
+type Fabric int
+
+// Supported fabrics. FabricAdaptive is NVMe-oAF: shared memory when
+// co-located, optimized TCP otherwise.
+const (
+	FabricAdaptive Fabric = iota
+	FabricTCP10G
+	FabricTCP25G
+	FabricTCP100G
+	FabricRDMA56G
+	FabricRoCE100G
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Seed drives all randomness (same seed = identical run).
+	Seed int64
+}
+
+// TargetConfig configures one storage service.
+type TargetConfig struct {
+	// SSDCapacity is the namespace size in bytes (default 1 GiB).
+	SSDCapacity int64
+	// RetainData stores payload bytes so reads return real data
+	// (costs host memory proportional to written data).
+	RetainData bool
+}
+
+// ConnectOptions tunes one connection.
+type ConnectOptions struct {
+	// Fabric selects the transport (default FabricAdaptive).
+	Fabric Fabric
+	// Design selects the shared-memory design for adaptive connections.
+	Design Design
+	// QueueDepth bounds outstanding commands (default 128).
+	QueueDepth int
+	// ChunkSize overrides the TCP application-level chunk size.
+	ChunkSize int
+	// BusyPoll sets the socket busy-poll budget (0 = interrupt mode).
+	BusyPoll time.Duration
+	// MaxIOSize bounds the largest I/O, used to size shared-memory slots
+	// (default 1 MiB).
+	MaxIOSize int
+	// EncryptSHM enciphers the shared-memory channel with a per-tenant
+	// key (the hardening §6 of the paper proposes). Costs cipher
+	// throughput on every payload and forfeits part of the zero-copy
+	// benefit.
+	EncryptSHM bool
+	// Queues opens this many I/O queue pairs and spreads commands across
+	// them round-robin, as SPDK pins qpairs to cores (default 1).
+	Queues int
+}
+
+// host is one simulated physical machine.
+type host struct {
+	name string
+	nic  *netsim.NIC
+	loop *netsim.NIC
+}
+
+// tgtEntry is one registered storage service.
+type tgtEntry struct {
+	host *host
+	tgt  *target.Target
+	cfg  TargetConfig
+	bdev *bdev.SSDBdev
+}
+
+// Cluster is a simulated HPC-cloud deployment.
+type Cluster struct {
+	engine  *sim.Engine
+	fabric  *core.Fabric
+	hosts   map[string]*host
+	targets map[string]*tgtEntry
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	e := sim.NewEngine(cfg.Seed)
+	return &Cluster{
+		engine:  e,
+		fabric:  core.NewFabric(e, model.DefaultSHM()),
+		hosts:   make(map[string]*host),
+		targets: make(map[string]*tgtEntry),
+	}
+}
+
+// AddHost registers a physical host.
+func (c *Cluster) AddHost(name string) error {
+	if _, dup := c.hosts[name]; dup {
+		return fmt.Errorf("oaf: host %q already exists", name)
+	}
+	c.hosts[name] = &host{
+		name: name,
+		nic:  netsim.NewNIC(c.engine, model.TCP25G().WireBytesPerSec),
+		loop: netsim.NewNIC(c.engine, model.Loopback().WireBytesPerSec),
+	}
+	return nil
+}
+
+// AddTarget starts a storage service on a host: one subsystem with one
+// SSD-backed namespace, reachable by the given NQN.
+func (c *Cluster) AddTarget(hostName, nqn string, cfg TargetConfig) error {
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return fmt.Errorf("oaf: unknown host %q", hostName)
+	}
+	if _, dup := c.targets[nqn]; dup {
+		return fmt.Errorf("oaf: target %q already exists", nqn)
+	}
+	if cfg.SSDCapacity <= 0 {
+		cfg.SSDCapacity = 1 << 30
+	}
+	tgt := target.New(c.engine, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(nqn)
+	if err != nil {
+		return err
+	}
+	bd := bdev.NewSimSSD(c.engine, "ssd-"+nqn, cfg.SSDCapacity, model.DefaultSSD(), cfg.RetainData, transport.BlockSize)
+	if _, err := sub.AddNamespace(1, bd); err != nil {
+		return err
+	}
+	c.targets[nqn] = &tgtEntry{host: h, tgt: tgt, cfg: cfg, bdev: bd}
+	return nil
+}
+
+// Run executes fn as a simulation process (an application) and drives the
+// simulation until all activity completes. It returns fn's error, or a
+// simulation error (panic, deadlock).
+func (c *Cluster) Run(fn func(ctx *Ctx) error) error {
+	var appErr error
+	c.engine.Go("oaf-app", func(p *sim.Proc) {
+		appErr = fn(&Ctx{cluster: c, proc: p, hostName: firstHost(c)})
+	})
+	if err := c.engine.Run(); err != nil {
+		return err
+	}
+	return appErr
+}
+
+// RunUntil is Run with a virtual-time limit.
+func (c *Cluster) RunUntil(limit time.Duration, fn func(ctx *Ctx) error) error {
+	var appErr error
+	c.engine.Go("oaf-app", func(p *sim.Proc) {
+		appErr = fn(&Ctx{cluster: c, proc: p, hostName: firstHost(c)})
+	})
+	if err := c.engine.RunUntil(sim.Time(limit)); err != nil {
+		return err
+	}
+	return appErr
+}
+
+func firstHost(c *Cluster) string {
+	for name := range c.hosts {
+		return name
+	}
+	return ""
+}
+
+// Now returns the current virtual time of the cluster.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.engine.Now()) }
+
+// Ctx is the handle application code uses inside Run: it identifies the
+// calling process and the host the application runs on.
+type Ctx struct {
+	cluster  *Cluster
+	proc     *sim.Proc
+	hostName string
+}
+
+// On returns a Ctx bound to a different host (the application "runs"
+// there for locality purposes).
+func (ctx *Ctx) On(hostName string) *Ctx {
+	return &Ctx{cluster: ctx.cluster, proc: ctx.proc, hostName: hostName}
+}
+
+// Sleep advances virtual time for this process.
+func (ctx *Ctx) Sleep(d time.Duration) { ctx.proc.Sleep(d) }
+
+// Now returns the current virtual time.
+func (ctx *Ctx) Now() time.Duration { return time.Duration(ctx.proc.Now()) }
+
+// Go spawns a concurrent application process on the same host.
+func (ctx *Ctx) Go(name string, fn func(ctx *Ctx) error) *Task {
+	t := &Task{done: sim.NewSignal(ctx.cluster.engine)}
+	ctx.cluster.engine.Go(name, func(p *sim.Proc) {
+		t.err = fn(&Ctx{cluster: ctx.cluster, proc: p, hostName: ctx.hostName})
+		t.done.Fire()
+	})
+	return t
+}
+
+// Task is a spawned application process.
+type Task struct {
+	done *sim.Signal
+	err  error
+}
+
+// Wait blocks until the task finishes and returns its error.
+func (t *Task) Wait(ctx *Ctx) error {
+	t.done.Wait(ctx.proc)
+	return t.err
+}
+
+// Result is the completion of one I/O.
+type Result struct {
+	// Data is the read payload (when the target retains data).
+	Data []byte
+	// Latency is the end-to-end request time.
+	Latency time.Duration
+	// DeviceTime, FabricTime, OtherTime decompose Latency as in the
+	// paper's breakdown figures.
+	DeviceTime, FabricTime, OtherTime time.Duration
+}
+
+// Queue is one connected I/O queue pair.
+type Queue struct {
+	inner  transport.Queue
+	ctx    *Ctx
+	tracer *netsim.Tracer
+	// SharedMemory reports whether the adaptive fabric negotiated the
+	// shared-memory data path for this connection.
+	SharedMemory bool
+}
+
+// Trace renders the protocol exchange recorded on this connection: every
+// control message with its PDUs and timestamps (payloads moving over
+// shared memory never appear — they are not on the wire).
+func (q *Queue) Trace() string { return q.tracer.String() }
+
+// Connect establishes a connection from the application's host to the
+// named target. For FabricAdaptive, the Connection Manager provisions a
+// shared-memory region when client and target share the host and falls
+// back to optimized TCP otherwise.
+func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
+	c := ctx.cluster
+	te, ok := c.targets[targetNQN]
+	if !ok {
+		return nil, fmt.Errorf("oaf: unknown target %q", targetNQN)
+	}
+	clientHost, ok := c.hosts[ctx.hostName]
+	if !ok {
+		return nil, fmt.Errorf("oaf: application host %q not registered", ctx.hostName)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 128
+	}
+	if opts.MaxIOSize <= 0 {
+		opts.MaxIOSize = 1 << 20
+	}
+	tp := model.DefaultTCPTransport()
+	if opts.ChunkSize > 0 {
+		tp.ChunkSize = opts.ChunkSize
+	}
+	tp.BusyPoll = opts.BusyPoll
+
+	tracer := netsim.NewTracer(targetNQN)
+	intra := clientHost == te.host
+	switch opts.Fabric {
+	case FabricRDMA56G, FabricRoCE100G:
+		prm := model.RDMA56G()
+		if opts.Fabric == FabricRoCE100G {
+			prm = model.RoCE100G()
+		}
+		link := netsim.NewLink(c.engine, rdma.LinkParams(prm), clientHost.nic, te.host.nic)
+		srv := rdma.NewServer(c.engine, te.tgt, rdma.ServerConfig{NQN: targetNQN, Params: prm, Host: model.DefaultHost()})
+		srv.Serve(link.B)
+		link.A.AttachTracer(tracer)
+		cl, err := rdma.Connect(ctx.proc, link.A, rdma.ClientConfig{
+			NQN: targetNQN, QueueDepth: opts.QueueDepth, Params: prm, Host: model.DefaultHost(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Queue{inner: cl, ctx: ctx, tracer: tracer}, nil
+
+	case FabricTCP10G, FabricTCP25G, FabricTCP100G:
+		lp := model.TCP25G()
+		switch opts.Fabric {
+		case FabricTCP10G:
+			lp = model.TCP10G()
+		case FabricTCP100G:
+			lp = model.TCP100G()
+		}
+		link := netsim.NewLink(c.engine, lp, clientHost.nic, te.host.nic)
+		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost()})
+		srv.Serve(link.B)
+		link.A.AttachTracer(tracer)
+		cl, err := tcp.Connect(ctx.proc, link.A, tcp.ClientConfig{
+			NQN: targetNQN, QueueDepth: opts.QueueDepth, TP: tp, Host: model.DefaultHost(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Queue{inner: cl, ctx: ctx, tracer: tracer}, nil
+
+	default: // FabricAdaptive
+		design := opts.Design.internal()
+		var link *netsim.Link
+		if intra {
+			link = netsim.NewLink(c.engine, model.Loopback(), clientHost.loop, te.host.loop)
+		} else {
+			link = netsim.NewLink(c.engine, model.TCP25G(), clientHost.nic, te.host.nic)
+		}
+		srv := core.NewServer(c.engine, te.tgt, core.ServerConfig{
+			NQN: targetNQN, Design: design, Fabric: c.fabric, TP: tp, Host: model.DefaultHost(),
+		})
+		srv.Serve(link.B)
+		region, _ := c.fabric.RegionFor(design, clientHost.name, te.host.name, opts.MaxIOSize, tp.ChunkSize, opts.QueueDepth)
+		if region != nil && opts.EncryptSHM {
+			region.EnableEncryption(0xA5A5A5A5F00DFEED, 1.5e9)
+		}
+		link.A.AttachTracer(tracer)
+		cl, err := core.Connect(ctx.proc, link.A, core.ClientConfig{
+			NQN: targetNQN, QueueDepth: opts.QueueDepth, Design: design, Region: region,
+			TP: tp, Host: model.DefaultHost(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Queue{inner: cl, ctx: ctx, tracer: tracer, SharedMemory: cl.SHMEnabled()}, nil
+	}
+}
+
+// Write stores data at the byte offset (block aligned) and waits for
+// completion.
+func (q *Queue) Write(offset int64, data []byte) (*Result, error) {
+	return q.wait(q.WriteAsync(offset, data))
+}
+
+// Read fetches size bytes at the offset and waits for completion.
+func (q *Queue) Read(offset int64, size int) (*Result, error) {
+	return q.wait(q.ReadAsync(offset, size))
+}
+
+// WriteModeled issues a write whose payload is modeled (timing charged,
+// no bytes materialized) — for bandwidth experiments.
+func (q *Queue) WriteModeled(offset int64, size int) (*Result, error) {
+	fut := q.inner.Submit(q.ctx.proc, &transport.IO{Write: true, Offset: offset, Size: size})
+	return q.wait(&Async{fut: fut})
+}
+
+// ReadModeled issues a modeled read.
+func (q *Queue) ReadModeled(offset int64, size int) (*Result, error) {
+	fut := q.inner.Submit(q.ctx.proc, &transport.IO{Offset: offset, Size: size})
+	return q.wait(&Async{fut: fut})
+}
+
+// Async is an in-flight I/O.
+type Async struct {
+	fut *sim.Future[*transport.Result]
+}
+
+// WriteAsync issues a write without waiting.
+func (q *Queue) WriteAsync(offset int64, data []byte) *Async {
+	return &Async{fut: q.inner.Submit(q.ctx.proc, &transport.IO{
+		Write: true, Offset: offset, Size: len(data), Data: data,
+	})}
+}
+
+// WriteAsyncModeled issues a modeled write (no bytes materialized)
+// without waiting.
+func (q *Queue) WriteAsyncModeled(offset int64, size int) *Async {
+	return &Async{fut: q.inner.Submit(q.ctx.proc, &transport.IO{
+		Write: true, Offset: offset, Size: size,
+	})}
+}
+
+// ReadAsyncModeled issues a modeled read without waiting.
+func (q *Queue) ReadAsyncModeled(offset int64, size int) *Async {
+	return &Async{fut: q.inner.Submit(q.ctx.proc, &transport.IO{
+		Offset: offset, Size: size,
+	})}
+}
+
+// ReadAsync issues a read without waiting.
+func (q *Queue) ReadAsync(offset int64, size int) *Async {
+	return &Async{fut: q.inner.Submit(q.ctx.proc, &transport.IO{
+		Offset: offset, Size: size, Data: make([]byte, size),
+	})}
+}
+
+// Wait blocks until the I/O completes.
+func (q *Queue) Wait(a *Async) (*Result, error) { return q.wait(a) }
+
+func (q *Queue) wait(a *Async) (*Result, error) {
+	res := a.fut.Wait(q.ctx.proc)
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Data:       res.Data,
+		Latency:    res.Latency,
+		DeviceTime: res.IOTime,
+		FabricTime: res.CommTime,
+		OtherTime:  res.OtherTime,
+	}, nil
+}
+
+// Close shuts the connection down cleanly.
+func (q *Queue) Close() { q.inner.Close() }

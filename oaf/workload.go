@@ -1,0 +1,160 @@
+package oaf
+
+import (
+	"time"
+
+	nvhost "nvmeoaf/internal/host"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/stats"
+	"nvmeoaf/internal/transport"
+)
+
+// Workload describes a microbenchmark pattern for RunWorkload, mirroring
+// SPDK perf's knobs.
+type Workload struct {
+	// Sequential selects sequential offsets; otherwise random.
+	Sequential bool
+	// ReadPercent is the read share (100 = pure read).
+	ReadPercent int
+	// IOSize is the request size in bytes.
+	IOSize int
+	// QueueDepth is the number of outstanding commands.
+	QueueDepth int
+	// Span is the working-set size (defaults to 1 GiB).
+	Span int64
+	// Warmup is excluded from measurement.
+	Warmup time.Duration
+	// Duration is the measured window.
+	Duration time.Duration
+}
+
+// WorkloadResult summarizes a measured run.
+type WorkloadResult struct {
+	// GBps is bandwidth in 1e9 bytes per second.
+	GBps float64
+	// IOPS is operations per second.
+	IOPS float64
+	// AvgLatency is the mean end-to-end latency.
+	AvgLatency time.Duration
+	// P99, P9999 are tail latencies.
+	P99, P9999 time.Duration
+	// DeviceTime, FabricTime, OtherTime are the mean per-request
+	// components of the paper's latency breakdown.
+	DeviceTime, FabricTime, OtherTime time.Duration
+	// CDF is the latency distribution at standard quantiles.
+	CDF []stats.CDFPoint
+	// Errors counts failed commands.
+	Errors int64
+}
+
+// RunWorkload drives the workload against the queue from this context's
+// process and blocks until the measured window completes.
+func (ctx *Ctx) RunWorkload(q *Queue, w Workload) (*WorkloadResult, error) {
+	stream := perf.NewStream(ctx.cluster.engine, q.inner, perf.Workload{
+		Name:       "oaf-workload",
+		Seq:        w.Sequential,
+		ReadPct:    w.ReadPercent,
+		IOSize:     w.IOSize,
+		QueueDepth: w.QueueDepth,
+		Span:       w.Span,
+		Warmup:     w.Warmup,
+		Duration:   w.Duration,
+	})
+	stream.Start()
+	res := stream.Wait(ctx.proc)
+	us := func(v float64) time.Duration { return time.Duration(v * 1e3) }
+	return &WorkloadResult{
+		GBps:       res.Throughput.GBps(),
+		IOPS:       res.Throughput.IOPS(),
+		AvgLatency: us(res.BD.MeanTotal()),
+		P99:        time.Duration(res.Latency.P99()),
+		P9999:      time.Duration(res.Latency.P9999()),
+		DeviceTime: us(res.BD.MeanIO()),
+		FabricTime: us(res.BD.MeanComm()),
+		OtherTime:  us(res.BD.MeanOther()),
+		CDF:        res.Latency.CDF(),
+		Errors:     res.Errors,
+	}, nil
+}
+
+// DiscoveredSubsystem is one entry of a target's discovery log.
+type DiscoveredSubsystem struct {
+	NQN       string
+	Transport string
+	Address   string
+}
+
+// Discover fetches the discovery log through this queue: the subsystems
+// the connected target exposes.
+func (q *Queue) Discover() ([]DiscoveredSubsystem, error) {
+	entries, err := nvhost.Discover(q.ctx.proc, q.inner)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DiscoveredSubsystem, 0, len(entries))
+	for _, e := range entries {
+		tr := "tcp"
+		switch e.TrType {
+		case 1:
+			tr = "rdma"
+		case 0xFA:
+			tr = "adaptive"
+		}
+		out = append(out, DiscoveredSubsystem{NQN: e.SubNQN, Transport: tr, Address: e.TrAddr})
+	}
+	return out, nil
+}
+
+// ConnectMulti opens opts.Queues (default 2) queue pairs to the target
+// and probes the controller through the host layer, returning a Queue
+// that spreads I/O across the connections round-robin. The controller's
+// discovered capacity bounds requests.
+func (ctx *Ctx) ConnectMulti(targetNQN string, opts ConnectOptions) (*Queue, error) {
+	n := opts.Queues
+	if n <= 0 {
+		n = 2
+	}
+	single := opts
+	single.Queues = 1
+	inner := make([]transport.Queue, 0, n)
+	var tracer *netsim.Tracer
+	shm := true
+	for i := 0; i < n; i++ {
+		q, err := ctx.Connect(targetNQN, single)
+		if err != nil {
+			for _, prev := range inner {
+				prev.Close()
+			}
+			return nil, err
+		}
+		inner = append(inner, q.inner)
+		shm = shm && q.SharedMemory
+		if tracer == nil {
+			tracer = q.tracer
+		}
+	}
+	ctrl, err := nvhost.Probe(ctx.proc, inner...)
+	if err != nil {
+		for _, q := range inner {
+			q.Close()
+		}
+		return nil, err
+	}
+	return &Queue{inner: &controllerQueue{ctrl: ctrl}, ctx: ctx, tracer: tracer, SharedMemory: shm}, nil
+}
+
+// controllerQueue adapts a multi-qpair controller to the transport.Queue
+// interface.
+type controllerQueue struct {
+	ctrl *nvhost.Controller
+}
+
+// Submit implements transport.Queue.
+func (c *controllerQueue) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	return c.ctrl.Submit(p, io)
+}
+
+// Close implements transport.Queue.
+func (c *controllerQueue) Close() { c.ctrl.Close() }
