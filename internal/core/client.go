@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"nvmeoaf/internal/model"
@@ -20,6 +21,13 @@ const cmdFlagSHMSlot = 0x01
 
 // pollMissCPU is the busy-poll expiry cost (syscall return + re-arm).
 const pollMissCPU = 8 * time.Microsecond
+
+// defaultHostNQN identifies the host when the caller sets none.
+const defaultHostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
+
+// connectCID is the reserved CID of the Fabrics Connect command; it never
+// collides with I/O CIDs (queue depths are far smaller).
+const connectCID = 0xFFFF
 
 // ClientConfig configures one NVMe-oAF host queue.
 type ClientConfig struct {
@@ -40,6 +48,25 @@ type ClientConfig struct {
 	Host model.HostParams
 	// HostNQN identifies this host in the Fabrics Connect command.
 	HostNQN string
+
+	// CommandTimeout is the per-command deadline. A command not completed
+	// by then is torn down, retried (bounded), and finally failed with
+	// StatusTransientTransport. Zero (the default) disables deadlines and
+	// retries, keeping healthy-path behaviour bit-identical.
+	CommandTimeout time.Duration
+	// MaxRetries bounds retry attempts per command (default 3 when
+	// CommandTimeout is set). Retries always use the TCP data path: after
+	// a failure the shared-memory channel is suspect.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential, jittered backoff
+	// between attempts (default 100µs). The jitter stream derives from
+	// the engine seed, so retry schedules replay per seed.
+	RetryBackoff time.Duration
+	// KeepAlive, when set, submits a keep-alive admin command at this
+	// interval so the target's KATO watchdog sees traffic on idle
+	// connections — and so a dead target is detected even with no I/O
+	// outstanding. Zero disables.
+	KeepAlive time.Duration
 }
 
 // afPending decorates a pending request with its shared-memory state.
@@ -49,6 +76,15 @@ type afPending struct {
 	// Chunked-design write progress: the conservative stop-and-wait flow
 	// sends one chunk per target acknowledgement.
 	wNext, wEnd int
+	// attempts counts retries so far; retried commands pin the TCP data
+	// path. gen invalidates stale deadline timers across attempts.
+	attempts int
+	gen      int
+	// expired marks a deadline hit; the reactor reaps it.
+	expired bool
+	// dataLost marks payload that went missing mid-transfer (revoked
+	// region); the response alone cannot complete the command.
+	dataLost bool
 }
 
 // Client is the NVMe-oAF host queue: control path over TCP, data path
@@ -65,11 +101,31 @@ type Client struct {
 	closing bool
 	drained *sim.Signal
 	policy  pollPolicy
+	rng     *rand.Rand
+
+	// backlog counts commands parked in retry backoff (neither queued nor
+	// in flight); teardown waits for them.
+	backlog int
+	// consecTimeouts counts deadline expirations since the last
+	// successful completion; crossing the threshold triggers reconnect.
+	consecTimeouts int
+	reconnecting   bool
+	reconRetry     bool
+	reconGen       int
 
 	// Completed counts finished commands; SHMPayloadBytes counts payload
 	// moved over the shared-memory channel instead of the wire.
 	Completed       int64
 	SHMPayloadBytes int64
+	// Retries counts re-driven attempts; Timeouts counts per-command
+	// deadline expirations; Failovers counts mid-stream SHM→TCP data-path
+	// switches; Reconnects counts re-established connections; LateMsgs
+	// counts stale PDUs (for already-reaped commands) dropped.
+	Retries    int64
+	Timeouts   int64
+	Failovers  int64
+	Reconnects int64
+	LateMsgs   int64
 }
 
 // Connect performs the adaptive-fabric handshake on ep. The Connection
@@ -96,6 +152,7 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		submitQ: sim.NewQueue[*afPending](e, 0),
 		kick:    sim.NewSignal(e),
 		drained: sim.NewSignal(e),
+		rng:     e.Rand("oaf-client-retry"),
 	}
 	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
 	if cfg.Design.UsesSHM() && cfg.Region != nil {
@@ -119,7 +176,15 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
 		return nil, err
 	}
+	if c.region != nil {
+		// Wake the reactor the instant the helper revokes the mapping so
+		// the failover happens before blocked claimers pile up.
+		c.region.OnRevoke(c.kick.Fire)
+	}
 	e.GoDaemon("oaf-client-reactor", c.reactor)
+	if cfg.KeepAlive > 0 {
+		e.GoDaemon("oaf-client-keepalive", c.keepAliveLoop)
+	}
 	return c, nil
 }
 
@@ -127,9 +192,9 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 // path: the target validates the subsystem NQN before admitting I/O.
 func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) error {
 	if hostNQN == "" {
-		hostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
+		hostNQN = defaultHostNQN
 	}
-	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: connectCID, CDW10: nvme.FctypeConnect}
 	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, subNQN)})
 	msg := ep.Recv(p)
 	pdus, err := transport.DecodeAll(msg)
@@ -206,7 +271,8 @@ func (c *Client) prepareWrite(p *sim.Proc, pend *afPending) {
 			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
 		}
 	}
-	if c.region == nil || c.cfg.Design.Chunked() {
+	region := c.region
+	if region == nil || c.cfg.Design.Chunked() {
 		// TCP path, or chunked SHM (slots claimed after R2T): payload is
 		// produced into a private buffer now.
 		fill()
@@ -214,9 +280,14 @@ func (c *Client) prepareWrite(p *sim.Proc, pend *afPending) {
 	}
 	// Whole-I/O slot designs: claim the slot up front (shared-memory flow
 	// control: this blocks while all slots are busy).
-	slot := c.region.Claim(p, shm.H2C)
+	slot := region.Claim(p, shm.H2C)
+	if slot == nil {
+		// Region revoked while claiming: fall back to the TCP data path.
+		fill()
+		return
+	}
 	pend.slot = slot
-	if c.cfg.Design.ZeroCopy() && !c.region.Encrypted() {
+	if c.cfg.Design.ZeroCopy() && !region.Encrypted() {
 		// The application buffer *is* the slot: fill in place, no copy.
 		fill()
 		if io.Data != nil {
@@ -253,14 +324,44 @@ func (c *Client) reactor(p *sim.Proc) {
 	c.ep.OnDeliver = c.kick.Fire
 	defer c.drained.Fire()
 	for {
+		if c.region != nil && c.region.Revoked() {
+			// Mid-stream failover: abandon the shared-memory data path.
+			// In-flight transfers through the region surface as typed
+			// errors or deadline hits and re-drive over TCP.
+			c.region = nil
+			c.Failovers++
+		}
 		worked := false
-		for !c.cids.Full() {
+		if c.reconRetry {
+			c.reconRetry = false
+			if c.reconnecting && !c.closing {
+				c.sendICReq(p)
+				worked = true
+			}
+		}
+		for !c.cids.Full() && !c.reconnecting {
 			pend, ok := c.submitQ.TryGet()
 			if !ok {
 				break
 			}
 			c.start(p, pend)
 			worked = true
+		}
+		if c.closing && c.reconnecting {
+			// Tearing down with no usable connection: fail queued
+			// commands with a typed, retryable-at-application error
+			// rather than parking them forever.
+			for {
+				pend, ok := c.submitQ.TryGet()
+				if !ok {
+					break
+				}
+				pend.Fut.Resolve(&transport.Result{
+					Status:  nvme.StatusTransientTransport,
+					Latency: p.Now().Sub(pend.SubmitAt),
+				})
+				worked = true
+			}
 		}
 		for {
 			msg := c.ep.TryRecv(p)
@@ -270,10 +371,13 @@ func (c *Client) reactor(p *sim.Proc) {
 			c.handle(p, msg)
 			worked = true
 		}
+		if c.reapExpired(p) {
+			worked = true
+		}
 		if worked {
 			continue
 		}
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 && c.backlog == 0 {
 			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
 			return
 		}
@@ -287,10 +391,10 @@ func (c *Client) reactor(p *sim.Proc) {
 			p.Sleep(pollMissCPU)
 		}
 		c.kick.Reset()
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
+		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 && c.backlog == 0 {
 			continue
 		}
-		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
+		if c.ep.Pending() > 0 || (!c.cids.Full() && !c.reconnecting && c.submitQ.Len() > 0) {
 			continue
 		}
 		c.kick.Wait(p)
@@ -309,6 +413,197 @@ func (c *Client) pollBudget() time.Duration {
 	return c.cfg.TP.BusyPoll
 }
 
+// maxRetries returns the per-command retry bound.
+func (c *Client) maxRetries() int {
+	if c.cfg.MaxRetries > 0 {
+		return c.cfg.MaxRetries
+	}
+	return 3
+}
+
+// retryBase returns the backoff base.
+func (c *Client) retryBase() time.Duration {
+	if c.cfg.RetryBackoff > 0 {
+		return c.cfg.RetryBackoff
+	}
+	return 100 * time.Microsecond
+}
+
+// backoff returns the delay before the given attempt: exponential in the
+// attempt number, capped, plus deterministic seed-derived jitter so
+// retrying queues don't synchronize into retry storms.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.retryBase()
+	d := base << uint(attempt-1)
+	if max := 64 * base; d > max {
+		d = max
+	}
+	return d + time.Duration(c.rng.Int63n(int64(base)))
+}
+
+// armDeadline schedules the per-command deadline for the current attempt.
+// The generation check keeps a stale timer (for a completed or already
+// retried attempt) from firing on a reused CID.
+func (c *Client) armDeadline(pend *afPending) {
+	if c.cfg.CommandTimeout <= 0 {
+		return
+	}
+	gen := pend.gen
+	cid := pend.CID
+	c.e.After(c.cfg.CommandTimeout, func() {
+		if pend.gen != gen || pend.expired {
+			return
+		}
+		ctx, ok := c.cids.Lookup(cid)
+		if !ok {
+			return
+		}
+		if cur, _ := ctx.(*afPending); cur != pend {
+			return
+		}
+		pend.expired = true
+		c.kick.Fire()
+	})
+}
+
+// reapExpired tears down deadline-hit commands: the CID frees (late
+// responses for it are dropped as stale), the payload slot reclaims, and
+// the command either re-drives after backoff or fails with a typed
+// transport error.
+func (c *Client) reapExpired(p *sim.Proc) bool {
+	if c.cfg.CommandTimeout <= 0 {
+		return false
+	}
+	worked := false
+	for i := 0; i < c.cids.Depth(); i++ {
+		ctx, ok := c.cids.Lookup(uint16(i))
+		if !ok {
+			continue
+		}
+		pend := ctx.(*afPending)
+		if !pend.expired {
+			continue
+		}
+		if _, err := c.cids.Complete(pend.CID); err != nil {
+			panic(fmt.Sprintf("oaf client: %v", err))
+		}
+		c.Timeouts++
+		c.consecTimeouts++
+		c.requeueOrFail(p, pend)
+		worked = true
+	}
+	if c.consecTimeouts >= 2 && !c.reconnecting && !c.closing {
+		// Successive deadline hits mean the connection, not a command,
+		// is sick: re-run the handshake (the target may have crashed and
+		// restarted, or a KATO teardown dropped our connection state).
+		c.startReconnect(p)
+		worked = true
+	}
+	return worked
+}
+
+// requeueOrFail re-drives a torn-down command after a jittered backoff,
+// or fails it with StatusTransientTransport once attempts are exhausted
+// (or the client is closing). The caller must have freed the CID.
+func (c *Client) requeueOrFail(p *sim.Proc, pend *afPending) {
+	pend.expired = false
+	pend.gen++
+	pend.Received = 0
+	pend.Sent = 0
+	pend.dataLost = false
+	pend.wNext, pend.wEnd = 0, 0
+	c.releaseSlot(pend)
+	if c.closing || pend.attempts >= c.maxRetries() {
+		pend.Fut.Resolve(&transport.Result{
+			Status:  nvme.StatusTransientTransport,
+			Latency: p.Now().Sub(pend.SubmitAt),
+		})
+		c.kick.Fire()
+		return
+	}
+	pend.attempts++
+	c.Retries++
+	c.backlog++
+	c.e.After(c.backoff(pend.attempts), func() {
+		c.backlog--
+		if c.closing {
+			pend.Fut.Resolve(&transport.Result{
+				Status:  nvme.StatusTransientTransport,
+				Latency: c.e.Now().Sub(pend.SubmitAt),
+			})
+			c.kick.Fire()
+			return
+		}
+		c.submitQ.TryPut(pend)
+		c.kick.Fire()
+	})
+}
+
+// releaseSlot reclaims a write's payload slot with the tolerant release:
+// the target may have consumed and freed it already.
+func (c *Client) releaseSlot(pend *afPending) {
+	if pend.slot != nil {
+		pend.slot.TryRelease()
+		pend.slot = nil
+	}
+}
+
+// keepAliveLoop submits a keep-alive admin command every interval. The
+// commands ride the normal submission path, so they are subject to
+// deadlines and drive crash detection even when the workload is idle.
+func (c *Client) keepAliveLoop(p *sim.Proc) {
+	for !c.closing {
+		p.Sleep(c.cfg.KeepAlive)
+		if c.closing {
+			return
+		}
+		if c.reconnecting || c.cids.Full() {
+			continue
+		}
+		pend := &afPending{Pending: &transport.Pending{
+			IO:  &transport.IO{Admin: nvme.AdminKeepAlive},
+			Fut: sim.NewFuture[*transport.Result](c.e),
+		}}
+		pend.SubmitAt = p.Now()
+		c.submitQ.TryPut(pend)
+		c.kick.Fire()
+	}
+}
+
+// startReconnect re-runs the adaptive-fabric handshake on the live
+// endpoint. Until it completes, new submissions queue; in-flight
+// commands keep timing out into the retry path and re-drive afterwards.
+func (c *Client) startReconnect(p *sim.Proc) {
+	c.reconnecting = true
+	c.sendICReq(p)
+}
+
+// sendICReq (re)sends the handshake request and arms a retry timer in
+// case it, or the response, is lost.
+func (c *Client) sendICReq(p *sim.Proc) {
+	c.reconGen++
+	gen := c.reconGen
+	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
+	if c.cfg.Design.UsesSHM() && c.cfg.Region != nil && !c.cfg.Region.Revoked() {
+		req.AFCapab = true
+		req.SHMKey = c.cfg.Region.Key
+	}
+	transport.SendPDUs(p, c.ep, req)
+	c.e.After(c.reconnectTimeout(), func() {
+		if c.reconnecting && c.reconGen == gen && !c.closing {
+			c.reconRetry = true
+			c.kick.Fire()
+		}
+	})
+}
+
+func (c *Client) reconnectTimeout() time.Duration {
+	if c.cfg.CommandTimeout > 0 {
+		return c.cfg.CommandTimeout
+	}
+	return time.Millisecond
+}
+
 // start transmits the command capsule.
 func (c *Client) start(p *sim.Proc, pend *afPending) {
 	cid, err := c.cids.Alloc(pend)
@@ -316,6 +611,7 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 		panic(err)
 	}
 	pend.CID = cid
+	c.armDeadline(pend)
 	io := pend.IO
 	if io.Admin != 0 {
 		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
@@ -335,6 +631,9 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 		// materializes its bounce buffer (simulation bookkeeping).
 		cmd.PRP2 = 1
 	}
+	// Retried writes pin the TCP data path: after a timeout or transfer
+	// failure the shared-memory channel is suspect, and TCP always works.
+	viaTCP := c.region == nil || pend.attempts > 0
 	switch {
 	case pend.slot != nil:
 		// Shared-memory flow control: the payload already sits in the
@@ -343,7 +642,7 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 		cmd.Flags = cmdFlagSHMSlot
 		cmd.PRP1 = uint64(pend.slot.Index)
 		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
-	case c.region != nil:
+	case !viaTCP:
 		// Chunked SHM design: conservative flow; wait for R2T, then move
 		// payload through chunk slots.
 		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
@@ -380,6 +679,8 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 			c.onSHMRelease(p, v)
 		case *pdu.CapsuleResp:
 			c.onResp(p, v, transit)
+		case *pdu.ICResp:
+			c.onReconnectICResp(p, v)
 		case *pdu.Term:
 		default:
 			panic(fmt.Sprintf("oaf client: unexpected PDU %v", u.Type()))
@@ -388,16 +689,39 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 	}
 }
 
+// onReconnectICResp completes the first half of a mid-stream reconnect:
+// adopt the renegotiated parameters (the data path may have changed from
+// shared memory to TCP if the region is gone) and send the Fabrics
+// Connect command.
+func (c *Client) onReconnectICResp(p *sim.Proc, resp *pdu.ICResp) {
+	if !c.reconnecting {
+		return
+	}
+	c.icresp = resp
+	if resp.AFEnabled && c.cfg.Region != nil && !c.cfg.Region.Revoked() {
+		c.region = c.cfg.Region
+	} else {
+		c.region = nil
+	}
+	hostNQN := c.cfg.HostNQN
+	if hostNQN == "" {
+		hostNQN = defaultHostNQN
+	}
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: connectCID, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, c.cfg.NQN)})
+}
+
 // onR2T moves write payload: through chunk slots on the shared-memory
 // channel, or as H2CData PDUs on the TCP path.
 func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 	ctx, ok := c.cids.Lookup(r.CID)
 	if !ok {
-		panic(fmt.Sprintf("oaf client: R2T for unknown CID %d", r.CID))
+		c.LateMsgs++ // R2T for a command already reaped by its deadline
+		return
 	}
 	pend := ctx.(*afPending)
 	io := pend.IO
-	if c.region != nil {
+	if c.region != nil && pend.attempts == 0 {
 		// Chunked shared-memory transfer with conservative stop-and-wait
 		// flow control (the naive pre-flow-control data path): one chunk
 		// moves per target acknowledgement, exactly the extra control
@@ -427,15 +751,26 @@ func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 }
 
 // sendWriteChunk moves the next chunk of a conservative write into a
-// shared-memory slot and notifies the target.
+// shared-memory slot and notifies the target. A revoked region marks the
+// transfer's payload lost; the command re-drives over TCP when the
+// target's typed error (or the deadline) comes back.
 func (c *Client) sendWriteChunk(p *sim.Proc, pend *afPending) {
+	region := c.region
+	if region == nil {
+		pend.dataLost = true
+		return
+	}
 	io := pend.IO
-	n := c.region.SlotSize
+	n := region.SlotSize
 	if n > pend.wEnd-pend.wNext {
 		n = pend.wEnd - pend.wNext
 	}
 	dataOff := pend.wNext
-	slot := c.region.Claim(p, shm.H2C)
+	slot := region.Claim(p, shm.H2C)
+	if slot == nil {
+		pend.dataLost = true
+		return
+	}
 	var src []byte
 	if io.Data != nil {
 		src = io.Data[dataOff : dataOff+n]
@@ -470,7 +805,8 @@ func (c *Client) onSHMRelease(p *sim.Proc, rel *pdu.SHMRelease) {
 func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.cids.Lookup(d.CID)
 	if !ok {
-		panic(fmt.Sprintf("oaf client: data for unknown CID %d", d.CID))
+		c.LateMsgs++ // late data for a command already reaped
+		return
 	}
 	pend := ctx.(*afPending)
 	n := len(d.Payload)
@@ -491,16 +827,34 @@ func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 // so no release message crosses the wire.
 func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
 	ctx, ok := c.cids.Lookup(n.CID)
+	region := c.region
 	if !ok {
-		panic(fmt.Sprintf("oaf client: SHM notify for unknown CID %d", n.CID))
+		// Late notify for a command already reaped by its deadline:
+		// consume and free the slot anyway, or the target's C2H credit
+		// never returns and its read workers wedge on a full ring.
+		c.LateMsgs++
+		if region != nil {
+			if slot, err := region.Open(shm.C2H, n.Slot); err == nil {
+				slot.TryRelease()
+			}
+		}
+		return
 	}
 	pend := ctx.(*afPending)
-	slot, err := c.region.Open(shm.C2H, n.Slot)
+	if region == nil {
+		// Failed over after the target copied in: the payload is gone
+		// with the region. The response completes the command through
+		// the retry path.
+		pend.dataLost = true
+		return
+	}
+	slot, err := region.Open(shm.C2H, n.Slot)
 	if err != nil {
-		panic(fmt.Sprintf("oaf client: %v", err))
+		pend.dataLost = true
+		return
 	}
 	io := pend.IO
-	if c.cfg.Design.ZeroCopy() && !c.region.Encrypted() {
+	if c.cfg.Design.ZeroCopy() && !region.Encrypted() {
 		// The app buffer is shared-memory resident: no copy-out. The Go
 		// copy below only materializes the bytes for the caller's view.
 		if io.Data != nil {
@@ -513,7 +867,7 @@ func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duratio
 		}
 		slot.CopyOut(p, dst, int(n.Length))
 	}
-	slot.Release()
+	slot.TryRelease()
 	pend.Received += int(n.Length)
 	pend.Comm += transit
 	c.SHMPayloadBytes += int64(n.Length)
@@ -524,20 +878,51 @@ func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duratio
 	}
 }
 
-// onResp completes a command.
+// onResp completes a command — or, when the target reported a retryable
+// typed error (shed under pressure, transfer failed mid-stream) or the
+// payload went missing with a revoked region, re-drives it.
 func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
+	if r.Rsp.CID == connectCID {
+		c.onConnectResp(r)
+		return
+	}
 	ctx, err := c.cids.Complete(r.Rsp.CID)
 	if err != nil {
-		panic(fmt.Sprintf("oaf client: %v", err))
+		// A response for a command the deadline already reaped: its CID
+		// was freed (or reused by a later command that also completed).
+		c.LateMsgs++
+		return
 	}
 	pend := ctx.(*afPending)
 	pend.Comm += transit
 	p.Sleep(c.cfg.Host.CompleteCPU)
+	c.consecTimeouts = 0
+	pend.expired = false // response raced the deadline: response wins
+	if c.cfg.CommandTimeout > 0 && !c.closing && (pend.dataLost || r.Rsp.Status.Retryable()) {
+		c.requeueOrFail(p, pend)
+		c.kick.Fire()
+		return
+	}
 	var data []byte
 	if !pend.IO.Write && pend.IO.Data != nil {
-		data = pend.IO.Data[:pend.Received]
+		n := pend.Received
+		if n > len(pend.IO.Data) {
+			n = len(pend.IO.Data)
+		}
+		data = pend.IO.Data[:n]
 	}
 	pend.Finish(p.Now(), r, data)
 	c.Completed++
+	c.kick.Fire()
+}
+
+// onConnectResp completes the second half of a mid-stream reconnect.
+func (c *Client) onConnectResp(r *pdu.CapsuleResp) {
+	if !c.reconnecting || r.Rsp.Status.IsError() {
+		return // the handshake retry timer will try again
+	}
+	c.reconnecting = false
+	c.consecTimeouts = 0
+	c.Reconnects++
 	c.kick.Fire()
 }

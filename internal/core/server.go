@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"nvmeoaf/internal/mempool"
@@ -31,6 +32,13 @@ type ServerConfig struct {
 	TP model.TCPTransportParams
 	// Host holds target software costs.
 	Host model.HostParams
+	// KATO is the keep-alive timeout: a connection silent for longer is
+	// torn down and its resources reclaimed (0 disables the watchdog).
+	KATO time.Duration
+	// MaxBufferWaiters bounds commands parked for pool buffers; beyond
+	// it the server sheds load with a retryable typed error instead of
+	// queueing without bound (0 = unbounded).
+	MaxBufferWaiters int
 }
 
 // Server is the NVMe-oAF transport of one target.
@@ -40,10 +48,22 @@ type Server struct {
 	cfg  ServerConfig
 	pool *mempool.Pool
 
+	eps     []*netsim.Endpoint
+	conns   []*srvConn
+	crashed bool
+
 	// BufferWaits counts commands that waited for DPDK pool buffers.
 	BufferWaits int64
 	// SHMConns counts connections that negotiated shared memory.
 	SHMConns int64
+	// KAExpirations counts connections torn down by the KATO watchdog.
+	KAExpirations int64
+	// Shed counts commands rejected with a retryable error under pool
+	// exhaustion.
+	Shed int64
+	// StaleMsgs counts PDUs for unknown commands (late data after a
+	// client-side timeout or a teardown), dropped instead of panicking.
+	StaleMsgs int64
 }
 
 // NewServer creates the adaptive-fabric transport for tgt.
@@ -64,6 +84,11 @@ func (s *Server) Pool() *mempool.Pool { return s.pool }
 
 // Serve starts a connection handler on ep.
 func (s *Server) Serve(ep *netsim.Endpoint) {
+	s.eps = append(s.eps, ep)
+	s.startConn(ep)
+}
+
+func (s *Server) startConn(ep *netsim.Endpoint) {
 	conn := &srvConn{
 		srv:      s,
 		ep:       ep,
@@ -72,8 +97,44 @@ func (s *Server) Serve(ep *netsim.Endpoint) {
 		writes:   make(map[uint16]*writeCtx),
 		readAcks: make(map[uint16]*sim.Queue[struct{}]),
 		waits:    sim.NewQueue[*allocWait](s.e, 0),
+		lastSeen: s.e.Now(),
 	}
+	s.conns = append(s.conns, conn)
 	s.e.GoDaemon("oaf-server-conn", conn.run)
+	if s.cfg.KATO > 0 {
+		s.e.GoDaemon("oaf-kato-watchdog", conn.watchdog)
+	}
+}
+
+// Crash simulates target-process death: every connection drops with all
+// in-flight state (no goodbye messages), buffers return to the pool, and
+// nothing is served until Restart. Clients recover through deadlines,
+// retries, and reconnect.
+func (s *Server) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	for _, c := range s.conns {
+		c.closed = true
+		c.kick.Fire()
+	}
+}
+
+// Crashed reports whether the target is down.
+func (s *Server) Crashed() bool { return s.crashed }
+
+// Restart brings a crashed target back: a fresh connection handler
+// starts listening on every served endpoint.
+func (s *Server) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.conns = nil
+	for _, ep := range s.eps {
+		s.startConn(ep)
+	}
 }
 
 type txBatch struct {
@@ -93,6 +154,7 @@ type writeCtx struct {
 }
 
 type allocWait struct {
+	cid  uint16
 	need int
 	run  func(bufs []*mempool.Buf)
 }
@@ -108,10 +170,42 @@ type srvConn struct {
 	readAcks map[uint16]*sim.Queue[struct{}]
 	waits    *sim.Queue[*allocWait]
 	region   *shm.Region // non-nil after a successful locality check
+	lastSeen sim.Time
 	closed   bool
+	// dead is set once the run loop exits: posts stop transmitting but
+	// still run their cleanup callbacks so buffers return to the pool.
+	dead bool
+	// Expired reports a keep-alive timeout teardown.
+	Expired bool
+}
+
+// watchdog enforces the keep-alive timeout, mirroring the TCP server's:
+// a connection silent for KATO is torn down and its resources reclaimed.
+func (c *srvConn) watchdog(p *sim.Proc) {
+	for !c.closed {
+		p.Sleep(c.srv.cfg.KATO / 2)
+		if c.closed {
+			return
+		}
+		if p.Now().Sub(c.lastSeen) > c.srv.cfg.KATO {
+			c.Expired = true
+			c.closed = true
+			c.srv.KAExpirations++
+			c.kick.Fire()
+			return
+		}
+	}
 }
 
 func (c *srvConn) post(after func(), pdus ...pdu.PDU) {
+	if c.dead {
+		// The connection is gone; run the cleanup (buffer frees) so a
+		// late worker completion cannot leak pool buffers.
+		if after != nil {
+			after()
+		}
+		return
+	}
 	c.txQ.TryPut(&txBatch{pdus: pdus, after: after})
 	c.kick.Fire()
 }
@@ -119,6 +213,9 @@ func (c *srvConn) post(after func(), pdus ...pdu.PDU) {
 func (c *srvConn) run(p *sim.Proc) {
 	c.ep.OnDeliver = c.kick.Fire
 	for !c.closed {
+		if c.region != nil && c.region.Revoked() {
+			c.onRegionRevoked()
+		}
 		worked := false
 		for {
 			msg := c.ep.TryRecv(p)
@@ -159,16 +256,83 @@ func (c *srvConn) run(p *sim.Proc) {
 			c.ep.ChargeWakeup(p)
 		}
 	}
+	c.teardown(p, !c.srv.crashed)
+	// A KATO teardown leaves the endpoint live: listen again so the
+	// client's automatic reconnect finds a fresh connection handler.
+	if c.Expired && !c.srv.crashed {
+		c.srv.startConn(c.ep)
+	}
+}
+
+// teardown reclaims every connection resource: queued transmissions are
+// flushed (their cleanup callbacks always run; the bytes only transmit
+// on a graceful close), half-received writes free their pool buffers,
+// parked buffer-waiters drain, and per-command ack queues close so
+// blocked read workers abort instead of parking forever.
+func (c *srvConn) teardown(p *sim.Proc, transmit bool) {
+	c.dead = true
 	for {
 		batch, ok := c.txQ.TryGet()
 		if !ok {
 			break
 		}
-		transport.SendPDUs(p, c.ep, batch.pdus...)
+		if transmit {
+			transport.SendPDUs(p, c.ep, batch.pdus...)
+		}
 		if batch.after != nil {
 			batch.after()
 		}
 	}
+	for _, cid := range sortedWriteCIDs(c.writes) {
+		freeBufs(c.writes[cid].bufs)
+		delete(c.writes, cid)
+	}
+	for {
+		if _, ok := c.waits.TryGet(); !ok {
+			break
+		}
+	}
+	for _, cid := range sortedAckCIDs(c.readAcks) {
+		c.readAcks[cid].Close()
+		delete(c.readAcks, cid)
+	}
+}
+
+// onRegionRevoked handles mid-stream shared-memory revocation on the
+// target side: every write whose payload was (or would be) moving
+// through the region fails with a retryable typed error — the client
+// re-drives them over the TCP data path — and the connection stops using
+// shared memory for reads.
+func (c *srvConn) onRegionRevoked() {
+	for _, cid := range sortedWriteCIDs(c.writes) {
+		ctx := c.writes[cid]
+		freeBufs(ctx.bufs)
+		delete(c.writes, cid)
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusDataTransferErr}})
+	}
+	for _, cid := range sortedAckCIDs(c.readAcks) {
+		c.readAcks[cid].Close()
+		delete(c.readAcks, cid)
+	}
+	c.region = nil
+}
+
+func sortedWriteCIDs(m map[uint16]*writeCtx) []uint16 {
+	cids := make([]uint16, 0, len(m))
+	for cid := range m {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	return cids
+}
+
+func sortedAckCIDs(m map[uint16]*sim.Queue[struct{}]) []uint16 {
+	cids := make([]uint16, 0, len(m))
+	for cid := range m {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	return cids
 }
 
 func (c *srvConn) retryWaits() {
@@ -208,13 +372,22 @@ func (c *srvConn) allocBufs(n int) ([]*mempool.Buf, bool) {
 	return bufs, true
 }
 
-func (c *srvConn) withBufs(n int, fn func(bufs []*mempool.Buf)) {
+// withBufs runs fn once n pool buffers are available. Under exhaustion
+// the command parks in the wait queue; past MaxBufferWaiters the server
+// sheds it with a retryable typed error instead (backpressure to the
+// host rather than unbounded queueing).
+func (c *srvConn) withBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
 	if bufs, ok := c.allocBufs(n); ok {
 		fn(bufs)
 		return
 	}
+	if max := c.srv.cfg.MaxBufferWaiters; max > 0 && c.waits.Len() >= max {
+		c.srv.Shed++
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
+		return
+	}
 	c.srv.BufferWaits++
-	c.waits.TryPut(&allocWait{need: n, run: fn})
+	c.waits.TryPut(&allocWait{cid: cid, need: n, run: fn})
 }
 
 func freeBufs(bufs []*mempool.Buf) {
@@ -224,6 +397,7 @@ func freeBufs(bufs []*mempool.Buf) {
 }
 
 func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
+	c.lastSeen = p.Now()
 	transit := p.Now().Sub(msg.SentAt)
 	pdus, err := transport.DecodeAll(msg)
 	if err != nil {
@@ -255,11 +429,12 @@ func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
 
 // onICReq is the Connection Manager's locality check: the client's
 // proposed region key must resolve in the fabric registry (i.e. the
-// helper process hotplugged the same region on this host).
+// helper process hotplugged the same region on this host). A reconnect
+// after crash or KATO teardown re-runs the same negotiation.
 func (c *srvConn) onICReq(req *pdu.ICReq) {
 	resp := &pdu.ICResp{PFV: req.PFV, CPDA: 4, MaxH2CData: uint32(c.srv.cfg.TP.ChunkSize)}
 	if req.AFCapab && req.SHMKey != 0 && c.srv.cfg.Fabric != nil && c.srv.cfg.Design.UsesSHM() {
-		if region, ok := c.srv.cfg.Fabric.Lookup(req.SHMKey); ok {
+		if region, ok := c.srv.cfg.Fabric.Lookup(req.SHMKey); ok && !region.Revoked() {
 			c.region = region
 			c.srv.SHMConns++
 			resp.AFEnabled = true
@@ -352,15 +527,28 @@ func (c *srvConn) execGetLogPage(cmd nvme.Command, comm time.Duration) {
 
 // startSHMWrite serves a write whose payload sits in a named slot: copy
 // it into a DPDK buffer (mandatory for device DMA, §4.4.3), release the
-// slot, execute.
+// slot, execute. A revoked or missing region fails the command with a
+// retryable typed error; the client re-drives it over TCP.
 func (c *srvConn) startSHMWrite(cmd nvme.Command, size int, transit time.Duration) {
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
 	slotIdx := uint32(cmd.PRP1)
-	c.withBufs(need, func(bufs []*mempool.Buf) {
+	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		c.srv.e.Go("oaf-shm-write-worker", func(w *sim.Proc) {
-			slot, err := c.region.Open(shm.H2C, slotIdx)
+			region := c.region
+			if region == nil {
+				freeBufs(bufs)
+				c.kick.Fire()
+				c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
+				return
+			}
+			slot, err := region.Open(shm.H2C, slotIdx)
 			if err != nil {
-				panic(fmt.Sprintf("oaf server: %v", err))
+				// Revoked mid-stream, or the slot was reclaimed after a
+				// client-side timeout: the payload is unreachable.
+				freeBufs(bufs)
+				c.kick.Fire()
+				c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
+				return
 			}
 			var data []byte
 			if cmd.PRP2 == 1 { // client placed real bytes in the slot
@@ -369,7 +557,7 @@ func (c *srvConn) startSHMWrite(cmd nvme.Command, size int, transit time.Duratio
 			copyStart := w.Now()
 			slot.CopyOut(w, data, size)
 			copyTime := w.Now().Sub(copyStart)
-			slot.Release() // slot credit returns through shared state
+			slot.TryRelease() // slot credit returns through shared state
 			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
 			freeBufs(bufs)
 			c.kick.Fire()
@@ -379,19 +567,30 @@ func (c *srvConn) startSHMWrite(cmd nvme.Command, size int, transit time.Duratio
 }
 
 func (c *srvConn) startConservativeWrite(cmd nvme.Command, size int, transit time.Duration) {
+	if stale, ok := c.writes[cmd.CID]; ok {
+		// A retried command reused the CID of an abandoned earlier attempt
+		// whose half-received grant is still parked here: reclaim it before
+		// the new grant overwrites the map entry.
+		freeBufs(stale.bufs)
+		delete(c.writes, cmd.CID)
+		c.srv.StaleMsgs++
+	}
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(need, func(bufs []*mempool.Buf) {
+	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		ctx := &writeCtx{cmd: cmd, size: size, bufs: bufs, comm: transit, real: cmd.PRP2 == 1}
 		c.writes[cmd.CID] = ctx
 		c.post(nil, &pdu.R2T{CID: cmd.CID, TTag: cmd.CID, Offset: 0, Length: uint32(size)})
 	})
 }
 
-// onTCPData accumulates H2CData for a conservative TCP-path write.
+// onTCPData accumulates H2CData for a conservative TCP-path write. Data
+// for an unknown CID (late chunks of a write the teardown or a failover
+// already failed) is dropped, not fatal.
 func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.writes[d.CID]
 	if !ok {
-		panic(fmt.Sprintf("oaf server: data for unknown write CID %d", d.CID))
+		c.srv.StaleMsgs++
+		return
 	}
 	n := len(d.Payload)
 	if n == 0 {
@@ -418,11 +617,22 @@ func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
 	ctx, ok := c.writes[n.CID]
 	if !ok {
-		panic(fmt.Sprintf("oaf server: SHM notify for unknown write CID %d", n.CID))
+		c.srv.StaleMsgs++
+		return
 	}
-	slot, err := c.region.Open(shm.H2C, n.Slot)
+	region := c.region
+	if region == nil {
+		return // revocation handler already failed this write
+	}
+	slot, err := region.Open(shm.H2C, n.Slot)
 	if err != nil {
-		panic(fmt.Sprintf("oaf server: %v", err))
+		// The slot (or the whole region) is gone: fail the write with a
+		// retryable error so the client re-drives it over TCP.
+		freeBufs(ctx.bufs)
+		delete(c.writes, n.CID)
+		c.kick.Fire()
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: n.CID, Status: nvme.StatusDataTransferErr}})
+		return
 	}
 	var dst []byte
 	if ctx.real {
@@ -434,7 +644,7 @@ func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Durati
 	copyStart := p.Now()
 	slot.CopyOut(p, dst, int(n.Length))
 	ctx.copyTime += p.Now().Sub(copyStart)
-	slot.Release()
+	slot.TryRelease()
 	ctx.received += int(n.Length)
 	ctx.comm += transit
 	if ctx.received >= ctx.size {
@@ -463,7 +673,7 @@ func (c *srvConn) execWrite(cmd nvme.Command, size int, data []byte, comm time.D
 func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
 	size := int(cmd.NLB()) * transport.BlockSize
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(need, func(bufs []*mempool.Buf) {
+	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		c.srv.e.Go("oaf-read-worker", func(w *sim.Proc) {
 			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
 			if res.CQE.Status.IsError() {
@@ -472,8 +682,9 @@ func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
 				c.post(nil, c.resp(res, transit, 0))
 				return
 			}
-			if c.region != nil && (c.srv.cfg.Design.Chunked() || size <= c.region.SlotSize) {
-				c.sendReadOverSHM(w, cmd, size, res, transit, bufs)
+			region := c.region
+			if region != nil && !region.Revoked() && (c.srv.cfg.Design.Chunked() || size <= region.SlotSize) {
+				c.sendReadOverSHM(w, region, cmd, size, res, transit, bufs)
 				return
 			}
 			c.sendReadOverTCP(cmd, size, res, transit, bufs)
@@ -483,12 +694,19 @@ func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
 
 // sendReadOverSHM moves the payload through C2H slots: per-chunk slots
 // and notifications for the chunked designs, one whole-I/O slot and a
-// single notification under shared-memory flow control.
-func (c *srvConn) sendReadOverSHM(w *sim.Proc, cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
+// single notification under shared-memory flow control. If the region is
+// revoked mid-stream — even while blocked waiting for a slot credit —
+// the transfer fails over to the TCP data path: the adaptive selection
+// of §4.1 extended from placement to failure.
+func (c *srvConn) sendReadOverSHM(w *sim.Proc, region *shm.Region, cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
 	if !c.srv.cfg.Design.Chunked() {
 		// Shared-memory flow control: one whole-I/O slot, one
 		// notification batched with the response.
-		slot := c.region.Claim(w, shm.C2H)
+		slot := region.Claim(w, shm.C2H)
+		if slot == nil {
+			c.sendReadOverTCP(cmd, size, res, transit, bufs)
+			return
+		}
 		t0 := w.Now()
 		slot.CopyIn(w, res.Data, size)
 		copyTime := w.Now().Sub(t0)
@@ -503,10 +721,30 @@ func (c *srvConn) sendReadOverSHM(w *sim.Proc, cmd nvme.Command, size int, res t
 	// stop-and-wait on the client's acknowledgement — the naive flow the
 	// shared-memory flow control replaces (§4.4.2).
 	ackQ := sim.NewQueue[struct{}](c.srv.e, 0)
+	if old, ok := c.readAcks[cmd.CID]; ok {
+		// A retried read reused this CID while the abandoned attempt's
+		// worker is still parked on its ack queue: close it so that worker
+		// aborts and frees its buffers.
+		old.Close()
+	}
 	c.readAcks[cmd.CID] = ackQ
 	var copyTime time.Duration
-	transport.ChunkSizes(size, c.region.SlotSize, func(off, n int) {
-		slot := c.region.Claim(w, shm.C2H)
+	chunk := region.SlotSize
+	for off := 0; off < size; off += chunk {
+		n := chunk
+		if size-off < n {
+			n = size - off
+		}
+		slot := region.Claim(w, shm.C2H)
+		if slot == nil {
+			// Region revoked mid-transfer: fail over, resending the
+			// whole payload over TCP (the client restarts reassembly).
+			if c.readAcks[cmd.CID] == ackQ {
+				delete(c.readAcks, cmd.CID)
+			}
+			c.sendReadOverTCP(cmd, size, res, transit, bufs)
+			return
+		}
 		var src []byte
 		if res.Data != nil {
 			src = res.Data[off : off+n]
@@ -520,10 +758,21 @@ func (c *srvConn) sendReadOverSHM(w *sim.Proc, cmd nvme.Command, size int, res t
 			c.post(nil, nf, c.resp(res, transit, copyTime))
 		} else {
 			c.post(nil, nf)
-			ackQ.Get(w) // wait for the client's per-chunk credit
+			if _, ok := ackQ.Get(w); !ok {
+				// Teardown, revocation, or a CID-reusing retry closed the
+				// ack queue: abandon the transfer, reclaim the buffers.
+				if c.readAcks[cmd.CID] == ackQ {
+					delete(c.readAcks, cmd.CID)
+				}
+				freeBufs(bufs)
+				c.kick.Fire()
+				return
+			}
 		}
-	})
-	delete(c.readAcks, cmd.CID)
+	}
+	if c.readAcks[cmd.CID] == ackQ {
+		delete(c.readAcks, cmd.CID)
+	}
 	freeBufs(bufs)
 	c.kick.Fire()
 }
@@ -544,6 +793,12 @@ func (c *srvConn) sendReadOverTCP(cmd nvme.Command, size int, res target.ExecRes
 	last := batches[len(batches)-1]
 	last.pdus = append(last.pdus, c.resp(res, transit, 0))
 	last.after = func() { freeBufs(bufs) }
+	if c.dead {
+		// Connection torn down while the read executed: reclaim without
+		// transmitting.
+		freeBufs(bufs)
+		return
+	}
 	for _, b := range batches {
 		c.txQ.TryPut(b)
 	}

@@ -1,0 +1,114 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// adaptive fabric. An Injector schedules failure events — link-loss
+// bursts, latency spikes, network partitions, target crash/restart, and
+// shared-memory region revocation — at virtual times on the simulation
+// engine. Because the engine's event queue is FIFO at equal timestamps
+// and every random stream derives from the engine seed, a fault schedule
+// replays bit-identically for a given seed: chaos runs are reproducible
+// experiments, not flaky tests.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+)
+
+// Crashable is a target-side server that can crash (dropping every
+// connection and all in-flight state) and later restart listening.
+type Crashable interface {
+	Crash()
+	Restart()
+}
+
+// Event records one applied fault for introspection and determinism
+// checks.
+type Event struct {
+	At     sim.Time
+	Kind   string
+	Detail string
+}
+
+func (ev Event) String() string {
+	return fmt.Sprintf("%v %s %s", ev.At, ev.Kind, ev.Detail)
+}
+
+// Injector schedules fault events on one engine and logs each
+// application.
+type Injector struct {
+	e   *sim.Engine
+	rng *rand.Rand
+
+	// Log holds every applied event in application order.
+	Log []Event
+}
+
+// NewInjector creates an injector on e. Its jitter stream derives from
+// the engine seed, so randomized schedules reproduce per seed.
+func NewInjector(e *sim.Engine) *Injector {
+	return &Injector{e: e, rng: e.Rand("faults")}
+}
+
+// record appends to the log at the current virtual time.
+func (in *Injector) record(kind, detail string) {
+	in.Log = append(in.Log, Event{At: in.e.Now(), Kind: kind, Detail: detail})
+}
+
+// at schedules an applied+logged fault at now+d.
+func (in *Injector) at(d time.Duration, kind, detail string, apply func()) {
+	in.e.After(d, func() {
+		in.record(kind, detail)
+		apply()
+	})
+}
+
+// Jitter returns a deterministic random duration in [0, max), for
+// spreading schedule points without losing reproducibility.
+func (in *Injector) Jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(in.rng.Int63n(int64(max)))
+}
+
+// LossBurst makes the link lossy (recovered by RTO retransmission) for
+// the window [at, at+dur).
+func (in *Injector) LossBurst(l *netsim.Link, at, dur time.Duration, prob float64, rto time.Duration) {
+	in.at(at, "loss-burst", fmt.Sprintf("prob=%.2f rto=%v dur=%v", prob, rto, dur),
+		func() { l.SetLoss(prob, rto) })
+	in.at(at+dur, "loss-heal", "", func() { l.SetLoss(0, 0) })
+}
+
+// LatencySpike adds extra path latency to the link for the window
+// [at, at+dur).
+func (in *Injector) LatencySpike(l *netsim.Link, at, dur, extra time.Duration) {
+	in.at(at, "latency-spike", fmt.Sprintf("extra=%v dur=%v", extra, dur),
+		func() { l.SetExtraLatency(extra) })
+	in.at(at+dur, "latency-heal", "", func() { l.SetExtraLatency(0) })
+}
+
+// Partition cuts the link both ways for the window [at, at+dur):
+// messages in that window are dropped with no recovery.
+func (in *Injector) Partition(l *netsim.Link, at, dur time.Duration) {
+	in.at(at, "partition", fmt.Sprintf("dur=%v", dur), func() { l.SetPartitioned(true) })
+	in.at(at+dur, "partition-heal", "", func() { l.SetPartitioned(false) })
+}
+
+// CrashTarget crashes srv at the given time and restarts it downFor
+// later. A crash drops every connection and all in-flight target state;
+// clients recover through timeouts, retries, and reconnect.
+func (in *Injector) CrashTarget(srv Crashable, at, downFor time.Duration) {
+	in.at(at, "target-crash", fmt.Sprintf("down=%v", downFor), srv.Crash)
+	in.at(at+downFor, "target-restart", "", srv.Restart)
+}
+
+// RevokeRegion tears down the shared-memory mapping at the given time,
+// as a VM migration would: in-flight shared-memory transfers fail with
+// typed errors and both sides fail over to the TCP data path.
+func (in *Injector) RevokeRegion(r *shm.Region, at time.Duration) {
+	in.at(at, "shm-revoke", fmt.Sprintf("key=%d", r.Key), r.Revoke)
+}

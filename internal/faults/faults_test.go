@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/shm"
+	"nvmeoaf/internal/sim"
+)
+
+// fakeCrashable records crash/restart transitions.
+type fakeCrashable struct{ crashes, restarts int }
+
+func (f *fakeCrashable) Crash()   { f.crashes++ }
+func (f *fakeCrashable) Restart() { f.restarts++ }
+
+// runSchedule applies a representative schedule of every fault kind and
+// returns the injector's log.
+func runSchedule(t *testing.T, seed int64) []Event {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	link := netsim.NewLoopLink(e, model.LinkParams{Name: "t", WireBytesPerSec: 1e9})
+	region, err := shm.NewRegion(e, 9, 4096, 4, model.DefaultSHM(), shm.ModeLockFree, shm.ClaimRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &fakeCrashable{}
+	inj := NewInjector(e)
+	ms := time.Millisecond
+	inj.LossBurst(link, 1*ms+inj.Jitter(ms), 2*ms, 0.3, 500*time.Microsecond)
+	inj.LatencySpike(link, 2*ms+inj.Jitter(ms), 1*ms, 200*time.Microsecond)
+	inj.Partition(link, 5*ms+inj.Jitter(ms), 1*ms)
+	inj.CrashTarget(srv, 8*ms+inj.Jitter(ms), 2*ms)
+	inj.RevokeRegion(region, 12*ms+inj.Jitter(ms))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.crashes != 1 || srv.restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", srv.crashes, srv.restarts)
+	}
+	if !region.Revoked() {
+		t.Fatal("region not revoked")
+	}
+	if link.A.Down() || link.A.Loss() != 0 {
+		t.Fatal("link not healed at end of schedule")
+	}
+	return inj.Log
+}
+
+func TestScheduleAppliesAndLogsInOrder(t *testing.T) {
+	log := runSchedule(t, 42)
+	// 2 events per windowed fault (4 of them) + 2 for crash/restart... the
+	// crash pair is windowed too; revoke is a single event.
+	if want := 2 + 2 + 2 + 2 + 1; len(log) != want {
+		t.Fatalf("log has %d events, want %d: %v", len(log), want, log)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At.Sub(log[i-1].At) < 0 {
+			t.Fatalf("log out of order: %v before %v", log[i-1], log[i])
+		}
+	}
+	kinds := map[string]int{}
+	for _, ev := range log {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"loss-burst", "loss-heal", "latency-spike", "latency-heal",
+		"partition", "partition-heal", "target-crash", "target-restart", "shm-revoke"} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %q missing from log", k)
+		}
+	}
+}
+
+func TestScheduleIsSeedReproducible(t *testing.T) {
+	a := runSchedule(t, 42)
+	b := runSchedule(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed moves the jittered schedule points.
+	c := runSchedule(t, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jittered schedule")
+	}
+}

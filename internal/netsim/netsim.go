@@ -97,8 +97,16 @@ type Endpoint struct {
 	rto      time.Duration
 	lossRng  *rand.Rand
 	tracer   *Tracer
+	// down simulates a network partition: transmissions are dropped
+	// without delivery (and without RTO recovery — the path is gone).
+	down bool
+	// extraLatency is injected path latency (a congestion or reroute
+	// spike) added to propagation on every transmission.
+	extraLatency time.Duration
 	// Retransmits counts recovered losses.
 	Retransmits int64
+	// Drops counts messages lost to a partition.
+	Drops int64
 
 	// OnDeliver, when set, runs in engine context each time a message is
 	// delivered into this endpoint's inbox. Reactors use it to wake a
@@ -134,7 +142,42 @@ func NewNIC(e *sim.Engine, bytesPerSec float64) *NIC {
 func (ep *Endpoint) SetLoss(prob float64, rto time.Duration) {
 	ep.lossProb = prob
 	ep.rto = rto
-	ep.lossRng = ep.e.Rand("netsim-loss")
+	if ep.lossRng == nil {
+		ep.lossRng = ep.e.Rand("netsim-loss")
+	}
+}
+
+// Loss returns the current loss probability (zero = disabled).
+func (ep *Endpoint) Loss() float64 { return ep.lossProb }
+
+// SetDown partitions this endpoint's transmit path: messages are dropped
+// without delivery until the partition heals. Unlike SetLoss there is no
+// RTO recovery — a partition has no surviving path for the retransmit.
+func (ep *Endpoint) SetDown(down bool) { ep.down = down }
+
+// Down reports whether the endpoint's transmit path is partitioned.
+func (ep *Endpoint) Down() bool { return ep.down }
+
+// SetExtraLatency injects additional path latency (a congestion or
+// reroute spike) into every subsequent transmission.
+func (ep *Endpoint) SetExtraLatency(d time.Duration) { ep.extraLatency = d }
+
+// SetLoss enables segment loss in both directions of the link.
+func (l *Link) SetLoss(prob float64, rto time.Duration) {
+	l.A.SetLoss(prob, rto)
+	l.B.SetLoss(prob, rto)
+}
+
+// SetPartitioned partitions (or heals) both directions of the link.
+func (l *Link) SetPartitioned(part bool) {
+	l.A.SetDown(part)
+	l.B.SetDown(part)
+}
+
+// SetExtraLatency injects path latency into both directions of the link.
+func (l *Link) SetExtraLatency(d time.Duration) {
+	l.A.SetExtraLatency(d)
+	l.B.SetExtraLatency(d)
 }
 
 // NewLink connects two endpoints through the given NICs. For VMs on the
@@ -170,6 +213,18 @@ func (ep *Endpoint) Send(p *sim.Proc, msg *Message) {
 	// Sender stack CPU (copy to socket buffer, segmentation, doorbell).
 	p.Sleep(ep.params.PerMsgCPU + time.Duration(float64(size)*ep.params.PerByteCPUNanos))
 
+	// Network partition: the message is transmitted but never delivered.
+	// The sender still pays its stack cost — it cannot know the path died.
+	if ep.down || ep.peer.down {
+		ep.Drops++
+		ep.MsgsSent++
+		ep.BytesSent += int64(size)
+		if ep.tracer != nil {
+			ep.tracer.record(p.Now(), "drop", msg)
+		}
+		return
+	}
+
 	// Send-buffer backpressure.
 	if over := ep.tx.backlog() - ep.tx.backlogCap; over > 0 {
 		p.Sleep(over)
@@ -182,7 +237,7 @@ func (ep *Endpoint) Send(p *sim.Proc, msg *Message) {
 		ep.Retransmits++
 		txDone = ep.tx.serialize(txDone.Add(ep.rto), size)
 	}
-	arrive := txDone.Add(ep.params.Propagation)
+	arrive := txDone.Add(ep.params.Propagation + ep.extraLatency)
 	rxDone := ep.peer.rx.serialize(arrive, size)
 
 	ep.MsgsSent++

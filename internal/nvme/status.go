@@ -16,10 +16,28 @@ const (
 	StatusInternalError    Status = 0x006
 	StatusAbortRequested   Status = 0x007
 	StatusInvalidNamespace Status = 0x00B
-	StatusLBAOutOfRange    Status = 0x080
-	StatusCapacityExceeded Status = 0x081
-	StatusNamespaceNotRdy  Status = 0x082
+	// StatusCommandInterrupted (NVMe 1.4) marks a command shed or aborted
+	// by the controller under resource pressure; hosts should retry.
+	StatusCommandInterrupted Status = 0x021
+	// StatusTransientTransport (NVMe 1.4) marks a transport-path failure
+	// (timeout, lost connection); hosts may retry on the same or another
+	// path.
+	StatusTransientTransport Status = 0x022
+	StatusLBAOutOfRange      Status = 0x080
+	StatusCapacityExceeded   Status = 0x081
+	StatusNamespaceNotRdy    Status = 0x082
 )
+
+// Retryable reports whether the status marks a transient failure the
+// host is expected to retry (possibly on another path) rather than a
+// command-level error it must surface.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusCommandInterrupted, StatusTransientTransport, StatusDataTransferErr, StatusNamespaceNotRdy:
+		return true
+	}
+	return false
+}
 
 // IsError reports whether the status indicates failure.
 func (s Status) IsError() bool { return s != StatusSuccess }
@@ -42,6 +60,10 @@ func (s Status) String() string {
 		return "abort requested"
 	case StatusInvalidNamespace:
 		return "invalid namespace or format"
+	case StatusCommandInterrupted:
+		return "command interrupted"
+	case StatusTransientTransport:
+		return "transient transport error"
 	case StatusLBAOutOfRange:
 		return "LBA out of range"
 	case StatusCapacityExceeded:

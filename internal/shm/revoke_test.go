@@ -1,0 +1,121 @@
+package shm
+
+import (
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/sim"
+)
+
+func TestRevokeFailsNewClaims(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := mustRegion(t, e, 4096, 4, ModeLockFree, ClaimRoundRobin)
+	e.Go("io", func(p *sim.Proc) {
+		if s := r.Claim(p, H2C); s == nil {
+			t.Fatal("claim before revoke failed")
+		} else {
+			s.Release()
+		}
+		r.Revoke()
+		if !r.Revoked() {
+			t.Fatal("region not marked revoked")
+		}
+		if s := r.Claim(p, H2C); s != nil {
+			t.Fatal("claim on a revoked region succeeded")
+		}
+		if s := r.Claim(p, C2H); s != nil {
+			t.Fatal("C2H claim on a revoked region succeeded")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeWakesBlockedClaimers(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := mustRegion(t, e, 4096, 1, ModeLockFree, ClaimRoundRobin)
+	woke := false
+	e.Go("blocker", func(p *sim.Proc) {
+		if s := r.Claim(p, H2C); s == nil {
+			t.Fatal("first claim failed")
+		}
+		// Hold the only slot forever: the next claimer must block until
+		// the revocation wakes it.
+	})
+	e.Go("claimer", func(p *sim.Proc) {
+		s := r.Claim(p, H2C) // blocks: no free slot
+		if s != nil {
+			t.Error("claim returned a slot from a revoked region")
+		}
+		woke = true
+	})
+	e.After(10*time.Microsecond, r.Revoke)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Fatal("blocked claimer never woke after revocation")
+	}
+}
+
+func TestOpenFailsAfterRevoke(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := mustRegion(t, e, 4096, 4, ModeLockFree, ClaimRoundRobin)
+	e.Go("io", func(p *sim.Proc) {
+		s := r.Claim(p, C2H)
+		if s == nil {
+			t.Fatal("claim failed")
+		}
+		r.Revoke()
+		if _, err := r.Open(C2H, s.Index); err == nil {
+			t.Fatal("open on a revoked region succeeded")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryReleaseIsTolerant(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := mustRegion(t, e, 4096, 4, ModeLockFree, ClaimRoundRobin)
+	e.Go("io", func(p *sim.Proc) {
+		s := r.Claim(p, H2C)
+		if !s.TryRelease() {
+			t.Fatal("first TryRelease of a busy slot failed")
+		}
+		// Already free: the tolerant release reports false rather than
+		// panicking like Release does — the other side may have freed
+		// the slot after a timeout handed ownership over ambiguously.
+		if s.TryRelease() {
+			t.Fatal("second TryRelease of a free slot succeeded")
+		}
+		if r.Busy(H2C) != 0 {
+			t.Fatalf("busy = %d after release", r.Busy(H2C))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnRevokeCallbacks(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := mustRegion(t, e, 4096, 4, ModeLockFree, ClaimRoundRobin)
+	calls := 0
+	r.OnRevoke(func() { calls++ })
+	r.Revoke()
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want 1", calls)
+	}
+	r.Revoke() // idempotent: no second round of callbacks
+	if calls != 1 {
+		t.Fatalf("second revoke re-ran callbacks (%d)", calls)
+	}
+	// Registering on an already-revoked region fires immediately.
+	r.OnRevoke(func() { calls++ })
+	if calls != 2 {
+		t.Fatalf("late registration did not fire immediately (%d)", calls)
+	}
+}

@@ -100,6 +100,12 @@ type Region struct {
 
 	rng *rand.Rand
 
+	// revoked marks the mapping torn down (VM migration, helper-process
+	// death): claims and opens fail, releases become no-ops.
+	revoked uint32 // atomic
+	// onRevoke callbacks run once, in the revoker's context.
+	onRevoke []func()
+
 	// Encryption state (see crypto.go).
 	encKey uint64
 	encBps float64
@@ -152,6 +158,43 @@ func (r *Region) Mode() Mode { return r.mode }
 // Size returns the total region size in bytes.
 func (r *Region) Size() int { return len(r.data) }
 
+// Revoked reports whether the mapping has been torn down.
+func (r *Region) Revoked() bool { return atomic.LoadUint32(&r.revoked) == 1 }
+
+// Revoke tears the mapping down, as a VM migration or helper-process
+// death would: subsequent Claims return nil, Opens fail, and processes
+// blocked waiting for a slot credit are woken to observe the revocation.
+// Registered OnRevoke callbacks fire once, in the revoker's context.
+// Idempotent.
+func (r *Region) Revoke() {
+	if !atomic.CompareAndSwapUint32(&r.revoked, 0, 1) {
+		return
+	}
+	// Wake every blocked claimer: inject one permit per slot per half.
+	// Claimers re-check Revoked after acquiring and bail out, so the
+	// surplus permits are never spent on real slots.
+	for d := 0; d < 2; d++ {
+		for i := 0; i < r.SlotCount; i++ {
+			r.credits[d].Release()
+		}
+	}
+	cbs := r.onRevoke
+	r.onRevoke = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// OnRevoke registers fn to run when the region is revoked (immediately if
+// it already was). fn runs in the revoker's context and must not block.
+func (r *Region) OnRevoke(fn func()) {
+	if r.Revoked() {
+		fn()
+		return
+	}
+	r.onRevoke = append(r.onRevoke, fn)
+}
+
 // Slot is a claimed element of the double buffer.
 type Slot struct {
 	r      *Region
@@ -172,11 +215,22 @@ func (r *Region) slotBytes(dir Direction, idx uint32) []byte {
 // region until the peer consumes them, so slot credits bound the in-flight
 // data, §4.4.2). The claim itself is lock-free: an atomic CAS over the
 // round-robin cursor or free list.
+// Claim returns nil when the region has been revoked — including when the
+// revocation lands while the claimer is blocked on a slot credit.
 func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
+	if r.Revoked() {
+		return nil
+	}
 	t0 := p.Now()
 	r.credits[dir].Acquire(p)
 	r.ClaimWait.RecordDuration(p.Now().Sub(t0))
+	if r.Revoked() {
+		return nil
+	}
 	p.Sleep(r.params.SlotOverhead)
+	if r.Revoked() {
+		return nil
+	}
 
 	var idx uint32
 	switch r.policy {
@@ -205,6 +259,9 @@ func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
 // Open adopts an already-claimed slot by index, as the peer side does when
 // an out-of-band notification names the slot it should read.
 func (r *Region) Open(dir Direction, idx uint32) (*Slot, error) {
+	if r.Revoked() {
+		return nil, fmt.Errorf("shm: region %d revoked", r.Key)
+	}
 	if int(idx) >= r.SlotCount {
 		return nil, fmt.Errorf("shm: slot %d out of range (%d)", idx, r.SlotCount)
 	}
@@ -214,13 +271,18 @@ func (r *Region) Open(dir Direction, idx uint32) (*Slot, error) {
 	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}, nil
 }
 
-// Release returns the slot to the allocator.
+// Release returns the slot to the allocator. Releasing into a revoked
+// region is a no-op (the mapping is gone). Releasing a slot someone else
+// already freed panics — use TryRelease where ownership is ambiguous.
 func (s *Slot) Release() {
 	if s.closed {
 		panic("shm: slot released twice")
 	}
 	s.closed = true
 	r := s.r
+	if r.Revoked() {
+		return
+	}
 	if !atomic.CompareAndSwapUint32(&r.state[s.dir][s.Index], slotBusy, slotFree) {
 		panic("shm: releasing a free slot")
 	}
@@ -229,6 +291,30 @@ func (s *Slot) Release() {
 	}
 	r.Releases++
 	r.credits[s.dir].Release()
+}
+
+// TryRelease frees the slot if it is still busy and reports whether it
+// did. Recovery paths use it when slot ownership is ambiguous — a
+// timed-out command's slot may have been consumed and freed by the peer
+// already, which plain Release would treat as a fatal double-free.
+func (s *Slot) TryRelease() bool {
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	r := s.r
+	if r.Revoked() {
+		return false
+	}
+	if !atomic.CompareAndSwapUint32(&r.state[s.dir][s.Index], slotBusy, slotFree) {
+		return false
+	}
+	if r.policy == ClaimFreeList {
+		r.freeLst[s.dir] = append(r.freeLst[s.dir], s.Index)
+	}
+	r.Releases++
+	r.credits[s.dir].Release()
+	return true
 }
 
 // Bytes exposes the slot's backing memory for zero-copy use: the

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"nvmeoaf/internal/mempool"
@@ -38,6 +39,9 @@ type Server struct {
 
 	// BufferWaits counts commands that had to wait for pool buffers.
 	BufferWaits int64
+	// StaleMsgs counts PDUs for unknown commands (late data after a
+	// teardown) dropped instead of panicking.
+	StaleMsgs int64
 }
 
 // NewServer creates the transport for tgt with a fresh buffer pool.
@@ -131,10 +135,21 @@ type Conn struct {
 	connected bool
 	// Expired reports a keep-alive timeout teardown.
 	Expired bool
+	// dead is set once the run loop exits: posts stop transmitting but
+	// still run their cleanup callbacks so buffers return to the pool.
+	dead bool
 }
 
 // post enqueues an outbound batch and wakes the handler.
 func (c *Conn) post(after func(), pdus ...pdu.PDU) {
+	if c.dead {
+		// The connection is gone; run the cleanup (buffer frees) so a
+		// late worker completion cannot leak pool buffers.
+		if after != nil {
+			after()
+		}
+		return
+	}
 	c.txQ.TryPut(&txBatch{pdus: pdus, after: after})
 	c.kick.Fire()
 }
@@ -184,7 +199,15 @@ func (c *Conn) run(p *sim.Proc) {
 			c.ep.ChargeWakeup(p)
 		}
 	}
-	// Drain any final batches (e.g. termination reply).
+	c.teardown(p)
+}
+
+// teardown reclaims every connection resource: queued transmissions are
+// flushed (their cleanup callbacks always run), half-received writes free
+// their pool buffers, and parked buffer-waiters drain — a KATO expiry
+// mid-transfer must not leak pool credits the other connections need.
+func (c *Conn) teardown(p *sim.Proc) {
+	c.dead = true
 	for {
 		batch, ok := c.txQ.TryGet()
 		if !ok {
@@ -195,6 +218,24 @@ func (c *Conn) run(p *sim.Proc) {
 			batch.after()
 		}
 	}
+	for _, cid := range sortedWriteCIDs(c.writes) {
+		freeBufs(c.writes[cid].bufs)
+		delete(c.writes, cid)
+	}
+	for {
+		if _, ok := c.waitsQ.TryGet(); !ok {
+			break
+		}
+	}
+}
+
+func sortedWriteCIDs(m map[uint16]*writeCtx) []uint16 {
+	cids := make([]uint16, 0, len(m))
+	for cid := range m {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	return cids
 }
 
 // retryWaits re-attempts buffer allocation for parked commands in FIFO
@@ -399,6 +440,12 @@ func (c *Conn) startRead(cmd nvme.Command, transit time.Duration) {
 			last := batches[len(batches)-1]
 			last.pdus = append(last.pdus, c.resp(res, transit))
 			last.after = func() { freeBufs(bufs) }
+			if c.dead {
+				// Connection torn down while the read executed: reclaim
+				// the buffers without transmitting.
+				freeBufs(bufs)
+				return
+			}
 			for _, b := range batches {
 				c.txQ.TryPut(b)
 			}
@@ -417,11 +464,14 @@ func (c *Conn) startConservativeWrite(cmd nvme.Command, size int, transit time.D
 	})
 }
 
-// onData accumulates H2CData for a conservative write.
+// onData accumulates H2CData for a conservative write. Data for an
+// unknown CID (late chunks of a write a teardown already reclaimed) is
+// dropped, not fatal.
 func (c *Conn) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.writes[d.CID]
 	if !ok {
-		panic(fmt.Sprintf("tcp server: data for unknown write CID %d", d.CID))
+		c.srv.StaleMsgs++
+		return
 	}
 	n := len(d.Payload)
 	if n == 0 {

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Fast correctness gate for CI and pre-commit:
+#   1. go vet      — static checks
+#   2. go build    — everything compiles
+#   3. go test -race — full suite under the race detector (the sim engine
+#      runs procs one at a time, but real goroutines, channels, and the
+#      shared-memory atomics still get exercised)
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== vet =="
+go vet ./...
+
+echo "== build =="
+go build ./...
+
+echo "== test (race) =="
+go test -race ./...
+
+echo "verify: OK"
