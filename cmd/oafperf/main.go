@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,10 @@ import (
 
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/exp"
+	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/telemetry"
 )
 
 // parseSize parses 4K/128K/1M style sizes.
@@ -100,6 +103,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	chunk := flag.Int("chunk", 0, "TCP chunk size override in bytes (0 = 128K default)")
 	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
+	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
 	size, err := parseSize(*sizeStr)
@@ -162,6 +166,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *statsJSON {
+		if err := emitJSON(os.Stdout, cfg, *fabric, *rw, *sizeStr, res); err != nil {
+			fmt.Fprintln(os.Stderr, "oafperf:", err)
+			os.Exit(1)
+		}
+		if res.Agg.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d window=%v\n",
 		*fabric, d, *rw, *sizeStr, *qd, *streams, *dur)
 	agg := res.Agg
@@ -185,4 +200,61 @@ func main() {
 		fmt.Printf("  ssd %d     : util %.0f%%, %d reads / %d writes\n",
 			i, dev.SSD().Utilization()*100, dev.SSD().ReadOps, dev.SSD().WriteOps)
 	}
+}
+
+// report is the -stats-json document: run configuration, the aggregate
+// performance result, and the fabric-wide observability snapshot.
+type report struct {
+	Config struct {
+		Fabric  string `json:"fabric"`
+		Design  string `json:"design"`
+		RW      string `json:"rw"`
+		Size    string `json:"size"`
+		QD      int    `json:"qd"`
+		Streams int    `json:"streams"`
+		Window  string `json:"window"`
+		Seed    int64  `json:"seed"`
+	} `json:"config"`
+	Perf struct {
+		GBps    float64 `json:"gbps"`
+		IOPS    float64 `json:"iops"`
+		AvgUs   float64 `json:"avg_us"`
+		P50Us   float64 `json:"p50_us"`
+		P99Us   float64 `json:"p99_us"`
+		P999Us  float64 `json:"p999_us"`
+		P9999Us float64 `json:"p9999_us"`
+		Errors  int64   `json:"errors"`
+	} `json:"perf"`
+	WireBytes int64              `json:"wire_bytes"`
+	SHMBytes  int64              `json:"shm_bytes"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Pools     []mempool.Stats    `json:"pools,omitempty"`
+}
+
+func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Result) error {
+	var r report
+	r.Config.Fabric = fabric
+	r.Config.Design = cfg.Design.String()
+	r.Config.RW = rw
+	r.Config.Size = size
+	r.Config.QD = cfg.Workload.QueueDepth
+	r.Config.Streams = cfg.Streams
+	r.Config.Window = cfg.Workload.Duration.String()
+	r.Config.Seed = cfg.Seed
+	agg := res.Agg
+	r.Perf.GBps = agg.Throughput.GBps()
+	r.Perf.IOPS = agg.Throughput.IOPS()
+	r.Perf.AvgUs = agg.BD.MeanTotal()
+	r.Perf.P50Us = float64(agg.Latency.P50()) / 1e3
+	r.Perf.P99Us = float64(agg.Latency.P99()) / 1e3
+	r.Perf.P999Us = float64(agg.Latency.P999()) / 1e3
+	r.Perf.P9999Us = float64(agg.Latency.P9999()) / 1e3
+	r.Perf.Errors = agg.Errors
+	r.WireBytes = res.WireBytes
+	r.SHMBytes = res.SHMBytes
+	r.Telemetry = res.Telemetry.Snapshot()
+	r.Pools = res.Pools
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }

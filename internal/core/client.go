@@ -11,6 +11,7 @@ import (
 	"nvmeoaf/internal/pdu"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -67,6 +68,10 @@ type ClientConfig struct {
 	// connections — and so a dead target is detected even with no I/O
 	// outstanding. Zero disables.
 	KeepAlive time.Duration
+
+	// Telemetry receives path-selection traces, per-path submit and
+	// recovery counters, and latency histograms. Nil means disabled.
+	Telemetry *telemetry.Sink
 }
 
 // afPending decorates a pending request with its shared-memory state.
@@ -102,6 +107,7 @@ type Client struct {
 	drained *sim.Signal
 	policy  pollPolicy
 	rng     *rand.Rand
+	tel     *telemetry.Sink
 
 	// backlog counts commands parked in retry backoff (neither queued nor
 	// in flight); teardown waits for them.
@@ -153,6 +159,10 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		kick:    sim.NewSignal(e),
 		drained: sim.NewSignal(e),
 		rng:     e.Rand("oaf-client-retry"),
+		tel:     cfg.Telemetry,
+	}
+	if c.tel == nil {
+		c.tel = telemetry.Disabled
 	}
 	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
 	if cfg.Design.UsesSHM() && cfg.Region != nil {
@@ -180,6 +190,9 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		// Wake the reactor the instant the helper revokes the mapping so
 		// the failover happens before blocked claimers pile up.
 		c.region.OnRevoke(c.kick.Fire)
+		c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "shm", cfg.Design.String())
+	} else {
+		c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", cfg.Design.String())
 	}
 	e.GoDaemon("oaf-client-reactor", c.reactor)
 	if cfg.KeepAlive > 0 {
@@ -330,6 +343,8 @@ func (c *Client) reactor(p *sim.Proc) {
 			// errors or deadline hits and re-drive over TCP.
 			c.region = nil
 			c.Failovers++
+			c.tel.Inc(telemetry.CtrFailovers)
+			c.tel.Trace(int64(p.Now()), telemetry.EvFailover, 0, "tcp", "region-revoked")
 		}
 		worked := false
 		if c.reconRetry {
@@ -488,6 +503,8 @@ func (c *Client) reapExpired(p *sim.Proc) bool {
 			panic(fmt.Sprintf("oaf client: %v", err))
 		}
 		c.Timeouts++
+		c.tel.Inc(telemetry.CtrTimeouts)
+		c.tel.Trace(int64(p.Now()), telemetry.EvTimeout, pend.CID, "", "deadline")
 		c.consecTimeouts++
 		c.requeueOrFail(p, pend)
 		worked = true
@@ -523,6 +540,8 @@ func (c *Client) requeueOrFail(p *sim.Proc, pend *afPending) {
 	}
 	pend.attempts++
 	c.Retries++
+	c.tel.Inc(telemetry.CtrRetries)
+	c.tel.Trace(int64(p.Now()), telemetry.EvRetry, pend.CID, "tcp", "backoff")
 	c.backlog++
 	c.e.After(c.backoff(pend.attempts), func() {
 		c.backlog--
@@ -613,6 +632,16 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 	pend.CID = cid
 	c.armDeadline(pend)
 	io := pend.IO
+	if io.Admin == 0 {
+		// The data path in effect for this attempt: retried commands pin
+		// TCP, everything else follows the negotiated region.
+		if c.region != nil && pend.attempts == 0 {
+			c.tel.Inc(telemetry.CtrSubmitsSHM)
+		} else {
+			c.tel.Inc(telemetry.CtrSubmitsTCP)
+		}
+		c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
+	}
 	if io.Admin != 0 {
 		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
 		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
@@ -667,6 +696,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("oaf client: bad message: %v", err))
 	}
+	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.R2T:
@@ -716,7 +746,8 @@ func (c *Client) onReconnectICResp(p *sim.Proc, resp *pdu.ICResp) {
 func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 	ctx, ok := c.cids.Lookup(r.CID)
 	if !ok {
-		c.LateMsgs++ // R2T for a command already reaped by its deadline
+		c.LateMsgs++
+		c.tel.Inc(telemetry.CtrLateMsgs) // R2T for a command already reaped by its deadline
 		return
 	}
 	pend := ctx.(*afPending)
@@ -805,7 +836,8 @@ func (c *Client) onSHMRelease(p *sim.Proc, rel *pdu.SHMRelease) {
 func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.cids.Lookup(d.CID)
 	if !ok {
-		c.LateMsgs++ // late data for a command already reaped
+		c.LateMsgs++
+		c.tel.Inc(telemetry.CtrLateMsgs) // late data for a command already reaped
 		return
 	}
 	pend := ctx.(*afPending)
@@ -833,6 +865,7 @@ func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duratio
 		// consume and free the slot anyway, or the target's C2H credit
 		// never returns and its read workers wedge on a full ring.
 		c.LateMsgs++
+		c.tel.Inc(telemetry.CtrLateMsgs)
 		if region != nil {
 			if slot, err := region.Open(shm.C2H, n.Slot); err == nil {
 				slot.TryRelease()
@@ -891,6 +924,7 @@ func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) 
 		// A response for a command the deadline already reaped: its CID
 		// was freed (or reused by a later command that also completed).
 		c.LateMsgs++
+		c.tel.Inc(telemetry.CtrLateMsgs)
 		return
 	}
 	pend := ctx.(*afPending)
@@ -913,6 +947,15 @@ func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) 
 	}
 	pend.Finish(p.Now(), r, data)
 	c.Completed++
+	c.tel.Inc(telemetry.CtrCompletions)
+	if pend.IO.Admin == 0 {
+		lat := p.Now().Sub(pend.SubmitAt)
+		if pend.IO.Write {
+			c.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
+		} else {
+			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
+		}
+	}
 	c.kick.Fire()
 }
 
@@ -924,5 +967,7 @@ func (c *Client) onConnectResp(r *pdu.CapsuleResp) {
 	c.reconnecting = false
 	c.consecTimeouts = 0
 	c.Reconnects++
+	c.tel.Inc(telemetry.CtrReconnects)
+	c.tel.Trace(int64(c.e.Now()), telemetry.EvReconnect, 0, "", "handshake")
 	c.kick.Fire()
 }

@@ -112,18 +112,18 @@ func TestRemotePairFallsBackToTCP(t *testing.T) {
 func TestLocalityProvisioning(t *testing.T) {
 	e := sim.NewEngine(1)
 	f := NewFabric(e, model.DefaultSHM())
-	if _, ok := f.Provision("hostA", "hostB", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin); ok {
-		t.Fatal("cross-host provision must fail")
+	if r, err := f.Provision("hostA", "hostB", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin); r != nil || err != nil {
+		t.Fatal("cross-host provision must yield no region")
 	}
-	if _, ok := f.Provision("", "", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin); ok {
-		t.Fatal("empty host names must fail")
+	if r, err := f.Provision("", "", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin); r != nil || err != nil {
+		t.Fatal("empty host names must yield no region")
 	}
-	r1, ok := f.Provision("hostA", "hostA", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin)
-	if !ok {
+	r1, err := f.Provision("hostA", "hostA", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin)
+	if err != nil || r1 == nil {
 		t.Fatal("co-located provision failed")
 	}
-	r2, ok := f.Provision("hostA", "hostA", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin)
-	if !ok || r1.Key == r2.Key {
+	r2, err := f.Provision("hostA", "hostA", 4096, 4, shm.ModeLockFree, shm.ClaimRoundRobin)
+	if err != nil || r2 == nil || r1.Key == r2.Key {
 		t.Fatal("tenants must get distinct regions")
 	}
 	if got, ok := f.Lookup(r1.Key); !ok || got != r1 {
@@ -137,7 +137,7 @@ func TestLocalityProvisioning(t *testing.T) {
 func TestRegionGeometryPerDesign(t *testing.T) {
 	e := sim.NewEngine(1)
 	f := NewFabric(e, model.DefaultSHM())
-	if _, ok := f.RegionFor(DesignTCP, "h", "h", 1<<20, 128<<10, 16); ok {
+	if r, err := f.RegionFor(DesignTCP, "h", "h", 1<<20, 128<<10, 16); r != nil || err != nil {
 		t.Fatal("TCP design needs no region")
 	}
 	whole, _ := f.RegionFor(DesignSHMZeroCopy, "h", "h", 1<<20, 128<<10, 16)

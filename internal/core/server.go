@@ -13,6 +13,7 @@ import (
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -39,6 +40,13 @@ type ServerConfig struct {
 	// it the server sheds load with a retryable typed error instead of
 	// queueing without bound (0 = unbounded).
 	MaxBufferWaiters int
+	// PoisonPool fills freed data-pool elements with mempool.PoisonByte
+	// so stale reads of returned buffers surface as corruption in
+	// data-integrity tests instead of silently passing.
+	PoisonPool bool
+	// Telemetry receives connection, shedding, and keep-alive counters.
+	// Nil means disabled.
+	Telemetry *telemetry.Sink
 }
 
 // Server is the NVMe-oAF transport of one target.
@@ -47,6 +55,7 @@ type Server struct {
 	tgt  *target.Target
 	cfg  ServerConfig
 	pool *mempool.Pool
+	tel  *telemetry.Sink
 
 	eps     []*netsim.Endpoint
 	conns   []*srvConn
@@ -71,12 +80,18 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 	if cfg.TP.ChunkSize <= 0 {
 		cfg.TP = model.DefaultTCPTransport()
 	}
-	return &Server{
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Disabled
+	}
+	s := &Server{
 		e:    e,
 		tgt:  tgt,
 		cfg:  cfg,
 		pool: mempool.New("oaf-data/"+cfg.NQN, cfg.TP.ChunkSize, cfg.TP.DataBuffers),
+		tel:  cfg.Telemetry,
 	}
+	s.pool.SetPoison(cfg.PoisonPool)
+	return s
 }
 
 // Pool exposes the data buffer pool.
@@ -147,16 +162,28 @@ type writeCtx struct {
 	size     int
 	received int
 	real     bool // client payload is real bytes, not modeled
-	data     []byte
+	// staged marks real payload scattered into the pool buffers below
+	// (the DPDK path: received bytes land in pool elements, §4.4.3).
+	staged   bool
 	bufs     []*mempool.Buf
 	comm     time.Duration
 	copyTime time.Duration
 }
 
+// gather materializes the staged payload into one contiguous buffer for
+// the device execute; nil when the write carried no real bytes.
+func (ctx *writeCtx) gather() []byte {
+	if !ctx.staged {
+		return nil
+	}
+	return mempool.Gather(ctx.bufs, ctx.size)
+}
+
 type allocWait struct {
-	cid  uint16
-	need int
-	run  func(bufs []*mempool.Buf)
+	cid   uint16
+	need  int
+	since sim.Time
+	run   func(bufs []*mempool.Buf)
 }
 
 type srvConn struct {
@@ -191,6 +218,8 @@ func (c *srvConn) watchdog(p *sim.Proc) {
 			c.Expired = true
 			c.closed = true
 			c.srv.KAExpirations++
+			c.srv.tel.Inc(telemetry.CtrSrvKATOExpiry)
+			c.srv.tel.Trace(int64(p.Now()), telemetry.EvKATOExpired, 0, "", "watchdog")
 			c.kick.Fire()
 			return
 		}
@@ -231,6 +260,7 @@ func (c *srvConn) run(p *sim.Proc) {
 				break
 			}
 			transport.SendPDUs(p, c.ep, batch.pdus...)
+			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
 			if batch.after != nil {
 				batch.after()
 			}
@@ -278,6 +308,7 @@ func (c *srvConn) teardown(p *sim.Proc, transmit bool) {
 		}
 		if transmit {
 			transport.SendPDUs(p, c.ep, batch.pdus...)
+			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
 		}
 		if batch.after != nil {
 			batch.after()
@@ -350,6 +381,7 @@ func (c *srvConn) retryWaits() {
 			}
 			return
 		}
+		c.srv.tel.ObserveDuration(telemetry.HistBufWait, c.srv.e.Now().Sub(w.since))
 		w.run(bufs)
 	}
 }
@@ -383,11 +415,14 @@ func (c *srvConn) withBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
 	}
 	if max := c.srv.cfg.MaxBufferWaiters; max > 0 && c.waits.Len() >= max {
 		c.srv.Shed++
+		c.srv.tel.Inc(telemetry.CtrSrvShed)
+		c.srv.tel.Trace(int64(c.srv.e.Now()), telemetry.EvShed, cid, "", "pool-exhausted")
 		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
 		return
 	}
 	c.srv.BufferWaits++
-	c.waits.TryPut(&allocWait{cid: cid, need: n, run: fn})
+	c.srv.tel.Inc(telemetry.CtrSrvBufWaits)
+	c.waits.TryPut(&allocWait{cid: cid, need: n, since: c.srv.e.Now(), run: fn})
 }
 
 func freeBufs(bufs []*mempool.Buf) {
@@ -403,6 +438,7 @@ func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("oaf server: bad message: %v", err))
 	}
+	c.srv.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.ICReq:
@@ -437,12 +473,16 @@ func (c *srvConn) onICReq(req *pdu.ICReq) {
 		if region, ok := c.srv.cfg.Fabric.Lookup(req.SHMKey); ok && !region.Revoked() {
 			c.region = region
 			c.srv.SHMConns++
+			c.srv.tel.Inc(telemetry.CtrSrvSHMConns)
 			resp.AFEnabled = true
 			resp.SHMKey = region.Key
 			resp.SHMSize = uint64(region.Size())
 			resp.SlotSize = uint32(region.SlotSize)
 			resp.SlotCount = uint32(region.SlotCount)
 		}
+	}
+	if !resp.AFEnabled {
+		c.srv.tel.Inc(telemetry.CtrSrvTCPConns)
 	}
 	c.post(nil, resp)
 }
@@ -574,6 +614,7 @@ func (c *srvConn) startConservativeWrite(cmd nvme.Command, size int, transit tim
 		freeBufs(stale.bufs)
 		delete(c.writes, cmd.CID)
 		c.srv.StaleMsgs++
+		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
 	}
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
 	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
@@ -590,6 +631,7 @@ func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.writes[d.CID]
 	if !ok {
 		c.srv.StaleMsgs++
+		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
 		return
 	}
 	n := len(d.Payload)
@@ -597,16 +639,14 @@ func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 		n = d.VirtualLen
 	}
 	if d.Payload != nil {
-		if ctx.data == nil {
-			ctx.data = make([]byte, ctx.size)
-		}
-		copy(ctx.data[d.Offset:], d.Payload)
+		mempool.Scatter(ctx.bufs, int(d.Offset), d.Payload)
+		ctx.staged = true
 	}
 	ctx.received += n
 	ctx.comm += transit
 	if ctx.received >= ctx.size {
 		delete(c.writes, d.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.data, ctx.comm, ctx.bufs, ctx.copyTime)
+		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs, ctx.copyTime)
 	}
 }
 
@@ -618,6 +658,7 @@ func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Durati
 	ctx, ok := c.writes[n.CID]
 	if !ok {
 		c.srv.StaleMsgs++
+		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
 		return
 	}
 	region := c.region
@@ -634,22 +675,31 @@ func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Durati
 		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: n.CID, Status: nvme.StatusDataTransferErr}})
 		return
 	}
-	var dst []byte
+	var dst, tmp []byte
 	if ctx.real {
-		if ctx.data == nil {
-			ctx.data = make([]byte, ctx.size)
+		// Copy straight into the covering pool element when the chunk
+		// doesn't straddle one; bounce through a scratch buffer otherwise.
+		dst = mempool.Span(ctx.bufs, int(n.Offset), int(n.Length))
+		if dst == nil {
+			tmp = make([]byte, n.Length)
+			dst = tmp
 		}
-		dst = ctx.data[n.Offset : int(n.Offset)+int(n.Length)]
 	}
 	copyStart := p.Now()
 	slot.CopyOut(p, dst, int(n.Length))
 	ctx.copyTime += p.Now().Sub(copyStart)
+	if ctx.real {
+		if tmp != nil {
+			mempool.Scatter(ctx.bufs, int(n.Offset), tmp)
+		}
+		ctx.staged = true
+	}
 	slot.TryRelease()
 	ctx.received += int(n.Length)
 	ctx.comm += transit
 	if ctx.received >= ctx.size {
 		delete(c.writes, n.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.data, ctx.comm, ctx.bufs, ctx.copyTime)
+		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs, ctx.copyTime)
 		return
 	}
 	// Conservative flow control: acknowledge so the client sends the

@@ -11,6 +11,7 @@ import (
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/perf"
@@ -19,6 +20,7 @@ import (
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -71,6 +73,10 @@ type Config struct {
 	// RDMA overrides the RDMA fabric parameters (nil = model defaults),
 	// for ablations such as disabling registration-cache misses.
 	RDMA *model.RDMAParams
+	// Telemetry receives fabric-wide counters, traces, and histograms
+	// for the run. Nil means Run creates its own sink, returned in
+	// Result.Telemetry either way.
+	Telemetry *telemetry.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +125,11 @@ type Result struct {
 	WireBytes int64
 	// SHMBytes is the payload volume moved through shared memory.
 	SHMBytes int64
+	// Telemetry is the run's observability sink (counters, traces,
+	// latency histograms across every connection).
+	Telemetry *telemetry.Sink
+	// Pools reports the target data-pool accounting per stream.
+	Pools []mempool.Stats
 }
 
 // rdmaParams resolves the RDMA parameter set for a configuration.
@@ -141,7 +152,12 @@ func Run(cfg Config) (*Result, error) {
 	e := sim.NewEngine(cfg.Seed)
 	tgt := target.New(e, model.DefaultHost())
 
-	res := &Result{}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	res := &Result{Telemetry: tel}
+	var pools []*mempool.Pool
 	for i := 0; i < cfg.Streams; i++ {
 		sub, err := tgt.AddSubsystem(nqnFor(i))
 		if err != nil {
@@ -193,24 +209,29 @@ func Run(cfg Config) (*Result, error) {
 		}
 	case OAF, OAFRDMACtl:
 		fabric = core.NewFabric(e, model.DefaultSHM())
+		fabric.AttachTelemetry(tel)
 		for i := 0; i < cfg.Streams; i++ {
 			srv := core.NewServer(e, tgt, core.ServerConfig{
 				NQN: nqnFor(i), Design: cfg.Design, Fabric: fabric,
-				TP: cfg.TP, Host: model.DefaultHost(),
+				TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
 			})
 			srv.Serve(links[i].B)
 			res.PoolFootprint += srv.Pool().FootprintBytes()
-			region, ok := fabric.RegionFor(cfg.Design, "host0", "host0", cfg.MaxIO, cfg.TP.ChunkSize, cfg.Workload.QueueDepth)
-			if !ok {
+			pools = append(pools, srv.Pool())
+			region, err := fabric.RegionFor(cfg.Design, "host0", "host0", cfg.MaxIO, cfg.TP.ChunkSize, cfg.Workload.QueueDepth)
+			if err != nil {
+				// SHM provisioning failed: this pair degrades to the TCP
+				// data path (the trace records the decision).
 				region = nil
 			}
 			regions = append(regions, region)
 		}
 	default: // TCP kinds
 		for i := 0; i < cfg.Streams; i++ {
-			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i), TP: cfg.TP, Host: model.DefaultHost()})
+			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
 			srv.Serve(links[i].B)
 			res.PoolFootprint += srv.Pool().FootprintBytes()
+			pools = append(pools, srv.Pool())
 		}
 	}
 
@@ -239,6 +260,7 @@ func Run(cfg Config) (*Result, error) {
 				c, err := core.Connect(p, links[i].A, core.ClientConfig{
 					NQN: nqnFor(i), QueueDepth: w.QueueDepth, Design: cfg.Design,
 					Region: regions[i], TP: cfg.TP, Host: model.DefaultHost(),
+					Telemetry: tel,
 				})
 				if err != nil {
 					setupErr.Resolve(err)
@@ -249,6 +271,7 @@ func Run(cfg Config) (*Result, error) {
 			default:
 				c, err := tcp.Connect(p, links[i].A, tcp.ClientConfig{
 					NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: cfg.TP, Host: model.DefaultHost(),
+					Telemetry: tel,
 				})
 				if err != nil {
 					setupErr.Resolve(err)
@@ -280,6 +303,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, c := range oafClients {
 		res.SHMBytes += c.SHMPayloadBytes
+	}
+	for _, pool := range pools {
+		res.Pools = append(res.Pools, pool.Stats())
 	}
 	return res, nil
 }

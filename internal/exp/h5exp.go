@@ -127,7 +127,8 @@ func h5Storage(e *sim.Engine, p *sim.Proc, fabric *core.Fabric, clientNode, targ
 		srv.Serve(link.B)
 		var region *shm.Region
 		if intra {
-			if r, ok := fabric.RegionFor(design, clientNode.name, targetNode.name, 1<<20, model.DefaultTCPTransport().ChunkSize, 64); ok {
+			// A failed provision degrades to the TCP data path.
+			if r, err := fabric.RegionFor(design, clientNode.name, targetNode.name, 1<<20, model.DefaultTCPTransport().ChunkSize, 64); err == nil {
 				region = r
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -34,6 +35,7 @@ type chaosRig struct {
 	fabric *core.Fabric
 	region *shm.Region
 	inj    *faults.Injector
+	tel    *telemetry.Sink
 }
 
 func newChaosRig(t *testing.T, seed int64, design core.Design, retain bool, srvMut func(*core.ServerConfig)) *chaosRig {
@@ -51,9 +53,12 @@ func newChaosRig(t *testing.T, seed int64, design core.Design, retain bool, srvM
 		t.Fatal(err)
 	}
 	fabric := core.NewFabric(e, model.DefaultSHM())
+	tel := telemetry.New()
+	fabric.AttachTelemetry(tel)
 	cfg := core.ServerConfig{
 		NQN: chaosNQN, Design: design, Fabric: fabric,
 		TP: model.DefaultTCPTransport(), Host: model.DefaultHost(),
+		Telemetry: tel,
 	}
 	if srvMut != nil {
 		srvMut(&cfg)
@@ -63,9 +68,13 @@ func newChaosRig(t *testing.T, seed int64, design core.Design, retain bool, srvM
 	srv.Serve(link.B)
 	var region *shm.Region
 	if design.UsesSHM() {
-		region, _ = fabric.RegionFor(design, "h", "h", 1<<20, 4<<10, 16)
+		r, err := fabric.RegionFor(design, "h", "h", 1<<20, 4<<10, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region = r
 	}
-	return &chaosRig{e: e, srv: srv, link: link, fabric: fabric, region: region, inj: faults.NewInjector(e)}
+	return &chaosRig{e: e, srv: srv, link: link, fabric: fabric, region: region, inj: faults.NewInjector(e), tel: tel}
 }
 
 // recoveryClient returns a ClientConfig with the failure-recovery
@@ -77,6 +86,7 @@ func (r *chaosRig) recoveryClient(design core.Design) core.ClientConfig {
 		CommandTimeout: 1500 * time.Microsecond,
 		MaxRetries:     10,
 		RetryBackoff:   200 * time.Microsecond,
+		Telemetry:      r.tel,
 	}
 }
 
@@ -140,7 +150,28 @@ func (r *chaosRig) checkInvariants(t *testing.T, c *core.Client, out chaosOutcom
 	if got := r.srv.Pool().InUse(); got != 0 {
 		t.Errorf("target pool leaked %d buffers", got)
 	}
-	_ = c
+	// The observability layer must agree with the transport's own
+	// accounting: every recovery event lands in the shared sink exactly
+	// once. (The rig has one client and one server on one sink, so the
+	// aggregate counters reconcile exactly.)
+	snap := r.tel.Snapshot()
+	for _, chk := range []struct {
+		name string
+		want int64
+	}{
+		{"client.retries", c.Retries},
+		{"client.timeouts", c.Timeouts},
+		{"client.failovers", c.Failovers},
+		{"client.reconnects", c.Reconnects},
+		{"client.completions", c.Completed},
+		{"server.shed", r.srv.Shed},
+		{"server.kato_expirations", r.srv.KAExpirations},
+		{"server.stale_msgs", r.srv.StaleMsgs},
+	} {
+		if got := snap.Counters[chk.name]; got != chk.want {
+			t.Errorf("telemetry %s = %d, transport says %d", chk.name, got, chk.want)
+		}
+	}
 }
 
 // runCrashScenario is the target crash/restart scenario, factored out so

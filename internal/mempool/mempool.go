@@ -21,7 +21,14 @@ type Pool struct {
 	// Gets counts successful allocations; Exhausted counts failed ones.
 	Gets, Puts, Exhausted int64
 	peakInUse             int
+
+	poison bool
 }
+
+// PoisonByte fills freed elements when poison-on-free is enabled. The
+// value (0xDB, "dead buffer") makes stale reads of returned elements
+// glaringly wrong instead of silently returning the previous payload.
+const PoisonByte = 0xDB
 
 // Buf is one element borrowed from a pool. B is the element's backing
 // slice; it must not be retained after Free.
@@ -48,6 +55,15 @@ func New(name string, elemSize, count int) *Pool {
 	}
 	return p
 }
+
+// SetPoison enables or disables poison-on-free: freed elements are
+// filled with PoisonByte so any party still reading (or about to reuse
+// without rewriting) a returned element sees poison, not stale payload.
+// Tests run transports with poison on to flush use-after-free bugs.
+func (p *Pool) SetPoison(on bool) { p.poison = on }
+
+// Poisoned reports whether poison-on-free is enabled.
+func (p *Pool) Poisoned() bool { return p.poison }
 
 // Name returns the pool name.
 func (p *Pool) Name() string { return p.name }
@@ -98,8 +114,95 @@ func (b *Buf) Free() {
 	if !p.inUse[b.idx] {
 		panic(fmt.Sprintf("mempool %s: double free of element %d", p.name, b.idx))
 	}
+	if p.poison {
+		start := int(b.idx) * p.elemSize
+		elem := p.arena[start : start+p.elemSize]
+		for i := range elem {
+			elem[i] = PoisonByte
+		}
+	}
 	p.inUse[b.idx] = false
 	p.free = append(p.free, b.idx)
 	p.Puts++
 	b.pool = nil
+}
+
+// Scatter copies src into the buffers at absolute payload offset off,
+// treating them as one contiguous payload split into equal elements.
+// Transports use it to land received bytes in pool elements (the DPDK
+// receive path) rather than private heap buffers.
+func Scatter(bufs []*Buf, off int, src []byte) {
+	elem := len(bufs[0].B)
+	for len(src) > 0 {
+		b := bufs[off/elem].B
+		o := off % elem
+		n := len(b) - o
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(b[o:], src[:n])
+		off += n
+		src = src[n:]
+	}
+}
+
+// Span returns the contiguous element slice covering [off, off+n), or
+// nil when the range crosses an element boundary (callers then bounce
+// through a scratch buffer and Scatter).
+func Span(bufs []*Buf, off, n int) []byte {
+	elem := len(bufs[0].B)
+	if off/elem != (off+n-1)/elem {
+		return nil
+	}
+	o := off % elem
+	return bufs[off/elem].B[o : o+n]
+}
+
+// Gather materializes size bytes of scattered payload into one
+// contiguous buffer. Reading from the pool elements here — not from a
+// private shadow copy — is what lets poison-on-free catch a transport
+// that freed them too early.
+func Gather(bufs []*Buf, size int) []byte {
+	elem := len(bufs[0].B)
+	out := make([]byte, size)
+	for off := 0; off < size; {
+		b := bufs[off/elem].B
+		o := off % elem
+		n := len(b) - o
+		if n > size-off {
+			n = size - off
+		}
+		copy(out[off:], b[o:o+n])
+		off += n
+	}
+	return out
+}
+
+// Stats is the exported view of a pool's accounting, consumed by the
+// telemetry snapshots.
+type Stats struct {
+	Name           string `json:"name"`
+	ElemSize       int    `json:"elem_size"`
+	Cap            int    `json:"cap"`
+	InUse          int    `json:"in_use"`
+	PeakInUse      int    `json:"peak_in_use"`
+	Gets           int64  `json:"gets"`
+	Puts           int64  `json:"puts"`
+	Exhausted      int64  `json:"exhausted"`
+	FootprintBytes int    `json:"footprint_bytes"`
+}
+
+// Stats captures the pool's current accounting.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Name:           p.name,
+		ElemSize:       p.elemSize,
+		Cap:            p.Cap(),
+		InUse:          p.InUse(),
+		PeakInUse:      p.peakInUse,
+		Gets:           p.Gets,
+		Puts:           p.Puts,
+		Exhausted:      p.Exhausted,
+		FootprintBytes: p.FootprintBytes(),
+	}
 }

@@ -1,0 +1,71 @@
+package mempool
+
+import "testing"
+
+func TestPoisonOnFree(t *testing.T) {
+	p := New("t", 64, 2)
+	p.SetPoison(true)
+	if !p.Poisoned() {
+		t.Fatal("poison not enabled")
+	}
+	b, ok := p.Get()
+	if !ok {
+		t.Fatal("get failed")
+	}
+	for i := range b.B {
+		b.B[i] = 0xAA
+	}
+	retained := b.B // the bug pattern: holding the slice past Free
+	b.Free()
+	for i, v := range retained {
+		if v != PoisonByte {
+			t.Fatalf("byte %d = %#x after free, want %#x", i, v, PoisonByte)
+		}
+	}
+}
+
+func TestNoPoisonByDefault(t *testing.T) {
+	p := New("t", 8, 1)
+	b, _ := p.Get()
+	b.B[0] = 0x55
+	retained := b.B
+	b.Free()
+	if retained[0] != 0x55 {
+		t.Fatal("default pool must not poison (perf mode)")
+	}
+}
+
+func TestPoisonedElementReusableAfterGet(t *testing.T) {
+	p := New("t", 16, 1)
+	p.SetPoison(true)
+	b, _ := p.Get()
+	b.B[3] = 1
+	b.Free()
+	b2, ok := p.Get()
+	if !ok {
+		t.Fatal("get after free failed")
+	}
+	// A fresh borrower sees poison, never the previous tenant's payload.
+	if b2.B[3] != PoisonByte {
+		t.Fatalf("reused element byte = %#x, want poison", b2.B[3])
+	}
+	b2.Free()
+}
+
+func TestStats(t *testing.T) {
+	p := New("stats-pool", 32, 4)
+	a, _ := p.Get()
+	b, _ := p.Get()
+	b.Free()
+	s := p.Stats()
+	if s.Name != "stats-pool" || s.ElemSize != 32 || s.Cap != 4 {
+		t.Fatalf("identity fields wrong: %+v", s)
+	}
+	if s.Gets != 2 || s.Puts != 1 || s.InUse != 1 || s.PeakInUse != 2 {
+		t.Fatalf("accounting wrong: %+v", s)
+	}
+	if s.FootprintBytes != 32*4 {
+		t.Fatalf("footprint = %d", s.FootprintBytes)
+	}
+	a.Free()
+}

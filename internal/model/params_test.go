@@ -1,0 +1,135 @@
+package model
+
+import "testing"
+
+// TestLinkOrdering checks the relationships the calibration depends on:
+// each faster link must actually be faster on the wire, while the
+// per-byte stack cost stays constant (the paper's stack-bound argument).
+func TestLinkOrdering(t *testing.T) {
+	links := []LinkParams{TCP10G(), TCP25G(), TCP100G(), Loopback()}
+	seen := map[string]bool{}
+	for i, l := range links {
+		if l.Name == "" || seen[l.Name] {
+			t.Fatalf("link %d: bad or duplicate name %q", i, l.Name)
+		}
+		seen[l.Name] = true
+		if l.WireBytesPerSec <= 0 || l.Propagation <= 0 || l.PerMsgCPU <= 0 {
+			t.Fatalf("%s: non-positive parameters: %+v", l.Name, l)
+		}
+		if i > 0 && links[i-1].WireBytesPerSec >= l.WireBytesPerSec {
+			t.Fatalf("%s wire rate %.3g not above %s's %.3g",
+				l.Name, l.WireBytesPerSec, links[i-1].Name, links[i-1].WireBytesPerSec)
+		}
+	}
+	// The TCP stack cost is link-independent: 25G and 100G differ only in
+	// the wire, which is why 100G buys so little (Fig 2).
+	if TCP25G().PerByteCPUNanos != TCP100G().PerByteCPUNanos {
+		t.Fatal("TCP per-byte stack cost should not depend on the wire")
+	}
+}
+
+// TestRDMAFasterThanTCP checks RDMA's calibrated edge over every TCP
+// link's effective per-stream ceiling (Fig 2: RDMA read ~1.46x TCP-100G).
+func TestRDMAFasterThanTCP(t *testing.T) {
+	for _, r := range []RDMAParams{RDMA56G(), RoCE100G()} {
+		if r.Name == "" || r.WireBytesPerSec <= 0 {
+			t.Fatalf("bad RDMA params: %+v", r)
+		}
+		// Kernel bypass: lower propagation and per-op cost than any TCP link.
+		for _, l := range []LinkParams{TCP10G(), TCP25G(), TCP100G()} {
+			if r.Propagation >= l.Propagation {
+				t.Fatalf("%s propagation %v not below %s's %v", r.Name, r.Propagation, l.Name, l.Propagation)
+			}
+			if r.PerOpCPU >= l.PerMsgCPU {
+				t.Fatalf("%s per-op cost %v not below %s's per-msg %v", r.Name, r.PerOpCPU, l.Name, l.PerMsgCPU)
+			}
+		}
+		if r.MemRegCost <= 0 || r.MemRegWarmOps <= 0 {
+			t.Fatalf("%s: registration-cache model unset", r.Name)
+		}
+	}
+	// The physical RoCE testbed outruns virtualized IB FDR.
+	if RoCE100G().WireBytesPerSec <= RDMA56G().WireBytesPerSec {
+		t.Fatal("RoCE-100G should out-bandwidth IB-FDR-56G")
+	}
+}
+
+// TestSSDGeometry checks the device model against the calibration notes:
+// aggregate read bandwidth above write, write setup far below read setup
+// (§3.2: the device itself completes writes faster).
+func TestSSDGeometry(t *testing.T) {
+	s := DefaultSSD()
+	if s.Channels <= 0 {
+		t.Fatal("no channels")
+	}
+	readBW := float64(s.Channels) * s.ChannelReadBytesPerSec
+	writeBW := float64(s.Channels) * s.ChannelWriteBytesPerSec
+	if readBW <= writeBW {
+		t.Fatalf("read bandwidth %.3g not above write %.3g", readBW, writeBW)
+	}
+	if s.WriteSetup >= s.ReadSetup {
+		t.Fatalf("write setup %v not below read setup %v (cache-hit model)", s.WriteSetup, s.ReadSetup)
+	}
+	if s.StallProb < 0 || s.StallProb > 1 || s.JitterFrac < 0 || s.JitterFrac > 1 {
+		t.Fatalf("probabilities out of range: %+v", s)
+	}
+	// Device read bandwidth must exceed the 10G wire so the fabric, not
+	// the SSD, is the single-stream bottleneck for slow links.
+	if readBW <= TCP10G().WireBytesPerSec {
+		t.Fatalf("device read bandwidth %.3g below the 10G wire", readBW)
+	}
+}
+
+// TestSHMParams checks the shared-memory channel invariants the designs
+// are compared on.
+func TestSHMParams(t *testing.T) {
+	s := DefaultSHM()
+	if s.CopyBytesPerSec <= 0 || s.SlotOverhead <= 0 || s.RegionSize <= 0 {
+		t.Fatalf("bad SHM params: %+v", s)
+	}
+	if s.FutexProb <= 0 || s.FutexProb >= 1 {
+		t.Fatalf("futex probability %v out of (0,1)", s.FutexProb)
+	}
+	// The futex slow path must dwarf the ordinary lock hold — it is the
+	// entire locked-design tail story (§4.4.4).
+	if s.FutexPenalty < 10*s.LockHold {
+		t.Fatalf("futex penalty %v not >> lock hold %v", s.FutexPenalty, s.LockHold)
+	}
+}
+
+// TestTCPTransportDefaults checks stock SPDK-like settings.
+func TestTCPTransportDefaults(t *testing.T) {
+	tp := DefaultTCPTransport()
+	if tp.ChunkSize != 128<<10 {
+		t.Fatalf("stock chunk size %d, want 128K", tp.ChunkSize)
+	}
+	if tp.InCapsuleThreshold <= 0 || tp.InCapsuleThreshold >= tp.ChunkSize {
+		t.Fatalf("in-capsule threshold %d out of place", tp.InCapsuleThreshold)
+	}
+	if tp.DataBuffers <= 0 {
+		t.Fatal("no data buffers")
+	}
+	if tp.BusyPoll != 0 || tp.AutoChunk || tp.AutoBusyPoll {
+		t.Fatalf("stock settings should not enable adaptive features: %+v", tp)
+	}
+}
+
+// TestHostAndNFSParams sanity-checks the remaining parameter sets.
+func TestHostAndNFSParams(t *testing.T) {
+	h := DefaultHost()
+	if h.SubmitCPU <= 0 || h.CompleteCPU <= 0 || h.BdevSubmitCPU <= 0 || h.FillPerByteNanos <= 0 {
+		t.Fatalf("bad host params: %+v", h)
+	}
+	n := DefaultNFS()
+	if n.WSize <= 0 || n.RSize <= 0 || n.CacheBytes <= 0 || n.PerRPCCPU <= 0 {
+		t.Fatalf("bad NFS params: %+v", n)
+	}
+	if n.FlushDepth <= 0 || n.CommitDepth <= 0 || n.ReadDepth <= 0 || n.ReadAheadBytes <= 0 {
+		t.Fatalf("bad NFS depths: %+v", n)
+	}
+	// The page cache absorbs writes faster than the 25G wire the NFS
+	// baseline runs on — why async NFS wins the h5bench write phase (Fig 17).
+	if n.CacheCopyBytesPerSec <= TCP25G().WireBytesPerSec {
+		t.Fatal("NFS cache absorption should beat its wire")
+	}
+}

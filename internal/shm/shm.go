@@ -22,6 +22,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/stats"
+	"nvmeoaf/internal/telemetry"
 )
 
 // Direction selects a half of the double buffer.
@@ -116,6 +117,8 @@ type Region struct {
 	FutexStalls      int64
 	ClaimWait        *stats.Histogram // time spent waiting for a free slot
 	LockWait         *stats.Histogram // time spent waiting for the region lock
+
+	tel *telemetry.Sink
 }
 
 // NewRegion allocates a region with slotCount slots of slotSize bytes in
@@ -138,6 +141,7 @@ func NewRegion(e *sim.Engine, key uint64, slotSize, slotCount int, params model.
 		rng:       e.Rand(fmt.Sprintf("shm/%d", key)),
 		ClaimWait: stats.NewHistogram(),
 		LockWait:  stats.NewHistogram(),
+		tel:       telemetry.Disabled,
 	}
 	for d := 0; d < 2; d++ {
 		r.state[d] = make([]uint32, slotCount)
@@ -150,6 +154,15 @@ func NewRegion(e *sim.Engine, key uint64, slotSize, slotCount int, params model.
 		}
 	}
 	return r, nil
+}
+
+// AttachTelemetry routes the region's claim/release/revocation activity
+// into s. A nil sink disables.
+func (r *Region) AttachTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		s = telemetry.Disabled
+	}
+	r.tel = s
 }
 
 // Mode returns the region's concurrency mode.
@@ -178,6 +191,8 @@ func (r *Region) Revoke() {
 			r.credits[d].Release()
 		}
 	}
+	r.tel.Inc(telemetry.CtrSHMRevocations)
+	r.tel.Trace(int64(r.e.Now()), telemetry.EvRevoked, 0, "shm", "region")
 	cbs := r.onRevoke
 	r.onRevoke = nil
 	for _, fn := range cbs {
@@ -223,7 +238,9 @@ func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
 	}
 	t0 := p.Now()
 	r.credits[dir].Acquire(p)
-	r.ClaimWait.RecordDuration(p.Now().Sub(t0))
+	wait := p.Now().Sub(t0)
+	r.ClaimWait.RecordDuration(wait)
+	r.tel.ObserveDuration(telemetry.HistClaimWait, wait)
 	if r.Revoked() {
 		return nil
 	}
@@ -253,6 +270,7 @@ func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
 		}
 	}
 	r.Claims++
+	r.tel.Inc(telemetry.CtrSHMClaims)
 	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}
 }
 
@@ -290,6 +308,7 @@ func (s *Slot) Release() {
 		r.freeLst[s.dir] = append(r.freeLst[s.dir], s.Index)
 	}
 	r.Releases++
+	r.tel.Inc(telemetry.CtrSHMReleases)
 	r.credits[s.dir].Release()
 }
 
@@ -313,6 +332,7 @@ func (s *Slot) TryRelease() bool {
 		r.freeLst[s.dir] = append(r.freeLst[s.dir], s.Index)
 	}
 	r.Releases++
+	r.tel.Inc(telemetry.CtrSHMReleases)
 	r.credits[s.dir].Release()
 	return true
 }
@@ -342,6 +362,7 @@ func (r *Region) acquireLockIfNeeded(p *sim.Proc) func() {
 	p.Sleep(r.params.LockHold)
 	if r.params.FutexProb > 0 && r.rng.Float64() < r.params.FutexProb {
 		r.FutexStalls++
+		r.tel.Inc(telemetry.CtrSHMFutexStalls)
 		p.Sleep(time.Duration(float64(r.params.FutexPenalty) * (0.5 + r.rng.Float64())))
 	}
 	return r.lock.Release

@@ -1,0 +1,207 @@
+package target
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+)
+
+const testNQN = "nqn.2022-06.io.oaf:tgt-test"
+
+// newTarget builds a target with one subsystem and one 8 MiB namespace
+// backed by a retain-data simulated SSD.
+func newTarget(t *testing.T, e *sim.Engine) (*Target, *Subsystem) {
+	t.Helper()
+	tgt := New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(testNQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := bdev.NewSimSSD(e, "nvme0", 8<<20, model.DefaultSSD(), true, 4096)
+	if _, err := sub.AddNamespace(1, dev); err != nil {
+		t.Fatal(err)
+	}
+	return tgt, sub
+}
+
+func TestSubsystemRegistry(t *testing.T) {
+	e := sim.NewEngine(1)
+	tgt, sub := newTarget(t, e)
+
+	if _, err := tgt.AddSubsystem(""); err == nil {
+		t.Fatal("empty NQN accepted")
+	}
+	if _, err := tgt.AddSubsystem(testNQN); err == nil {
+		t.Fatal("duplicate NQN accepted")
+	}
+	got, ok := tgt.Subsystem(testNQN)
+	if !ok || got != sub {
+		t.Fatalf("Subsystem(%q) = %v, %v", testNQN, got, ok)
+	}
+	if _, ok := tgt.Subsystem("nqn.other"); ok {
+		t.Fatal("unknown NQN resolved")
+	}
+
+	if _, err := sub.AddNamespace(0, nil); err == nil {
+		t.Fatal("namespace ID 0 accepted")
+	}
+	if _, err := sub.AddNamespace(1, nil); err == nil {
+		t.Fatal("duplicate namespace accepted")
+	}
+	ns, ok := sub.Namespace(1)
+	if !ok {
+		t.Fatal("namespace 1 missing")
+	}
+	if _, ok := sub.Namespace(2); ok {
+		t.Fatal("unknown namespace resolved")
+	}
+	if ns.Device() == nil {
+		t.Fatal("Device() is nil")
+	}
+
+	idns := ns.Identify()
+	if idns.BlockSize != 4096 || idns.NSZE != (8<<20)/4096 || idns.NCAP != idns.NSZE {
+		t.Fatalf("identify-namespace geometry wrong: %+v", idns)
+	}
+}
+
+func TestIdentifyController(t *testing.T) {
+	e := sim.NewEngine(1)
+	tgt, _ := newTarget(t, e)
+
+	if _, err := tgt.IdentifyController("nqn.unknown"); err == nil {
+		t.Fatal("unknown subsystem identified")
+	}
+	idc, err := tgt.IdentifyController(testNQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idc.NN != 1 {
+		t.Fatalf("NN = %d, want 1", idc.NN)
+	}
+	if idc.MDTS != 5 || idc.IOQueues == 0 || idc.SN == "" {
+		t.Fatalf("identify-controller page incomplete: %+v", idc)
+	}
+}
+
+func TestDiscoveryLogOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	tgt := New(e, model.DefaultHost())
+	nqns := []string{"nqn.c", "nqn.a", "nqn.b"}
+	for _, n := range nqns {
+		if _, err := tgt.AddSubsystem(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := nvme.DecodeDiscoveryLog(tgt.DiscoveryLog(3, "10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(nqns) {
+		t.Fatalf("got %d entries, want %d", len(entries), len(nqns))
+	}
+	for i, ent := range entries {
+		// Registration order, not lexicographic, keeps the log deterministic.
+		if ent.SubNQN != nqns[i] {
+			t.Fatalf("entry %d = %q, want %q", i, ent.SubNQN, nqns[i])
+		}
+		if ent.TrType != 3 || ent.TrAddr != "10.0.0.1" {
+			t.Fatalf("entry %d transport wrong: %+v", i, ent)
+		}
+	}
+}
+
+func TestExecuteRoundTrip(t *testing.T) {
+	e := sim.NewEngine(7)
+	tgt, _ := newTarget(t, e)
+	payload := make([]byte, 16<<10) // 4 blocks
+	for i := range payload {
+		payload[i] = byte(i*7 + 3)
+	}
+	e.Go("app", func(p *sim.Proc) {
+		wr := tgt.Execute(p, testNQN, nvme.NewWrite(1, 1, 8, 4), payload)
+		if wr.CQE.Status != nvme.StatusSuccess || wr.CQE.CID != 1 {
+			t.Fatalf("write CQE: %+v", wr.CQE)
+		}
+		if wr.IOTime <= 0 || wr.OtherTime != model.DefaultHost().BdevSubmitCPU {
+			t.Fatalf("write timing: io=%v other=%v", wr.IOTime, wr.OtherTime)
+		}
+		rd := tgt.Execute(p, testNQN, nvme.NewRead(2, 1, 8, 4), nil)
+		if rd.CQE.Status != nvme.StatusSuccess {
+			t.Fatalf("read CQE: %+v", rd.CQE)
+		}
+		if !bytes.Equal(rd.Data, payload) {
+			t.Fatal("readback does not match written payload")
+		}
+		fl := tgt.Execute(p, testNQN, nvme.NewFlush(3, 1), nil)
+		if fl.CQE.Status != nvme.StatusSuccess {
+			t.Fatalf("flush CQE: %+v", fl.CQE)
+		}
+		// NSID 0 defaults to namespace 1 (the transports rely on this).
+		rd0 := tgt.Execute(p, testNQN, nvme.NewRead(4, 0, 8, 4), nil)
+		if rd0.CQE.Status != nvme.StatusSuccess || !bytes.Equal(rd0.Data, payload) {
+			t.Fatalf("NSID-0 read: %+v", rd0.CQE)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	e := sim.NewEngine(7)
+	tgt, _ := newTarget(t, e)
+	e.Go("app", func(p *sim.Proc) {
+		cases := []struct {
+			name string
+			nqn  string
+			cmd  nvme.Command
+			want nvme.Status
+		}{
+			{"unknown subsystem", "nqn.missing", nvme.NewRead(1, 1, 0, 1), nvme.StatusInvalidField},
+			{"unknown namespace", testNQN, nvme.NewRead(2, 9, 0, 1), nvme.StatusInvalidNamespace},
+			{"bad opcode", testNQN, nvme.Command{Opcode: 0x7F, CID: 3, NSID: 1}, nvme.StatusInvalidOpcode},
+			{"out of range", testNQN, nvme.NewRead(4, 1, 1<<30, 1), nvme.StatusLBAOutOfRange},
+		}
+		for _, tc := range cases {
+			res := tgt.Execute(p, tc.nqn, tc.cmd, nil)
+			if res.CQE.Status != tc.want {
+				t.Fatalf("%s: status %v, want %v", tc.name, res.CQE.Status, tc.want)
+			}
+			if res.CQE.CID != tc.cmd.CID {
+				t.Fatalf("%s: CID %d not echoed", tc.name, tc.cmd.CID)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteDeviceError(t *testing.T) {
+	e := sim.NewEngine(7)
+	tgt := New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(testNQN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := bdev.NewSimSSD(e, "nvme0", 8<<20, model.DefaultSSD(), false, 4096)
+	faulty := bdev.NewFaulty(e, dev, 1, errors.New("media error"))
+	if _, err := sub.AddNamespace(1, faulty); err != nil {
+		t.Fatal(err)
+	}
+	e.Go("app", func(p *sim.Proc) {
+		res := tgt.Execute(p, testNQN, nvme.NewRead(9, 1, 0, 1), nil)
+		if res.CQE.Status != nvme.StatusInternalError {
+			t.Fatalf("device error surfaced as %v, want internal error", res.CQE.Status)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
 	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -41,6 +42,8 @@ type ClientConfig struct {
 	// HostNQN identifies this host in the Fabrics Connect command
 	// (defaults to a generated NQN).
 	HostNQN string
+	// Telemetry receives counters and latency histograms (nil disables).
+	Telemetry *telemetry.Sink
 }
 
 // Client is one NVMe/TCP host queue pair over a network endpoint.
@@ -54,6 +57,7 @@ type Client struct {
 	icresp  *pdu.ICResp
 	closing bool
 	drained *sim.Signal
+	tel     *telemetry.Sink
 
 	// Stats.
 	Completed int64
@@ -65,6 +69,9 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 128
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Disabled
+	}
 	e := p.Engine()
 	c := &Client{
 		e:       e,
@@ -74,6 +81,7 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		submitQ: sim.NewQueue[*transport.Pending](e, 0),
 		kick:    sim.NewSignal(e),
 		drained: sim.NewSignal(e),
+		tel:     cfg.Telemetry,
 	}
 	transport.SendPDUs(p, ep, &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16})
 	msg := ep.Recv(p)
@@ -89,6 +97,7 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
 		return nil, err
 	}
+	c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", "nvme-tcp")
 	e.GoDaemon("tcp-client-reactor", c.reactor)
 	if cfg.KeepAlive > 0 {
 		e.GoDaemon("tcp-keepalive", c.keepAliveLoop)
@@ -264,6 +273,8 @@ func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
 		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
 		return
 	}
+	c.tel.Inc(telemetry.CtrSubmitsTCP)
+	c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)
 	if io.Write {
@@ -291,6 +302,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("tcp client: bad message: %v", err))
 	}
+	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.R2T:
@@ -371,6 +383,15 @@ func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) 
 	}
 	pend.Finish(p.Now(), r, data)
 	c.Completed++
+	c.tel.Inc(telemetry.CtrCompletions)
+	if pend.IO.Admin == 0 {
+		lat := p.Now().Sub(pend.SubmitAt)
+		if pend.IO.Write {
+			c.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
+		} else {
+			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
+		}
+	}
 	c.kick.Fire() // a CID freed: admit backlog
 }
 

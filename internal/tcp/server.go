@@ -12,6 +12,7 @@ import (
 	"nvmeoaf/internal/pdu"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -27,6 +28,17 @@ type ServerConfig struct {
 	// KATO is the keep-alive timeout: a connection silent for longer is
 	// torn down (0 disables the watchdog).
 	KATO time.Duration
+	// MaxBufferWaiters bounds commands parked for pool buffers; beyond
+	// it the server sheds load with a retryable typed error instead of
+	// queueing without bound (0 = unbounded).
+	MaxBufferWaiters int
+	// PoisonPool fills freed data-pool elements with mempool.PoisonByte
+	// so stale reads of returned buffers surface as corruption in
+	// data-integrity tests instead of silently passing.
+	PoisonPool bool
+	// Telemetry receives connection, shedding, and keep-alive counters.
+	// Nil means disabled.
+	Telemetry *telemetry.Sink
 }
 
 // Server is the NVMe/TCP transport of one target: it owns the shared data
@@ -36,9 +48,15 @@ type Server struct {
 	tgt  *target.Target
 	cfg  ServerConfig
 	pool *mempool.Pool
+	tel  *telemetry.Sink
 
 	// BufferWaits counts commands that had to wait for pool buffers.
 	BufferWaits int64
+	// Shed counts commands rejected with a retryable error under pool
+	// exhaustion.
+	Shed int64
+	// KAExpirations counts connections torn down by the KATO watchdog.
+	KAExpirations int64
 	// StaleMsgs counts PDUs for unknown commands (late data after a
 	// teardown) dropped instead of panicking.
 	StaleMsgs int64
@@ -49,12 +67,18 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 	if cfg.TP.ChunkSize <= 0 {
 		cfg.TP = model.DefaultTCPTransport()
 	}
-	return &Server{
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.Disabled
+	}
+	s := &Server{
 		e:    e,
 		tgt:  tgt,
 		cfg:  cfg,
 		pool: mempool.New("tcp-data/"+cfg.NQN, cfg.TP.ChunkSize, cfg.TP.DataBuffers),
+		tel:  cfg.Telemetry,
 	}
+	s.pool.SetPoison(cfg.PoisonPool)
+	return s
 }
 
 // Pool exposes the data buffer pool (for memory-footprint reporting in the
@@ -90,6 +114,9 @@ func (c *Conn) watchdog(p *sim.Proc) {
 		if p.Now().Sub(c.lastSeen) > c.srv.cfg.KATO {
 			c.Expired = true
 			c.closed = true
+			c.srv.KAExpirations++
+			c.srv.tel.Inc(telemetry.CtrSrvKATOExpiry)
+			c.srv.tel.Trace(int64(p.Now()), telemetry.EvKATOExpired, 0, "tcp", "watchdog")
 			c.kick.Fire()
 			return
 		}
@@ -104,20 +131,32 @@ type txBatch struct {
 }
 
 // writeCtx tracks reassembly of one conservative-flow write command.
+// Real payloads are staged directly into the reserved pool elements (the
+// DPDK receive path), not a private heap buffer.
 type writeCtx struct {
 	cmd      nvme.Command
 	size     int
 	received int
-	data     []byte // real payload when the client sends real bytes
+	staged   bool // real bytes landed in bufs
 	bufs     []*mempool.Buf
 	comm     time.Duration
 	arrived  sim.Time
 }
 
+// gather materializes the staged payload into one contiguous buffer for
+// the device execute; nil when the write carried no real bytes.
+func (ctx *writeCtx) gather() []byte {
+	if !ctx.staged {
+		return nil
+	}
+	return mempool.Gather(ctx.bufs, ctx.size)
+}
+
 // allocWait is a command parked until pool buffers free up.
 type allocWait struct {
-	need int
-	run  func(bufs []*mempool.Buf)
+	need  int
+	run   func(bufs []*mempool.Buf)
+	since sim.Time
 }
 
 // Conn is one target-side connection.
@@ -173,6 +212,7 @@ func (c *Conn) run(p *sim.Proc) {
 				break
 			}
 			transport.SendPDUs(p, c.ep, batch.pdus...)
+			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
 			if batch.after != nil {
 				batch.after()
 			}
@@ -214,6 +254,7 @@ func (c *Conn) teardown(p *sim.Proc) {
 			break
 		}
 		transport.SendPDUs(p, c.ep, batch.pdus...)
+		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
 		if batch.after != nil {
 			batch.after()
 		}
@@ -244,7 +285,10 @@ func (c *Conn) retryWaits() {
 	for c.waitsQ.Len() > 0 {
 		w, _ := c.waitsQ.TryGet()
 		bufs, ok := c.allocBufs(w.need)
-		if !ok {
+		if ok {
+			c.srv.tel.ObserveDuration(telemetry.HistBufWait,
+				c.srv.e.Now().Sub(w.since))
+		} else {
 			// Put it back at the head position: re-queue preserving FIFO
 			// by draining and re-adding would reorder; instead use a
 			// fresh queue with w first.
@@ -281,15 +325,25 @@ func (c *Conn) allocBufs(n int) ([]*mempool.Buf, bool) {
 	return bufs, true
 }
 
-// withBufs runs fn once n pool buffers are available, parking the command
-// in the wait queue otherwise (R2T flow control back-pressure).
-func (c *Conn) withBufs(n int, fn func(bufs []*mempool.Buf)) {
+// withBufs runs fn once n pool buffers are available. Under exhaustion
+// the command parks in the wait queue (R2T flow control back-pressure);
+// past MaxBufferWaiters the server sheds it with a retryable typed
+// error instead of queueing without bound.
+func (c *Conn) withBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
 	if bufs, ok := c.allocBufs(n); ok {
 		fn(bufs)
 		return
 	}
+	if max := c.srv.cfg.MaxBufferWaiters; max > 0 && c.waitsQ.Len() >= max {
+		c.srv.Shed++
+		c.srv.tel.Inc(telemetry.CtrSrvShed)
+		c.srv.tel.Trace(int64(c.srv.e.Now()), telemetry.EvShed, cid, "tcp", "pool-exhausted")
+		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
+		return
+	}
 	c.srv.BufferWaits++
-	c.waitsQ.TryPut(&allocWait{need: n, run: fn})
+	c.srv.tel.Inc(telemetry.CtrSrvBufWaits)
+	c.waitsQ.TryPut(&allocWait{need: n, run: fn, since: c.srv.e.Now()})
 }
 
 func freeBufs(bufs []*mempool.Buf) {
@@ -306,9 +360,11 @@ func (c *Conn) handle(p *sim.Proc, msg *netsim.Message) {
 	if err != nil {
 		panic(fmt.Sprintf("tcp server: bad message: %v", err))
 	}
+	c.srv.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.ICReq:
+			c.srv.tel.Inc(telemetry.CtrSrvTCPConns)
 			c.post(nil, &pdu.ICResp{
 				PFV:        v.PFV,
 				CPDA:       4,
@@ -416,7 +472,7 @@ func capsuleDataLen(cap *pdu.CapsuleCmd) int {
 func (c *Conn) startRead(cmd nvme.Command, transit time.Duration) {
 	size := int(cmd.NLB()) * transport.BlockSize
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(need, func(bufs []*mempool.Buf) {
+	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		c.srv.e.Go("tcp-read-worker", func(w *sim.Proc) {
 			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
 			if res.CQE.Status.IsError() {
@@ -457,7 +513,7 @@ func (c *Conn) startRead(cmd nvme.Command, transit time.Duration) {
 // startConservativeWrite grants an R2T once buffers are reserved.
 func (c *Conn) startConservativeWrite(cmd nvme.Command, size int, transit time.Duration) {
 	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(need, func(bufs []*mempool.Buf) {
+	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		ctx := &writeCtx{cmd: cmd, size: size, bufs: bufs, comm: transit, arrived: c.srv.e.Now()}
 		c.writes[cmd.CID] = ctx
 		c.post(nil, &pdu.R2T{CID: cmd.CID, TTag: cmd.CID, Offset: 0, Length: uint32(size)})
@@ -471,6 +527,7 @@ func (c *Conn) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 	ctx, ok := c.writes[d.CID]
 	if !ok {
 		c.srv.StaleMsgs++
+		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
 		return
 	}
 	n := len(d.Payload)
@@ -478,16 +535,14 @@ func (c *Conn) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 		n = d.VirtualLen
 	}
 	if d.Payload != nil {
-		if ctx.data == nil {
-			ctx.data = make([]byte, ctx.size)
-		}
-		copy(ctx.data[d.Offset:], d.Payload)
+		mempool.Scatter(ctx.bufs, int(d.Offset), d.Payload)
+		ctx.staged = true
 	}
 	ctx.received += n
 	ctx.comm += transit
 	if ctx.received >= ctx.size {
 		delete(c.writes, d.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.data, ctx.comm, ctx.bufs)
+		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs)
 	}
 }
 

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCountersAndHistograms(t *testing.T) {
+	s := New()
+	if !s.Enabled() {
+		t.Fatal("New() sink should be enabled")
+	}
+	s.Inc(CtrRetries)
+	s.Add(CtrRetries, 2)
+	s.Inc(CtrSubmitsSHM)
+	if got := s.Counter(CtrRetries); got != 3 {
+		t.Fatalf("CtrRetries = %d, want 3", got)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Observe(HistReadLatency, int64(i)*1000)
+	}
+	s.ObserveDuration(HistWriteLatency, 5*time.Millisecond)
+	h := s.Histogram(HistReadLatency)
+	if h == nil || h.Count() != 1000 {
+		t.Fatalf("read histogram count = %v, want 1000", h)
+	}
+	if p50 := h.P50(); p50 < 400_000 || p50 > 600_000 {
+		t.Fatalf("p50 = %d, want ~500000", p50)
+	}
+}
+
+func TestDisabledAndNilAreNoOps(t *testing.T) {
+	for _, s := range []*Sink{Disabled, nil, {}} {
+		s.Inc(CtrRetries)
+		s.Add(CtrCompletions, 7)
+		s.Observe(HistReadLatency, 1)
+		s.Trace(1, EvRetry, 9, "tcp", "x")
+		if s.Enabled() {
+			t.Fatal("sink should be disabled")
+		}
+		if s.Counter(CtrRetries) != 0 || s.Histogram(HistReadLatency) != nil {
+			t.Fatal("disabled sink retained data")
+		}
+		if s.Events() != nil || s.TraceCount() != 0 {
+			t.Fatal("disabled sink retained trace")
+		}
+		snap := s.Snapshot()
+		if len(snap.Counters) != 0 || len(snap.Histograms) != 0 || snap.Trace != nil {
+			t.Fatal("disabled snapshot not empty")
+		}
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	s := NewWithTraceDepth(4)
+	for i := 0; i < 10; i++ {
+		s.Trace(int64(i), EvRetry, uint16(i), "shm", "")
+	}
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first: 6,7,8,9.
+	for i, ev := range evs {
+		if ev.AtNs != int64(6+i) {
+			t.Fatalf("event %d AtNs = %d, want %d", i, ev.AtNs, 6+i)
+		}
+	}
+	if s.TraceCount() != 10 {
+		t.Fatalf("TraceCount = %d, want 10", s.TraceCount())
+	}
+}
+
+func TestTraceOrderBeforeWrap(t *testing.T) {
+	s := NewWithTraceDepth(8)
+	s.Trace(1, EvPathSelected, 0, "shm", "shm-0-copy")
+	s.Trace(2, EvFailover, 3, "tcp", "")
+	evs := s.Events()
+	if len(evs) != 2 || evs[0].Kind != EvPathSelected || evs[1].Kind != EvFailover {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+func TestZeroTraceDepthKeepsMetrics(t *testing.T) {
+	s := NewWithTraceDepth(0)
+	s.Inc(CtrShedOrZero())
+	s.Trace(1, EvShed, 0, "", "")
+	if s.Events() != nil {
+		t.Fatal("no ring expected")
+	}
+	if s.Counter(CtrSrvShed) != 1 {
+		t.Fatal("counter lost")
+	}
+}
+
+// CtrShedOrZero exists to keep the test above honest if constants move.
+func CtrShedOrZero() Counter { return CtrSrvShed }
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Inc(CtrRetries)
+	b.Add(CtrRetries, 4)
+	b.Observe(HistIOSize, 4096)
+	a.Merge(b)
+	if a.Counter(CtrRetries) != 5 {
+		t.Fatalf("merged retries = %d, want 5", a.Counter(CtrRetries))
+	}
+	if a.Histogram(HistIOSize).Count() != 1 {
+		t.Fatal("merged histogram lost sample")
+	}
+	// Merging disabled into enabled, and enabled into disabled: no-ops.
+	a.Merge(Disabled)
+	Disabled.Merge(a)
+	if Disabled.Counter(CtrRetries) != 0 {
+		t.Fatal("Disabled mutated")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	s := New()
+	s.Inc(CtrSubmitsTCP)
+	s.Observe(HistReadLatency, 123456)
+	s.Trace(99, EvPathSelected, 0, "tcp", "tcp")
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["client.submits.tcp"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	hs, ok := snap.Histograms["latency.read_ns"]
+	if !ok || hs.Count != 1 || hs.P99 == 0 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+	if len(snap.Trace) != 1 || snap.Trace[0].Kind != "path_selected" {
+		t.Fatalf("trace = %v", snap.Trace)
+	}
+	// Zero-valued metrics elided.
+	if _, ok := snap.Counters["client.retries"]; ok {
+		t.Fatal("zero counter exported")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for c := Counter(0); c < numCounters; c++ {
+		if c.String() == "" || c.String() == "unknown" {
+			t.Fatalf("counter %d has no name", c)
+		}
+	}
+	for h := Hist(0); h < numHists; h++ {
+		if h.String() == "" || h.String() == "unknown" {
+			t.Fatalf("hist %d has no name", h)
+		}
+	}
+	if Counter(-1).String() != "unknown" || Hist(99).String() != "unknown" {
+		t.Fatal("out-of-range names")
+	}
+	if EvKATOExpired.String() != "kato_expired" || EventKind(200).String() != "unknown" {
+		t.Fatal("event kind names")
+	}
+}

@@ -29,12 +29,14 @@ import (
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/rdma"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -138,16 +140,23 @@ type Cluster struct {
 	fabric  *core.Fabric
 	hosts   map[string]*host
 	targets map[string]*tgtEntry
+	tel     *telemetry.Sink
+	queues  []*Queue
+	pools   []*mempool.Pool
 }
 
 // NewCluster creates an empty cluster.
 func NewCluster(cfg Config) *Cluster {
 	e := sim.NewEngine(cfg.Seed)
+	tel := telemetry.New()
+	fabric := core.NewFabric(e, model.DefaultSHM())
+	fabric.AttachTelemetry(tel)
 	return &Cluster{
 		engine:  e,
-		fabric:  core.NewFabric(e, model.DefaultSHM()),
+		fabric:  fabric,
 		hosts:   make(map[string]*host),
 		targets: make(map[string]*tgtEntry),
+		tel:     tel,
 	}
 }
 
@@ -284,6 +293,7 @@ type Queue struct {
 	inner  transport.Queue
 	ctx    *Ctx
 	tracer *netsim.Tracer
+	target string
 	// SharedMemory reports whether the adaptive fabric negotiated the
 	// shared-memory data path for this connection.
 	SharedMemory bool
@@ -338,7 +348,7 @@ func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Queue{inner: cl, ctx: ctx, tracer: tracer}, nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN}), nil
 
 	case FabricTCP10G, FabricTCP25G, FabricTCP100G:
 		lp := model.TCP25G()
@@ -349,16 +359,18 @@ func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
 			lp = model.TCP100G()
 		}
 		link := netsim.NewLink(c.engine, lp, clientHost.nic, te.host.nic)
-		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost()})
+		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost(), Telemetry: c.tel})
 		srv.Serve(link.B)
+		c.pools = append(c.pools, srv.Pool())
 		link.A.AttachTracer(tracer)
 		cl, err := tcp.Connect(ctx.proc, link.A, tcp.ClientConfig{
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, TP: tp, Host: model.DefaultHost(),
+			Telemetry: c.tel,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Queue{inner: cl, ctx: ctx, tracer: tracer}, nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN}), nil
 
 	default: // FabricAdaptive
 		design := opts.Design.internal()
@@ -370,9 +382,16 @@ func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
 		}
 		srv := core.NewServer(c.engine, te.tgt, core.ServerConfig{
 			NQN: targetNQN, Design: design, Fabric: c.fabric, TP: tp, Host: model.DefaultHost(),
+			Telemetry: c.tel,
 		})
 		srv.Serve(link.B)
-		region, _ := c.fabric.RegionFor(design, clientHost.name, te.host.name, opts.MaxIOSize, tp.ChunkSize, opts.QueueDepth)
+		c.pools = append(c.pools, srv.Pool())
+		region, err := c.fabric.RegionFor(design, clientHost.name, te.host.name, opts.MaxIOSize, tp.ChunkSize, opts.QueueDepth)
+		if err != nil {
+			// SHM provisioning failed: degrade to the TCP data path (the
+			// telemetry trace records the decision).
+			region = nil
+		}
 		if region != nil && opts.EncryptSHM {
 			region.EnableEncryption(0xA5A5A5A5F00DFEED, 1.5e9)
 		}
@@ -380,12 +399,19 @@ func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
 		cl, err := core.Connect(ctx.proc, link.A, core.ClientConfig{
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, Design: design, Region: region,
 			TP: tp, Host: model.DefaultHost(),
+			Telemetry: c.tel,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Queue{inner: cl, ctx: ctx, tracer: tracer, SharedMemory: cl.SHMEnabled()}, nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, SharedMemory: cl.SHMEnabled()}), nil
 	}
+}
+
+// register records the queue for cluster-wide snapshots.
+func (c *Cluster) register(q *Queue) *Queue {
+	c.queues = append(c.queues, q)
+	return q
 }
 
 // Write stores data at the byte offset (block aligned) and waits for

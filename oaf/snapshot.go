@@ -1,0 +1,83 @@
+package oaf
+
+import (
+	"encoding/json"
+
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/mempool"
+	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/telemetry"
+)
+
+// QueueSnapshot is the per-connection view of the observability layer:
+// which data path the queue runs on and its recovery counters.
+type QueueSnapshot struct {
+	Target string `json:"target"`
+	// Path is "shm" when the adaptive fabric negotiated shared memory,
+	// "tcp" otherwise.
+	Path            string `json:"path"`
+	Completed       int64  `json:"completed"`
+	Retries         int64  `json:"retries,omitempty"`
+	Timeouts        int64  `json:"timeouts,omitempty"`
+	Failovers       int64  `json:"failovers,omitempty"`
+	Reconnects      int64  `json:"reconnects,omitempty"`
+	LateMsgs        int64  `json:"late_msgs,omitempty"`
+	SHMPayloadBytes int64  `json:"shm_payload_bytes,omitempty"`
+}
+
+// Snapshot captures this queue's counters at the current virtual time.
+func (q *Queue) Snapshot() QueueSnapshot {
+	s := QueueSnapshot{Target: q.target, Path: "tcp"}
+	if q.SharedMemory {
+		s.Path = "shm"
+	}
+	switch cl := q.inner.(type) {
+	case *core.Client:
+		s.Completed = cl.Completed
+		s.Retries = cl.Retries
+		s.Timeouts = cl.Timeouts
+		s.Failovers = cl.Failovers
+		s.Reconnects = cl.Reconnects
+		s.LateMsgs = cl.LateMsgs
+		s.SHMPayloadBytes = cl.SHMPayloadBytes
+	case *tcp.Client:
+		s.Completed = cl.Completed
+	}
+	return s
+}
+
+// ClusterSnapshot aggregates the fabric-wide observability layer: the
+// shared telemetry sink (counters, latency histograms, path-decision
+// trace), every connected queue, and the target data-pool accounting.
+type ClusterSnapshot struct {
+	TimeNs    int64              `json:"time_ns"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Queues    []QueueSnapshot    `json:"queues,omitempty"`
+	Pools     []mempool.Stats    `json:"pools,omitempty"`
+}
+
+// Telemetry exposes the cluster's shared sink, shared by every
+// connection and target created on this cluster.
+func (c *Cluster) Telemetry() *telemetry.Sink { return c.tel }
+
+// Snapshot captures the whole cluster's observability state.
+func (c *Cluster) Snapshot() ClusterSnapshot {
+	snap := ClusterSnapshot{
+		TimeNs:    int64(c.engine.Now()),
+		Telemetry: c.tel.Snapshot(),
+	}
+	for _, q := range c.queues {
+		snap.Queues = append(snap.Queues, q.Snapshot())
+	}
+	for _, p := range c.pools {
+		snap.Pools = append(snap.Pools, p.Stats())
+	}
+	return snap
+}
+
+// MarshalJSON renders the snapshot (ClusterSnapshot is plain data; this
+// keeps the two snapshot types symmetric for exporters).
+func (s ClusterSnapshot) MarshalJSON() ([]byte, error) {
+	type alias ClusterSnapshot
+	return json.Marshal(alias(s))
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Observability benchmark sweep: run a small fabric matrix through
+# oafperf -stats-json and collect one JSON report with perf numbers,
+# fabric telemetry (counters, quantiles, traces), and pool stats.
+#
+# Environment knobs (all optional):
+#   BENCH_OUT      output file            (default BENCH_pr2.json)
+#   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
+#   BENCH_QD       queue depth            (default 64)
+#   BENCH_SIZE     I/O size               (default 128K)
+#   BENCH_FABRICS  fabrics to sweep       (default "nvme-oaf tcp-25g")
+set -e
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_pr2.json}
+DUR=${BENCH_DURATION:-500ms}
+QD=${BENCH_QD:-64}
+SIZE=${BENCH_SIZE:-128K}
+FABRICS=${BENCH_FABRICS:-"nvme-oaf tcp-25g"}
+
+BIN=$(mktemp -d)/oafperf
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/oafperf
+
+{
+	printf '{\n'
+	printf '  "bench": "observability-sweep",\n'
+	printf '  "duration": "%s",\n' "$DUR"
+	printf '  "runs": [\n'
+	first=1
+	for fab in $FABRICS; do
+		for rw in read write; do
+			[ $first -eq 1 ] || printf ',\n'
+			first=0
+			"$BIN" -fabric "$fab" -rw "$rw" -size "$SIZE" -qd "$QD" -t "$DUR" -stats-json
+		done
+	done
+	printf '  ]\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "bench: wrote $OUT"
