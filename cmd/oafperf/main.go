@@ -8,6 +8,7 @@
 //	oafperf -fabric nvme-oaf -rw read -size 128K -qd 128 -streams 4
 //	oafperf -fabric tcp-25g -rw randrw -mix 70 -size 512K -t 2s
 //	oafperf -fabric nvme-oaf -design shm-lock-free -rw read -size 512K
+//	oafperf -fabric tcp-25g -rw randread -size 4K -qd 64 -batch 16 -queues 4
 package main
 
 import (
@@ -103,6 +104,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	chunk := flag.Int("chunk", 0, "TCP chunk size override in bytes (0 = 128K default)")
 	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
+	batch := flag.Int("batch", 0, "submission/completion coalescing depth (0 or 1 = one message per command)")
+	queues := flag.Int("queues", 1, "queue pairs per stream; I/O stripes across them by offset")
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
@@ -117,7 +120,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup}
+	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch}
 	if *sizeMix != "" {
 		mixes, err := parseSizeMix(*sizeMix)
 		if err != nil {
@@ -148,15 +151,17 @@ func main() {
 		Kind:     exp.Kind(*fabric),
 		Design:   d,
 		Streams:  *streams,
+		Queues:   *queues,
 		Workload: w,
 		Seed:     *seed,
 	}
-	if *chunk > 0 || *poll > 0 {
+	if *chunk > 0 || *poll > 0 || *batch > 1 {
 		tp := model.DefaultTCPTransport()
 		if *chunk > 0 {
 			tp.ChunkSize = *chunk
 		}
 		tp.BusyPoll = *poll
+		tp.BatchSize = *batch
 		cfg.TP = tp
 	}
 
@@ -177,8 +182,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d window=%v\n",
-		*fabric, d, *rw, *sizeStr, *qd, *streams, *dur)
+	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d queues=%d batch=%d window=%v\n",
+		*fabric, d, *rw, *sizeStr, *qd, *streams, *queues, *batch, *dur)
 	agg := res.Agg
 	fmt.Printf("  bandwidth : %.3f GB/s (%.0f IOPS)\n", agg.Throughput.GBps(), agg.Throughput.IOPS())
 	fmt.Printf("  latency   : avg %.1f us  p50 %.1f  p99 %.1f  p99.9 %.1f  p99.99 %.1f\n",
@@ -212,6 +217,8 @@ type report struct {
 		Size    string `json:"size"`
 		QD      int    `json:"qd"`
 		Streams int    `json:"streams"`
+		Queues  int    `json:"queues,omitempty"`
+		Batch   int    `json:"batch,omitempty"`
 		Window  string `json:"window"`
 		Seed    int64  `json:"seed"`
 	} `json:"config"`
@@ -239,6 +246,8 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Config.Size = size
 	r.Config.QD = cfg.Workload.QueueDepth
 	r.Config.Streams = cfg.Streams
+	r.Config.Queues = cfg.Queues
+	r.Config.Batch = cfg.Workload.Batch
 	r.Config.Window = cfg.Workload.Duration.String()
 	r.Config.Seed = cfg.Seed
 	agg := res.Agg

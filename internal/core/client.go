@@ -109,6 +109,15 @@ type Client struct {
 	rng     *rand.Rand
 	tel     *telemetry.Sink
 
+	// Hot-path recycling: pending-op freelist plus reactor-owned scratch
+	// structures for the batched submission path. The engine is
+	// cooperative, so plain slices suffice; scratch encode structures are
+	// only touched by the reactor (SendPDUs serializes before yielding).
+	freePends   []*afPending
+	batch       pdu.CmdBatch
+	capsule     pdu.CapsuleCmd
+	slotScratch []*shm.Slot
+
 	// backlog counts commands parked in retry backoff (neither queued nor
 	// in flight); teardown waits for them.
 	backlog int
@@ -227,6 +236,10 @@ func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) er
 // SHMEnabled reports whether the data path uses shared memory.
 func (c *Client) SHMEnabled() bool { return c.region != nil }
 
+// Region returns the negotiated shared-memory region, or nil on the TCP
+// data path (never negotiated, or abandoned by a mid-stream failover).
+func (c *Client) Region() *shm.Region { return c.region }
+
 // ICResp returns the negotiated connection parameters.
 func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
 
@@ -242,26 +255,70 @@ func (c *Client) AllocBuffer(size int) []byte {
 	return make([]byte, size)
 }
 
-// Submit implements transport.Queue. The submitting process pays payload
-// generation and, depending on the design, the shared-memory claim and
-// copy-in (flow control pushes back here when all slots are busy).
-func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
-	fut := sim.NewFuture[*transport.Result](c.e)
+// newPending takes a pending op off the freelist (or allocates one) and
+// re-arms it for a fresh command. The generation bump invalidates any
+// stale deadline timer still holding the recycled struct.
+func (c *Client) newPending(io *transport.IO, fut *sim.Future[*transport.Result]) *afPending {
+	if n := len(c.freePends); n > 0 {
+		pend := c.freePends[n-1]
+		c.freePends[n-1] = nil
+		c.freePends = c.freePends[:n-1]
+		gen := pend.gen + 1
+		*pend.Pending = transport.Pending{IO: io, Fut: fut}
+		pend.slot = nil
+		pend.wNext, pend.wEnd = 0, 0
+		pend.attempts = 0
+		pend.gen = gen
+		pend.expired = false
+		pend.dataLost = false
+		return pend
+	}
+	return &afPending{Pending: &transport.Pending{IO: io, Fut: fut}}
+}
+
+// recyclePending returns a finished pending op to the freelist. Only
+// fully resolved commands (future resolved, CID freed) may be recycled;
+// stale timers are fenced by the generation bump in newPending.
+func (c *Client) recyclePending(pend *afPending) {
+	if len(c.freePends) >= cap(c.freePends) && len(c.freePends) >= 4*c.cfg.QueueDepth {
+		return // bound the freelist; excess pends fall to the GC
+	}
+	pend.IO = nil
+	pend.Fut = nil
+	pend.slot = nil
+	c.freePends = append(c.freePends, pend)
+}
+
+// admit validates one I/O against the negotiated limits, resolving the
+// future with a typed error when it cannot be queued. It returns false
+// when the command must not proceed.
+func (c *Client) admit(io *transport.IO, fut *sim.Future[*transport.Result]) bool {
 	if c.closing {
 		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
-		return fut
+		return false
 	}
 	if io.Admin == 0 && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
 		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
-		return fut
+		return false
 	}
 	if io.Admin == 0 && c.region != nil && !c.cfg.Design.Chunked() && io.Size > c.region.SlotSize {
 		// The negotiated shared-memory slot bounds the transfer size
 		// (the fabric's MDTS); larger I/O must be split by the caller.
 		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return false
+	}
+	return true
+}
+
+// Submit implements transport.Queue. The submitting process pays payload
+// generation and, depending on the design, the shared-memory claim and
+// copy-in (flow control pushes back here when all slots are busy).
+func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	fut := sim.NewFuture[*transport.Result](c.e)
+	if !c.admit(io, fut) {
 		return fut
 	}
-	pend := &afPending{Pending: &transport.Pending{IO: io, Fut: fut}}
+	pend := c.newPending(io, fut)
 	if io.Admin == 0 {
 		c.policy.observe(io.Write)
 	}
@@ -275,30 +332,105 @@ func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Re
 	return fut
 }
 
+// SubmitBatch implements transport.BatchQueue: the whole train pays one
+// submit-CPU charge and one reactor doorbell, and H2C payload slots for
+// whole-I/O shared-memory writes are claimed with one amortized ClaimN
+// (falling back to per-slot claims for whatever the train did not
+// cover). Per-I/O validation and staging costs match Submit.
+func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
+	futs := make([]*sim.Future[*transport.Result], len(ios))
+	staged := 0
+	for i, io := range ios {
+		fut := sim.NewFuture[*transport.Result](c.e)
+		futs[i] = fut
+		if !c.admit(io, fut) {
+			continue
+		}
+		if io.Admin == 0 {
+			c.policy.observe(io.Write)
+		}
+		staged++
+	}
+	if staged == 0 {
+		return futs
+	}
+	// Claim the train's H2C slots up front, paying SlotOverhead once.
+	region := c.region
+	claimSlots := region != nil && !c.cfg.Design.Chunked()
+	var slots []*shm.Slot
+	if claimSlots {
+		need := 0
+		for i, io := range ios {
+			if io.Write && io.Admin == 0 && !futs[i].Resolved() {
+				need++
+			}
+		}
+		if need > 0 {
+			slots = region.ClaimN(p, shm.H2C, need, c.slotScratch[:0])
+			c.slotScratch = slots[:0]
+		}
+	}
+	nextSlot := 0
+	for i, io := range ios {
+		if futs[i].Resolved() {
+			continue // rejected by admission
+		}
+		pend := c.newPending(io, futs[i])
+		if io.Write && io.Admin == 0 {
+			if !claimSlots {
+				c.stageWrite(p, pend, nil)
+			} else if nextSlot < len(slots) {
+				c.stageWrite(p, pend, slots[nextSlot])
+				slots[nextSlot] = nil
+				nextSlot++
+			} else if region.Revoked() {
+				// Revoked mid-train: remaining writes fall to TCP.
+				c.stageWrite(p, pend, nil)
+			} else {
+				// The amortized train ran out of immediate credits;
+				// claim the remainder one by one (blocking, classic
+				// per-slot overhead).
+				c.stageWrite(p, pend, region.Claim(p, shm.H2C))
+			}
+		}
+		pend.SubmitAt = p.Now()
+		c.submitQ.TryPut(pend)
+	}
+	p.Sleep(c.cfg.Host.SubmitCPU)
+	c.kick.Fire()
+	return futs
+}
+
 // prepareWrite produces the payload and stages it for the selected data
 // path.
 func (c *Client) prepareWrite(p *sim.Proc, pend *afPending) {
+	region := c.region
+	if region == nil || c.cfg.Design.Chunked() {
+		// TCP path, or chunked SHM (slots claimed after R2T): payload is
+		// produced into a private buffer now.
+		c.stageWrite(p, pend, nil)
+		return
+	}
+	// Whole-I/O slot designs: claim the slot up front (shared-memory flow
+	// control: this blocks while all slots are busy). A nil slot means
+	// the region was revoked while claiming: fall back to the TCP path.
+	c.stageWrite(p, pend, region.Claim(p, shm.H2C))
+}
+
+// stageWrite produces the write payload and moves it into the given
+// pre-claimed H2C slot (nil slot: TCP data path, private buffer only).
+func (c *Client) stageWrite(p *sim.Proc, pend *afPending, slot *shm.Slot) {
 	io := pend.IO
 	fill := func() {
 		if !io.NoFill {
 			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
 		}
 	}
-	region := c.region
-	if region == nil || c.cfg.Design.Chunked() {
-		// TCP path, or chunked SHM (slots claimed after R2T): payload is
-		// produced into a private buffer now.
-		fill()
-		return
-	}
-	// Whole-I/O slot designs: claim the slot up front (shared-memory flow
-	// control: this blocks while all slots are busy).
-	slot := region.Claim(p, shm.H2C)
 	if slot == nil {
-		// Region revoked while claiming: fall back to the TCP data path.
 		fill()
 		return
 	}
+	region := slot.Region()
 	pend.slot = slot
 	if c.cfg.Design.ZeroCopy() && !region.Encrypted() {
 		// The application buffer *is* the slot: fill in place, no copy.
@@ -354,13 +486,19 @@ func (c *Client) reactor(p *sim.Proc) {
 				worked = true
 			}
 		}
-		for !c.cids.Full() && !c.reconnecting {
-			pend, ok := c.submitQ.TryGet()
-			if !ok {
-				break
+		if depth := c.batchDepth(); depth > 1 {
+			for !c.cids.Full() && !c.reconnecting && c.startTrain(p, depth) {
+				worked = true
 			}
-			c.start(p, pend)
-			worked = true
+		} else {
+			for !c.cids.Full() && !c.reconnecting {
+				pend, ok := c.submitQ.TryGet()
+				if !ok {
+					break
+				}
+				c.start(p, pend)
+				worked = true
+			}
 		}
 		if c.closing && c.reconnecting {
 			// Tearing down with no usable connection: fail queued
@@ -623,8 +761,19 @@ func (c *Client) reconnectTimeout() time.Duration {
 	return time.Millisecond
 }
 
-// start transmits the command capsule.
-func (c *Client) start(p *sim.Proc, pend *afPending) {
+// batchDepth returns the submission-coalescing depth in effect (1 =
+// classic one-capsule-per-message behaviour).
+func (c *Client) batchDepth() int {
+	if c.cfg.TP.BatchSize > 1 {
+		return c.cfg.TP.BatchSize
+	}
+	return 1
+}
+
+// prepareStart allocates the CID, arms the deadline, records telemetry,
+// and builds the wire entry (SQE + optional in-capsule payload) for one
+// command. It is the shared front half of start and startTrain.
+func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
 	cid, err := c.cids.Alloc(pend)
 	if err != nil {
 		panic(err)
@@ -643,16 +792,12 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 		c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
 	}
 	if io.Admin != 0 {
-		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
-		return
+		return pdu.BatchEntry{Cmd: nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}}
 	}
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)
 	if !io.Write {
-		cmd := nvme.NewRead(cid, io.Nsid(), slba, nlb)
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
-		return
+		return pdu.BatchEntry{Cmd: nvme.NewRead(cid, io.Nsid(), slba, nlb)}
 	}
 	cmd := nvme.NewWrite(cid, io.Nsid(), slba, nlb)
 	if io.Data != nil {
@@ -670,23 +815,62 @@ func (c *Client) start(p *sim.Proc, pend *afPending) {
 		// regardless of I/O size (steps 2 and 4 of Fig 7 eliminated).
 		cmd.Flags = cmdFlagSHMSlot
 		cmd.PRP1 = uint64(pend.slot.Index)
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return pdu.BatchEntry{Cmd: cmd}
 	case !viaTCP:
 		// Chunked SHM design: conservative flow; wait for R2T, then move
 		// payload through chunk slots.
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return pdu.BatchEntry{Cmd: cmd}
 	case io.Size <= c.cfg.TP.InCapsuleThreshold:
-		capsule := &pdu.CapsuleCmd{Cmd: cmd}
+		e := pdu.BatchEntry{Cmd: cmd}
 		if io.Data != nil {
-			capsule.Data = io.Data
+			e.Data = io.Data
 		} else {
-			capsule.VirtualLen = io.Size
+			e.VirtualLen = io.Size
 		}
 		pend.Sent = io.Size
-		transport.SendPDUs(p, c.ep, capsule)
+		return e
 	default:
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return pdu.BatchEntry{Cmd: cmd}
 	}
+}
+
+// start transmits one command capsule (the classic unbatched path).
+func (c *Client) start(p *sim.Proc, pend *afPending) {
+	e := c.prepareStart(pend)
+	c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+	transport.SendPDUs(p, c.ep, &c.capsule)
+}
+
+// startTrain drains up to depth admissible commands from the submit
+// queue and transmits them as one capsule train: a single network
+// message, so the per-message CPU, wakeup penalty, and all but one
+// common header are paid once for the whole batch. Returns false when
+// the queue had nothing to send.
+func (c *Client) startTrain(p *sim.Proc, depth int) bool {
+	entries := c.batch.Entries[:0]
+	for len(entries) < depth && !c.cids.Full() {
+		pend, ok := c.submitQ.TryGet()
+		if !ok {
+			break
+		}
+		entries = append(entries, c.prepareStart(pend))
+	}
+	c.batch.Entries = entries
+	if len(entries) == 0 {
+		return false
+	}
+	c.tel.Observe(telemetry.HistBatchSize, int64(len(entries)))
+	if len(entries) == 1 {
+		// A train of one degenerates to the classic capsule: no batch
+		// framing overhead, and single-command traffic stays on the
+		// established wire format.
+		e := &entries[0]
+		c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+		transport.SendPDUs(p, c.ep, &c.capsule)
+		return true
+	}
+	transport.SendPDUs(p, c.ep, &c.batch)
+	return true
 }
 
 // handle processes one received network message.
@@ -697,6 +881,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 		panic(fmt.Sprintf("oaf client: bad message: %v", err))
 	}
 	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
+	reaped := 0
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.R2T:
@@ -709,6 +894,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 			c.onSHMRelease(p, v)
 		case *pdu.CapsuleResp:
 			c.onResp(p, v, transit)
+			reaped++
 		case *pdu.ICResp:
 			c.onReconnectICResp(p, v)
 		case *pdu.Term:
@@ -716,6 +902,11 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 			panic(fmt.Sprintf("oaf client: unexpected PDU %v", u.Type()))
 		}
 		transit = 0
+	}
+	if reaped > 0 {
+		// Completions harvested per wakeup: the completion-reap analogue
+		// of HistBatchSize (the target coalesces responses when batching).
+		c.tel.Observe(telemetry.HistReapDepth, int64(reaped))
 	}
 }
 
@@ -956,6 +1147,7 @@ func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) 
 			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
 		}
 	}
+	c.recyclePending(pend)
 	c.kick.Fire()
 }
 

@@ -199,6 +199,10 @@ type srvConn struct {
 	region   *shm.Region // non-nil after a successful locality check
 	lastSeen sim.Time
 	closed   bool
+	// Completion-reap scratch (run-loop only; reused so the coalesced
+	// transmit path stays allocation-free).
+	txPDUs   []pdu.PDU
+	txAfters []func()
 	// dead is set once the run loop exits: posts stop transmitting but
 	// still run their cleanup callbacks so buffers return to the pool.
 	dead bool
@@ -254,16 +258,7 @@ func (c *srvConn) run(p *sim.Proc) {
 			c.handle(p, msg)
 			worked = true
 		}
-		for {
-			batch, ok := c.txQ.TryGet()
-			if !ok {
-				break
-			}
-			transport.SendPDUs(p, c.ep, batch.pdus...)
-			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-			if batch.after != nil {
-				batch.after()
-			}
+		if c.drainTx(p) {
 			worked = true
 		}
 		c.retryWaits()
@@ -292,6 +287,62 @@ func (c *srvConn) run(p *sim.Proc) {
 	if c.Expired && !c.srv.crashed {
 		c.srv.startConn(c.ep)
 	}
+}
+
+// drainTx flushes the transmit queue. With completion-reap coalescing
+// enabled (TP.BatchSize > 1) up to BatchSize ready batches merge into
+// one network message — the target-side mirror of doorbell batching:
+// one per-message CPU charge and one client wakeup reap a whole train
+// of completions. Every merged batch's cleanup callback still runs
+// after its bytes are on the wire.
+func (c *srvConn) drainTx(p *sim.Proc) bool {
+	reap := 1
+	if c.srv.cfg.TP.BatchSize > 1 {
+		reap = c.srv.cfg.TP.BatchSize
+	}
+	worked := false
+	for {
+		batch, ok := c.txQ.TryGet()
+		if !ok {
+			break
+		}
+		worked = true
+		if reap <= 1 {
+			transport.SendPDUs(p, c.ep, batch.pdus...)
+			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
+			if batch.after != nil {
+				batch.after()
+			}
+			continue
+		}
+		pdus := append(c.txPDUs[:0], batch.pdus...)
+		afters := c.txAfters[:0]
+		if batch.after != nil {
+			afters = append(afters, batch.after)
+		}
+		merged := 1
+		for merged < reap {
+			next, ok := c.txQ.TryGet()
+			if !ok {
+				break
+			}
+			pdus = append(pdus, next.pdus...)
+			if next.after != nil {
+				afters = append(afters, next.after)
+			}
+			merged++
+		}
+		transport.SendPDUs(p, c.ep, pdus...)
+		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(pdus)))
+		c.srv.tel.Observe(telemetry.HistReapDepth, int64(merged))
+		for i, fn := range afters {
+			fn()
+			afters[i] = nil
+		}
+		c.txPDUs = pdus[:0]
+		c.txAfters = afters[:0]
+	}
+	return worked
 }
 
 // teardown reclaims every connection resource: queued transmissions are
@@ -445,6 +496,16 @@ func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
 			c.onICReq(v)
 		case *pdu.CapsuleCmd:
 			c.onCommand(p, v, transit)
+		case *pdu.CmdBatch:
+			// A doorbell-batched capsule train: dispatch every entry as if
+			// it arrived in its own capsule. Fabric transit is attributed
+			// once (the train crossed the wire as one message).
+			for i := range v.Entries {
+				e := &v.Entries[i]
+				cc := pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+				c.onCommand(p, &cc, transit)
+				transit = 0
+			}
 		case *pdu.Data:
 			c.onTCPData(p, v, transit)
 		case *pdu.SHMNotify:

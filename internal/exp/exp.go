@@ -54,6 +54,10 @@ type Config struct {
 	Design core.Design
 	// Streams is the number of client/SSD pairs (1:1 mapping, §3.1).
 	Streams int
+	// Queues opens this many queue pairs per stream and stripes its I/O
+	// across them by offset (default 1). Each member queue gets its own
+	// link, server connection, and — for OAF runs — shared-memory region.
+	Queues int
 	// Workload is the per-stream pattern.
 	Workload perf.Workload
 	// TP carries the TCP-channel knobs (chunk size, in-capsule
@@ -82,6 +86,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Streams <= 0 {
 		c.Streams = 1
+	}
+	if c.Queues <= 0 {
+		c.Queues = 1
 	}
 	if c.TP.ChunkSize <= 0 {
 		c.TP = model.DefaultTCPTransport()
@@ -192,8 +199,11 @@ func Run(cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("exp: unknown fabric %q", cfg.Kind)
 	}
+	// One link (and server connection, and region for OAF) per queue pair:
+	// link i*Queues+j is stream i's member queue j.
 	nic := netsim.NewNIC(e, linkParams.WireBytesPerSec)
-	for i := 0; i < cfg.Streams; i++ {
+	nConns := cfg.Streams * cfg.Queues
+	for i := 0; i < nConns; i++ {
 		links = append(links, netsim.NewLink(e, linkParams, nic, nic))
 	}
 
@@ -203,16 +213,16 @@ func Run(cfg Config) (*Result, error) {
 	switch cfg.Kind {
 	case RDMA56, RoCE100:
 		prm := rdmaParams(cfg)
-		for i := 0; i < cfg.Streams; i++ {
-			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnFor(i), Params: prm, Host: model.DefaultHost()})
+		for i := 0; i < nConns; i++ {
+			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnFor(i / cfg.Queues), Params: prm, Host: model.DefaultHost()})
 			srv.Serve(links[i].B)
 		}
 	case OAF, OAFRDMACtl:
 		fabric = core.NewFabric(e, model.DefaultSHM())
 		fabric.AttachTelemetry(tel)
-		for i := 0; i < cfg.Streams; i++ {
+		for i := 0; i < nConns; i++ {
 			srv := core.NewServer(e, tgt, core.ServerConfig{
-				NQN: nqnFor(i), Design: cfg.Design, Fabric: fabric,
+				NQN: nqnFor(i / cfg.Queues), Design: cfg.Design, Fabric: fabric,
 				TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
 			})
 			srv.Serve(links[i].B)
@@ -227,8 +237,8 @@ func Run(cfg Config) (*Result, error) {
 			regions = append(regions, region)
 		}
 	default: // TCP kinds
-		for i := 0; i < cfg.Streams; i++ {
-			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
+		for i := 0; i < nConns; i++ {
+			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i / cfg.Queues), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
 			srv.Serve(links[i].B)
 			res.PoolFootprint += srv.Pool().FootprintBytes()
 			pools = append(pools, srv.Pool())
@@ -244,40 +254,47 @@ func Run(cfg Config) (*Result, error) {
 			w := cfg.Workload
 			w.Name = fmt.Sprintf("%s-s%d", cfg.Kind, i)
 			w.Span = cfg.SSDCapacity
-			var q transport.Queue
-			switch cfg.Kind {
-			case RDMA56, RoCE100:
-				prm := rdmaParams(cfg)
-				c, err := rdma.Connect(p, links[i].A, rdma.ClientConfig{
-					NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
-				})
-				if err != nil {
-					setupErr.Resolve(err)
-					return
+			members := make([]transport.Queue, 0, cfg.Queues)
+			for j := 0; j < cfg.Queues; j++ {
+				li := i*cfg.Queues + j
+				switch cfg.Kind {
+				case RDMA56, RoCE100:
+					prm := rdmaParams(cfg)
+					c, err := rdma.Connect(p, links[li].A, rdma.ClientConfig{
+						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
+					})
+					if err != nil {
+						setupErr.Resolve(err)
+						return
+					}
+					members = append(members, c)
+				case OAF, OAFRDMACtl:
+					c, err := core.Connect(p, links[li].A, core.ClientConfig{
+						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Design: cfg.Design,
+						Region: regions[li], TP: cfg.TP, Host: model.DefaultHost(),
+						Telemetry: tel,
+					})
+					if err != nil {
+						setupErr.Resolve(err)
+						return
+					}
+					oafClients = append(oafClients, c)
+					members = append(members, c)
+				default:
+					c, err := tcp.Connect(p, links[li].A, tcp.ClientConfig{
+						NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: cfg.TP, Host: model.DefaultHost(),
+						Telemetry: tel,
+					})
+					if err != nil {
+						setupErr.Resolve(err)
+						return
+					}
+					members = append(members, c)
 				}
-				q = c
-			case OAF, OAFRDMACtl:
-				c, err := core.Connect(p, links[i].A, core.ClientConfig{
-					NQN: nqnFor(i), QueueDepth: w.QueueDepth, Design: cfg.Design,
-					Region: regions[i], TP: cfg.TP, Host: model.DefaultHost(),
-					Telemetry: tel,
-				})
-				if err != nil {
-					setupErr.Resolve(err)
-					return
-				}
-				oafClients = append(oafClients, c)
-				q = c
-			default:
-				c, err := tcp.Connect(p, links[i].A, tcp.ClientConfig{
-					NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: cfg.TP, Host: model.DefaultHost(),
-					Telemetry: tel,
-				})
-				if err != nil {
-					setupErr.Resolve(err)
-					return
-				}
-				q = c
+			}
+			var q transport.Queue = members[0]
+			if len(members) > 1 {
+				q = transport.NewStriped(e, 0, members...)
 			}
 			streams[i] = perf.NewStream(e, q, w)
 		}

@@ -68,6 +68,9 @@ func TestShapeFig11OAFBeatsAll(t *testing.T) {
 }
 
 func TestShapeWriteBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	for _, k := range []Kind{TCP10G, TCP100G, RDMA56, OAF} {
 		res := quick(t, Config{Kind: k, Streams: 4, Workload: seqWrite(128<<10, 128), Seed: 2})
 		t.Logf("%-10s write 128K x4: %.2f GB/s avg %.0fus (io %.0f comm %.0f other %.0f)",
@@ -80,6 +83,9 @@ func TestShapeWriteBandwidth(t *testing.T) {
 }
 
 func TestShape4KLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	for _, k := range []Kind{TCP10G, TCP25G, TCP100G, RDMA56, OAF} {
 		res := quick(t, Config{Kind: k, Streams: 4, Workload: seqRead(4096, 128), Seed: 3})
 		t.Logf("%-10s read 4K x4: %.2f GB/s avg %.0fus (io %.0f comm %.0f other %.0f)",
@@ -89,6 +95,9 @@ func TestShape4KLatency(t *testing.T) {
 }
 
 func TestExtensionRDMAControlPathCutsSmallIOLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	// Future-work variant (§5.5): RDMA control plane should cut oAF's
 	// 4K latency, where control messages dominate.
 	base := quick(t, Config{Kind: OAF, Streams: 4, Workload: seqRead(4096, 16), Seed: 9})

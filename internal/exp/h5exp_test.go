@@ -29,6 +29,9 @@ func TestShapeFig16OneDataset(t *testing.T) {
 }
 
 func TestShapeFig17EightDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	// Config-2: plain oAF loses to NFS; coalescing restores the win.
 	plain, err := RunH5(H5Config{Backend: H5OAF, Kernel: h5bench.Config2(), Seed: 2})
 	if err != nil {
@@ -61,6 +64,9 @@ func TestShapeFig17EightDatasets(t *testing.T) {
 }
 
 func TestShapeFig19ScaleOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	// Case-2: aggregate bandwidth grows with the SHM fraction.
 	w0, r0, err := RunH5Scale(Case2, 0, 7)
 	if err != nil {
@@ -78,6 +84,9 @@ func TestShapeFig19ScaleOut(t *testing.T) {
 }
 
 func TestShapeFig18Case1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	// Case-1: clients on one node, SSDs remote; gains grow with the
 	// shared-memory fraction.
 	w0, r0, err := RunH5Scale(Case1, 0, 5)

@@ -39,6 +39,9 @@ func TestCalibFig13(t *testing.T) {
 }
 
 func TestCalibFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	rows, err := Fig14(Quick())
 	if err != nil {
 		t.Fatal(err)

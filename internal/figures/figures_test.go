@@ -18,6 +18,9 @@ func findMicro(t *testing.T, rows []MicroRow, fabric, op string, size int) Micro
 }
 
 func TestFig2PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	rows, err := Fig2(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +59,9 @@ func TestFig2PaperShape(t *testing.T) {
 }
 
 func TestFig11PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	rows, err := Fig11(Quick())
 	if err != nil {
 		t.Fatal(err)
@@ -239,6 +245,9 @@ func TestFig13PaperShape(t *testing.T) {
 }
 
 func TestFig14PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep; run without -short for the full shape check")
+	}
 	rows, err := Fig14(Quick())
 	if err != nil {
 		t.Fatal(err)

@@ -285,6 +285,13 @@ type TCPTransportParams struct {
 	// AutoBusyPoll lets the adaptive fabric steer the busy-poll budget
 	// from the live read/write mix (§4.5, Fig 10's policy).
 	AutoBusyPoll bool
+	// BatchSize is the submission/completion coalescing depth: the client
+	// packs up to this many queued commands into one capsule train (one
+	// network message, one doorbell, one SHM notify for slot writes) and
+	// the target merges up to this many ready completions into one
+	// response message. 0 or 1 preserves the classic one-message-per-
+	// command behaviour.
+	BatchSize int
 }
 
 // DefaultTCPTransport returns stock SPDK-like NVMe/TCP settings.

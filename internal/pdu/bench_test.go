@@ -1,0 +1,45 @@
+package pdu
+
+import (
+	"testing"
+
+	"nvmeoaf/internal/nvme"
+)
+
+// BenchmarkCmdBatchEncode pins the hot-path cost of serializing a
+// capsule train: encoding into a reused buffer must not allocate.
+func BenchmarkCmdBatchEncode(b *testing.B) {
+	batch := &CmdBatch{Entries: make([]BatchEntry, 16)}
+	for i := range batch.Entries {
+		batch.Entries[i] = BatchEntry{Cmd: nvme.NewWrite(uint16(i+1), 1, uint64(i)*4096, 8), VirtualLen: 4096}
+	}
+	buf := batch.Encode(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = batch.Encode(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkCmdBatchDecode measures deserializing the same 16-command
+// train; the per-call cost is the entries slice plus virtual-payload
+// bookkeeping, independent of the 4 KiB payloads (never materialized).
+func BenchmarkCmdBatchDecode(b *testing.B) {
+	batch := &CmdBatch{Entries: make([]BatchEntry, 16)}
+	for i := range batch.Entries {
+		batch.Entries[i] = BatchEntry{Cmd: nvme.NewWrite(uint16(i+1), 1, uint64(i)*4096, 8), VirtualLen: 4096}
+	}
+	wire := Marshal(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _, err := Decode(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(p.(*CmdBatch).Entries) != 16 {
+			b.Fatal("bad decode")
+		}
+	}
+}

@@ -24,6 +24,11 @@ func FuzzDecode(f *testing.F) {
 		&R2T{CID: 3, TTag: 4, Length: 4096},
 		&SHMNotify{CID: 6, Slot: 2, Offset: 512, Length: 4096, Last: true},
 		&SHMRelease{CID: 7, Slot: 3},
+		&CmdBatch{Entries: []BatchEntry{
+			{Cmd: nvme.NewRead(10, 1, 0, 8)},
+			{Cmd: nvme.NewWrite(11, 1, 0, 8), Data: []byte("payload")},
+			{Cmd: nvme.NewWrite(12, 1, 0, 8), VirtualLen: 4096},
+		}},
 		&Term{Dir: TypeH2CTermReq},
 	}
 	for _, s := range seeds {

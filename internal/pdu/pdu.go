@@ -41,6 +41,12 @@ const (
 	// TypeSHMRelease returns a shared-memory slot to its owner after the
 	// peer has consumed the payload.
 	TypeSHMRelease Type = 0x41
+	// TypeCmdBatch carries a train of NVMe commands in one PDU: the
+	// doorbell-batched submission path packs up to BatchSize queued
+	// commands (with optional in-capsule data per entry) behind a single
+	// common header, saving one header plus one network message per
+	// coalesced command.
+	TypeCmdBatch Type = 0x42
 )
 
 func (t Type) String() string {
@@ -67,6 +73,8 @@ func (t Type) String() string {
 		return "SHMNotify"
 	case TypeSHMRelease:
 		return "SHMRelease"
+	case TypeCmdBatch:
+		return "CmdBatch"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", uint8(t))
 	}
@@ -115,6 +123,13 @@ func Decode(buf []byte) (PDU, int, error) {
 			mat = headerSize + nvme.CommandSize + 4
 		case TypeH2CData, TypeC2HData:
 			mat = headerSize + 16
+		case TypeCmdBatch:
+			// Per-entry virtual payloads make the materialized size
+			// independent of PLEN; the batch prefix declares it.
+			if len(buf) < headerSize+batchPrefixSize {
+				return nil, 0, fmt.Errorf("pdu: short CmdBatch prefix: %d bytes", len(buf))
+			}
+			mat = headerSize + batchPrefixSize + int(binary.LittleEndian.Uint32(buf[headerSize+2:]))
 		default:
 			return nil, 0, fmt.Errorf("pdu: virtual flag on non-data PDU %v", t)
 		}
@@ -146,6 +161,8 @@ func Decode(buf []byte) (PDU, int, error) {
 		p, err = decodeSHMNotify(body, flags)
 	case TypeSHMRelease:
 		p, err = decodeSHMRelease(body)
+	case TypeCmdBatch:
+		p, err = decodeCmdBatch(body)
 	default:
 		return nil, 0, fmt.Errorf("pdu: unknown type 0x%02x", uint8(t))
 	}
@@ -568,6 +585,137 @@ func decodeSHMRelease(body []byte) (PDU, error) {
 		CID:  binary.LittleEndian.Uint16(body[0:]),
 		Slot: binary.LittleEndian.Uint32(body[2:]),
 	}, nil
+}
+
+// batchPrefixSize is the CmdBatch body prefix: u16 entry count + u32
+// materialized length of the entries section.
+const batchPrefixSize = 6
+
+// entryVirtual marks one batch entry's payload as modeled-only in its
+// length word.
+const entryVirtual = uint32(1) << 31
+
+// BatchEntry is one command inside a CmdBatch: a bare SQE plus optional
+// in-capsule payload (real or virtual), exactly as a standalone
+// CapsuleCmd would carry it but without the 8-byte common header.
+type BatchEntry struct {
+	Cmd nvme.Command
+	// Data is in-capsule payload; nil when the data phase is separate.
+	Data []byte
+	// VirtualLen models in-capsule payload without materializing it.
+	VirtualLen int
+}
+
+func (e *BatchEntry) dataLen() int {
+	if e.Data != nil {
+		return len(e.Data)
+	}
+	return e.VirtualLen
+}
+
+// CmdBatch is the doorbell-batched capsule train: N commands coalesced
+// into one PDU, submitted with one network message and one reactor
+// wakeup on the target. The wire layout is
+//
+//	[common header][u16 count][u32 matLen]
+//	count × ([64-byte SQE][u32 dlen|virtual-bit][dlen payload bytes])
+//
+// where matLen is the materialized byte length of the entries section
+// (virtual payloads are charged on the simulated wire via PLEN but never
+// serialized).
+type CmdBatch struct {
+	Entries []BatchEntry
+}
+
+// Type implements PDU.
+func (*CmdBatch) Type() Type { return TypeCmdBatch }
+
+// WireLen implements PDU.
+func (b *CmdBatch) WireLen() int {
+	n := headerSize + batchPrefixSize
+	for i := range b.Entries {
+		n += nvme.CommandSize + 4 + b.Entries[i].dataLen()
+	}
+	return n
+}
+
+// matLen returns the materialized length of the entries section.
+func (b *CmdBatch) matLen() (n int, virtual bool) {
+	for i := range b.Entries {
+		n += nvme.CommandSize + 4
+		e := &b.Entries[i]
+		if e.Data == nil && e.VirtualLen > 0 {
+			virtual = true
+		} else {
+			n += len(e.Data)
+		}
+	}
+	return n, virtual
+}
+
+// Encode implements PDU.
+func (b *CmdBatch) Encode(dst []byte) []byte {
+	matLen, virtual := b.matLen()
+	var flags uint8
+	if virtual {
+		flags = flagVirtual
+	}
+	dst = putHeader(dst, TypeCmdBatch, flags, uint32(b.WireLen()))
+	var pre [batchPrefixSize]byte
+	binary.LittleEndian.PutUint16(pre[0:], uint16(len(b.Entries)))
+	binary.LittleEndian.PutUint32(pre[2:], uint32(matLen))
+	dst = append(dst, pre[:]...)
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		var sqe [nvme.CommandSize]byte
+		e.Cmd.Encode(sqe[:])
+		dst = append(dst, sqe[:]...)
+		dl := uint32(e.dataLen())
+		if e.Data == nil && e.VirtualLen > 0 {
+			dl |= entryVirtual
+		}
+		var dlb [4]byte
+		binary.LittleEndian.PutUint32(dlb[:], dl)
+		dst = append(dst, dlb[:]...)
+		dst = append(dst, e.Data...)
+	}
+	return dst
+}
+
+func decodeCmdBatch(body []byte) (PDU, error) {
+	if len(body) < batchPrefixSize {
+		return nil, fmt.Errorf("pdu: short CmdBatch body: %d", len(body))
+	}
+	count := int(binary.LittleEndian.Uint16(body[0:]))
+	rest := body[batchPrefixSize:]
+	b := &CmdBatch{Entries: make([]BatchEntry, 0, count)}
+	for i := 0; i < count; i++ {
+		if len(rest) < nvme.CommandSize+4 {
+			return nil, fmt.Errorf("pdu: CmdBatch entry %d truncated: %d bytes", i, len(rest))
+		}
+		cmd, err := nvme.DecodeCommand(rest)
+		if err != nil {
+			return nil, err
+		}
+		dl := binary.LittleEndian.Uint32(rest[nvme.CommandSize:])
+		rest = rest[nvme.CommandSize+4:]
+		e := BatchEntry{Cmd: cmd}
+		n := int(dl &^ entryVirtual)
+		if dl&entryVirtual != 0 {
+			e.VirtualLen = n
+		} else if n > 0 {
+			if n > len(rest) {
+				return nil, fmt.Errorf("pdu: CmdBatch entry %d data truncated: want %d have %d", i, n, len(rest))
+			}
+			e.Data = append([]byte(nil), rest[:n]...)
+			rest = rest[n:]
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("pdu: CmdBatch trailing bytes: %d", len(rest))
+	}
+	return b, nil
 }
 
 // Term requests orderly connection termination (H2CTermReq from the host,

@@ -242,3 +242,81 @@ func TestCapsuleRespTimingTrailer(t *testing.T) {
 		t.Fatalf("got %+v want %+v", got, p)
 	}
 }
+
+func TestCmdBatchRoundTrip(t *testing.T) {
+	p := &CmdBatch{Entries: []BatchEntry{
+		{Cmd: nvme.NewRead(1, 1, 0, 8)},
+		{Cmd: nvme.NewWrite(2, 1, 512, 8), Data: []byte("in-capsule bytes")},
+		{Cmd: nvme.NewWrite(3, 1, 1024, 8), VirtualLen: 128 << 10},
+	}}
+	got := roundTrip(t, p).(*CmdBatch)
+	if len(got.Entries) != 3 {
+		t.Fatalf("entries: got %d want 3", len(got.Entries))
+	}
+	for i := range p.Entries {
+		if got.Entries[i].Cmd != p.Entries[i].Cmd {
+			t.Fatalf("entry %d SQE mismatch: %+v vs %+v", i, got.Entries[i].Cmd, p.Entries[i].Cmd)
+		}
+	}
+	if !bytes.Equal(got.Entries[1].Data, p.Entries[1].Data) {
+		t.Fatalf("entry 1 data: got %q", got.Entries[1].Data)
+	}
+	if got.Entries[2].VirtualLen != 128<<10 || got.Entries[2].Data != nil {
+		t.Fatalf("entry 2 virtual: %+v", got.Entries[2])
+	}
+	// The virtual payload is charged on the wire but never serialized.
+	if wire, mat := p.WireLen(), len(Marshal(p)); wire-mat != 128<<10 {
+		t.Fatalf("wire %d vs materialized %d: want virtual gap %d", wire, mat, 128<<10)
+	}
+	// The batch saves one common header per coalesced command vs. three
+	// standalone capsules.
+	solo := 0
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		solo += (&CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}).WireLen()
+	}
+	if saved := solo - p.WireLen(); saved != 2*headerSize-batchPrefixSize {
+		t.Fatalf("header saving: got %d want %d", saved, 2*headerSize-batchPrefixSize)
+	}
+}
+
+func TestCmdBatchEmptyAndTruncated(t *testing.T) {
+	got := roundTrip(t, &CmdBatch{}).(*CmdBatch)
+	if len(got.Entries) != 0 {
+		t.Fatalf("empty batch decoded %d entries", len(got.Entries))
+	}
+	buf := Marshal(&CmdBatch{Entries: []BatchEntry{{Cmd: nvme.NewRead(1, 1, 0, 8)}}})
+	for cut := len(buf) - 1; cut > 0; cut-- {
+		trunc := append([]byte(nil), buf[:cut]...)
+		// Patch PLEN down so only the entry section is short.
+		if cut >= headerSize {
+			if _, _, err := Decode(trunc); err == nil {
+				t.Fatalf("truncation at %d not rejected", cut)
+			}
+		}
+	}
+}
+
+func TestCmdBatchInStream(t *testing.T) {
+	var buf []byte
+	b := &CmdBatch{Entries: []BatchEntry{
+		{Cmd: nvme.NewWrite(4, 1, 0, 8), VirtualLen: 4 << 10},
+		{Cmd: nvme.NewRead(5, 1, 0, 8)},
+	}}
+	buf = b.Encode(buf)
+	buf = (&CapsuleResp{Rsp: nvme.Completion{CID: 9}}).Encode(buf)
+	p1, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Type() != TypeCmdBatch {
+		t.Fatalf("first PDU %v", p1.Type())
+	}
+	p2, _, err := Decode(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Type() != TypeCapsuleResp {
+		t.Fatalf("second PDU %v", p2.Type())
+	}
+}

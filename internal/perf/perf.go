@@ -37,6 +37,11 @@ type Workload struct {
 	SizeMix []SizeWeight
 	// QueueDepth is the number of outstanding commands.
 	QueueDepth int
+	// Batch, when above 1 and the queue supports transport.BatchQueue,
+	// submits commands in trains of up to this size (one submit-CPU
+	// charge, one doorbell per train) and reaps all available completions
+	// per wakeup before refilling — the SPDK submit/reap loop shape.
+	Batch int
 	// Span is the working-set size in bytes (defaults to 1 GiB).
 	Span int64
 	// Warmup is excluded from measurement.
@@ -89,6 +94,9 @@ type Stream struct {
 	res   *Result
 	done  *sim.Signal
 	start sim.Time
+	// freeIOs recycles request structs between submissions (driver-proc
+	// only; bounded by capacity).
+	freeIOs []*transport.IO
 }
 
 // NewStream prepares a stream; Start launches its driver process.
@@ -140,29 +148,84 @@ func (s *Stream) drive(p *sim.Proc) {
 	var seqOffset int64
 	outstanding := 0
 
+	// Batched submission path: trains of up to w.Batch commands per
+	// doorbell when the queue supports it.
+	bq, batched := s.q.(transport.BatchQueue)
+	batch := s.w.Batch
+	if batch <= 1 || !batched {
+		batch = 1
+	}
+	// Preallocated train and recycled IO structs keep the steady-state
+	// driver loop allocation-free.
+	train := make([]*transport.IO, 0, batch)
+	s.freeIOs = make([]*transport.IO, 0, s.w.QueueDepth+batch)
+
+	finish := func(io *transport.IO, o op, submitAt sim.Time) func(*transport.Result) {
+		return func(r *transport.Result) {
+			completions.TryPut(compl{op: o, io: io, res: r, at: s.e.Now(), submitAt: submitAt})
+		}
+	}
 	submit := func() {
 		io := s.nextIO(&seqOffset)
 		o := op{write: io.Write, size: io.Size}
 		fut := s.q.Submit(p, io)
-		submitAt := p.Now()
-		fut.OnResolve(func(r *transport.Result) {
-			completions.TryPut(compl{op: o, res: r, at: s.e.Now(), submitAt: submitAt})
-		})
+		fut.OnResolve(finish(io, o, p.Now()))
 		outstanding++
 	}
-
-	for i := 0; i < s.w.QueueDepth; i++ {
-		submit()
+	submitTrain := func(n int) {
+		train = train[:0]
+		for i := 0; i < n; i++ {
+			train = append(train, s.nextIO(&seqOffset))
+		}
+		futs := bq.SubmitBatch(p, train)
+		submitAt := p.Now()
+		for i, fut := range futs {
+			io := train[i]
+			fut.OnResolve(finish(io, op{write: io.Write, size: io.Size}, submitAt))
+		}
+		outstanding += n
 	}
+	refill := func(n int) {
+		if batch == 1 {
+			for i := 0; i < n; i++ {
+				submit()
+			}
+			return
+		}
+		for n > 0 {
+			k := n
+			if k > batch {
+				k = batch
+			}
+			submitTrain(k)
+			n -= k
+		}
+	}
+
+	refill(s.w.QueueDepth)
 	for outstanding > 0 {
 		c, ok := completions.Get(p)
 		if !ok {
 			break
 		}
+		// Reap everything available before refilling, so the refill train
+		// covers the whole harvest (the SPDK completion-reap shape).
+		freed := 1
 		outstanding--
 		s.record(c, measureFrom, measureTo)
+		s.recycleIO(c.io)
+		for {
+			c, ok = completions.TryGet()
+			if !ok {
+				break
+			}
+			freed++
+			outstanding--
+			s.record(c, measureFrom, measureTo)
+			s.recycleIO(c.io)
+		}
 		if p.Now() < measureTo {
-			submit()
+			refill(freed)
 		}
 	}
 	s.res.Throughput.Start = time.Duration(measureFrom)
@@ -171,9 +234,18 @@ func (s *Stream) drive(p *sim.Proc) {
 
 type compl struct {
 	op       op
+	io       *transport.IO
 	res      *transport.Result
 	at       sim.Time
 	submitAt sim.Time
+}
+
+// recycleIO returns a completed request's IO struct to the freelist.
+func (s *Stream) recycleIO(io *transport.IO) {
+	if io == nil || len(s.freeIOs) == cap(s.freeIOs) {
+		return
+	}
+	s.freeIOs = append(s.freeIOs, io)
 }
 
 // record accounts one completion if it falls inside the measured window.
@@ -234,6 +306,12 @@ func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
 			blocks = 1
 		}
 		off = s.rng.Int63n(blocks) * transport.BlockSize
+	}
+	if n := len(s.freeIOs); n > 0 {
+		io := s.freeIOs[n-1]
+		s.freeIOs = s.freeIOs[:n-1]
+		*io = transport.IO{Write: write, Offset: off, Size: size}
+		return io
 	}
 	return &transport.IO{Write: write, Offset: off, Size: size}
 }

@@ -249,6 +249,15 @@ func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
 		return nil
 	}
 
+	idx := r.claimIndex(dir)
+	r.Claims++
+	r.tel.Inc(telemetry.CtrSHMClaims)
+	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}
+}
+
+// claimIndex picks one free slot in dir. The caller must hold a credit,
+// which guarantees a free slot exists.
+func (r *Region) claimIndex(dir Direction) uint32 {
 	var idx uint32
 	switch r.policy {
 	case ClaimFreeList:
@@ -269,9 +278,55 @@ func (r *Region) Claim(p *sim.Proc, dir Direction) *Slot {
 			// busy ones (out-of-order completion leaves holes).
 		}
 	}
-	r.Claims++
-	r.tel.Inc(telemetry.CtrSHMClaims)
-	return &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)}
+	return idx
+}
+
+// ClaimN acquires up to n slots in one doorbell-amortized operation for
+// the batched submission path: the fixed SlotOverhead (I/O-vector write
+// + memory fence) is paid once for the whole train instead of once per
+// slot. It blocks for the first credit only and takes the remaining
+// ones opportunistically, so a claimer never blocks while holding
+// partial credits (two batching submitters could otherwise deadlock
+// each holding half the region). Claimed slots are appended to dst
+// (pass a reused backing slice to keep the hot path allocation-free);
+// the caller falls back to per-slot Claim for whatever the train did
+// not cover. Returns nil when the region has been revoked — including
+// while blocked on the first credit.
+func (r *Region) ClaimN(p *sim.Proc, dir Direction, n int, dst []*Slot) []*Slot {
+	if n <= 0 {
+		return dst
+	}
+	if r.Revoked() {
+		return nil
+	}
+	t0 := p.Now()
+	r.credits[dir].Acquire(p)
+	if r.Revoked() {
+		return nil
+	}
+	got := 1
+	for got < n && r.credits[dir].TryAcquire() {
+		got++
+	}
+	wait := p.Now().Sub(t0)
+	r.ClaimWait.RecordDuration(wait)
+	r.tel.ObserveDuration(telemetry.HistClaimWait, wait)
+	p.Sleep(r.params.SlotOverhead)
+	if r.Revoked() {
+		// Return the acquired credits: Revoke's permit flood only covers
+		// claimers blocked at revocation time.
+		for i := 0; i < got; i++ {
+			r.credits[dir].Release()
+		}
+		return nil
+	}
+	for i := 0; i < got; i++ {
+		idx := r.claimIndex(dir)
+		dst = append(dst, &Slot{r: r, dir: dir, Index: idx, buf: r.slotBytes(dir, idx)})
+	}
+	r.Claims += int64(got)
+	r.tel.Add(telemetry.CtrSHMClaims, int64(got))
+	return dst
 }
 
 // Open adopts an already-claimed slot by index, as the peer side does when
@@ -340,6 +395,9 @@ func (s *Slot) TryRelease() bool {
 // Bytes exposes the slot's backing memory for zero-copy use: the
 // application fills (or reads) the shared bytes in place.
 func (s *Slot) Bytes() []byte { return s.buf }
+
+// Region returns the slot's owning region.
+func (s *Slot) Region() *Region { return s.r }
 
 // copyCost returns the modeled time to move n bytes across the region
 // boundary.

@@ -59,6 +59,17 @@ type Client struct {
 	drained *sim.Signal
 	tel     *telemetry.Sink
 
+	// freePends recycles Pending structs between requests so the steady-
+	// state hot path allocates nothing per command. Safe without fencing:
+	// the TCP client has no deadline timers holding stale references, and
+	// a Pending leaves the CID table before it is recycled.
+	freePends []*transport.Pending
+	// batch and capsule are reactor-only scratch for outbound encoding.
+	// SendPDUs serializes synchronously before any yield, so reusing them
+	// across trains is safe under the cooperative engine.
+	batch   pdu.CmdBatch
+	capsule pdu.CapsuleCmd
+
 	// Stats.
 	Completed int64
 }
@@ -148,24 +159,87 @@ func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
 // reactor.
 func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
 	fut := sim.NewFuture[*transport.Result](c.e)
-	if c.closing {
-		r := &transport.Result{Status: nvme.StatusAbortRequested}
-		fut.Resolve(r)
-		return fut
-	}
-	if err := validate(io); err != nil {
-		r := &transport.Result{Status: nvme.StatusInvalidField}
-		fut.Resolve(r)
+	if !c.admit(io, fut) {
 		return fut
 	}
 	if io.Write && !io.NoFill {
 		p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
 	}
 	p.Sleep(c.cfg.Host.SubmitCPU)
-	pend := &transport.Pending{IO: io, Fut: fut, SubmitAt: p.Now()}
+	pend := c.newPending(io, fut)
+	pend.SubmitAt = p.Now()
 	c.submitQ.TryPut(pend)
 	c.kick.Fire()
 	return fut
+}
+
+// SubmitBatch implements transport.BatchQueue: it stages every I/O with a
+// single submit-CPU charge and a single reactor kick (one doorbell), so
+// the reactor can coalesce the train into batch capsules.
+func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
+	futs := make([]*sim.Future[*transport.Result], len(ios))
+	any := false
+	for i, io := range ios {
+		fut := sim.NewFuture[*transport.Result](c.e)
+		futs[i] = fut
+		if !c.admit(io, fut) {
+			continue
+		}
+		if io.Write && !io.NoFill {
+			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+		}
+		any = true
+	}
+	if !any {
+		return futs
+	}
+	p.Sleep(c.cfg.Host.SubmitCPU)
+	for i, io := range ios {
+		if futs[i].Resolved() {
+			continue
+		}
+		pend := c.newPending(io, futs[i])
+		pend.SubmitAt = p.Now()
+		c.submitQ.TryPut(pend)
+	}
+	c.kick.Fire()
+	return futs
+}
+
+// admit validates an I/O, resolving the future with an error status when
+// it cannot be accepted. Returns true when the I/O may proceed.
+func (c *Client) admit(io *transport.IO, fut *sim.Future[*transport.Result]) bool {
+	if c.closing {
+		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
+		return false
+	}
+	if err := validate(io); err != nil {
+		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return false
+	}
+	return true
+}
+
+// newPending pops a recycled Pending or allocates one.
+func (c *Client) newPending(io *transport.IO, fut *sim.Future[*transport.Result]) *transport.Pending {
+	if n := len(c.freePends); n > 0 {
+		pend := c.freePends[n-1]
+		c.freePends[n-1] = nil
+		c.freePends = c.freePends[:n-1]
+		*pend = transport.Pending{IO: io, Fut: fut}
+		return pend
+	}
+	return &transport.Pending{IO: io, Fut: fut}
+}
+
+// recyclePending returns a completed Pending to the freelist (bounded at
+// a small multiple of the queue depth).
+func (c *Client) recyclePending(pend *transport.Pending) {
+	if len(c.freePends) >= 4*c.cfg.QueueDepth {
+		return
+	}
+	pend.IO, pend.Fut = nil, nil
+	c.freePends = append(c.freePends, pend)
 }
 
 // validate checks alignment and size.
@@ -200,13 +274,19 @@ func (c *Client) reactor(p *sim.Proc) {
 	defer c.drained.Fire()
 	for {
 		worked := false
-		for !c.cids.Full() {
-			pend, ok := c.submitQ.TryGet()
-			if !ok {
-				break
+		if depth := c.batchDepth(); depth > 1 {
+			for !c.cids.Full() && c.startTrain(p, depth) {
+				worked = true
 			}
-			c.start(p, pend)
-			worked = true
+		} else {
+			for !c.cids.Full() {
+				pend, ok := c.submitQ.TryGet()
+				if !ok {
+					break
+				}
+				c.start(p, pend)
+				worked = true
+			}
 		}
 		for {
 			msg := c.ep.TryRecv(p)
@@ -258,8 +338,51 @@ func (c *Client) reactor(p *sim.Proc) {
 	}
 }
 
+// batchDepth is the effective submission-coalescing depth.
+func (c *Client) batchDepth() int {
+	if c.cfg.TP.BatchSize > 1 {
+		return c.cfg.TP.BatchSize
+	}
+	return 1
+}
+
 // start transmits the command capsule for a newly admitted request.
 func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
+	e := c.prepareStart(pend)
+	c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+	transport.SendPDUs(p, c.ep, &c.capsule)
+}
+
+// startTrain drains up to depth admissible requests and transmits them as
+// one capsule train: one network message, one doorbell. A single-entry
+// train degenerates to the classic capsule (no batch framing overhead).
+func (c *Client) startTrain(p *sim.Proc, depth int) bool {
+	entries := c.batch.Entries[:0]
+	for len(entries) < depth && !c.cids.Full() {
+		pend, ok := c.submitQ.TryGet()
+		if !ok {
+			break
+		}
+		entries = append(entries, c.prepareStart(pend))
+	}
+	c.batch.Entries = entries
+	if len(entries) == 0 {
+		return false
+	}
+	c.tel.Observe(telemetry.HistBatchSize, int64(len(entries)))
+	if len(entries) == 1 {
+		e := entries[0]
+		c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+		transport.SendPDUs(p, c.ep, &c.capsule)
+		return true
+	}
+	transport.SendPDUs(p, c.ep, &c.batch)
+	return true
+}
+
+// prepareStart allocates a CID for pend and builds its batch entry (the
+// command plus any in-capsule payload); the caller owns transmission.
+func (c *Client) prepareStart(pend *transport.Pending) pdu.BatchEntry {
 	cid, err := c.cids.Alloc(pend)
 	if err != nil {
 		// Caller ensured a free CID; allocation cannot fail here.
@@ -267,32 +390,31 @@ func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
 	}
 	pend.CID = cid
 	io := pend.IO
-	var cmd nvme.Command
 	if io.Admin != 0 {
-		cmd = nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
-		return
+		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
+		return pdu.BatchEntry{Cmd: cmd}
 	}
 	c.tel.Inc(telemetry.CtrSubmitsTCP)
 	c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)
+	var cmd nvme.Command
 	if io.Write {
 		cmd = nvme.NewWrite(cid, io.Nsid(), slba, nlb)
 	} else {
 		cmd = nvme.NewRead(cid, io.Nsid(), slba, nlb)
 	}
-	capsule := &pdu.CapsuleCmd{Cmd: cmd}
+	e := pdu.BatchEntry{Cmd: cmd}
 	if io.Write && io.Size <= c.cfg.TP.InCapsuleThreshold {
 		// In-capsule flow: payload rides with the command (§4.4.2).
 		if io.Data != nil {
-			capsule.Data = io.Data
+			e.Data = io.Data
 		} else {
-			capsule.VirtualLen = io.Size
+			e.VirtualLen = io.Size
 		}
 		pend.Sent = io.Size
 	}
-	transport.SendPDUs(p, c.ep, capsule)
+	return e
 }
 
 // handle processes one received network message (one or more PDUs).
@@ -303,6 +425,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 		panic(fmt.Sprintf("tcp client: bad message: %v", err))
 	}
 	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
+	reaped := 0
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.R2T:
@@ -311,6 +434,7 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 			c.onData(p, v, transit)
 		case *pdu.CapsuleResp:
 			c.onResp(p, v, transit)
+			reaped++
 		case *pdu.Term:
 			// Target-initiated termination: nothing outstanding to do.
 		default:
@@ -319,6 +443,9 @@ func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
 		// A message's transit is attributed once even when several PDUs
 		// were coalesced into it.
 		transit = 0
+	}
+	if reaped > 0 {
+		c.tel.Observe(telemetry.HistReapDepth, int64(reaped))
 	}
 }
 
@@ -392,6 +519,7 @@ func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) 
 			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
 		}
 	}
+	c.recyclePending(pend)
 	c.kick.Fire() // a CID freed: admit backlog
 }
 

@@ -177,6 +177,10 @@ type Conn struct {
 	// dead is set once the run loop exits: posts stop transmitting but
 	// still run their cleanup callbacks so buffers return to the pool.
 	dead bool
+	// txPDUs and txAfters are run-loop scratch for completion-reap
+	// coalescing; SendPDUs encodes before yielding, so reuse is safe.
+	txPDUs   []pdu.PDU
+	txAfters []func()
 }
 
 // post enqueues an outbound batch and wakes the handler.
@@ -206,16 +210,7 @@ func (c *Conn) run(p *sim.Proc) {
 			c.handle(p, msg)
 			worked = true
 		}
-		for {
-			batch, ok := c.txQ.TryGet()
-			if !ok {
-				break
-			}
-			transport.SendPDUs(p, c.ep, batch.pdus...)
-			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-			if batch.after != nil {
-				batch.after()
-			}
+		if c.drainTx(p) {
 			worked = true
 		}
 		// Retry commands waiting for buffers (frees may have happened).
@@ -240,6 +235,60 @@ func (c *Conn) run(p *sim.Proc) {
 		}
 	}
 	c.teardown(p)
+}
+
+// drainTx transmits queued batches. With BatchSize > 1 it merges up to
+// that many queued batches into one network message (completion-reap
+// coalescing: one interrupt/wakeup on the host covers many completions);
+// otherwise each batch goes out as its own message, bit-identical to the
+// classic path.
+func (c *Conn) drainTx(p *sim.Proc) bool {
+	reap := 1
+	if c.srv.cfg.TP.BatchSize > 1 {
+		reap = c.srv.cfg.TP.BatchSize
+	}
+	worked := false
+	for {
+		batch, ok := c.txQ.TryGet()
+		if !ok {
+			break
+		}
+		worked = true
+		if reap <= 1 {
+			transport.SendPDUs(p, c.ep, batch.pdus...)
+			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
+			if batch.after != nil {
+				batch.after()
+			}
+			continue
+		}
+		pdus := append(c.txPDUs[:0], batch.pdus...)
+		afters := c.txAfters[:0]
+		if batch.after != nil {
+			afters = append(afters, batch.after)
+		}
+		merged := 1
+		for merged < reap {
+			next, ok := c.txQ.TryGet()
+			if !ok {
+				break
+			}
+			pdus = append(pdus, next.pdus...)
+			if next.after != nil {
+				afters = append(afters, next.after)
+			}
+			merged++
+		}
+		transport.SendPDUs(p, c.ep, pdus...)
+		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(pdus)))
+		c.srv.tel.Observe(telemetry.HistReapDepth, int64(merged))
+		for i, fn := range afters {
+			fn()
+			afters[i] = nil
+		}
+		c.txPDUs, c.txAfters = pdus[:0], afters[:0]
+	}
+	return worked
 }
 
 // teardown reclaims every connection resource: queued transmissions are
@@ -372,6 +421,15 @@ func (c *Conn) handle(p *sim.Proc, msg *netsim.Message) {
 			})
 		case *pdu.CapsuleCmd:
 			c.onCommand(p, v, transit)
+		case *pdu.CmdBatch:
+			// A capsule train: dispatch each entry; the message's transit
+			// is attributed to the first command only.
+			for i := range v.Entries {
+				e := &v.Entries[i]
+				cc := pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+				c.onCommand(p, &cc, transit)
+				transit = 0
+			}
 		case *pdu.Data:
 			c.onData(p, v, transit)
 		case *pdu.Term:

@@ -110,6 +110,8 @@ const (
 	HistIOSize                   // submitted I/O size, bytes
 	HistClaimWait                // SHM slot claim wait, ns
 	HistBufWait                  // server data-buffer wait, ns
+	HistBatchSize                // commands coalesced per doorbell/capsule train
+	HistReapDepth                // completions reaped per received message
 
 	numHists
 )
@@ -120,6 +122,8 @@ var histNames = [numHists]string{
 	HistIOSize:       "io.size_bytes",
 	HistClaimWait:    "shm.claim_wait_ns",
 	HistBufWait:      "server.buffer_wait_ns",
+	HistBatchSize:    "batch.submit_size",
+	HistReapDepth:    "batch.reap_depth",
 }
 
 // String returns the exported histogram name.

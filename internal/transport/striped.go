@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+)
+
+// DefaultStripeUnit is the striping granularity when the caller does not
+// choose one: small I/Os at consecutive stripe-unit offsets rotate
+// round-robin across member queues, large I/Os split at these boundaries.
+const DefaultStripeUnit = 128 << 10
+
+// StripedQueue stripes I/O across M independent member queues, each with
+// its own reactor (and, on the adaptive fabric, its own shared-memory
+// region), the way SPDK spreads qpairs across cores.
+//
+// Placement is deterministic in the offset: stripe unit u of the address
+// space belongs to member u mod M. Small I/Os (contained in one stripe
+// unit) are forwarded whole — consecutive units rotate round-robin across
+// members while every offset always maps to the same member, preserving
+// per-offset read-your-write ordering without cross-queue synchronization.
+// Large I/Os are segment-split at stripe boundaries, issued to their
+// owning members concurrently, and completed through an aggregated future
+// (status: first error; timing: slowest segment).
+type StripedQueue struct {
+	e          *sim.Engine
+	members    []Queue
+	stripeUnit int64
+}
+
+// NewStriped builds a striped queue over members. stripeUnit <= 0 selects
+// DefaultStripeUnit; the unit is rounded up to a BlockSize multiple so
+// segment cuts stay block-aligned.
+func NewStriped(e *sim.Engine, stripeUnit int, members ...Queue) *StripedQueue {
+	if len(members) == 0 {
+		panic("transport: striped queue needs at least one member")
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = DefaultStripeUnit
+	}
+	if rem := stripeUnit % BlockSize; rem != 0 {
+		stripeUnit += BlockSize - rem
+	}
+	return &StripedQueue{e: e, members: members, stripeUnit: int64(stripeUnit)}
+}
+
+// Members exposes the member queues (for snapshots and tests).
+func (s *StripedQueue) Members() []Queue { return s.members }
+
+// StripeUnit reports the effective striping granularity.
+func (s *StripedQueue) StripeUnit() int { return int(s.stripeUnit) }
+
+// queueFor maps a byte offset to its owning member.
+func (s *StripedQueue) queueFor(offset int64) int {
+	u := offset / s.stripeUnit
+	return int(u % int64(len(s.members)))
+}
+
+// segCount reports how many stripe segments io spans (1 = forward whole).
+func (s *StripedQueue) segCount(io *IO) int {
+	if io.Admin != 0 || io.Size <= 0 || len(s.members) == 1 {
+		return 1
+	}
+	first := io.Offset / s.stripeUnit
+	last := (io.Offset + int64(io.Size) - 1) / s.stripeUnit
+	return int(last-first) + 1
+}
+
+// split cuts io at stripe boundaries. Data (when real) is sub-sliced so
+// segments read into / write from the caller's buffer in place.
+func (s *StripedQueue) split(io *IO) []*IO {
+	n := s.segCount(io)
+	segs := make([]*IO, 0, n)
+	off := io.Offset
+	end := io.Offset + int64(io.Size)
+	for off < end {
+		segEnd := (off/s.stripeUnit + 1) * s.stripeUnit
+		if segEnd > end {
+			segEnd = end
+		}
+		seg := &IO{
+			Write:  io.Write,
+			NSID:   io.NSID,
+			Offset: off,
+			Size:   int(segEnd - off),
+			NoFill: io.NoFill,
+		}
+		if io.Data != nil {
+			seg.Data = io.Data[off-io.Offset : segEnd-io.Offset]
+		}
+		segs = append(segs, seg)
+		off = segEnd
+	}
+	return segs
+}
+
+// Submit implements Queue. Admin commands go to member 0; data I/O routes
+// by offset, splitting across members when it spans stripe boundaries.
+func (s *StripedQueue) Submit(p *sim.Proc, io *IO) *sim.Future[*Result] {
+	if s.segCount(io) == 1 {
+		return s.memberFor(io).Submit(p, io)
+	}
+	segs := s.split(io)
+	futs := make([]*sim.Future[*Result], len(segs))
+	for i, seg := range segs {
+		futs[i] = s.members[s.queueFor(seg.Offset)].Submit(p, seg)
+	}
+	return s.aggregate(io, futs)
+}
+
+// SubmitBatch implements BatchQueue: I/Os are routed per offset like
+// Submit, but each member receives its share as one batched doorbell
+// (when the member supports batching). Futures align with ios.
+func (s *StripedQueue) SubmitBatch(p *sim.Proc, ios []*IO) []*sim.Future[*Result] {
+	perMember := make([][]*IO, len(s.members))
+	// route[i] records where io i went: a single member segment or a
+	// list of (member, position) pairs for a split I/O.
+	type slot struct{ member, pos int }
+	routes := make([][]slot, len(ios))
+	for i, io := range ios {
+		if s.segCount(io) == 1 {
+			m := s.memberIndexFor(io)
+			routes[i] = []slot{{m, len(perMember[m])}}
+			perMember[m] = append(perMember[m], io)
+			continue
+		}
+		for _, seg := range s.split(io) {
+			m := s.queueFor(seg.Offset)
+			routes[i] = append(routes[i], slot{m, len(perMember[m])})
+			perMember[m] = append(perMember[m], seg)
+		}
+	}
+	memberFuts := make([][]*sim.Future[*Result], len(s.members))
+	for m, list := range perMember {
+		if len(list) == 0 {
+			continue
+		}
+		if bq, ok := s.members[m].(BatchQueue); ok {
+			memberFuts[m] = bq.SubmitBatch(p, list)
+			continue
+		}
+		futs := make([]*sim.Future[*Result], len(list))
+		for i, io := range list {
+			futs[i] = s.members[m].Submit(p, io)
+		}
+		memberFuts[m] = futs
+	}
+	out := make([]*sim.Future[*Result], len(ios))
+	for i, route := range routes {
+		if len(route) == 1 {
+			out[i] = memberFuts[route[0].member][route[0].pos]
+			continue
+		}
+		futs := make([]*sim.Future[*Result], len(route))
+		for j, sl := range route {
+			futs[j] = memberFuts[sl.member][sl.pos]
+		}
+		out[i] = s.aggregate(ios[i], futs)
+	}
+	return out
+}
+
+// memberFor returns the queue owning io (admin pins to member 0).
+func (s *StripedQueue) memberFor(io *IO) Queue { return s.members[s.memberIndexFor(io)] }
+
+func (s *StripedQueue) memberIndexFor(io *IO) int {
+	if io.Admin != 0 {
+		return 0
+	}
+	return s.queueFor(io.Offset)
+}
+
+// aggregate resolves one future once every segment completes: the first
+// error wins the status, timing reflects the slowest segment, and a read
+// into a real buffer returns the caller's reassembled slice.
+func (s *StripedQueue) aggregate(io *IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
+	out := sim.NewFuture[*Result](s.e)
+	remaining := len(futs)
+	for _, f := range futs {
+		f.OnResolve(func(*Result) {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			merged := &Result{Status: nvme.StatusSuccess}
+			for _, sf := range futs {
+				r, _ := sf.Value()
+				if merged.Status == nvme.StatusSuccess && r.Status != nvme.StatusSuccess {
+					merged.Status = r.Status
+				}
+				if r.Latency > merged.Latency {
+					merged.Latency = r.Latency
+				}
+				if r.IOTime > merged.IOTime {
+					merged.IOTime = r.IOTime
+				}
+				if r.CommTime > merged.CommTime {
+					merged.CommTime = r.CommTime
+				}
+			}
+			if other := merged.Latency - merged.IOTime - merged.CommTime; other > 0 {
+				merged.OtherTime = other
+			}
+			if !io.Write && io.Data != nil && merged.Status == nvme.StatusSuccess {
+				merged.Data = io.Data[:io.Size]
+			}
+			out.Resolve(merged)
+		})
+	}
+	return out
+}
+
+// Close closes every member; outstanding requests complete first.
+func (s *StripedQueue) Close() {
+	for _, m := range s.members {
+		m.Close()
+	}
+}

@@ -85,6 +85,17 @@ type Queue interface {
 	Close()
 }
 
+// BatchQueue is implemented by queues that additionally support
+// doorbell-batched submission: SubmitBatch stages and enqueues a train
+// of I/Os with one submit-CPU charge and one reactor kick, and the
+// queue's reactor coalesces the train into batch capsules on the wire
+// (when the transport's BatchSize permits). The returned futures align
+// with ios; completion semantics match Submit exactly.
+type BatchQueue interface {
+	Queue
+	SubmitBatch(p *sim.Proc, ios []*IO) []*sim.Future[*Result]
+}
+
 // Pending tracks one in-flight request on the client side.
 type Pending struct {
 	IO       *IO

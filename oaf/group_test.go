@@ -1,0 +1,140 @@
+package oaf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nvmeoaf/internal/core"
+)
+
+// groupCluster builds a one-host cluster (co-located pairs negotiate
+// shared memory) with one retaining target.
+func groupCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c := NewCluster(Config{Seed: seed})
+	if err := c.AddHost("hostA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTarget("hostA", "nqn.grp", TargetConfig{SSDCapacity: 64 << 20, RetainData: true}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGroupStripingFairnessAndOrdering: a QueueGroup spreads consecutive
+// stripe units across every member (fairness) while each offset always
+// maps to the same member, so a read issued right behind its write
+// returns the written bytes (per-offset read-your-write ordering).
+func TestGroupStripingFairnessAndOrdering(t *testing.T) {
+	const unit = 64 << 10
+	c := groupCluster(t, 7)
+	err := c.Run(func(ctx *Ctx) error {
+		g, err := ctx.ConnectGroup("nqn.grp", ConnectOptions{Queues: 4, StripeUnit: unit, QueueDepth: 32})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 16; i++ {
+			off := int64(i) * unit
+			data := bytes.Repeat([]byte{byte(0x10 + i)}, 4096)
+			wa := g.WriteAsync(off, data)
+			ra := g.ReadAsync(off, len(data)) // in flight behind the write on the same member
+			if _, err := g.Wait(wa); err != nil {
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+			res, err := g.Wait(ra)
+			if err != nil {
+				return fmt.Errorf("read %d: %w", i, err)
+			}
+			if !bytes.Equal(res.Data, data) {
+				t.Errorf("offset %d: read-your-write violated under striping", off)
+			}
+		}
+		var sum int64
+		for i, m := range g.Members() {
+			ms := m.Snapshot()
+			if ms.Completed == 0 {
+				t.Errorf("member %d received no I/O: striping is not spreading", i)
+			}
+			sum += ms.Completed
+		}
+		gs := g.Snapshot()
+		if gs.Queues != 4 {
+			t.Errorf("Queues = %d", gs.Queues)
+		}
+		if gs.Merged.Completed != sum {
+			t.Errorf("merged snapshot lost completions: %d vs %d", gs.Merged.Completed, sum)
+		}
+		if gs.Merged.Path != "shm" {
+			t.Errorf("co-located group path = %q", gs.Merged.Path)
+		}
+		g.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupMemberRevocationDegradesOnlyThatQueue: revoking one member's
+// shared-memory region fails that member over to TCP while the others
+// stay on shared memory, and the group keeps serving every stripe.
+func TestGroupMemberRevocationDegradesOnlyThatQueue(t *testing.T) {
+	const unit = 64 << 10
+	c := groupCluster(t, 9)
+	err := c.Run(func(ctx *Ctx) error {
+		g, err := ctx.ConnectGroup("nqn.grp", ConnectOptions{Queues: 3, StripeUnit: unit, QueueDepth: 32})
+		if err != nil {
+			return err
+		}
+		for i, m := range g.Members() {
+			if !m.SharedMemory {
+				t.Fatalf("member %d did not negotiate shared memory", i)
+			}
+		}
+		victim := g.Members()[1].inner.(*core.Client)
+		victim.Region().Revoke()
+
+		// Every stripe unit — including the victim's — keeps serving.
+		for i := 0; i < 9; i++ {
+			off := int64(i) * unit
+			data := bytes.Repeat([]byte{byte(0x40 + i)}, 4096)
+			if _, err := g.Write(off, data); err != nil {
+				return fmt.Errorf("write %d after revoke: %w", i, err)
+			}
+			res, err := g.Read(off, len(data))
+			if err != nil {
+				return fmt.Errorf("read %d after revoke: %w", i, err)
+			}
+			if !bytes.Equal(res.Data, data) {
+				t.Errorf("offset %d corrupted after member revocation", off)
+			}
+		}
+		snaps := make([]QueueSnapshot, len(g.Members()))
+		for i, m := range g.Members() {
+			snaps[i] = m.Snapshot()
+		}
+		if snaps[1].Path != "tcp" {
+			t.Errorf("revoked member path = %q, want tcp", snaps[1].Path)
+		}
+		if snaps[1].Failovers == 0 {
+			t.Error("revoked member recorded no failover")
+		}
+		for _, i := range []int{0, 2} {
+			if snaps[i].Path != "shm" {
+				t.Errorf("healthy member %d degraded too: path = %q", i, snaps[i].Path)
+			}
+			if snaps[i].Failovers != 0 {
+				t.Errorf("healthy member %d recorded a failover", i)
+			}
+		}
+		if got := g.Snapshot().Merged.Path; got != "mixed" {
+			t.Errorf("group path = %q, want mixed", got)
+		}
+		g.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -114,9 +114,21 @@ type ConnectOptions struct {
 	// throughput on every payload and forfeits part of the zero-copy
 	// benefit.
 	EncryptSHM bool
-	// Queues opens this many I/O queue pairs and spreads commands across
-	// them round-robin, as SPDK pins qpairs to cores (default 1).
+	// Queues opens this many I/O queue pairs and stripes commands across
+	// them by offset, as SPDK pins qpairs to cores (default 1). Values
+	// above 1 make Connect return the facade of a QueueGroup; use
+	// ConnectGroup for member-level access.
 	Queues int
+	// StripeUnit is the striping granularity for multi-queue connections:
+	// stripe unit u of the address space belongs to member queue u mod
+	// Queues, and larger I/Os split at unit boundaries (default 128 KiB).
+	StripeUnit int
+	// Batch enables submission/completion coalescing: the client packs up
+	// to this many queued commands into one capsule train (one message,
+	// one doorbell) and the target merges as many ready completions per
+	// response message. 0 or 1 keeps the classic one-message-per-command
+	// wire behavior.
+	Batch int
 }
 
 // host is one simulated physical machine.
@@ -304,11 +316,72 @@ type Queue struct {
 // shared memory never appear — they are not on the wire).
 func (q *Queue) Trace() string { return q.tracer.String() }
 
+// QueueGroup is a set of independently connected queues to one target
+// with I/O striped across them by offset: each member has its own
+// reactor and (on the adaptive fabric) its own shared-memory region, so
+// a fault on one member — e.g. a revoked region — degrades only that
+// member while the group keeps serving. The embedded Queue is the
+// striped facade: Read/Write route through the group.
+type QueueGroup struct {
+	*Queue
+	members []*Queue
+}
+
+// Members exposes the member queues (each independently snapshotable).
+func (g *QueueGroup) Members() []*Queue { return g.members }
+
 // Connect establishes a connection from the application's host to the
 // named target. For FabricAdaptive, the Connection Manager provisions a
 // shared-memory region when client and target share the host and falls
-// back to optimized TCP otherwise.
+// back to optimized TCP otherwise. With opts.Queues > 1 the returned
+// Queue is the striped facade of a QueueGroup.
 func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
+	if opts.Queues > 1 {
+		g, err := ctx.ConnectGroup(targetNQN, opts)
+		if err != nil {
+			return nil, err
+		}
+		return g.Queue, nil
+	}
+	return ctx.connectOne(targetNQN, opts)
+}
+
+// ConnectGroup opens opts.Queues (at least one) independent connections
+// to the target and stripes I/O across them by offset.
+func (ctx *Ctx) ConnectGroup(targetNQN string, opts ConnectOptions) (*QueueGroup, error) {
+	n := opts.Queues
+	if n <= 0 {
+		n = 1
+	}
+	single := opts
+	single.Queues = 1
+	members := make([]*Queue, 0, n)
+	inners := make([]transport.Queue, 0, n)
+	for i := 0; i < n; i++ {
+		q, err := ctx.connectOne(targetNQN, single)
+		if err != nil {
+			for _, m := range members {
+				m.Close()
+			}
+			return nil, fmt.Errorf("oaf: group member %d: %w", i, err)
+		}
+		members = append(members, q)
+		inners = append(inners, q.inner)
+	}
+	striped := transport.NewStriped(ctx.cluster.engine, opts.StripeUnit, inners...)
+	shm := true
+	for _, m := range members {
+		shm = shm && m.SharedMemory
+	}
+	facade := &Queue{
+		inner: striped, ctx: ctx, tracer: members[0].tracer,
+		target: targetNQN, SharedMemory: shm,
+	}
+	return &QueueGroup{Queue: facade, members: members}, nil
+}
+
+// connectOne opens a single queue pair.
+func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error) {
 	c := ctx.cluster
 	te, ok := c.targets[targetNQN]
 	if !ok {
@@ -329,6 +402,7 @@ func (ctx *Ctx) Connect(targetNQN string, opts ConnectOptions) (*Queue, error) {
 		tp.ChunkSize = opts.ChunkSize
 	}
 	tp.BusyPoll = opts.BusyPoll
+	tp.BatchSize = opts.Batch
 
 	tracer := netsim.NewTracer(targetNQN)
 	intra := clientHost == te.host

@@ -33,6 +33,11 @@ func (q *Queue) Snapshot() QueueSnapshot {
 	}
 	switch cl := q.inner.(type) {
 	case *core.Client:
+		// Report the live data path: a mid-stream failover (e.g. revoked
+		// region) moves the queue to TCP after connect time.
+		if !cl.SHMEnabled() {
+			s.Path = "tcp"
+		}
 		s.Completed = cl.Completed
 		s.Retries = cl.Retries
 		s.Timeouts = cl.Timeouts
@@ -44,6 +49,48 @@ func (q *Queue) Snapshot() QueueSnapshot {
 		s.Completed = cl.Completed
 	}
 	return s
+}
+
+// GroupSnapshot is the merged view of a QueueGroup: per-member snapshots
+// plus their sum, with the path reflecting the group's mix ("shm", "tcp",
+// or "mixed" when a member degraded independently).
+type GroupSnapshot struct {
+	Target  string          `json:"target"`
+	Queues  int             `json:"queues"`
+	Merged  QueueSnapshot   `json:"merged"`
+	Members []QueueSnapshot `json:"members"`
+}
+
+// Snapshot merges the member queues' counters at the current virtual time.
+func (g *QueueGroup) Snapshot() GroupSnapshot {
+	snap := GroupSnapshot{Target: g.target, Queues: len(g.members)}
+	shm, tcp := 0, 0
+	for _, m := range g.members {
+		ms := m.Snapshot()
+		snap.Members = append(snap.Members, ms)
+		snap.Merged.Completed += ms.Completed
+		snap.Merged.Retries += ms.Retries
+		snap.Merged.Timeouts += ms.Timeouts
+		snap.Merged.Failovers += ms.Failovers
+		snap.Merged.Reconnects += ms.Reconnects
+		snap.Merged.LateMsgs += ms.LateMsgs
+		snap.Merged.SHMPayloadBytes += ms.SHMPayloadBytes
+		if ms.Path == "shm" {
+			shm++
+		} else {
+			tcp++
+		}
+	}
+	snap.Merged.Target = g.target
+	switch {
+	case tcp == 0:
+		snap.Merged.Path = "shm"
+	case shm == 0:
+		snap.Merged.Path = "tcp"
+	default:
+		snap.Merged.Path = "mixed"
+	}
+	return snap
 }
 
 // ClusterSnapshot aggregates the fabric-wide observability layer: the

@@ -1,30 +1,64 @@
 #!/bin/sh
-# Observability benchmark sweep: run a small fabric matrix through
-# oafperf -stats-json and collect one JSON report with perf numbers,
-# fabric telemetry (counters, quantiles, traces), and pool stats.
+# Benchmark sweep: run a small fabric matrix through oafperf -stats-json
+# (perf numbers, fabric telemetry, pool stats), then the batching
+# wall-clock benchmarks (`go test -bench QD64`), and collect everything
+# into one JSON report. The bench section records, per configuration,
+# the simulator's own wall-clock ns/op and allocs/op next to the
+# simulated GB/s and IOPS it achieved, so allocation regressions on the
+# batched hot path show up in CI artifacts.
 #
 # Environment knobs (all optional):
-#   BENCH_OUT      output file            (default BENCH_pr2.json)
+#   BENCH_OUT      output file            (default BENCH_pr3.json)
 #   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
 #   BENCH_QD       queue depth            (default 64)
 #   BENCH_SIZE     I/O size               (default 128K)
+#   BENCH_BATCH    coalescing depth       (default 16)
+#   BENCH_QUEUES   queue pairs per stream (default 4)
 #   BENCH_FABRICS  fabrics to sweep       (default "nvme-oaf tcp-25g")
+#   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr2.json}
+OUT=${BENCH_OUT:-BENCH_pr3.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
+BATCH=${BENCH_BATCH:-16}
+QUEUES=${BENCH_QUEUES:-4}
 FABRICS=${BENCH_FABRICS:-"nvme-oaf tcp-25g"}
+GOBENCH=${BENCH_GOBENCH:-3x}
 
-BIN=$(mktemp -d)/oafperf
-trap 'rm -rf "$(dirname "$BIN")"' EXIT
+TMP=$(mktemp -d)
+BIN=$TMP/oafperf
+trap 'rm -rf "$TMP"' EXIT
 go build -o "$BIN" ./cmd/oafperf
+
+# go_bench runs the QD64 batching benchmarks and rewrites the standard
+# `go test -bench` lines into JSON objects with ns/op, allocs/op, and
+# the reported sim-GB/s / sim-IOPS metrics.
+go_bench() {
+	go test ./internal/exp/ -run 'NO_TESTS' -bench 'BenchmarkQD64' \
+		-benchtime "$GOBENCH" 2>/dev/null |
+		awk '
+		/^BenchmarkQD64/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			ns = ""; allocs = ""; gbps = ""; iops = ""
+			for (i = 2; i < NF; i++) {
+				if ($(i+1) == "ns/op") ns = $i
+				if ($(i+1) == "allocs/op") allocs = $i
+				if ($(i+1) == "sim-GB/s") gbps = $i
+				if ($(i+1) == "sim-IOPS") iops = $i
+			}
+			if (n++) printf ",\n"
+			printf "    {\"name\": \"%s\", \"wall_ns_per_op\": %s, \"allocs_per_op\": %s, \"sim_gbps\": %s, \"sim_iops\": %s}", \
+				name, ns, allocs ? allocs : 0, gbps ? gbps : 0, iops ? iops : 0
+		}
+		END { printf "\n" }'
+}
 
 {
 	printf '{\n'
-	printf '  "bench": "observability-sweep",\n'
+	printf '  "bench": "batching-sweep",\n'
 	printf '  "duration": "%s",\n' "$DUR"
 	printf '  "runs": [\n'
 	first=1
@@ -33,9 +67,19 @@ go build -o "$BIN" ./cmd/oafperf
 			[ $first -eq 1 ] || printf ',\n'
 			first=0
 			"$BIN" -fabric "$fab" -rw "$rw" -size "$SIZE" -qd "$QD" -t "$DUR" -stats-json
+			printf ',\n'
+			"$BIN" -fabric "$fab" -rw "$rw" -size "$SIZE" -qd "$QD" -t "$DUR" \
+				-batch "$BATCH" -queues "$QUEUES" -stats-json
 		done
 	done
-	printf '  ]\n'
+	printf '  ]'
+	if [ -n "$GOBENCH" ]; then
+		printf ',\n  "go_bench": [\n'
+		go_bench
+		printf '  ]\n'
+	else
+		printf '\n'
+	fi
 	printf '}\n'
 } >"$OUT"
 

@@ -5,6 +5,10 @@
 #   3. go test -race — full suite under the race detector (the sim engine
 #      runs procs one at a time, but real goroutines, channels, and the
 #      shared-memory atomics still get exercised)
+#
+# Any arguments are passed through to `go test`; `scripts/verify.sh -short`
+# skips the slow figure/experiment sweeps (used on PRs, where a separate
+# full run still covers them on main).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -15,6 +19,6 @@ echo "== build =="
 go build ./...
 
 echo "== test (race) =="
-go test -race ./...
+go test -race "$@" ./...
 
 echo "verify: OK"
