@@ -9,6 +9,7 @@
 //	oafperf -fabric tcp-25g -rw randrw -mix 70 -size 512K -t 2s
 //	oafperf -fabric nvme-oaf -design shm-lock-free -rw read -size 512K
 //	oafperf -fabric tcp-25g -rw randread -size 4K -qd 64 -batch 16 -queues 4
+//	oafperf -fabric nvme-oaf -rw randread -size 4K -qd 64 -zipf 0.99 -cache 256M -cache-mode wb
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"nvmeoaf/internal/cache"
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/exp"
 	"nvmeoaf/internal/mempool"
@@ -106,6 +108,9 @@ func main() {
 	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
 	batch := flag.Int("batch", 0, "submission/completion coalescing depth (0 or 1 = one message per command)")
 	queues := flag.Int("queues", 1, "queue pairs per stream; I/O stripes across them by offset")
+	cacheStr := flag.String("cache", "", "target-side DRAM block cache capacity per SSD (e.g. 256M; empty = uncached)")
+	cacheMode := flag.String("cache-mode", "wt", "cache write policy: wt/write-through or wb/write-back")
+	zipf := flag.Float64("zipf", 0, "Zipfian hot-set skew theta for random workloads (0 = uniform; YCSB default 0.99)")
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
@@ -120,7 +125,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch}
+	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch, Zipf: *zipf}
 	if *sizeMix != "" {
 		mixes, err := parseSizeMix(*sizeMix)
 		if err != nil {
@@ -154,6 +159,19 @@ func main() {
 		Queues:   *queues,
 		Workload: w,
 		Seed:     *seed,
+	}
+	if *cacheStr != "" {
+		cb, err := parseSize(*cacheStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oafperf:", err)
+			os.Exit(2)
+		}
+		cfg.CacheBytes = int64(cb)
+		cfg.CacheMode, err = cache.ParseMode(*cacheMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oafperf:", err)
+			os.Exit(2)
+		}
 	}
 	if *chunk > 0 || *poll > 0 || *batch > 1 {
 		tp := model.DefaultTCPTransport()
@@ -205,22 +223,29 @@ func main() {
 		fmt.Printf("  ssd %d     : util %.0f%%, %d reads / %d writes\n",
 			i, dev.SSD().Utilization()*100, dev.SSD().ReadOps, dev.SSD().WriteOps)
 	}
+	for _, cs := range res.CacheStats {
+		fmt.Printf("  cache     : %s hit %.1f%% (%d hits / %d misses, %d bypass), %d evict, dirty %d B\n",
+			cs.Name, cs.HitRate()*100, cs.Hits, cs.Misses, cs.Bypasses, cs.Evictions, cs.DirtyBytes)
+	}
 }
 
 // report is the -stats-json document: run configuration, the aggregate
 // performance result, and the fabric-wide observability snapshot.
 type report struct {
 	Config struct {
-		Fabric  string `json:"fabric"`
-		Design  string `json:"design"`
-		RW      string `json:"rw"`
-		Size    string `json:"size"`
-		QD      int    `json:"qd"`
-		Streams int    `json:"streams"`
-		Queues  int    `json:"queues,omitempty"`
-		Batch   int    `json:"batch,omitempty"`
-		Window  string `json:"window"`
-		Seed    int64  `json:"seed"`
+		Fabric     string  `json:"fabric"`
+		Design     string  `json:"design"`
+		RW         string  `json:"rw"`
+		Size       string  `json:"size"`
+		QD         int     `json:"qd"`
+		Streams    int     `json:"streams"`
+		Queues     int     `json:"queues,omitempty"`
+		Batch      int     `json:"batch,omitempty"`
+		CacheBytes int64   `json:"cache_bytes,omitempty"`
+		CacheMode  string  `json:"cache_mode,omitempty"`
+		Zipf       float64 `json:"zipf,omitempty"`
+		Window     string  `json:"window"`
+		Seed       int64   `json:"seed"`
 	} `json:"config"`
 	Perf struct {
 		GBps    float64 `json:"gbps"`
@@ -236,6 +261,7 @@ type report struct {
 	SHMBytes  int64              `json:"shm_bytes"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 	Pools     []mempool.Stats    `json:"pools,omitempty"`
+	Caches    []cache.Stats      `json:"caches,omitempty"`
 }
 
 func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Result) error {
@@ -248,6 +274,11 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Config.Streams = cfg.Streams
 	r.Config.Queues = cfg.Queues
 	r.Config.Batch = cfg.Workload.Batch
+	r.Config.CacheBytes = cfg.CacheBytes
+	if cfg.CacheBytes > 0 {
+		r.Config.CacheMode = cfg.CacheMode.String()
+	}
+	r.Config.Zipf = cfg.Workload.Zipf
 	r.Config.Window = cfg.Workload.Duration.String()
 	r.Config.Seed = cfg.Seed
 	agg := res.Agg
@@ -263,6 +294,7 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.SHMBytes = res.SHMBytes
 	r.Telemetry = res.Telemetry.Snapshot()
 	r.Pools = res.Pools
+	r.Caches = res.CacheStats
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

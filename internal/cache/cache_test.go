@@ -1,0 +1,412 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/ssd"
+)
+
+// countingBdev wraps a device and counts submissions by op, optionally
+// failing writes on demand (for flush-path loss tests).
+type countingBdev struct {
+	bdev.Device
+	e          *sim.Engine
+	reads      int
+	writes     int
+	flushes    int
+	failWrites error
+}
+
+func (d *countingBdev) Submit(req *ssd.Request) *sim.Future[ssd.Result] {
+	switch req.Op {
+	case ssd.OpRead:
+		d.reads++
+	case ssd.OpWrite:
+		d.writes++
+		if d.failWrites != nil {
+			fut := sim.NewFuture[ssd.Result](d.e)
+			fut.Resolve(ssd.Result{Err: d.failWrites})
+			return fut
+		}
+	case ssd.OpFlush:
+		d.flushes++
+	}
+	return d.Device.Submit(req)
+}
+
+// rig builds an engine, a jitter-free backing SSD behind a counting
+// wrapper, and a cache over it.
+func rig(t *testing.T, retain bool, cfg Config) (*sim.Engine, *countingBdev, *Cache) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	params := model.DefaultSSD()
+	params.JitterFrac = 0
+	params.StallProb = 0
+	backing := &countingBdev{
+		Device: bdev.NewSimSSD(e, "nvme0", 64<<20, params, retain, 512),
+		e:      e,
+	}
+	cfg.Retain = retain
+	return e, backing, New(e, backing, cfg)
+}
+
+// run drives fn as a simulation process to completion.
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Go("test", fn)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(p *sim.Proc, c *Cache, off int64, size int) ssd.Result {
+	return c.Submit(&ssd.Request{Op: ssd.OpRead, Offset: off, Size: size}).Wait(p)
+}
+
+func write(p *sim.Proc, c *Cache, off int64, data []byte) ssd.Result {
+	return c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: off, Size: len(data), Data: data}).Wait(p)
+}
+
+func TestReadHitSkipsBackingDevice(t *testing.T) {
+	e, backing, c := rig(t, false, Config{Bytes: 1 << 20})
+	run(t, e, func(p *sim.Proc) {
+		if res := read(p, c, 0, 4096); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		missReads := backing.reads
+		t0 := p.Now()
+		if res := read(p, c, 0, 4096); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if backing.reads != missReads {
+			t.Errorf("hit went to the backing device (%d reads)", backing.reads)
+		}
+		if lat := p.Now().Sub(t0); lat != 0 {
+			t.Errorf("hit charged device time: %v", lat)
+		}
+	})
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats hits=%d misses=%d fills=%d, want 1/1/1", s.Hits, s.Misses, s.Fills)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate %.2f, want 0.5", s.HitRate())
+	}
+}
+
+func TestRetainedReadBackThroughCache(t *testing.T) {
+	e, _, c := rig(t, true, Config{Bytes: 1 << 20})
+	payload := bytes.Repeat([]byte{0xA7}, 8192)
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 4096, payload); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		for round := 0; round < 2; round++ { // miss then hit
+			res := read(p, c, 4096, len(payload))
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if !bytes.Equal(res.Data, payload) {
+				t.Fatalf("round %d: bytes diverged through the cache", round)
+			}
+		}
+		// Partial-line slice of a resident span.
+		res := read(p, c, 6144, 1024)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !bytes.Equal(res.Data, payload[2048:3072]) {
+			t.Fatal("partial-line hit returned wrong slice")
+		}
+	})
+	if s := c.Stats(); s.Hits == 0 {
+		t.Errorf("no hits recorded: %+v", s)
+	}
+}
+
+func TestEvictionKeepsServingCorrectBytes(t *testing.T) {
+	// 16 lines of 4 KiB: a 64-line working set must evict.
+	e, _, c := rig(t, true, Config{Bytes: 64 << 10, Shards: 1, Ways: 4})
+	run(t, e, func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			data := bytes.Repeat([]byte{byte(i + 1)}, 4096)
+			if res := write(p, c, int64(i)*4096, data); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			res := read(p, c, int64(i)*4096, 4096)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Data[0] != byte(i+1) {
+				t.Fatalf("line %d: got 0x%02x after eviction churn", i, res.Data[0])
+			}
+		}
+	})
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Errorf("64-line set over a 16-line cache must evict: %+v", s)
+	}
+}
+
+func TestLargeReadsBypass(t *testing.T) {
+	e, _, c := rig(t, false, Config{Bytes: 1 << 20, BypassBytes: 128 << 10})
+	run(t, e, func(p *sim.Proc) {
+		if res := read(p, c, 0, 256<<10); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	})
+	s := c.Stats()
+	if s.Bypasses != 1 || s.Fills != 0 {
+		t.Errorf("large read must bypass without filling: %+v", s)
+	}
+}
+
+func TestSequentialScanBypassesOnlyWithHotSet(t *testing.T) {
+	e, _, c := rig(t, false, Config{Bytes: 1 << 20, SeqBypassRun: 4})
+	run(t, e, func(p *sim.Proc) {
+		// Cold cache: a sequential sweep is admitted (nothing to protect).
+		for i := 0; i < 16; i++ {
+			read(p, c, int64(i)*4096, 4096)
+		}
+		if got := c.Stats().Bypasses; got != 0 {
+			t.Fatalf("cold-cache scan bypassed %d reads", got)
+		}
+		// Establish a hot set (EWMA climbs past the protect threshold).
+		for i := 0; i < 64; i++ {
+			read(p, c, int64(i%4)*4096, 4096)
+		}
+		// Now the same sweep is classified as a scan and bypassed.
+		before := c.Stats().Bypasses
+		for i := 256; i < 272; i++ {
+			read(p, c, int64(i)*4096, 4096)
+		}
+		if got := c.Stats().Bypasses; got <= before {
+			t.Errorf("hot-set scan not bypassed (bypasses %d)", got)
+		}
+	})
+}
+
+func TestWriteBackDefersAndFlushBarrierDrains(t *testing.T) {
+	e, backing, c := rig(t, true, Config{Bytes: 1 << 20, Mode: WriteBack})
+	payload := bytes.Repeat([]byte{0x5C}, 4096)
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 8192, payload); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if backing.writes != 0 {
+			t.Fatalf("write-back hit the backing device (%d writes)", backing.writes)
+		}
+		if c.Stats().DirtyBytes == 0 {
+			t.Fatal("absorbed write left no dirty bytes")
+		}
+		if res := c.Submit(&ssd.Request{Op: ssd.OpFlush}).Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if backing.writes == 0 || backing.flushes == 0 {
+			t.Fatalf("barrier did not reach the device: %d writes, %d flushes",
+				backing.writes, backing.flushes)
+		}
+		if c.Stats().DirtyBytes != 0 {
+			t.Fatalf("dirty bytes after barrier: %d", c.Stats().DirtyBytes)
+		}
+		// The backing device itself must now hold the bytes.
+		res := backing.Device.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 8192, Size: 4096}).Wait(p)
+		if res.Err != nil || !bytes.Equal(res.Data, payload) {
+			t.Fatal("flushed bytes did not reach the backing device")
+		}
+	})
+	if s := c.Stats(); s.WriteBacks != 1 {
+		t.Errorf("write-backs %d, want 1", s.WriteBacks)
+	}
+}
+
+func TestWriteBackReadYourWrite(t *testing.T) {
+	e, _, c := rig(t, true, Config{Bytes: 1 << 20, Mode: WriteBack, BypassBytes: 64 << 10})
+	payload := bytes.Repeat([]byte{0xEE}, 4096)
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 0, payload); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		// Hit path sees the dirty line.
+		res := read(p, c, 0, 4096)
+		if res.Err != nil || !bytes.Equal(res.Data, payload) {
+			t.Fatal("dirty line not visible to cached read")
+		}
+		// Bypassed (large) read must overlay unflushed dirty bytes too.
+		res = read(p, c, 0, 128<<10)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !bytes.Equal(res.Data[:4096], payload) {
+			t.Fatal("bypassed read lost unflushed write-back data")
+		}
+	})
+}
+
+func TestWriteBackThrottlesAtDirtyBound(t *testing.T) {
+	// 64 KiB cache, dirty bound 25% = 4 lines: a burst must throttle.
+	e, _, c := rig(t, false, Config{Bytes: 64 << 10, Mode: WriteBack, MaxDirtyFrac: 0.25})
+	run(t, e, func(p *sim.Proc) {
+		futs := make([]*sim.Future[ssd.Result], 0, 64)
+		for i := 0; i < 64; i++ {
+			futs = append(futs, c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: int64(i) * 4096, Size: 4096}))
+		}
+		for _, f := range futs {
+			if res := f.Wait(p); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	})
+	s := c.Stats()
+	if s.Throttled == 0 || s.WriteThroughs == 0 {
+		t.Errorf("burst past the dirty bound must degrade to write-through: %+v", s)
+	}
+	if s.DirtyBytes > int64(0.25*64<<10) {
+		t.Errorf("dirty bytes %d exceed the bound", s.DirtyBytes)
+	}
+}
+
+func TestBackgroundFlusherDrainsWithoutBarrier(t *testing.T) {
+	e, backing, c := rig(t, false, Config{Bytes: 256 << 10, Mode: WriteBack, MaxDirtyFrac: 0.5})
+	run(t, e, func(p *sim.Proc) {
+		// Cross the kick threshold (half of hi-water) and let the engine run.
+		for i := 0; i < 32; i++ {
+			c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: int64(i) * 4096, Size: 4096}).Wait(p)
+		}
+	})
+	// Engine drained: the flusher must have written dirt back on its own.
+	if backing.writes == 0 {
+		t.Fatal("background flusher never wrote back")
+	}
+}
+
+func TestBackingErrorPropagatesWithoutPopulating(t *testing.T) {
+	e := sim.NewEngine(3)
+	params := model.DefaultSSD()
+	params.JitterFrac = 0
+	params.StallProb = 0
+	injected := errors.New("injected media error")
+	// Every submission fails.
+	faulty := bdev.NewFaulty(e, bdev.NewSimSSD(e, "nvme0", 64<<20, params, false, 512), 1, injected)
+	c := New(e, faulty, Config{Bytes: 1 << 20})
+	run(t, e, func(p *sim.Proc) {
+		res := read(p, c, 0, 4096)
+		if !errors.Is(res.Err, injected) {
+			t.Fatalf("err = %v, want injected error", res.Err)
+		}
+	})
+	if s := c.Stats(); s.Fills != 0 {
+		t.Errorf("failed fill populated the cache: %+v", s)
+	}
+}
+
+func TestFlushWriteFailureSurfacesTypedLoss(t *testing.T) {
+	e, backing, c := rig(t, true, Config{Bytes: 1 << 20, Mode: WriteBack})
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 0, bytes.Repeat([]byte{1}, 4096)); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		backing.failWrites = errors.New("device write fault")
+		err := c.Flush(p)
+		var loss *DirtyLossError
+		if !errors.As(err, &loss) {
+			t.Fatalf("flush error %v, want *DirtyLossError", err)
+		}
+		if loss.Lines != 1 || loss.Cause == nil {
+			t.Fatalf("loss = %+v", loss)
+		}
+		// Reported once: the next barrier is clean.
+		backing.failWrites = nil
+		if err := c.Flush(p); err != nil {
+			t.Fatalf("second barrier: %v", err)
+		}
+	})
+	if s := c.Stats(); s.LostLines != 1 {
+		t.Errorf("lost lines %d, want 1", s.LostLines)
+	}
+}
+
+func TestLoseDirtyModelsCrash(t *testing.T) {
+	e, _, c := rig(t, false, Config{Bytes: 1 << 20, Mode: WriteBack})
+	run(t, e, func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: int64(i) * 4096, Size: 4096}).Wait(p)
+		}
+		loss := c.LoseDirty()
+		if loss == nil || loss.Lines != 4 {
+			t.Fatalf("LoseDirty = %+v, want 4 lines", loss)
+		}
+		if c.LostDirty() == nil {
+			t.Fatal("loss not sticky")
+		}
+		// The next barrier reports it as a typed error, then clears.
+		var typed *DirtyLossError
+		if err := c.Flush(p); !errors.As(err, &typed) {
+			t.Fatalf("barrier after crash = %v, want *DirtyLossError", err)
+		}
+		if err := c.Flush(p); err != nil {
+			t.Fatalf("loss reported twice: %v", err)
+		}
+	})
+	if c.LoseDirty() != nil {
+		t.Error("clean cache reported loss")
+	}
+}
+
+func TestHitPathAllocationFree(t *testing.T) {
+	e, _, c := rig(t, false, Config{Bytes: 1 << 20})
+	run(t, e, func(p *sim.Proc) {
+		read(p, c, 0, 4096) // fill
+	})
+	if got := testing.AllocsPerRun(200, func() {
+		if !c.tryReadHit(0, 4096, nil) {
+			t.Fatal("warm line missed")
+		}
+	}); got != 0 {
+		t.Errorf("hit path allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestModeParseAndGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", WriteThrough}, {"wt", WriteThrough}, {"write-back", WriteBack}, {"wb", WriteBack}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	// Tiny capacity still yields a usable (clamped) geometry.
+	e, _, c := rig(t, false, Config{Bytes: 4096, Shards: 16, Ways: 8})
+	run(t, e, func(p *sim.Proc) {
+		if res := read(p, c, 0, 4096); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	})
+	if c.Stats().Bytes < 4096 {
+		t.Errorf("capacity %d below one line", c.Stats().Bytes)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	e, _, c := rig(t, false, Config{Bytes: 1 << 20, Mode: WriteBack})
+	_ = e
+	s := c.Stats()
+	if s.Mode != "write-back" || s.Name == "" {
+		t.Errorf("stats identity: %+v", s)
+	}
+	if fmt.Sprint(WriteThrough) != "write-through" {
+		t.Error("mode string")
+	}
+}

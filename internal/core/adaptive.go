@@ -45,6 +45,11 @@ type pollPolicy struct {
 	warm      int
 }
 
+// pollWarmSat saturates the warm counter: warmth only gates the
+// initial conservative phase, so there is no reason to keep counting
+// into the billions — the EWMA itself carries all adaptation state.
+const pollWarmSat = 1024
+
 // observe records one submitted command's direction.
 func (a *pollPolicy) observe(write bool) {
 	const alpha = 0.05
@@ -57,7 +62,7 @@ func (a *pollPolicy) observe(write bool) {
 	} else {
 		a.writeFrac = (1-alpha)*a.writeFrac + alpha*v
 	}
-	if a.warm < 1<<30 {
+	if a.warm < pollWarmSat {
 		a.warm++
 	}
 }

@@ -55,6 +55,39 @@ func TestPollPolicySwitchesWithWorkload(t *testing.T) {
 	}
 }
 
+// TestPollPolicyWarmCounterSaturates pins the observe() warm guard: the
+// counter must stop at pollWarmSat instead of counting every command
+// forever, and — the actual regression risk — the EWMA must keep
+// adapting normally long after saturation. A long-lived connection that
+// flips from a write-heavy phase to reads after billions of commands
+// still has to converge to the read budget.
+func TestPollPolicyWarmCounterSaturates(t *testing.T) {
+	var pol pollPolicy
+	// Drive far past the saturation point with pure writes.
+	for i := 0; i < 4*pollWarmSat; i++ {
+		pol.observe(true)
+	}
+	if pol.warm != pollWarmSat {
+		t.Fatalf("warm counter %d, want saturation at %d", pol.warm, pollWarmSat)
+	}
+	if pol.budget() != pollBudgetWrite {
+		t.Fatalf("saturated write budget %v", pol.budget())
+	}
+	// Post-saturation the EWMA must still carry all adaptation state:
+	// a phase change to pure reads converges exactly as it does when
+	// the counter is small (alpha 0.05 crosses the 0.4 threshold in
+	// under 20 samples from 1.0).
+	for i := 0; i < 200; i++ {
+		pol.observe(false)
+	}
+	if pol.budget() != pollBudgetRead {
+		t.Fatalf("post-saturation read budget %v: EWMA stopped adapting", pol.budget())
+	}
+	if pol.warm != pollWarmSat {
+		t.Fatalf("warm counter moved after saturation: %d", pol.warm)
+	}
+}
+
 func TestAutoChunkNegotiatedAtConnect(t *testing.T) {
 	r := newRig(t, DesignSHMZeroCopy, false, nil)
 	r.e.Go("app", func(p *sim.Proc) {

@@ -297,11 +297,11 @@ func (c *Client) admit(io *transport.IO, fut *sim.Future[*transport.Result]) boo
 		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
 		return false
 	}
-	if io.Admin == 0 && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
+	if io.Admin == 0 && !io.Flush && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
 		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
 		return false
 	}
-	if io.Admin == 0 && c.region != nil && !c.cfg.Design.Chunked() && io.Size > c.region.SlotSize {
+	if io.Admin == 0 && !io.Flush && c.region != nil && !c.cfg.Design.Chunked() && io.Size > c.region.SlotSize {
 		// The negotiated shared-memory slot bounds the transfer size
 		// (the fabric's MDTS); larger I/O must be split by the caller.
 		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
@@ -319,7 +319,7 @@ func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Re
 		return fut
 	}
 	pend := c.newPending(io, fut)
-	if io.Admin == 0 {
+	if io.Admin == 0 && !io.Flush {
 		c.policy.observe(io.Write)
 	}
 	if io.Write && io.Admin == 0 {
@@ -346,7 +346,7 @@ func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*tr
 		if !c.admit(io, fut) {
 			continue
 		}
-		if io.Admin == 0 {
+		if io.Admin == 0 && !io.Flush {
 			c.policy.observe(io.Write)
 		}
 		staged++
@@ -781,7 +781,7 @@ func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
 	pend.CID = cid
 	c.armDeadline(pend)
 	io := pend.IO
-	if io.Admin == 0 {
+	if io.Admin == 0 && !io.Flush {
 		// The data path in effect for this attempt: retried commands pin
 		// TCP, everything else follows the negotiated region.
 		if c.region != nil && pend.attempts == 0 {
@@ -793,6 +793,11 @@ func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
 	}
 	if io.Admin != 0 {
 		return pdu.BatchEntry{Cmd: nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}}
+	}
+	if io.Flush {
+		// Flush carries no payload and no LBA range: it rides the control
+		// channel on either data path.
+		return pdu.BatchEntry{Cmd: nvme.NewFlush(cid, io.Nsid())}
 	}
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)

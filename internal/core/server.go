@@ -47,6 +47,10 @@ type ServerConfig struct {
 	// Telemetry receives connection, shedding, and keep-alive counters.
 	// Nil means disabled.
 	Telemetry *telemetry.Sink
+	// OnCrash runs when Crash tears the target down, before connections
+	// drop — the hook a write-back bdev cache uses to account its
+	// unflushed dirty lines as lost.
+	OnCrash func()
 }
 
 // Server is the NVMe-oAF transport of one target.
@@ -130,6 +134,9 @@ func (s *Server) Crash() {
 		return
 	}
 	s.crashed = true
+	if s.cfg.OnCrash != nil {
+		s.cfg.OnCrash()
+	}
 	for _, c := range s.conns {
 		c.closed = true
 		c.kick.Fire()

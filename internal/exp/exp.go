@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/cache"
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
@@ -77,6 +78,11 @@ type Config struct {
 	// RDMA overrides the RDMA fabric parameters (nil = model defaults),
 	// for ablations such as disabling registration-cache misses.
 	RDMA *model.RDMAParams
+	// CacheBytes, when positive, fronts every SSD with a target-side
+	// DRAM block cache of this capacity.
+	CacheBytes int64
+	// CacheMode selects the cache write policy (write-through default).
+	CacheMode cache.Mode
 	// Telemetry receives fabric-wide counters, traces, and histograms
 	// for the run. Nil means Run creates its own sink, returned in
 	// Result.Telemetry either way.
@@ -137,6 +143,10 @@ type Result struct {
 	Telemetry *telemetry.Sink
 	// Pools reports the target data-pool accounting per stream.
 	Pools []mempool.Stats
+	// Caches exposes the per-SSD block caches (nil when uncached), and
+	// CacheStats their final accounting.
+	Caches     []*cache.Cache
+	CacheStats []cache.Stats
 }
 
 // rdmaParams resolves the RDMA parameter set for a configuration.
@@ -171,7 +181,16 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		bd := bdev.NewSimSSD(e, fmt.Sprintf("nvme%d", i), cfg.SSDCapacity, cfg.SSD, cfg.RetainData, transport.BlockSize)
-		if _, err := sub.AddNamespace(1, bd); err != nil {
+		var dev bdev.Device = bd
+		if cfg.CacheBytes > 0 {
+			ca := cache.New(e, bd, cache.Config{
+				Bytes: cfg.CacheBytes, Mode: cfg.CacheMode,
+				Retain: cfg.RetainData, Telemetry: tel,
+			})
+			res.Caches = append(res.Caches, ca)
+			dev = ca
+		}
+		if _, err := sub.AddNamespace(1, dev); err != nil {
 			return nil, err
 		}
 		res.Devices = append(res.Devices, bd)
@@ -323,6 +342,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, pool := range pools {
 		res.Pools = append(res.Pools, pool.Stats())
+	}
+	for _, ca := range res.Caches {
+		res.CacheStats = append(res.CacheStats, ca.Stats())
 	}
 	return res, nil
 }

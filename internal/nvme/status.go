@@ -26,6 +26,11 @@ const (
 	StatusLBAOutOfRange      Status = 0x080
 	StatusCapacityExceeded   Status = 0x081
 	StatusNamespaceNotRdy    Status = 0x082
+	// StatusWriteFault (media status, SCT 2) marks data the device
+	// accepted but could not commit to media — e.g. write-back cache
+	// contents lost to a crash or a failed flush. Not retryable: the
+	// data is gone and the host must be told.
+	StatusWriteFault Status = 0x280
 )
 
 // Retryable reports whether the status marks a transient failure the
@@ -70,6 +75,8 @@ func (s Status) String() string {
 		return "capacity exceeded"
 	case StatusNamespaceNotRdy:
 		return "namespace not ready"
+	case StatusWriteFault:
+		return "write fault"
 	default:
 		return fmt.Sprintf("status(0x%03x)", uint16(s))
 	}

@@ -26,6 +26,11 @@ type Workload struct {
 	// Seq selects sequential offsets (wrapping over Span); otherwise
 	// offsets are uniformly random block-aligned positions.
 	Seq bool
+	// Zipf, when positive and Seq is false, skews random offsets to a
+	// hot set: items of IOSize granularity are drawn Zipfian with this
+	// theta (YCSB's hot-set knob; 0.99 is the standard skew) and
+	// scrambled across the span. Zero keeps the uniform pattern.
+	Zipf float64
 	// ReadPct is the percentage of reads (100 = pure read, 0 = pure
 	// write, 70 = the paper's 70:30 mix).
 	ReadPct int
@@ -91,6 +96,7 @@ type Stream struct {
 	q     transport.Queue
 	w     Workload
 	rng   *rand.Rand
+	zipf  *zipfGen
 	res   *Result
 	done  *sim.Signal
 	start sim.Time
@@ -102,11 +108,16 @@ type Stream struct {
 // NewStream prepares a stream; Start launches its driver process.
 func NewStream(e *sim.Engine, q transport.Queue, w Workload) *Stream {
 	w = w.withDefaults()
+	var z *zipfGen
+	if !w.Seq && w.Zipf > 0 {
+		z = newZipf(w.Span/int64(w.IOSize), w.Zipf)
+	}
 	return &Stream{
-		e:   e,
-		q:   q,
-		w:   w,
-		rng: e.Rand("perf/" + w.Name),
+		zipf: z,
+		e:    e,
+		q:    q,
+		w:    w,
+		rng:  e.Rand("perf/" + w.Name),
 		res: &Result{
 			Name:         w.Name,
 			Latency:      stats.NewHistogram(),
@@ -294,13 +305,21 @@ func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
 	write := s.rng.Intn(100) >= w.ReadPct
 	size := s.pickSize()
 	var off int64
-	if w.Seq {
+	switch {
+	case w.Seq:
 		off = *seqOffset
 		*seqOffset += int64(size)
 		if *seqOffset+int64(size) > w.Span {
 			*seqOffset = 0
 		}
-	} else {
+	case s.zipf != nil:
+		// Hot-set pattern: IOSize-granular items drawn Zipfian, so the
+		// same hot offsets recur (and land cache-line aligned).
+		off = s.zipf.next(s.rng) * int64(w.IOSize)
+		if off+int64(size) > w.Span {
+			off = (w.Span - int64(size)) / transport.BlockSize * transport.BlockSize
+		}
+	default:
 		blocks := (w.Span - int64(size)) / transport.BlockSize
 		if blocks <= 0 {
 			blocks = 1

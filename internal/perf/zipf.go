@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfGen draws item ranks from the Zipfian distribution of YCSB /
+// Gray et al. ("Quickly generating billion-record synthetic databases"),
+// which — unlike math/rand.Zipf — supports the skew range θ < 1 the
+// hot-set literature uses (YCSB's default is θ = 0.99). Rank 0 is the
+// hottest item; ranks are scrambled by a multiplicative hash before use
+// so the hot set spreads across the address space instead of clustering
+// at offset zero. Draws are allocation-free.
+type zipfGen struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta, the rank-1 threshold
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// newZipf prepares a generator over n items with skew theta in (0, 1).
+func newZipf(n int64, theta float64) *zipfGen {
+	if n < 1 {
+		n = 1
+	}
+	if theta >= 1 {
+		theta = 0.999 // the Gray transform needs theta < 1
+	}
+	zetan := zeta(n, theta)
+	return &zipfGen{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		half:  math.Pow(0.5, theta),
+	}
+}
+
+// nextRank draws a rank in [0, n) (0 = hottest).
+func (z *zipfGen) nextRank(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// scramble spreads ranks across item space with a splitmix64 finalizer
+// so the hot items are not physically adjacent.
+func scramble(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// next draws a scrambled item index in [0, n).
+func (z *zipfGen) next(rng *rand.Rand) int64 {
+	return int64(scramble(uint64(z.nextRank(rng))) % uint64(z.n))
+}

@@ -126,7 +126,7 @@ func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Re
 		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
 		return fut
 	}
-	if io.Admin == 0 && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
+	if io.Admin == 0 && !io.Flush && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
 		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
 		return fut
 	}
@@ -225,6 +225,10 @@ func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
 	if io.Admin != 0 {
 		cmd = nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
 		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
+		return
+	}
+	if io.Flush {
+		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: nvme.NewFlush(cid, io.Nsid())})
 		return
 	}
 	slba := uint64(io.Offset / transport.BlockSize)
@@ -440,6 +444,11 @@ func (c *conn) onCommand(cap *pdu.CapsuleCmd, transit time.Duration) {
 		data := cap.Data
 		c.srv.e.Go("rdma-write-worker", func(w *sim.Proc) {
 			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
+			c.post(c.resp(res, transit))
+		})
+	case nvme.OpFlush:
+		c.srv.e.Go("rdma-flush-worker", func(w *sim.Proc) {
+			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
 			c.post(c.resp(res, transit))
 		})
 	default:

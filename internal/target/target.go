@@ -7,10 +7,12 @@
 package target
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/cache"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/sim"
@@ -183,8 +185,16 @@ func (t *Target) Execute(w *sim.Proc, nqn string, cmd nvme.Command, data []byte)
 	res := ns.dev.Submit(req).Wait(w)
 	ioTime := w.Now().Sub(t0)
 	if res.Err != nil {
+		st := nvme.StatusInternalError
+		// Write-back cache data that never reached media is a media-level
+		// write fault, not a generic internal error: the host must learn
+		// the data is gone rather than retry.
+		var loss *cache.DirtyLossError
+		if errors.As(res.Err, &loss) {
+			st = nvme.StatusWriteFault
+		}
 		return ExecResult{
-			CQE:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusInternalError},
+			CQE:       nvme.Completion{CID: cmd.CID, Status: st},
 			IOTime:    ioTime,
 			OtherTime: t.host.BdevSubmitCPU,
 		}

@@ -244,7 +244,7 @@ func (c *Client) recyclePending(pend *transport.Pending) {
 
 // validate checks alignment and size.
 func validate(io *transport.IO) error {
-	if io.Admin != 0 {
+	if io.Admin != 0 || io.Flush {
 		return nil
 	}
 	if io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0 {
@@ -393,6 +393,10 @@ func (c *Client) prepareStart(pend *transport.Pending) pdu.BatchEntry {
 	if io.Admin != 0 {
 		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
 		return pdu.BatchEntry{Cmd: cmd}
+	}
+	if io.Flush {
+		// No payload, no LBA range: the flush capsule is pure control.
+		return pdu.BatchEntry{Cmd: nvme.NewFlush(cid, io.Nsid())}
 	}
 	c.tel.Inc(telemetry.CtrSubmitsTCP)
 	c.tel.Observe(telemetry.HistIOSize, int64(io.Size))

@@ -65,32 +65,54 @@ const (
 	CtrProvisionOK     // SHM regions provisioned
 	CtrProvisionFailed // SHM provisioning failures (degraded to TCP)
 
+	// Target-side block cache.
+	CtrCacheHit          // reads served from resident lines
+	CtrCacheMiss         // reads that went to the backing device
+	CtrCacheFill         // lines installed
+	CtrCacheEvict        // valid clean lines replaced
+	CtrCacheBypass       // reads that bypassed the cache (large/sequential)
+	CtrCacheWriteBack    // writes absorbed as dirty lines
+	CtrCacheWriteThrough // writes forwarded to the backing device
+	CtrCacheThrottled    // write-backs degraded under the dirty bound
+	CtrCacheDirtyBytes   // current unflushed bytes (up/down via Add)
+	CtrCacheDirtyLost    // dirty lines lost to crash or flush failure
+
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CtrSubmitsSHM:      "client.submits.shm",
-	CtrSubmitsTCP:      "client.submits.tcp",
-	CtrCompletions:     "client.completions",
-	CtrRetries:         "client.retries",
-	CtrTimeouts:        "client.timeouts",
-	CtrFailovers:       "client.failovers",
-	CtrReconnects:      "client.reconnects",
-	CtrLateMsgs:        "client.late_msgs",
-	CtrSrvSHMConns:     "server.conns.shm",
-	CtrSrvTCPConns:     "server.conns.tcp",
-	CtrSrvShed:         "server.shed",
-	CtrSrvBufWaits:     "server.buffer_waits",
-	CtrSrvKATOExpiry:   "server.kato_expirations",
-	CtrSrvStaleMsgs:    "server.stale_msgs",
-	CtrSHMClaims:       "shm.claims",
-	CtrSHMReleases:     "shm.releases",
-	CtrSHMRevocations:  "shm.revocations",
-	CtrSHMFutexStalls:  "shm.futex_stalls",
-	CtrPDUsTx:          "tcp.pdus.tx",
-	CtrPDUsRx:          "tcp.pdus.rx",
-	CtrProvisionOK:     "fabric.provision.ok",
-	CtrProvisionFailed: "fabric.provision.failed",
+	CtrSubmitsSHM:        "client.submits.shm",
+	CtrSubmitsTCP:        "client.submits.tcp",
+	CtrCompletions:       "client.completions",
+	CtrRetries:           "client.retries",
+	CtrTimeouts:          "client.timeouts",
+	CtrFailovers:         "client.failovers",
+	CtrReconnects:        "client.reconnects",
+	CtrLateMsgs:          "client.late_msgs",
+	CtrSrvSHMConns:       "server.conns.shm",
+	CtrSrvTCPConns:       "server.conns.tcp",
+	CtrSrvShed:           "server.shed",
+	CtrSrvBufWaits:       "server.buffer_waits",
+	CtrSrvKATOExpiry:     "server.kato_expirations",
+	CtrSrvStaleMsgs:      "server.stale_msgs",
+	CtrSHMClaims:         "shm.claims",
+	CtrSHMReleases:       "shm.releases",
+	CtrSHMRevocations:    "shm.revocations",
+	CtrSHMFutexStalls:    "shm.futex_stalls",
+	CtrPDUsTx:            "tcp.pdus.tx",
+	CtrPDUsRx:            "tcp.pdus.rx",
+	CtrProvisionOK:       "fabric.provision.ok",
+	CtrProvisionFailed:   "fabric.provision.failed",
+	CtrCacheHit:          "cache.hit",
+	CtrCacheMiss:         "cache.miss",
+	CtrCacheFill:         "cache.fill",
+	CtrCacheEvict:        "cache.evict",
+	CtrCacheBypass:       "cache.bypass",
+	CtrCacheWriteBack:    "cache.writeback",
+	CtrCacheWriteThrough: "cache.writethrough",
+	CtrCacheThrottled:    "cache.wb_throttled",
+	CtrCacheDirtyBytes:   "cache.dirty_bytes",
+	CtrCacheDirtyLost:    "cache.dirty_lost",
 }
 
 // String returns the exported metric name.
@@ -105,25 +127,27 @@ func (c Counter) String() string {
 type Hist int
 
 const (
-	HistReadLatency  Hist = iota // read completion latency, ns
-	HistWriteLatency             // write completion latency, ns
-	HistIOSize                   // submitted I/O size, bytes
-	HistClaimWait                // SHM slot claim wait, ns
-	HistBufWait                  // server data-buffer wait, ns
-	HistBatchSize                // commands coalesced per doorbell/capsule train
-	HistReapDepth                // completions reaped per received message
+	HistReadLatency   Hist = iota // read completion latency, ns
+	HistWriteLatency              // write completion latency, ns
+	HistIOSize                    // submitted I/O size, bytes
+	HistClaimWait                 // SHM slot claim wait, ns
+	HistBufWait                   // server data-buffer wait, ns
+	HistBatchSize                 // commands coalesced per doorbell/capsule train
+	HistReapDepth                 // completions reaped per received message
+	HistCacheFlushLat             // cache write-back flush latency, ns
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistReadLatency:  "latency.read_ns",
-	HistWriteLatency: "latency.write_ns",
-	HistIOSize:       "io.size_bytes",
-	HistClaimWait:    "shm.claim_wait_ns",
-	HistBufWait:      "server.buffer_wait_ns",
-	HistBatchSize:    "batch.submit_size",
-	HistReapDepth:    "batch.reap_depth",
+	HistReadLatency:   "latency.read_ns",
+	HistWriteLatency:  "latency.write_ns",
+	HistIOSize:        "io.size_bytes",
+	HistClaimWait:     "shm.claim_wait_ns",
+	HistBufWait:       "server.buffer_wait_ns",
+	HistBatchSize:     "batch.submit_size",
+	HistReapDepth:     "batch.reap_depth",
+	HistCacheFlushLat: "cache.flush_latency_ns",
 }
 
 // String returns the exported histogram name.

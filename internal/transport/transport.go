@@ -42,6 +42,11 @@ type IO struct {
 	// writes (used when the caller already produced the data, e.g. the
 	// zero-copy path fills the shared buffer itself).
 	NoFill bool
+	// Flush issues an NVMe flush instead of a read/write: no offset,
+	// size, or payload, and the target completes it only once every
+	// write it previously acknowledged has reached durable media (the
+	// barrier a write-back target cache drains on).
+	Flush bool
 	// Admin, when nonzero, issues an admin command with this opcode
 	// instead of an I/O read/write; CDW10 carries the command dword
 	// (e.g. the identify CNS value). The response data arrives in Data.

@@ -1,0 +1,142 @@
+package oaf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nvmeoaf/internal/core"
+)
+
+// cachedCluster is a one-host cluster whose target fronts its SSD with a
+// 16 MiB write-back block cache, retaining real bytes end to end.
+func cachedCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c := NewCluster(Config{Seed: seed})
+	if err := c.AddHost("hostA"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := TargetConfig{SSDCapacity: 64 << 20, RetainData: true}.WithCache(16<<20, CacheWriteBack)
+	if err := c.AddTarget("hostA", "nqn.cached", cfg); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRevokeFailoverPreservesReadYourWriteThroughCache: writes absorbed
+// by the write-back cache over the shared-memory path must stay visible
+// after the region is revoked mid-stream and the queue fails over to
+// TCP — the cache sits behind the transport, so the data path switch
+// must not lose or stale any acknowledged write.
+func TestRevokeFailoverPreservesReadYourWriteThroughCache(t *testing.T) {
+	c := cachedCluster(t, 11)
+	err := c.Run(func(ctx *Ctx) error {
+		q, err := ctx.Connect("nqn.cached", ConnectOptions{QueueDepth: 16})
+		if err != nil {
+			return err
+		}
+		if !q.SharedMemory {
+			t.Fatal("co-located pair did not negotiate shared memory")
+		}
+		// Dirty a working set over the SHM path.
+		written := make([][]byte, 8)
+		for i := range written {
+			written[i] = bytes.Repeat([]byte{byte(0x80 + i)}, 4096)
+			if _, err := q.Write(int64(i)*4096, written[i]); err != nil {
+				return fmt.Errorf("shm write %d: %w", i, err)
+			}
+		}
+		// Rip the region out from under the connection.
+		q.inner.(*core.Client).Region().Revoke()
+		// Every acknowledged write must read back over the TCP path:
+		// cached lines from DRAM, and a deliberately large read bypasses
+		// the cache and exercises the dirty-overlay on the backing data.
+		for i, want := range written {
+			res, err := q.Read(int64(i)*4096, 4096)
+			if err != nil {
+				return fmt.Errorf("read %d after revoke: %w", i, err)
+			}
+			if !bytes.Equal(res.Data, want) {
+				t.Errorf("offset %d: read-your-write violated across failover", i*4096)
+			}
+		}
+		big, err := q.Read(0, 8*4096)
+		if err != nil {
+			return fmt.Errorf("span read after revoke: %w", err)
+		}
+		for i, want := range written {
+			if !bytes.Equal(big.Data[i*4096:(i+1)*4096], want) {
+				t.Errorf("span read offset %d stale after failover", i*4096)
+			}
+		}
+		if q.Snapshot().Path != "tcp" {
+			t.Errorf("queue path = %q after revoke, want tcp", q.Snapshot().Path)
+		}
+		if q.Snapshot().Failovers == 0 {
+			t.Error("revoked queue recorded no failover")
+		}
+		// The durability barrier still works on the degraded path.
+		if _, err := q.Flush(); err != nil {
+			return fmt.Errorf("flush after failover: %w", err)
+		}
+		q.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := c.CacheStats("nqn.cached")
+	if !ok {
+		t.Fatal("cached target reports no cache stats")
+	}
+	if st.Hits == 0 {
+		t.Error("post-failover reads never hit the cache")
+	}
+	if st.DirtyBytes != 0 {
+		t.Errorf("flush left %d dirty bytes", st.DirtyBytes)
+	}
+}
+
+// TestClusterSnapshotReportsCache: the fabric-wide snapshot carries the
+// cache accounting (counters and live admission EWMA) alongside queues,
+// pools, and telemetry, so exporters see the cache without extra plumbing.
+func TestClusterSnapshotReportsCache(t *testing.T) {
+	c := cachedCluster(t, 3)
+	err := c.Run(func(ctx *Ctx) error {
+		q, err := ctx.Connect("nqn.cached", ConnectOptions{QueueDepth: 8})
+		if err != nil {
+			return err
+		}
+		data := bytes.Repeat([]byte{0x5A}, 4096)
+		if _, err := q.Write(0, data); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := q.Read(0, 4096); err != nil {
+				return err
+			}
+		}
+		if _, err := q.Flush(); err != nil {
+			return err
+		}
+		snap := ctx.cluster.Snapshot()
+		if len(snap.Caches) != 1 {
+			t.Fatalf("snapshot caches = %d, want 1", len(snap.Caches))
+		}
+		cs := snap.Caches[0]
+		if cs.Hits == 0 {
+			t.Error("snapshot shows no cache hits after repeated reads")
+		}
+		if cs.Mode != "write-back" {
+			t.Errorf("snapshot cache mode = %q", cs.Mode)
+		}
+		if got := snap.Telemetry.Counters["cache.hit"]; got != cs.Hits {
+			t.Errorf("telemetry cache.hit = %d, stats say %d", got, cs.Hits)
+		}
+		q.Close()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/cache"
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
@@ -85,6 +86,24 @@ type Config struct {
 	Seed int64
 }
 
+// CacheMode selects the write policy of a target-side block cache.
+type CacheMode int
+
+const (
+	// CacheWriteThrough completes writes only after the backing SSD does.
+	CacheWriteThrough CacheMode = iota
+	// CacheWriteBack absorbs aligned writes in DRAM and flushes them in
+	// the background; OpFlush remains the durability barrier.
+	CacheWriteBack
+)
+
+func (m CacheMode) internal() cache.Mode {
+	if m == CacheWriteBack {
+		return cache.WriteBack
+	}
+	return cache.WriteThrough
+}
+
 // TargetConfig configures one storage service.
 type TargetConfig struct {
 	// SSDCapacity is the namespace size in bytes (default 1 GiB).
@@ -92,6 +111,19 @@ type TargetConfig struct {
 	// RetainData stores payload bytes so reads return real data
 	// (costs host memory proportional to written data).
 	RetainData bool
+	// CacheBytes, when positive, fronts the SSD with a target-side DRAM
+	// block cache of this capacity (hits skip the device entirely).
+	CacheBytes int64
+	// CacheMode selects the cache write policy.
+	CacheMode CacheMode
+}
+
+// WithCache returns a copy of the config with a block cache of the given
+// capacity and write policy.
+func (tc TargetConfig) WithCache(bytes int64, mode CacheMode) TargetConfig {
+	tc.CacheBytes = bytes
+	tc.CacheMode = mode
+	return tc
 }
 
 // ConnectOptions tunes one connection.
@@ -140,10 +172,11 @@ type host struct {
 
 // tgtEntry is one registered storage service.
 type tgtEntry struct {
-	host *host
-	tgt  *target.Target
-	cfg  TargetConfig
-	bdev *bdev.SSDBdev
+	host  *host
+	tgt   *target.Target
+	cfg   TargetConfig
+	bdev  *bdev.SSDBdev
+	cache *cache.Cache // nil when the target is uncached
 }
 
 // Cluster is a simulated HPC-cloud deployment.
@@ -155,6 +188,7 @@ type Cluster struct {
 	tel     *telemetry.Sink
 	queues  []*Queue
 	pools   []*mempool.Pool
+	caches  []*cache.Cache
 }
 
 // NewCluster creates an empty cluster.
@@ -204,11 +238,31 @@ func (c *Cluster) AddTarget(hostName, nqn string, cfg TargetConfig) error {
 		return err
 	}
 	bd := bdev.NewSimSSD(c.engine, "ssd-"+nqn, cfg.SSDCapacity, model.DefaultSSD(), cfg.RetainData, transport.BlockSize)
-	if _, err := sub.AddNamespace(1, bd); err != nil {
+	var dev bdev.Device = bd
+	var ca *cache.Cache
+	if cfg.CacheBytes > 0 {
+		ca = cache.New(c.engine, bd, cache.Config{
+			Bytes: cfg.CacheBytes, Mode: cfg.CacheMode.internal(),
+			Retain: cfg.RetainData, Telemetry: c.tel,
+		})
+		dev = ca
+		c.caches = append(c.caches, ca)
+	}
+	if _, err := sub.AddNamespace(1, dev); err != nil {
 		return err
 	}
-	c.targets[nqn] = &tgtEntry{host: h, tgt: tgt, cfg: cfg, bdev: bd}
+	c.targets[nqn] = &tgtEntry{host: h, tgt: tgt, cfg: cfg, bdev: bd, cache: ca}
 	return nil
+}
+
+// CacheStats returns the block-cache accounting of the named target; ok
+// is false when the target is unknown or uncached.
+func (c *Cluster) CacheStats(nqn string) (cache.Stats, bool) {
+	te, found := c.targets[nqn]
+	if !found || te.cache == nil {
+		return cache.Stats{}, false
+	}
+	return te.cache.Stats(), true
 }
 
 // Run executes fn as a simulation process (an application) and drives the
@@ -260,6 +314,10 @@ type Ctx struct {
 func (ctx *Ctx) On(hostName string) *Ctx {
 	return &Ctx{cluster: ctx.cluster, proc: ctx.proc, hostName: hostName}
 }
+
+// Cluster exposes the cluster for mid-run observability (Snapshot,
+// CacheStats, Telemetry) from inside the application process.
+func (ctx *Ctx) Cluster() *Cluster { return ctx.cluster }
 
 // Sleep advances virtual time for this process.
 func (ctx *Ctx) Sleep(d time.Duration) { ctx.proc.Sleep(d) }
@@ -454,10 +512,16 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		} else {
 			link = netsim.NewLink(c.engine, model.TCP25G(), clientHost.nic, te.host.nic)
 		}
-		srv := core.NewServer(c.engine, te.tgt, core.ServerConfig{
+		scfg := core.ServerConfig{
 			NQN: targetNQN, Design: design, Fabric: c.fabric, TP: tp, Host: model.DefaultHost(),
 			Telemetry: c.tel,
-		})
+		}
+		if ca := te.cache; ca != nil {
+			// Target-process death loses unflushed write-back data: account
+			// it so the next flush barrier reports the typed loss.
+			scfg.OnCrash = func() { ca.LoseDirty() }
+		}
+		srv := core.NewServer(c.engine, te.tgt, scfg)
 		srv.Serve(link.B)
 		c.pools = append(c.pools, srv.Pool())
 		region, err := c.fabric.RegionFor(design, clientHost.name, te.host.name, opts.MaxIOSize, tp.ChunkSize, opts.QueueDepth)
@@ -497,6 +561,16 @@ func (q *Queue) Write(offset int64, data []byte) (*Result, error) {
 // Read fetches size bytes at the offset and waits for completion.
 func (q *Queue) Read(offset int64, size int) (*Result, error) {
 	return q.wait(q.ReadAsync(offset, size))
+}
+
+// Flush issues an NVMe flush and waits for completion: it returns only
+// once every previously acknowledged write has reached durable media.
+// Against a write-back cached target this is the durability barrier that
+// drains dirty lines; if a crash already lost unflushed data, the flush
+// fails with a write-fault error instead of succeeding silently.
+func (q *Queue) Flush() (*Result, error) {
+	fut := q.inner.Submit(q.ctx.proc, &transport.IO{Flush: true})
+	return q.wait(&Async{fut: fut})
 }
 
 // WriteModeled issues a write whose payload is modeled (timing charged,

@@ -3,6 +3,7 @@ package oaf
 import (
 	"encoding/json"
 
+	"nvmeoaf/internal/cache"
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/tcp"
@@ -101,6 +102,9 @@ type ClusterSnapshot struct {
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 	Queues    []QueueSnapshot    `json:"queues,omitempty"`
 	Pools     []mempool.Stats    `json:"pools,omitempty"`
+	// Caches reports every target-side block cache (hit/miss/dirty
+	// accounting and the live admission hit-rate EWMA).
+	Caches []cache.Stats `json:"caches,omitempty"`
 }
 
 // Telemetry exposes the cluster's shared sink, shared by every
@@ -118,6 +122,9 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 	}
 	for _, p := range c.pools {
 		snap.Pools = append(snap.Pools, p.Stats())
+	}
+	for _, ca := range c.caches {
+		snap.Caches = append(snap.Caches, ca.Stats())
 	}
 	return snap
 }

@@ -16,6 +16,10 @@ import (
 type Workload struct {
 	// Sequential selects sequential offsets; otherwise random.
 	Sequential bool
+	// Zipf skews random offsets to a hot set with this theta (YCSB's
+	// hot-set knob; 0.99 is the standard skew). Zero keeps the uniform
+	// pattern; ignored for sequential workloads.
+	Zipf float64
 	// ReadPercent is the read share (100 = pure read).
 	ReadPercent int
 	// IOSize is the request size in bytes.
@@ -55,6 +59,7 @@ func (ctx *Ctx) RunWorkload(q *Queue, w Workload) (*WorkloadResult, error) {
 	stream := perf.NewStream(ctx.cluster.engine, q.inner, perf.Workload{
 		Name:       "oaf-workload",
 		Seq:        w.Sequential,
+		Zipf:       w.Zipf,
 		ReadPct:    w.ReadPercent,
 		IOSize:     w.IOSize,
 		QueueDepth: w.QueueDepth,

@@ -1,31 +1,36 @@
 #!/bin/sh
 # Benchmark sweep: run a small fabric matrix through oafperf -stats-json
-# (perf numbers, fabric telemetry, pool stats), then the batching
-# wall-clock benchmarks (`go test -bench QD64`), and collect everything
-# into one JSON report. The bench section records, per configuration,
-# the simulator's own wall-clock ns/op and allocs/op next to the
-# simulated GB/s and IOPS it achieved, so allocation regressions on the
-# batched hot path show up in CI artifacts.
+# (perf numbers, fabric telemetry, pool stats), a cache on/off pair on
+# the Zipfian hot-set workload, then the batching wall-clock benchmarks
+# (`go test -bench QD64`), and collect everything into one JSON report.
+# The bench section records, per configuration, the simulator's own
+# wall-clock ns/op and allocs/op next to the simulated GB/s and IOPS it
+# achieved, so allocation regressions on the batched hot path show up in
+# CI artifacts.
 #
 # Environment knobs (all optional):
-#   BENCH_OUT      output file            (default BENCH_pr3.json)
+#   BENCH_OUT      output file            (default BENCH_pr4.json)
 #   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
 #   BENCH_QD       queue depth            (default 64)
 #   BENCH_SIZE     I/O size               (default 128K)
 #   BENCH_BATCH    coalescing depth       (default 16)
 #   BENCH_QUEUES   queue pairs per stream (default 4)
 #   BENCH_FABRICS  fabrics to sweep       (default "nvme-oaf tcp-25g")
+#   BENCH_ZIPF     hot-set skew for the cache pair (default 0.99)
+#   BENCH_CACHE    cache size for the cache pair   (default 256M; empty skips)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr3.json}
+OUT=${BENCH_OUT:-BENCH_pr4.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
 BATCH=${BENCH_BATCH:-16}
 QUEUES=${BENCH_QUEUES:-4}
 FABRICS=${BENCH_FABRICS:-"nvme-oaf tcp-25g"}
+ZIPF=${BENCH_ZIPF:-0.99}
+CACHE=${BENCH_CACHE:-256M}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
 TMP=$(mktemp -d)
@@ -72,6 +77,18 @@ go_bench() {
 				-batch "$BATCH" -queues "$QUEUES" -stats-json
 		done
 	done
+	# Cache pair: the Zipfian hot-set read workload with and without the
+	# target-side cache, same batching/striping, so the report records the
+	# cache gain next to the fabric matrix.
+	if [ -n "$CACHE" ]; then
+		printf ',\n'
+		"$BIN" -fabric nvme-oaf -rw randread -size 4K -qd "$QD" -t "$DUR" \
+			-zipf "$ZIPF" -batch "$BATCH" -queues "$QUEUES" -stats-json
+		printf ',\n'
+		"$BIN" -fabric nvme-oaf -rw randread -size 4K -qd "$QD" -t "$DUR" \
+			-zipf "$ZIPF" -batch "$BATCH" -queues "$QUEUES" \
+			-cache "$CACHE" -cache-mode wb -stats-json
+	fi
 	printf '  ]'
 	if [ -n "$GOBENCH" ]; then
 		printf ',\n  "go_bench": [\n'
