@@ -168,6 +168,14 @@ type Cache struct {
 	flushMu     *sim.Semaphore
 	flushCursor int             // round-robin dirty-scan position
 	loss        *DirtyLossError // sticky until the next barrier reports it
+	// flight tracks lines whose flusher write-back is in flight. The
+	// backing device applies data at completion, so while a line is in
+	// flight its cached copy — not the backing device — is authoritative:
+	// overlapping write-throughs are ordered behind the batch (flightDone),
+	// fills must not overwrite or evict the line, and bypass-read overlay
+	// covers it like a dirty line.
+	flight     map[int64]struct{}
+	flightDone *sim.Future[struct{}] // resolves when the in-flight batch fully lands
 
 	// Adaptive admission.
 	hitEWMA float64
@@ -268,6 +276,7 @@ func New(e *sim.Engine, backing bdev.Device, cfg Config) *Cache {
 		lineSize: int64(cfg.LineSize),
 		kickQ:    sim.NewQueue[struct{}](e, 0),
 		flushMu:  sim.NewSemaphore(e, 1),
+		flight:   make(map[int64]struct{}),
 	}
 	capBytes := int64(nLines) * c.lineSize
 	c.hiWater = int64(cfg.MaxDirtyFrac * float64(capBytes))
@@ -344,7 +353,9 @@ func (c *Cache) lookup(lineNo int64) int {
 
 // victim picks a fill slot in lineNo's set: an invalid way, else the
 // least-recently-used clean way. Dirty lines are never evicted by fills
-// (they leave only through the flusher); -1 means the whole set is dirty.
+// (they leave only through the flusher), and neither are lines with an
+// in-flight write-back (the cache copy is still authoritative until it
+// lands); -1 means no way in the set is evictable.
 func (c *Cache) victim(lineNo int64) int {
 	base := c.setBase(lineNo)
 	best, bestUse := -1, ^uint64(0)
@@ -353,11 +364,17 @@ func (c *Cache) victim(lineNo int64) int {
 		if ln.tag == -1 {
 			return i
 		}
-		if !ln.dirty && ln.lastUse < bestUse {
+		if !ln.dirty && !c.inFlight(ln.tag) && ln.lastUse < bestUse {
 			best, bestUse = i, ln.lastUse
 		}
 	}
 	return best
+}
+
+// inFlight reports whether lineNo has a flusher write-back in flight.
+func (c *Cache) inFlight(lineNo int64) bool {
+	_, ok := c.flight[lineNo]
+	return ok
 }
 
 // span returns the line-aligned range [first,last] of lines covering
@@ -442,7 +459,9 @@ func (c *Cache) tryReadHit(off int64, size int, dst []byte) bool {
 
 // overlayDirty copies resident dirty-line bytes over buf (which holds
 // backing data for [off,off+size)), so bypassed reads still observe
-// unflushed writes (Retain only).
+// unflushed writes (Retain only). Lines with an in-flight write-back are
+// overlaid too: the backing read may have raced the write-back, so the
+// cached copy is the authoritative one until it lands.
 func (c *Cache) overlayDirty(off int64, size int, buf []byte) {
 	if buf == nil {
 		return
@@ -450,7 +469,7 @@ func (c *Cache) overlayDirty(off int64, size int, buf []byte) {
 	first, last := c.span(off, size)
 	for ln := first; ln <= last; ln++ {
 		i := c.lookup(ln)
-		if i < 0 || !c.lines[i].dirty {
+		if i < 0 || (!c.lines[i].dirty && !c.inFlight(ln)) {
 			continue
 		}
 		lo := ln * c.lineSize
@@ -484,10 +503,13 @@ func (c *Cache) install(first, last int64, spanOff int64, spanData []byte) {
 			c.lines[i].dirty = false
 			c.stats.Fills++
 			c.tel.Inc(telemetry.CtrCacheFill)
-		} else if c.lines[i].dirty {
+		} else if c.lines[i].dirty || c.inFlight(ln) {
 			c.tick++
 			c.lines[i].lastUse = c.tick
-			continue // resident dirty data is newer than the backing span
+			// Resident dirty data is newer than the backing span; a line
+			// with an in-flight write-back likewise — the span read may
+			// have raced the write-back at the device.
+			continue
 		}
 		c.tick++
 		c.lines[i].lastUse = c.tick
@@ -660,6 +682,31 @@ func (c *Cache) submitWrite(req *ssd.Request) *sim.Future[ssd.Result] {
 	// completes the command; resident lines are updated in place.
 	c.stats.WriteThroughs++
 	c.tel.Inc(telemetry.CtrCacheWriteThrough)
+	return c.submitWriteThrough(req)
+}
+
+// submitWriteThrough issues the backing write for a write-through,
+// ordering it behind any in-flight flusher write-back to the same lines:
+// the backing device applies data at completion, so an unordered stale
+// write-back could otherwise land after this newer write and leave the
+// device stale behind a clean cache line.
+func (c *Cache) submitWriteThrough(req *ssd.Request) *sim.Future[ssd.Result] {
+	if c.flightDone != nil && c.overlapsFlight(req.Offset, req.Size) {
+		out := sim.NewFuture[ssd.Result](c.e)
+		c.flightDone.OnResolve(func(struct{}) {
+			c.issueWriteThrough(req).OnResolve(out.Resolve)
+		})
+		return out
+	}
+	return c.issueWriteThrough(req)
+}
+
+// issueWriteThrough submits the backing write and, on success, folds the
+// bytes into resident lines. Covered lines captured by a flush batch that
+// started while this write was in flight are re-dirtied: that batch's
+// data predates this write, so the line must be flushed again with its
+// current bytes after the racing write-back lands.
+func (c *Cache) issueWriteThrough(req *ssd.Request) *sim.Future[ssd.Result] {
 	inner := c.backing.Submit(req)
 	if !c.cfg.Retain || req.Data == nil {
 		return inner
@@ -669,16 +716,56 @@ func (c *Cache) submitWrite(req *ssd.Request) *sim.Future[ssd.Result] {
 	inner.OnResolve(func(r ssd.Result) {
 		if r.Err == nil {
 			c.updateResident(off, data)
+			c.redirtyFlight(off, len(data))
 		}
 		out.Resolve(r)
 	})
 	return out
 }
 
+// overlapsFlight reports whether [off,off+size) covers a line with an
+// in-flight flusher write-back.
+func (c *Cache) overlapsFlight(off int64, size int) bool {
+	if len(c.flight) == 0 {
+		return false
+	}
+	first, last := c.span(off, size)
+	for ln := first; ln <= last; ln++ {
+		if c.inFlight(ln) {
+			return true
+		}
+	}
+	return false
+}
+
+// redirtyFlight re-dirties resident lines in [off,off+size) whose
+// write-back is in flight, forcing a re-flush of their current bytes.
+func (c *Cache) redirtyFlight(off int64, size int) {
+	if len(c.flight) == 0 {
+		return
+	}
+	first, last := c.span(off, size)
+	dirtied := false
+	for ln := first; ln <= last; ln++ {
+		if !c.inFlight(ln) {
+			continue
+		}
+		if i := c.lookup(ln); i >= 0 {
+			c.markDirty(i)
+			dirtied = true
+		}
+	}
+	if dirtied {
+		c.kick()
+	}
+}
+
 // absorbWrite installs a line-aligned write as dirty lines, two-phase:
 // it first checks every covered line is resident or has a clean victim,
 // then commits. It reports false when infeasible (caller degrades to
-// write-through).
+// write-through). The pre-check is advisory only — when two lines hash
+// to one set, committing the first can consume the last clean way — so
+// the commit phase re-checks and bails rather than indexing out of range.
 func (c *Cache) absorbWrite(req *ssd.Request) bool {
 	first, last := c.span(req.Offset, req.Size)
 	for ln := first; ln <= last; ln++ {
@@ -690,6 +777,14 @@ func (c *Cache) absorbWrite(req *ssd.Request) bool {
 		i := c.lookup(ln)
 		if i < 0 {
 			i = c.victim(ln)
+			if i < 0 {
+				// Two lines of this write hash to the same set and
+				// committing an earlier one consumed the set's last clean
+				// way. Degrade the whole write to write-through: lines
+				// already dirtied hold exactly the bytes the write-through
+				// persists, so nothing diverges.
+				return false
+			}
 			if c.lines[i].tag != -1 {
 				c.stats.Evictions++
 				c.tel.Inc(telemetry.CtrCacheEvict)
@@ -776,30 +871,41 @@ func (c *Cache) flushBatch(p *sim.Proc) int {
 				data = data[:size]
 			}
 		}
+		if c.flightDone == nil {
+			c.flightDone = sim.NewFuture[struct{}](c.e)
+		}
+		c.flight[ln] = struct{}{}
 		fut := c.backing.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: ln * c.lineSize, Size: size, Data: data})
 		caps = append(caps, capture{lineNo: ln, idx: i, fut: fut, start: p.Now()})
 		c.flushCursor = i + 1
 	}
 	for _, cp := range caps {
 		res := cp.fut.Wait(p)
+		delete(c.flight, cp.lineNo)
 		c.tel.ObserveDuration(telemetry.HistCacheFlushLat, p.Now().Sub(cp.start))
 		if res.Err != nil {
-			// The backing device refused the write-back: the line's data
-			// is lost to durability. Record it (sticky, typed) and drop
-			// the line so reads stop serving bytes the device never got.
+			if c.lines[cp.idx].tag == cp.lineNo && c.lines[cp.idx].dirty {
+				// Re-dirtied with newer acked data while the failed
+				// write-back was in flight: keep the line resident and
+				// dirty so the flusher retries the newer bytes. Nothing
+				// is durably lost — the retry carries this version too.
+				continue
+			}
+			// The backing device refused the write-back and no newer
+			// version exists: the line's data is lost to durability.
+			// Record it (sticky, typed) and drop the line so reads stop
+			// serving bytes the device never got.
 			c.recordLoss(1, res.Err)
 			if c.lines[cp.idx].tag == cp.lineNo {
-				if c.lines[cp.idx].dirty {
-					c.lines[cp.idx].dirty = false
-					c.dirtyBytes -= c.lineSize
-					c.stats.DirtyBytes = c.dirtyBytes
-					c.tel.Add(telemetry.CtrCacheDirtyBytes, -c.lineSize)
-				}
 				c.lines[cp.idx].tag = -1
 			}
 			continue
 		}
 		c.stats.FlushedBytes += c.lineSize
+	}
+	if done := c.flightDone; done != nil {
+		c.flightDone = nil
+		done.Resolve(struct{}{})
 	}
 	return len(caps)
 }

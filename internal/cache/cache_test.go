@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/model"
@@ -371,6 +372,249 @@ func TestHitPathAllocationFree(t *testing.T) {
 		}
 	}); got != 0 {
 		t.Errorf("hit path allocates %.1f/op, want 0", got)
+	}
+}
+
+// gateBdev forwards reads but parks writes while gated, so tests can
+// control backing write completion order (and inject completion-time
+// failures) to exercise flusher/write-through races.
+type gateBdev struct {
+	bdev.Device
+	e    *sim.Engine
+	gate bool
+	held []heldWrite
+}
+
+type heldWrite struct {
+	req *ssd.Request
+	out *sim.Future[ssd.Result]
+}
+
+func (d *gateBdev) Submit(req *ssd.Request) *sim.Future[ssd.Result] {
+	if d.gate && req.Op == ssd.OpWrite {
+		out := sim.NewFuture[ssd.Result](d.e)
+		d.held = append(d.held, heldWrite{req: req, out: out})
+		return out
+	}
+	return d.Device.Submit(req)
+}
+
+// release completes the i-th held write: with err it fails at completion
+// time; otherwise it forwards to the real device and mirrors its result.
+func (d *gateBdev) release(i int, err error) {
+	h := d.held[i]
+	if err != nil {
+		h.out.Resolve(ssd.Result{Err: err})
+		return
+	}
+	d.Device.Submit(h.req).OnResolve(h.out.Resolve)
+}
+
+// gateRig builds a retained write-back cache over a write-gating device.
+func gateRig(t *testing.T, cfg Config) (*sim.Engine, *gateBdev, *Cache) {
+	t.Helper()
+	e := sim.NewEngine(11)
+	params := model.DefaultSSD()
+	params.JitterFrac = 0
+	params.StallProb = 0
+	g := &gateBdev{Device: bdev.NewSimSSD(e, "nvme0", 64<<20, params, true, 512), e: e}
+	cfg.Retain = true
+	return e, g, New(e, g, cfg)
+}
+
+func TestMultiLineWriteSurvivesSetExhaustion(t *testing.T) {
+	// Regression: committing a multi-line write whose lines hash to the
+	// same set could consume the set's last clean way on the first line
+	// and then index lines[-1] for the second. The commit must instead
+	// degrade the whole write to write-through.
+	e, backing, c := rig(t, true, Config{Bytes: 64 << 10, Shards: 1, Ways: 8, Mode: WriteBack, MaxDirtyFrac: 1})
+	// Find an aligned line pair mapping to one set, plus seven more lines
+	// in that set to dirty every other way.
+	pair := int64(-1)
+	for ln := int64(0); pair < 0; ln++ {
+		if c.setBase(ln) == c.setBase(ln+1) {
+			pair = ln
+		}
+	}
+	var fills []int64
+	for ln := int64(0); len(fills) < 7; ln++ {
+		if ln != pair && ln != pair+1 && c.setBase(ln) == c.setBase(pair) {
+			fills = append(fills, ln)
+		}
+	}
+	payload := bytes.Repeat([]byte{0xC3}, 8192)
+	run(t, e, func(p *sim.Proc) {
+		for k, ln := range fills {
+			data := bytes.Repeat([]byte{byte(k + 1)}, 4096)
+			if res := write(p, c, ln*4096, data); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		if got := c.Stats().WriteBacks; got != 7 {
+			t.Fatalf("absorbed %d of 7 set-filling writes", got)
+		}
+		// Both lines of this write map to the now 7/8-dirty set.
+		if res := write(p, c, pair*4096, payload); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if backing.writes == 0 {
+			t.Fatal("exhausted-set write never degraded to the backing device")
+		}
+		res := read(p, c, pair*4096, 8192)
+		if res.Err != nil || !bytes.Equal(res.Data, payload) {
+			t.Fatal("bytes diverged after degraded multi-line write")
+		}
+	})
+	if s := c.Stats(); s.WriteThroughs == 0 {
+		t.Errorf("set exhaustion must degrade to write-through: %+v", s)
+	}
+}
+
+func TestWriteThroughOrdersBehindInflightFlush(t *testing.T) {
+	// Regression: a write-through overlapping a line whose write-back is
+	// in flight must not race it — the backing device applies data at
+	// completion, so an unordered stale flush could land after the newer
+	// write, leaving the device stale behind a clean cache line.
+	e, gate, c := gateRig(t, Config{Bytes: 1 << 20, Mode: WriteBack})
+	oldData := bytes.Repeat([]byte{0xAA}, 4096)
+	newData := bytes.Repeat([]byte{0xBB}, 1024)
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 0, oldData); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		gate.gate = true
+		flushFut := c.Submit(&ssd.Request{Op: ssd.OpFlush})
+		p.Sleep(time.Microsecond) // barrier captures line 0 and parks on the gated write
+		if len(gate.held) != 1 {
+			t.Fatalf("barrier submitted %d backing writes, want 1 parked write-back", len(gate.held))
+		}
+		// Unaligned write-through to the captured line: it must be ordered
+		// behind the in-flight write-back instead of racing it.
+		wFut := c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: 0, Size: 1024, Data: newData})
+		p.Sleep(time.Microsecond)
+		if len(gate.held) != 1 {
+			t.Fatal("write-through overtook the in-flight flush write-back")
+		}
+		if wFut.Resolved() {
+			t.Fatal("write-through completed while ordered behind the flush")
+		}
+		gate.gate = false
+		gate.release(0, nil)
+		if res := wFut.Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res := flushFut.Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		// The backing device must hold the newer bytes.
+		res := gate.Device.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 4096}).Wait(p)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !bytes.Equal(res.Data[:1024], newData) || !bytes.Equal(res.Data[1024:], oldData[1024:]) {
+			t.Fatal("stale flush write-back clobbered the newer write-through")
+		}
+		// And the cache must agree with it.
+		cres := read(p, c, 0, 4096)
+		if cres.Err != nil || !bytes.Equal(cres.Data[:1024], newData) {
+			t.Fatal("cache diverged from backing after ordered write-through")
+		}
+	})
+}
+
+func TestCapturedLineRedirtiesWhenWriteThroughLandsUnder(t *testing.T) {
+	// The reverse interleaving of the ordering test: a write-through is
+	// already in flight when a flush batch captures the (re-dirtied) same
+	// line. Whichever backing write lands last, completion of the
+	// write-through must re-dirty the captured line so a final re-flush
+	// converges the backing device to the cache's bytes.
+	e, gate, c := gateRig(t, Config{Bytes: 1 << 20, Mode: WriteBack})
+	wtData := bytes.Repeat([]byte{0xBB}, 1024)
+	wbData := bytes.Repeat([]byte{0xCC}, 4096)
+	run(t, e, func(p *sim.Proc) {
+		gate.gate = true
+		// Unaligned write-through to a non-resident line parks at the gate.
+		wFut := c.Submit(&ssd.Request{Op: ssd.OpWrite, Offset: 0, Size: 1024, Data: wtData})
+		p.Sleep(time.Microsecond)
+		if len(gate.held) != 1 {
+			t.Fatalf("held %d backing writes, want the parked write-through", len(gate.held))
+		}
+		// Newer absorbed write dirties the line; a barrier captures it.
+		if res := write(p, c, 0, wbData); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		flushFut := c.Submit(&ssd.Request{Op: ssd.OpFlush})
+		p.Sleep(time.Microsecond)
+		if len(gate.held) != 2 {
+			t.Fatalf("held %d backing writes, want write-through + write-back", len(gate.held))
+		}
+		// The write-through completes while the write-back is in flight:
+		// its completion must re-dirty the captured line.
+		gate.release(0, nil)
+		if res := wFut.Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if c.Stats().DirtyBytes == 0 {
+			t.Fatal("write-through landing under an in-flight write-back did not re-dirty the line")
+		}
+		// Let the stale write-back land last, then drain the re-flush.
+		gate.gate = false
+		gate.release(1, nil)
+		if res := flushFut.Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		// Backing and cache must agree on the merged bytes.
+		want := append(bytes.Repeat([]byte{0xBB}, 1024), bytes.Repeat([]byte{0xCC}, 3072)...)
+		bres := gate.Device.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 4096}).Wait(p)
+		if bres.Err != nil || !bytes.Equal(bres.Data, want) {
+			t.Fatal("backing diverged from cache after racing write-back")
+		}
+		cres := read(p, c, 0, 4096)
+		if cres.Err != nil || !bytes.Equal(cres.Data, want) {
+			t.Fatal("cache diverged after racing write-back")
+		}
+	})
+}
+
+func TestFlushFailureRetriesRedirtiedLine(t *testing.T) {
+	// Regression: when a write-back fails while the line was re-dirtied
+	// with newer acked data, the error path used to invalidate the line,
+	// silently discarding the newer write. It must stay resident and
+	// dirty so the flusher retries the newer bytes.
+	e, gate, c := gateRig(t, Config{Bytes: 1 << 20, Mode: WriteBack})
+	oldData := bytes.Repeat([]byte{0x11}, 4096)
+	newData := bytes.Repeat([]byte{0x22}, 4096)
+	run(t, e, func(p *sim.Proc) {
+		if res := write(p, c, 0, oldData); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		gate.gate = true
+		flushFut := c.Submit(&ssd.Request{Op: ssd.OpFlush})
+		p.Sleep(time.Microsecond) // barrier parks on the gated write-back
+		if len(gate.held) != 1 {
+			t.Fatalf("held %d backing writes, want 1", len(gate.held))
+		}
+		// Newer absorbed write to the same line while its write-back is in
+		// flight, then fail that write-back at completion time.
+		if res := write(p, c, 0, newData); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		gate.gate = false
+		gate.release(0, errors.New("transient device write fault"))
+		if res := flushFut.Wait(p); res.Err != nil {
+			t.Fatalf("barrier failed despite a retryable newer version: %v", res.Err)
+		}
+		// The retried flush carried the newer bytes.
+		bres := gate.Device.Submit(&ssd.Request{Op: ssd.OpRead, Offset: 0, Size: 4096}).Wait(p)
+		if bres.Err != nil || !bytes.Equal(bres.Data, newData) {
+			t.Fatal("newer write lost after failed write-back")
+		}
+	})
+	if s := c.Stats(); s.LostLines != 0 {
+		t.Errorf("retryable failure recorded loss: %+v", s)
+	}
+	if c.LostDirty() != nil {
+		t.Error("sticky loss armed despite successful retry")
 	}
 }
 

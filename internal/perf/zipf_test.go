@@ -75,6 +75,31 @@ func TestZipfThetaClampAndTinySpan(t *testing.T) {
 	}
 }
 
+// TestZipfRankMappingIsPermutation pins the rank→item mapping as a true
+// bijection over [0, n): the old hash-mod-n scramble could merge two
+// Zipf ranks onto one item (distorting the hot-set distribution) and
+// leave other items unreachable.
+func TestZipfRankMappingIsPermutation(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 7, 100, 1000, 1 << 10, 16381} {
+		z := newZipf(n, 0.99)
+		seen := make([]bool, n)
+		for rank := int64(0); rank < n; rank++ {
+			v := z.permute(rank)
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: permute(%d) = %d out of range", n, rank, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d: two ranks collide on item %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+	z := newZipf(1<<16, 0.99)
+	if got := testing.AllocsPerRun(100, func() { z.permute(12345) }); got != 0 {
+		t.Errorf("permute allocates %.1f/op, want 0", got)
+	}
+}
+
 // TestZipfStreamOffsetsAlignedAndBounded mirrors nextIO's offset
 // computation: draws scaled by IOSize must stay aligned and inside the
 // span, and identical seeds must reproduce identical sequences (the
