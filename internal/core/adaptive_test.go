@@ -101,8 +101,8 @@ func TestAutoChunkNegotiatedAtConnect(t *testing.T) {
 			t.Fatal(err)
 		}
 		// The rig's control link is the loopback path: 1 MiB expected.
-		if c.cfg.TP.ChunkSize != 1<<20 {
-			t.Errorf("auto chunk %d, want 1MiB", c.cfg.TP.ChunkSize)
+		if c.wire.cfg.TP.ChunkSize != 1<<20 {
+			t.Errorf("auto chunk %d, want 1MiB", c.wire.cfg.TP.ChunkSize)
 		}
 		c.Close()
 		c.WaitClosed(p)
@@ -127,13 +127,13 @@ func TestAutoBusyPollAdaptsOnLiveTraffic(t *testing.T) {
 		for i := 0; i < 64; i++ {
 			c.Submit(p, &transport.IO{Write: true, Offset: int64(i) * 4096, Size: 4096}).Wait(p)
 		}
-		if got := c.pollBudget(); got != 100*time.Microsecond {
+		if got := c.wire.PollBudget(); got != 100*time.Microsecond {
 			t.Errorf("after writes budget %v, want 100us", got)
 		}
 		for i := 0; i < 128; i++ {
 			c.Submit(p, &transport.IO{Offset: int64(i) * 4096, Size: 4096}).Wait(p)
 		}
-		if got := c.pollBudget(); got != 25*time.Microsecond {
+		if got := c.wire.PollBudget(); got != 25*time.Microsecond {
 			t.Errorf("after reads budget %v, want 25us", got)
 		}
 		c.Close()

@@ -150,7 +150,7 @@ func TestStripedQueueOrderingAndSpread(t *testing.T) {
 	links := []*netsim.Link{r0.link}
 	for i := 1; i < members; i++ {
 		l := netsim.NewLoopLink(r0.e, model.Loopback())
-		srv := NewServer(r0.e, r0.srv.tgt, ServerConfig{
+		srv := NewServer(r0.e, r0.srv.Subsys(), ServerConfig{
 			NQN: testNQN, Design: DesignSHMZeroCopy, Fabric: r0.fabric,
 			TP: tp, Host: model.DefaultHost(),
 		})

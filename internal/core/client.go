@@ -1,34 +1,18 @@
 package core
 
 import (
-	"fmt"
-	"math/rand"
 	"time"
 
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
-
-// cmdFlagSHMSlot marks a command capsule whose PRP1 carries a shared-
-// memory slot index holding the write payload (the in-capsule-style flow
-// of the shared-memory flow-control optimization, §4.4.2).
-const cmdFlagSHMSlot = 0x01
-
-// pollMissCPU is the busy-poll expiry cost (syscall return + re-arm).
-const pollMissCPU = 8 * time.Microsecond
-
-// defaultHostNQN identifies the host when the caller sets none.
-const defaultHostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
-
-// connectCID is the reserved CID of the Fabrics Connect command; it never
-// collides with I/O CIDs (queue depths are far smaller).
-const connectCID = 0xFFFF
 
 // ClientConfig configures one NVMe-oAF host queue.
 type ClientConfig struct {
@@ -74,73 +58,36 @@ type ClientConfig struct {
 	Telemetry *telemetry.Sink
 }
 
-// afPending decorates a pending request with its shared-memory state.
-type afPending struct {
-	*transport.Pending
-	slot *shm.Slot // H2C payload slot for writes (non-chunked designs)
-	// Chunked-design write progress: the conservative stop-and-wait flow
-	// sends one chunk per target acknowledgement.
-	wNext, wEnd int
-	// attempts counts retries so far; retried commands pin the TCP data
-	// path. gen invalidates stale deadline timers across attempts.
-	attempts int
-	gen      int
-	// expired marks a deadline hit; the reactor reaps it.
-	expired bool
-	// dataLost marks payload that went missing mid-transfer (revoked
-	// region); the response alone cannot complete the command.
-	dataLost bool
-}
-
 // Client is the NVMe-oAF host queue: control path over TCP, data path
 // over shared memory when the locality check succeeded at connect time.
+// The session machinery (CID table, reactor, deadlines, batching,
+// keep-alive) lives in internal/session; this file is the adaptive-fabric
+// wire binding.
 type Client struct {
-	e       *sim.Engine
-	ep      *netsim.Endpoint
-	cfg     ClientConfig
-	cids    *nvme.CIDTable
-	submitQ *sim.Queue[*afPending]
-	kick    *sim.Signal
-	icresp  *pdu.ICResp
-	region  *shm.Region // non-nil when the AF negotiated shared memory
-	closing bool
-	drained *sim.Signal
-	policy  pollPolicy
-	rng     *rand.Rand
-	tel     *telemetry.Sink
+	*session.Host
+	wire *oafWire
 
-	// Hot-path recycling: pending-op freelist plus reactor-owned scratch
-	// structures for the batched submission path. The engine is
-	// cooperative, so plain slices suffice; scratch encode structures are
-	// only touched by the reactor (SendPDUs serializes before yielding).
-	freePends   []*afPending
-	batch       pdu.CmdBatch
-	capsule     pdu.CapsuleCmd
-	slotScratch []*shm.Slot
-
-	// backlog counts commands parked in retry backoff (neither queued nor
-	// in flight); teardown waits for them.
-	backlog int
-	// consecTimeouts counts deadline expirations since the last
-	// successful completion; crossing the threshold triggers reconnect.
-	consecTimeouts int
-	reconnecting   bool
-	reconRetry     bool
-	reconGen       int
-
-	// Completed counts finished commands; SHMPayloadBytes counts payload
-	// moved over the shared-memory channel instead of the wire.
-	Completed       int64
+	// SHMPayloadBytes counts payload moved over the shared-memory channel
+	// instead of the wire; Failovers counts mid-stream SHM→TCP data-path
+	// switches.
 	SHMPayloadBytes int64
-	// Retries counts re-driven attempts; Timeouts counts per-command
-	// deadline expirations; Failovers counts mid-stream SHM→TCP data-path
-	// switches; Reconnects counts re-established connections; LateMsgs
-	// counts stale PDUs (for already-reaped commands) dropped.
-	Retries    int64
-	Timeouts   int64
-	Failovers  int64
-	Reconnects int64
-	LateMsgs   int64
+	Failovers       int64
+}
+
+// oafWire is the adaptive data path: whole-I/O or chunked shared-memory
+// slots when the locality check admitted the region, the optimized TCP
+// flow otherwise — with mid-stream failover from the former to the
+// latter.
+type oafWire struct {
+	cl     *Client
+	h      *session.Host
+	ep     *netsim.Endpoint
+	cfg    *ClientConfig
+	region *shm.Region // non-nil when the AF negotiated shared memory
+	policy pollPolicy
+
+	// slotScratch backs the amortized multi-slot claim in SubmitBatch.
+	slotScratch []*shm.Slot
 }
 
 // Connect performs the adaptive-fabric handshake on ep. The Connection
@@ -148,9 +95,6 @@ type Client struct {
 // check accepts or declines it, and the client falls back to the TCP data
 // path when declined.
 func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 128
-	}
 	if cfg.TP.ChunkSize <= 0 {
 		cfg.TP = model.DefaultTCPTransport()
 	}
@@ -159,89 +103,48 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		cfg.TP.ChunkSize = SelectChunkSize(ep.Params())
 	}
 	e := p.Engine()
-	c := &Client{
-		e:       e,
-		ep:      ep,
-		cfg:     cfg,
-		cids:    nvme.NewCIDTable(cfg.QueueDepth),
-		submitQ: sim.NewQueue[*afPending](e, 0),
-		kick:    sim.NewSignal(e),
-		drained: sim.NewSignal(e),
-		rng:     e.Rand("oaf-client-retry"),
-		tel:     cfg.Telemetry,
-	}
-	if c.tel == nil {
-		c.tel = telemetry.Disabled
-	}
-	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
-	if cfg.Design.UsesSHM() && cfg.Region != nil {
-		req.AFCapab = true
-		req.SHMKey = cfg.Region.Key
-	}
-	transport.SendPDUs(p, ep, req)
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return nil, fmt.Errorf("core: handshake: %w", err)
-	}
-	icresp, ok := pdus[0].(*pdu.ICResp)
-	if !ok {
-		return nil, fmt.Errorf("core: handshake: unexpected %v", pdus[0].Type())
-	}
-	c.icresp = icresp
-	if icresp.AFEnabled {
-		c.region = cfg.Region
-	}
-	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
+	w := &oafWire{ep: ep, cfg: &cfg}
+	h := session.NewHost(e, ep, session.HostConfig{
+		Label:            "oaf",
+		NQN:              cfg.NQN,
+		HostNQN:          cfg.HostNQN,
+		QueueDepth:       cfg.QueueDepth,
+		Host:             cfg.Host,
+		BatchSize:        cfg.TP.BatchSize,
+		CommandTimeout:   cfg.CommandTimeout,
+		MaxRetries:       cfg.MaxRetries,
+		RetryBackoff:     cfg.RetryBackoff,
+		KeepAlive:        cfg.KeepAlive,
+		InterruptWakeups: true,
+		Telemetry:        cfg.Telemetry,
+	}, w)
+	w.h = h
+	c := &Client{Host: h, wire: w}
+	w.cl = c
+	if err := h.Handshake(p); err != nil {
 		return nil, err
 	}
-	if c.region != nil {
+	if h.ICResp().AFEnabled {
+		w.region = cfg.Region
+	}
+	if w.region != nil {
 		// Wake the reactor the instant the helper revokes the mapping so
 		// the failover happens before blocked claimers pile up.
-		c.region.OnRevoke(c.kick.Fire)
-		c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "shm", cfg.Design.String())
+		w.region.OnRevoke(h.Kick)
+		h.Telemetry().Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "shm", cfg.Design.String())
 	} else {
-		c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", cfg.Design.String())
+		h.Telemetry().Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", cfg.Design.String())
 	}
-	e.GoDaemon("oaf-client-reactor", c.reactor)
-	if cfg.KeepAlive > 0 {
-		e.GoDaemon("oaf-client-keepalive", c.keepAliveLoop)
-	}
+	h.Start()
 	return c, nil
 }
 
-// fabricsConnect performs the NVMe-oF Connect command over the control
-// path: the target validates the subsystem NQN before admitting I/O.
-func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) error {
-	if hostNQN == "" {
-		hostNQN = defaultHostNQN
-	}
-	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: connectCID, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, subNQN)})
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return fmt.Errorf("core: connect: %w", err)
-	}
-	resp, ok := pdus[0].(*pdu.CapsuleResp)
-	if !ok {
-		return fmt.Errorf("core: connect: unexpected %v", pdus[0].Type())
-	}
-	if resp.Rsp.Status.IsError() {
-		return fmt.Errorf("core: connect rejected: %w", resp.Rsp.Status.Error())
-	}
-	return nil
-}
-
 // SHMEnabled reports whether the data path uses shared memory.
-func (c *Client) SHMEnabled() bool { return c.region != nil }
+func (c *Client) SHMEnabled() bool { return c.wire.region != nil }
 
 // Region returns the negotiated shared-memory region, or nil on the TCP
 // data path (never negotiated, or abandoned by a mid-stream failover).
-func (c *Client) Region() *shm.Region { return c.region }
-
-// ICResp returns the negotiated connection parameters.
-func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
+func (c *Client) Region() *shm.Region { return c.wire.region }
 
 // AllocBuffer returns an I/O buffer from the Buffer Manager: a shared-
 // memory-resident buffer in the zero-copy design (the co-design hook the
@@ -255,99 +158,23 @@ func (c *Client) AllocBuffer(size int) []byte {
 	return make([]byte, size)
 }
 
-// newPending takes a pending op off the freelist (or allocates one) and
-// re-arms it for a fresh command. The generation bump invalidates any
-// stale deadline timer still holding the recycled struct.
-func (c *Client) newPending(io *transport.IO, fut *sim.Future[*transport.Result]) *afPending {
-	if n := len(c.freePends); n > 0 {
-		pend := c.freePends[n-1]
-		c.freePends[n-1] = nil
-		c.freePends = c.freePends[:n-1]
-		gen := pend.gen + 1
-		*pend.Pending = transport.Pending{IO: io, Fut: fut}
-		pend.slot = nil
-		pend.wNext, pend.wEnd = 0, 0
-		pend.attempts = 0
-		pend.gen = gen
-		pend.expired = false
-		pend.dataLost = false
-		return pend
-	}
-	return &afPending{Pending: &transport.Pending{IO: io, Fut: fut}}
-}
-
-// recyclePending returns a finished pending op to the freelist. Only
-// fully resolved commands (future resolved, CID freed) may be recycled;
-// stale timers are fenced by the generation bump in newPending.
-func (c *Client) recyclePending(pend *afPending) {
-	if len(c.freePends) >= cap(c.freePends) && len(c.freePends) >= 4*c.cfg.QueueDepth {
-		return // bound the freelist; excess pends fall to the GC
-	}
-	pend.IO = nil
-	pend.Fut = nil
-	pend.slot = nil
-	c.freePends = append(c.freePends, pend)
-}
-
-// admit validates one I/O against the negotiated limits, resolving the
-// future with a typed error when it cannot be queued. It returns false
-// when the command must not proceed.
-func (c *Client) admit(io *transport.IO, fut *sim.Future[*transport.Result]) bool {
-	if c.closing {
-		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
-		return false
-	}
-	if io.Admin == 0 && !io.Flush && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
-		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
-		return false
-	}
-	if io.Admin == 0 && !io.Flush && c.region != nil && !c.cfg.Design.Chunked() && io.Size > c.region.SlotSize {
-		// The negotiated shared-memory slot bounds the transfer size
-		// (the fabric's MDTS); larger I/O must be split by the caller.
-		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
-		return false
-	}
-	return true
-}
-
-// Submit implements transport.Queue. The submitting process pays payload
-// generation and, depending on the design, the shared-memory claim and
-// copy-in (flow control pushes back here when all slots are busy).
-func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
-	fut := sim.NewFuture[*transport.Result](c.e)
-	if !c.admit(io, fut) {
-		return fut
-	}
-	pend := c.newPending(io, fut)
-	if io.Admin == 0 && !io.Flush {
-		c.policy.observe(io.Write)
-	}
-	if io.Write && io.Admin == 0 {
-		c.prepareWrite(p, pend)
-	}
-	p.Sleep(c.cfg.Host.SubmitCPU)
-	pend.SubmitAt = p.Now()
-	c.submitQ.TryPut(pend)
-	c.kick.Fire()
-	return fut
-}
-
-// SubmitBatch implements transport.BatchQueue: the whole train pays one
-// submit-CPU charge and one reactor doorbell, and H2C payload slots for
-// whole-I/O shared-memory writes are claimed with one amortized ClaimN
-// (falling back to per-slot claims for whatever the train did not
+// SubmitBatch shadows the engine's generic override: the whole train pays
+// one submit-CPU charge and one reactor doorbell, and H2C payload slots
+// for whole-I/O shared-memory writes are claimed with one amortized
+// ClaimN (falling back to per-slot claims for whatever the train did not
 // cover). Per-I/O validation and staging costs match Submit.
 func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
+	w := c.wire
 	futs := make([]*sim.Future[*transport.Result], len(ios))
 	staged := 0
 	for i, io := range ios {
-		fut := sim.NewFuture[*transport.Result](c.e)
+		fut := sim.NewFuture[*transport.Result](c.Engine())
 		futs[i] = fut
-		if !c.admit(io, fut) {
+		if !c.AdmitIO(io, fut) {
 			continue
 		}
 		if io.Admin == 0 && !io.Flush {
-			c.policy.observe(io.Write)
+			w.policy.observe(io.Write)
 		}
 		staged++
 	}
@@ -355,8 +182,8 @@ func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*tr
 		return futs
 	}
 	// Claim the train's H2C slots up front, paying SlotOverhead once.
-	region := c.region
-	claimSlots := region != nil && !c.cfg.Design.Chunked()
+	region := w.region
+	claimSlots := region != nil && !w.cfg.Design.Chunked()
 	var slots []*shm.Slot
 	if claimSlots {
 		need := 0
@@ -366,8 +193,8 @@ func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*tr
 			}
 		}
 		if need > 0 {
-			slots = region.ClaimN(p, shm.H2C, need, c.slotScratch[:0])
-			c.slotScratch = slots[:0]
+			slots = region.ClaimN(p, shm.H2C, need, w.slotScratch[:0])
+			w.slotScratch = slots[:0]
 		}
 	}
 	nextSlot := 0
@@ -375,55 +202,98 @@ func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*tr
 		if futs[i].Resolved() {
 			continue // rejected by admission
 		}
-		pend := c.newPending(io, futs[i])
+		pend := c.TakePending(io, futs[i])
 		if io.Write && io.Admin == 0 {
 			if !claimSlots {
-				c.stageWrite(p, pend, nil)
+				w.stageWrite(p, pend, nil)
 			} else if nextSlot < len(slots) {
-				c.stageWrite(p, pend, slots[nextSlot])
+				w.stageWrite(p, pend, slots[nextSlot])
 				slots[nextSlot] = nil
 				nextSlot++
 			} else if region.Revoked() {
 				// Revoked mid-train: remaining writes fall to TCP.
-				c.stageWrite(p, pend, nil)
+				w.stageWrite(p, pend, nil)
 			} else {
 				// The amortized train ran out of immediate credits;
 				// claim the remainder one by one (blocking, classic
 				// per-slot overhead).
-				c.stageWrite(p, pend, region.Claim(p, shm.H2C))
+				w.stageWrite(p, pend, region.Claim(p, shm.H2C))
 			}
 		}
-		pend.SubmitAt = p.Now()
-		c.submitQ.TryPut(pend)
+		c.Push(p, pend)
 	}
-	p.Sleep(c.cfg.Host.SubmitCPU)
-	c.kick.Fire()
+	p.Sleep(w.cfg.Host.SubmitCPU)
+	c.Kick()
 	return futs
+}
+
+// BuildICReq proposes the hotplugged region in the handshake; on
+// reconnect a revoked region is no longer proposed (the data path
+// renegotiates to TCP).
+func (w *oafWire) BuildICReq(reconnect bool) *pdu.ICReq {
+	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
+	if w.cfg.Design.UsesSHM() && w.cfg.Region != nil && (!reconnect || !w.cfg.Region.Revoked()) {
+		req.AFCapab = true
+		req.SHMKey = w.cfg.Region.Key
+	}
+	return req
+}
+
+// AdoptICResp adopts the renegotiated data path after a mid-stream
+// reconnect: shared memory only if the target re-admitted the (still
+// live) region.
+func (w *oafWire) AdoptICResp(resp *pdu.ICResp) {
+	if resp.AFEnabled && w.cfg.Region != nil && !w.cfg.Region.Revoked() {
+		w.region = w.cfg.Region
+	} else {
+		w.region = nil
+	}
+}
+
+func (w *oafWire) Admit(io *transport.IO) nvme.Status {
+	if io.Admin == 0 && !io.Flush && w.region != nil && !w.cfg.Design.Chunked() && io.Size > w.region.SlotSize {
+		// The negotiated shared-memory slot bounds the transfer size
+		// (the fabric's MDTS); larger I/O must be split by the caller.
+		return nvme.StatusInvalidField
+	}
+	return nvme.StatusSuccess
+}
+
+// StageSubmit feeds the adaptive busy-poll policy and produces/stages the
+// write payload for the selected data path.
+func (w *oafWire) StageSubmit(p *sim.Proc, pend *session.Pending) {
+	io := pend.IO
+	if io.Admin == 0 && !io.Flush {
+		w.policy.observe(io.Write)
+	}
+	if io.Write && io.Admin == 0 {
+		w.prepareWrite(p, pend)
+	}
 }
 
 // prepareWrite produces the payload and stages it for the selected data
 // path.
-func (c *Client) prepareWrite(p *sim.Proc, pend *afPending) {
-	region := c.region
-	if region == nil || c.cfg.Design.Chunked() {
+func (w *oafWire) prepareWrite(p *sim.Proc, pend *session.Pending) {
+	region := w.region
+	if region == nil || w.cfg.Design.Chunked() {
 		// TCP path, or chunked SHM (slots claimed after R2T): payload is
 		// produced into a private buffer now.
-		c.stageWrite(p, pend, nil)
+		w.stageWrite(p, pend, nil)
 		return
 	}
 	// Whole-I/O slot designs: claim the slot up front (shared-memory flow
 	// control: this blocks while all slots are busy). A nil slot means
 	// the region was revoked while claiming: fall back to the TCP path.
-	c.stageWrite(p, pend, region.Claim(p, shm.H2C))
+	w.stageWrite(p, pend, region.Claim(p, shm.H2C))
 }
 
 // stageWrite produces the write payload and moves it into the given
 // pre-claimed H2C slot (nil slot: TCP data path, private buffer only).
-func (c *Client) stageWrite(p *sim.Proc, pend *afPending, slot *shm.Slot) {
+func (w *oafWire) stageWrite(p *sim.Proc, pend *session.Pending, slot *shm.Slot) {
 	io := pend.IO
 	fill := func() {
 		if !io.NoFill {
-			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+			p.Sleep(time.Duration(float64(io.Size) * w.cfg.Host.FillPerByteNanos))
 		}
 	}
 	if slot == nil {
@@ -431,14 +301,14 @@ func (c *Client) stageWrite(p *sim.Proc, pend *afPending, slot *shm.Slot) {
 		return
 	}
 	region := slot.Region()
-	pend.slot = slot
-	if c.cfg.Design.ZeroCopy() && !region.Encrypted() {
+	pend.Stage = slot
+	if w.cfg.Design.ZeroCopy() && !region.Encrypted() {
 		// The application buffer *is* the slot: fill in place, no copy.
 		fill()
 		if io.Data != nil {
 			copy(slot.Bytes(), io.Data) // bookkeeping only: app wrote here directly
 		}
-	} else if c.cfg.Design.ZeroCopy() {
+	} else if w.cfg.Design.ZeroCopy() {
 		// Channel encryption (§6 extension) forfeits part of the
 		// zero-copy benefit: the payload must be enciphered into the
 		// region.
@@ -449,362 +319,29 @@ func (c *Client) stageWrite(p *sim.Proc, pend *afPending, slot *shm.Slot) {
 		fill()
 		slot.CopyIn(p, io.Data, io.Size)
 	}
-	c.SHMPayloadBytes += int64(io.Size)
+	w.cl.SHMPayloadBytes += int64(io.Size)
 }
 
-// Close initiates orderly shutdown.
-func (c *Client) Close() {
-	if c.closing {
-		return
-	}
-	c.closing = true
-	c.kick.Fire()
-}
-
-// WaitClosed blocks until the reactor has exited.
-func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
-
-// reactor is the connection's single-core event loop.
-func (c *Client) reactor(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	defer c.drained.Fire()
-	for {
-		if c.region != nil && c.region.Revoked() {
-			// Mid-stream failover: abandon the shared-memory data path.
-			// In-flight transfers through the region surface as typed
-			// errors or deadline hits and re-drive over TCP.
-			c.region = nil
-			c.Failovers++
-			c.tel.Inc(telemetry.CtrFailovers)
-			c.tel.Trace(int64(p.Now()), telemetry.EvFailover, 0, "tcp", "region-revoked")
-		}
-		worked := false
-		if c.reconRetry {
-			c.reconRetry = false
-			if c.reconnecting && !c.closing {
-				c.sendICReq(p)
-				worked = true
-			}
-		}
-		if depth := c.batchDepth(); depth > 1 {
-			for !c.cids.Full() && !c.reconnecting && c.startTrain(p, depth) {
-				worked = true
-			}
-		} else {
-			for !c.cids.Full() && !c.reconnecting {
-				pend, ok := c.submitQ.TryGet()
-				if !ok {
-					break
-				}
-				c.start(p, pend)
-				worked = true
-			}
-		}
-		if c.closing && c.reconnecting {
-			// Tearing down with no usable connection: fail queued
-			// commands with a typed, retryable-at-application error
-			// rather than parking them forever.
-			for {
-				pend, ok := c.submitQ.TryGet()
-				if !ok {
-					break
-				}
-				pend.Fut.Resolve(&transport.Result{
-					Status:  nvme.StatusTransientTransport,
-					Latency: p.Now().Sub(pend.SubmitAt),
-				})
-				worked = true
-			}
-		}
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		if c.reapExpired(p) {
-			worked = true
-		}
-		if worked {
-			continue
-		}
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 && c.backlog == 0 {
-			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
-			return
-		}
-		if budget := c.pollBudget(); budget > 0 && c.cids.Outstanding() > 0 {
-			if msg := c.ep.RecvPoll(p, budget); msg != nil {
-				c.handle(p, msg)
-				continue
-			}
-			// Spin the budget, then fall through to the blocking wait
-			// (SO_BUSY_POLL semantics).
-			p.Sleep(pollMissCPU)
-		}
-		c.kick.Reset()
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 && c.backlog == 0 {
-			continue
-		}
-		if c.ep.Pending() > 0 || (!c.cids.Full() && !c.reconnecting && c.submitQ.Len() > 0) {
-			continue
-		}
-		c.kick.Wait(p)
-		if c.ep.Pending() > 0 {
-			c.ep.ChargeWakeup(p)
-		}
-	}
-}
-
-// pollBudget returns the busy-poll budget: the static configuration, or
-// the workload-aware adaptive policy's recommendation (§4.5).
-func (c *Client) pollBudget() time.Duration {
-	if c.cfg.TP.AutoBusyPoll {
-		return c.policy.budget()
-	}
-	return c.cfg.TP.BusyPoll
-}
-
-// maxRetries returns the per-command retry bound.
-func (c *Client) maxRetries() int {
-	if c.cfg.MaxRetries > 0 {
-		return c.cfg.MaxRetries
-	}
-	return 3
-}
-
-// retryBase returns the backoff base.
-func (c *Client) retryBase() time.Duration {
-	if c.cfg.RetryBackoff > 0 {
-		return c.cfg.RetryBackoff
-	}
-	return 100 * time.Microsecond
-}
-
-// backoff returns the delay before the given attempt: exponential in the
-// attempt number, capped, plus deterministic seed-derived jitter so
-// retrying queues don't synchronize into retry storms.
-func (c *Client) backoff(attempt int) time.Duration {
-	base := c.retryBase()
-	d := base << uint(attempt-1)
-	if max := 64 * base; d > max {
-		d = max
-	}
-	return d + time.Duration(c.rng.Int63n(int64(base)))
-}
-
-// armDeadline schedules the per-command deadline for the current attempt.
-// The generation check keeps a stale timer (for a completed or already
-// retried attempt) from firing on a reused CID.
-func (c *Client) armDeadline(pend *afPending) {
-	if c.cfg.CommandTimeout <= 0 {
-		return
-	}
-	gen := pend.gen
-	cid := pend.CID
-	c.e.After(c.cfg.CommandTimeout, func() {
-		if pend.gen != gen || pend.expired {
-			return
-		}
-		ctx, ok := c.cids.Lookup(cid)
-		if !ok {
-			return
-		}
-		if cur, _ := ctx.(*afPending); cur != pend {
-			return
-		}
-		pend.expired = true
-		c.kick.Fire()
-	})
-}
-
-// reapExpired tears down deadline-hit commands: the CID frees (late
-// responses for it are dropped as stale), the payload slot reclaims, and
-// the command either re-drives after backoff or fails with a typed
-// transport error.
-func (c *Client) reapExpired(p *sim.Proc) bool {
-	if c.cfg.CommandTimeout <= 0 {
-		return false
-	}
-	worked := false
-	for i := 0; i < c.cids.Depth(); i++ {
-		ctx, ok := c.cids.Lookup(uint16(i))
-		if !ok {
-			continue
-		}
-		pend := ctx.(*afPending)
-		if !pend.expired {
-			continue
-		}
-		if _, err := c.cids.Complete(pend.CID); err != nil {
-			panic(fmt.Sprintf("oaf client: %v", err))
-		}
-		c.Timeouts++
-		c.tel.Inc(telemetry.CtrTimeouts)
-		c.tel.Trace(int64(p.Now()), telemetry.EvTimeout, pend.CID, "", "deadline")
-		c.consecTimeouts++
-		c.requeueOrFail(p, pend)
-		worked = true
-	}
-	if c.consecTimeouts >= 2 && !c.reconnecting && !c.closing {
-		// Successive deadline hits mean the connection, not a command,
-		// is sick: re-run the handshake (the target may have crashed and
-		// restarted, or a KATO teardown dropped our connection state).
-		c.startReconnect(p)
-		worked = true
-	}
-	return worked
-}
-
-// requeueOrFail re-drives a torn-down command after a jittered backoff,
-// or fails it with StatusTransientTransport once attempts are exhausted
-// (or the client is closing). The caller must have freed the CID.
-func (c *Client) requeueOrFail(p *sim.Proc, pend *afPending) {
-	pend.expired = false
-	pend.gen++
-	pend.Received = 0
-	pend.Sent = 0
-	pend.dataLost = false
-	pend.wNext, pend.wEnd = 0, 0
-	c.releaseSlot(pend)
-	if c.closing || pend.attempts >= c.maxRetries() {
-		pend.Fut.Resolve(&transport.Result{
-			Status:  nvme.StatusTransientTransport,
-			Latency: p.Now().Sub(pend.SubmitAt),
-		})
-		c.kick.Fire()
-		return
-	}
-	pend.attempts++
-	c.Retries++
-	c.tel.Inc(telemetry.CtrRetries)
-	c.tel.Trace(int64(p.Now()), telemetry.EvRetry, pend.CID, "tcp", "backoff")
-	c.backlog++
-	c.e.After(c.backoff(pend.attempts), func() {
-		c.backlog--
-		if c.closing {
-			pend.Fut.Resolve(&transport.Result{
-				Status:  nvme.StatusTransientTransport,
-				Latency: c.e.Now().Sub(pend.SubmitAt),
-			})
-			c.kick.Fire()
-			return
-		}
-		c.submitQ.TryPut(pend)
-		c.kick.Fire()
-	})
-}
-
-// releaseSlot reclaims a write's payload slot with the tolerant release:
-// the target may have consumed and freed it already.
-func (c *Client) releaseSlot(pend *afPending) {
-	if pend.slot != nil {
-		pend.slot.TryRelease()
-		pend.slot = nil
-	}
-}
-
-// keepAliveLoop submits a keep-alive admin command every interval. The
-// commands ride the normal submission path, so they are subject to
-// deadlines and drive crash detection even when the workload is idle.
-func (c *Client) keepAliveLoop(p *sim.Proc) {
-	for !c.closing {
-		p.Sleep(c.cfg.KeepAlive)
-		if c.closing {
-			return
-		}
-		if c.reconnecting || c.cids.Full() {
-			continue
-		}
-		pend := &afPending{Pending: &transport.Pending{
-			IO:  &transport.IO{Admin: nvme.AdminKeepAlive},
-			Fut: sim.NewFuture[*transport.Result](c.e),
-		}}
-		pend.SubmitAt = p.Now()
-		c.submitQ.TryPut(pend)
-		c.kick.Fire()
-	}
-}
-
-// startReconnect re-runs the adaptive-fabric handshake on the live
-// endpoint. Until it completes, new submissions queue; in-flight
-// commands keep timing out into the retry path and re-drive afterwards.
-func (c *Client) startReconnect(p *sim.Proc) {
-	c.reconnecting = true
-	c.sendICReq(p)
-}
-
-// sendICReq (re)sends the handshake request and arms a retry timer in
-// case it, or the response, is lost.
-func (c *Client) sendICReq(p *sim.Proc) {
-	c.reconGen++
-	gen := c.reconGen
-	req := &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
-	if c.cfg.Design.UsesSHM() && c.cfg.Region != nil && !c.cfg.Region.Revoked() {
-		req.AFCapab = true
-		req.SHMKey = c.cfg.Region.Key
-	}
-	transport.SendPDUs(p, c.ep, req)
-	c.e.After(c.reconnectTimeout(), func() {
-		if c.reconnecting && c.reconGen == gen && !c.closing {
-			c.reconRetry = true
-			c.kick.Fire()
-		}
-	})
-}
-
-func (c *Client) reconnectTimeout() time.Duration {
-	if c.cfg.CommandTimeout > 0 {
-		return c.cfg.CommandTimeout
-	}
-	return time.Millisecond
-}
-
-// batchDepth returns the submission-coalescing depth in effect (1 =
-// classic one-capsule-per-message behaviour).
-func (c *Client) batchDepth() int {
-	if c.cfg.TP.BatchSize > 1 {
-		return c.cfg.TP.BatchSize
-	}
-	return 1
-}
-
-// prepareStart allocates the CID, arms the deadline, records telemetry,
-// and builds the wire entry (SQE + optional in-capsule payload) for one
-// command. It is the shared front half of start and startTrain.
-func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
-	cid, err := c.cids.Alloc(pend)
-	if err != nil {
-		panic(err)
-	}
-	pend.CID = cid
-	c.armDeadline(pend)
+// MakeIOEntry records per-path submit telemetry and builds the wire entry
+// for a read/write command: slot-named capsule on the shared-memory flow,
+// bare or in-capsule on TCP.
+func (w *oafWire) MakeIOEntry(pend *session.Pending) pdu.BatchEntry {
 	io := pend.IO
-	if io.Admin == 0 && !io.Flush {
-		// The data path in effect for this attempt: retried commands pin
-		// TCP, everything else follows the negotiated region.
-		if c.region != nil && pend.attempts == 0 {
-			c.tel.Inc(telemetry.CtrSubmitsSHM)
-		} else {
-			c.tel.Inc(telemetry.CtrSubmitsTCP)
-		}
-		c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
+	tel := w.h.Telemetry()
+	// The data path in effect for this attempt: retried commands pin
+	// TCP, everything else follows the negotiated region.
+	if w.region != nil && pend.Attempts == 0 {
+		tel.Inc(telemetry.CtrSubmitsSHM)
+	} else {
+		tel.Inc(telemetry.CtrSubmitsTCP)
 	}
-	if io.Admin != 0 {
-		return pdu.BatchEntry{Cmd: nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}}
-	}
-	if io.Flush {
-		// Flush carries no payload and no LBA range: it rides the control
-		// channel on either data path.
-		return pdu.BatchEntry{Cmd: nvme.NewFlush(cid, io.Nsid())}
-	}
+	tel.Observe(telemetry.HistIOSize, int64(io.Size))
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)
 	if !io.Write {
-		return pdu.BatchEntry{Cmd: nvme.NewRead(cid, io.Nsid(), slba, nlb)}
+		return pdu.BatchEntry{Cmd: nvme.NewRead(pend.CID, io.Nsid(), slba, nlb)}
 	}
-	cmd := nvme.NewWrite(cid, io.Nsid(), slba, nlb)
+	cmd := nvme.NewWrite(pend.CID, io.Nsid(), slba, nlb)
 	if io.Data != nil {
 		// Tell the target real bytes sit in shared memory so it
 		// materializes its bounce buffer (simulation bookkeeping).
@@ -812,20 +349,21 @@ func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
 	}
 	// Retried writes pin the TCP data path: after a timeout or transfer
 	// failure the shared-memory channel is suspect, and TCP always works.
-	viaTCP := c.region == nil || pend.attempts > 0
+	viaTCP := w.region == nil || pend.Attempts > 0
+	slot, _ := pend.Stage.(*shm.Slot)
 	switch {
-	case pend.slot != nil:
+	case slot != nil:
 		// Shared-memory flow control: the payload already sits in the
 		// slot; the capsule names it and no R2T round trip happens
 		// regardless of I/O size (steps 2 and 4 of Fig 7 eliminated).
-		cmd.Flags = cmdFlagSHMSlot
-		cmd.PRP1 = uint64(pend.slot.Index)
+		cmd.Flags = session.CmdFlagSHMSlot
+		cmd.PRP1 = uint64(slot.Index)
 		return pdu.BatchEntry{Cmd: cmd}
 	case !viaTCP:
 		// Chunked SHM design: conservative flow; wait for R2T, then move
 		// payload through chunk slots.
 		return pdu.BatchEntry{Cmd: cmd}
-	case io.Size <= c.cfg.TP.InCapsuleThreshold:
+	case io.Size <= w.cfg.TP.InCapsuleThreshold:
 		e := pdu.BatchEntry{Cmd: cmd}
 		if io.Data != nil {
 			e.Data = io.Data
@@ -839,126 +377,77 @@ func (c *Client) prepareStart(pend *afPending) pdu.BatchEntry {
 	}
 }
 
-// start transmits one command capsule (the classic unbatched path).
-func (c *Client) start(p *sim.Proc, pend *afPending) {
-	e := c.prepareStart(pend)
-	c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-	transport.SendPDUs(p, c.ep, &c.capsule)
+func (w *oafWire) Transmit(p *sim.Proc, e *pdu.BatchEntry) { w.h.SendCapsule(p, e) }
+
+func (w *oafWire) TransmitTrain(p *sim.Proc, b *pdu.CmdBatch) {
+	transport.SendPDUs(p, w.ep, b)
 }
 
-// startTrain drains up to depth admissible commands from the submit
-// queue and transmits them as one capsule train: a single network
-// message, so the per-message CPU, wakeup penalty, and all but one
-// common header are paid once for the whole batch. Returns false when
-// the queue had nothing to send.
-func (c *Client) startTrain(p *sim.Proc, depth int) bool {
-	entries := c.batch.Entries[:0]
-	for len(entries) < depth && !c.cids.Full() {
-		pend, ok := c.submitQ.TryGet()
-		if !ok {
-			break
-		}
-		entries = append(entries, c.prepareStart(pend))
+// PollBudget returns the busy-poll budget: the static configuration, or
+// the workload-aware adaptive policy's recommendation (§4.5).
+func (w *oafWire) PollBudget() time.Duration {
+	if w.cfg.TP.AutoBusyPoll {
+		return w.policy.budget()
 	}
-	c.batch.Entries = entries
-	if len(entries) == 0 {
+	return w.cfg.TP.BusyPoll
+}
+
+// PreReactor fails over to the TCP data path when the region was revoked:
+// in-flight transfers through the region surface as typed errors or
+// deadline hits and re-drive over TCP.
+func (w *oafWire) PreReactor(p *sim.Proc) {
+	if w.region != nil && w.region.Revoked() {
+		w.region = nil
+		w.cl.Failovers++
+		tel := w.h.Telemetry()
+		tel.Inc(telemetry.CtrFailovers)
+		tel.Trace(int64(p.Now()), telemetry.EvFailover, 0, "tcp", "region-revoked")
+	}
+}
+
+func (w *oafWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	switch v := u.(type) {
+	case *pdu.R2T:
+		w.onR2T(p, v)
+	case *pdu.SHMNotify:
+		w.onSHMNotify(p, v, transit)
+	case *pdu.SHMRelease:
+		w.onSHMRelease(p, v)
+	default:
 		return false
 	}
-	c.tel.Observe(telemetry.HistBatchSize, int64(len(entries)))
-	if len(entries) == 1 {
-		// A train of one degenerates to the classic capsule: no batch
-		// framing overhead, and single-command traffic stays on the
-		// established wire format.
-		e := &entries[0]
-		c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-		transport.SendPDUs(p, c.ep, &c.capsule)
-		return true
-	}
-	transport.SendPDUs(p, c.ep, &c.batch)
 	return true
 }
 
-// handle processes one received network message.
-func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("oaf client: bad message: %v", err))
+// ReleaseAttempt reclaims a write's payload slot with the tolerant
+// release: the target may have consumed and freed it already.
+func (w *oafWire) ReleaseAttempt(pend *session.Pending) {
+	if slot, ok := pend.Stage.(*shm.Slot); ok && slot != nil {
+		slot.TryRelease()
+		pend.Stage = nil
 	}
-	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
-	reaped := 0
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.R2T:
-			c.onR2T(p, v)
-		case *pdu.Data:
-			c.onTCPData(p, v, transit)
-		case *pdu.SHMNotify:
-			c.onSHMNotify(p, v, transit)
-		case *pdu.SHMRelease:
-			c.onSHMRelease(p, v)
-		case *pdu.CapsuleResp:
-			c.onResp(p, v, transit)
-			reaped++
-		case *pdu.ICResp:
-			c.onReconnectICResp(p, v)
-		case *pdu.Term:
-		default:
-			panic(fmt.Sprintf("oaf client: unexpected PDU %v", u.Type()))
-		}
-		transit = 0
-	}
-	if reaped > 0 {
-		// Completions harvested per wakeup: the completion-reap analogue
-		// of HistBatchSize (the target coalesces responses when batching).
-		c.tel.Observe(telemetry.HistReapDepth, int64(reaped))
-	}
-}
-
-// onReconnectICResp completes the first half of a mid-stream reconnect:
-// adopt the renegotiated parameters (the data path may have changed from
-// shared memory to TCP if the region is gone) and send the Fabrics
-// Connect command.
-func (c *Client) onReconnectICResp(p *sim.Proc, resp *pdu.ICResp) {
-	if !c.reconnecting {
-		return
-	}
-	c.icresp = resp
-	if resp.AFEnabled && c.cfg.Region != nil && !c.cfg.Region.Revoked() {
-		c.region = c.cfg.Region
-	} else {
-		c.region = nil
-	}
-	hostNQN := c.cfg.HostNQN
-	if hostNQN == "" {
-		hostNQN = defaultHostNQN
-	}
-	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: connectCID, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, c.cfg.NQN)})
 }
 
 // onR2T moves write payload: through chunk slots on the shared-memory
 // channel, or as H2CData PDUs on the TCP path.
-func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
-	ctx, ok := c.cids.Lookup(r.CID)
+func (w *oafWire) onR2T(p *sim.Proc, r *pdu.R2T) {
+	pend, ok := w.h.LookupPending(r.CID)
 	if !ok {
-		c.LateMsgs++
-		c.tel.Inc(telemetry.CtrLateMsgs) // R2T for a command already reaped by its deadline
+		w.h.NoteLate() // R2T for a command already reaped by its deadline
 		return
 	}
-	pend := ctx.(*afPending)
 	io := pend.IO
-	if c.region != nil && pend.attempts == 0 {
+	if w.region != nil && pend.Attempts == 0 {
 		// Chunked shared-memory transfer with conservative stop-and-wait
 		// flow control (the naive pre-flow-control data path): one chunk
 		// moves per target acknowledgement, exactly the extra control
 		// messages §4.4.2 eliminates.
-		pend.wNext = int(r.Offset)
-		pend.wEnd = int(r.Offset) + int(r.Length)
-		c.sendWriteChunk(p, pend)
+		pend.WNext = int(r.Offset)
+		pend.WEnd = int(r.Offset) + int(r.Length)
+		w.sendWriteChunk(p, pend)
 		return
 	}
-	transport.ChunkSizes(int(r.Length), c.cfg.TP.ChunkSize, func(off, n int) {
+	transport.ChunkSizes(int(r.Length), w.cfg.TP.ChunkSize, func(off, n int) {
 		dataOff := int(r.Offset) + off
 		d := &pdu.Data{
 			Dir:    pdu.TypeH2CData,
@@ -972,7 +461,7 @@ func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 		} else {
 			d.VirtualLen = n
 		}
-		transport.SendPDUs(p, c.ep, d)
+		transport.SendPDUs(p, w.ep, d)
 	})
 	pend.Sent += int(r.Length)
 }
@@ -981,21 +470,21 @@ func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 // shared-memory slot and notifies the target. A revoked region marks the
 // transfer's payload lost; the command re-drives over TCP when the
 // target's typed error (or the deadline) comes back.
-func (c *Client) sendWriteChunk(p *sim.Proc, pend *afPending) {
-	region := c.region
+func (w *oafWire) sendWriteChunk(p *sim.Proc, pend *session.Pending) {
+	region := w.region
 	if region == nil {
-		pend.dataLost = true
+		pend.DataLost = true
 		return
 	}
 	io := pend.IO
 	n := region.SlotSize
-	if n > pend.wEnd-pend.wNext {
-		n = pend.wEnd - pend.wNext
+	if n > pend.WEnd-pend.WNext {
+		n = pend.WEnd - pend.WNext
 	}
-	dataOff := pend.wNext
+	dataOff := pend.WNext
 	slot := region.Claim(p, shm.H2C)
 	if slot == nil {
-		pend.dataLost = true
+		pend.DataLost = true
 		return
 	}
 	var src []byte
@@ -1003,49 +492,28 @@ func (c *Client) sendWriteChunk(p *sim.Proc, pend *afPending) {
 		src = io.Data[dataOff : dataOff+n]
 	}
 	slot.CopyIn(p, src, n)
-	transport.SendPDUs(p, c.ep, &pdu.SHMNotify{
+	transport.SendPDUs(p, w.ep, &pdu.SHMNotify{
 		CID:    pend.CID,
 		Slot:   slot.Index,
 		Offset: uint64(dataOff),
 		Length: uint32(n),
 		Last:   dataOff+n >= io.Size,
 	})
-	pend.wNext += n
+	pend.WNext += n
 	pend.Sent += n
-	c.SHMPayloadBytes += int64(n)
+	w.cl.SHMPayloadBytes += int64(n)
 }
 
 // onSHMRelease is the target's per-chunk acknowledgement in the
 // conservative flow: send the next chunk.
-func (c *Client) onSHMRelease(p *sim.Proc, rel *pdu.SHMRelease) {
-	ctx, ok := c.cids.Lookup(rel.CID)
+func (w *oafWire) onSHMRelease(p *sim.Proc, rel *pdu.SHMRelease) {
+	pend, ok := w.h.LookupPending(rel.CID)
 	if !ok {
 		return // command already completed
 	}
-	pend := ctx.(*afPending)
-	if pend.wNext < pend.wEnd {
-		c.sendWriteChunk(p, pend)
+	if pend.WNext < pend.WEnd {
+		w.sendWriteChunk(p, pend)
 	}
-}
-
-// onTCPData receives one read payload chunk over the TCP path.
-func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
-	ctx, ok := c.cids.Lookup(d.CID)
-	if !ok {
-		c.LateMsgs++
-		c.tel.Inc(telemetry.CtrLateMsgs) // late data for a command already reaped
-		return
-	}
-	pend := ctx.(*afPending)
-	n := len(d.Payload)
-	if n == 0 {
-		n = d.VirtualLen
-	}
-	if d.Payload != nil && pend.IO.Data != nil {
-		copy(pend.IO.Data[d.Offset:], d.Payload)
-	}
-	pend.Received += n
-	pend.Comm += transit
 }
 
 // onSHMNotify consumes read payload from a shared-memory slot: a charged
@@ -1053,15 +521,14 @@ func (c *Client) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 // copy only) in the zero-copy design. The slot returns to the target's
 // allocator immediately — slot state lives in the shared region itself,
 // so no release message crosses the wire.
-func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
-	ctx, ok := c.cids.Lookup(n.CID)
-	region := c.region
+func (w *oafWire) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
+	region := w.region
+	pend, ok := w.h.LookupPending(n.CID)
 	if !ok {
 		// Late notify for a command already reaped by its deadline:
 		// consume and free the slot anyway, or the target's C2H credit
 		// never returns and its read workers wedge on a full ring.
-		c.LateMsgs++
-		c.tel.Inc(telemetry.CtrLateMsgs)
+		w.h.NoteLate()
 		if region != nil {
 			if slot, err := region.Open(shm.C2H, n.Slot); err == nil {
 				slot.TryRelease()
@@ -1069,21 +536,20 @@ func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duratio
 		}
 		return
 	}
-	pend := ctx.(*afPending)
 	if region == nil {
 		// Failed over after the target copied in: the payload is gone
 		// with the region. The response completes the command through
 		// the retry path.
-		pend.dataLost = true
+		pend.DataLost = true
 		return
 	}
 	slot, err := region.Open(shm.C2H, n.Slot)
 	if err != nil {
-		pend.dataLost = true
+		pend.DataLost = true
 		return
 	}
 	io := pend.IO
-	if c.cfg.Design.ZeroCopy() && !region.Encrypted() {
+	if w.cfg.Design.ZeroCopy() && !region.Encrypted() {
 		// The app buffer is shared-memory resident: no copy-out. The Go
 		// copy below only materializes the bytes for the caller's view.
 		if io.Data != nil {
@@ -1099,72 +565,10 @@ func (c *Client) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duratio
 	slot.TryRelease()
 	pend.Received += int(n.Length)
 	pend.Comm += transit
-	c.SHMPayloadBytes += int64(n.Length)
+	w.cl.SHMPayloadBytes += int64(n.Length)
 	// Conservative flow control (chunked designs): acknowledge the chunk
 	// so the target moves the next one.
-	if c.cfg.Design.Chunked() && !n.Last {
-		transport.SendPDUs(p, c.ep, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
+	if w.cfg.Design.Chunked() && !n.Last {
+		transport.SendPDUs(p, w.ep, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
 	}
-}
-
-// onResp completes a command — or, when the target reported a retryable
-// typed error (shed under pressure, transfer failed mid-stream) or the
-// payload went missing with a revoked region, re-drives it.
-func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
-	if r.Rsp.CID == connectCID {
-		c.onConnectResp(r)
-		return
-	}
-	ctx, err := c.cids.Complete(r.Rsp.CID)
-	if err != nil {
-		// A response for a command the deadline already reaped: its CID
-		// was freed (or reused by a later command that also completed).
-		c.LateMsgs++
-		c.tel.Inc(telemetry.CtrLateMsgs)
-		return
-	}
-	pend := ctx.(*afPending)
-	pend.Comm += transit
-	p.Sleep(c.cfg.Host.CompleteCPU)
-	c.consecTimeouts = 0
-	pend.expired = false // response raced the deadline: response wins
-	if c.cfg.CommandTimeout > 0 && !c.closing && (pend.dataLost || r.Rsp.Status.Retryable()) {
-		c.requeueOrFail(p, pend)
-		c.kick.Fire()
-		return
-	}
-	var data []byte
-	if !pend.IO.Write && pend.IO.Data != nil {
-		n := pend.Received
-		if n > len(pend.IO.Data) {
-			n = len(pend.IO.Data)
-		}
-		data = pend.IO.Data[:n]
-	}
-	pend.Finish(p.Now(), r, data)
-	c.Completed++
-	c.tel.Inc(telemetry.CtrCompletions)
-	if pend.IO.Admin == 0 {
-		lat := p.Now().Sub(pend.SubmitAt)
-		if pend.IO.Write {
-			c.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
-		} else {
-			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
-		}
-	}
-	c.recyclePending(pend)
-	c.kick.Fire()
-}
-
-// onConnectResp completes the second half of a mid-stream reconnect.
-func (c *Client) onConnectResp(r *pdu.CapsuleResp) {
-	if !c.reconnecting || r.Rsp.Status.IsError() {
-		return // the handshake retry timer will try again
-	}
-	c.reconnecting = false
-	c.consecTimeouts = 0
-	c.Reconnects++
-	c.tel.Inc(telemetry.CtrReconnects)
-	c.tel.Trace(int64(c.e.Now()), telemetry.EvReconnect, 0, "", "handshake")
-	c.kick.Fire()
 }

@@ -1,15 +1,14 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
-	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
@@ -53,30 +52,16 @@ type ServerConfig struct {
 	OnCrash func()
 }
 
-// Server is the NVMe-oAF transport of one target.
+// Server is the NVMe-oAF transport of one target: the session engine
+// drives its connections; this file binds the adaptive shared-memory
+// data path (locality check, slot transfers, mid-stream failover).
 type Server struct {
-	e    *sim.Engine
-	tgt  *target.Target
+	*session.Target
 	cfg  ServerConfig
 	pool *mempool.Pool
-	tel  *telemetry.Sink
 
-	eps     []*netsim.Endpoint
-	conns   []*srvConn
-	crashed bool
-
-	// BufferWaits counts commands that waited for DPDK pool buffers.
-	BufferWaits int64
 	// SHMConns counts connections that negotiated shared memory.
 	SHMConns int64
-	// KAExpirations counts connections torn down by the KATO watchdog.
-	KAExpirations int64
-	// Shed counts commands rejected with a retryable error under pool
-	// exhaustion.
-	Shed int64
-	// StaleMsgs counts PDUs for unknown commands (late data after a
-	// client-side timeout or a teardown), dropped instead of panicking.
-	StaleMsgs int64
 }
 
 // NewServer creates the adaptive-fabric transport for tgt.
@@ -84,306 +69,85 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 	if cfg.TP.ChunkSize <= 0 {
 		cfg.TP = model.DefaultTCPTransport()
 	}
-	if cfg.Telemetry == nil {
-		cfg.Telemetry = telemetry.Disabled
-	}
 	s := &Server{
-		e:    e,
-		tgt:  tgt,
 		cfg:  cfg,
 		pool: mempool.New("oaf-data/"+cfg.NQN, cfg.TP.ChunkSize, cfg.TP.DataBuffers),
-		tel:  cfg.Telemetry,
 	}
 	s.pool.SetPoison(cfg.PoisonPool)
+	s.Target = session.NewTarget(e, tgt, session.TargetConfig{
+		Label:            "oaf",
+		NQN:              cfg.NQN,
+		ChunkSize:        cfg.TP.ChunkSize,
+		BatchSize:        cfg.TP.BatchSize,
+		BusyPoll:         cfg.TP.BusyPoll,
+		KATO:             cfg.KATO,
+		MaxBufferWaiters: cfg.MaxBufferWaiters,
+		InterruptWakeups: true,
+		Pool:             s.pool,
+		Telemetry:        cfg.Telemetry,
+		OnCrash:          cfg.OnCrash,
+	}, (*oafTargetWire)(s))
 	return s
 }
 
 // Pool exposes the data buffer pool.
 func (s *Server) Pool() *mempool.Pool { return s.pool }
 
-// Serve starts a connection handler on ep.
-func (s *Server) Serve(ep *netsim.Endpoint) {
-	s.eps = append(s.eps, ep)
-	s.startConn(ep)
-}
+// oafTargetWire binds the engine's connections to the adaptive data
+// path.
+type oafTargetWire Server
 
-func (s *Server) startConn(ep *netsim.Endpoint) {
-	conn := &srvConn{
-		srv:      s,
-		ep:       ep,
-		txQ:      sim.NewQueue[*txBatch](s.e, 0),
-		kick:     sim.NewSignal(s.e),
-		writes:   make(map[uint16]*writeCtx),
+func (s *oafTargetWire) NewConn(c *session.Conn) session.ConnWire {
+	return &oafConnWire{
+		s:        (*Server)(s),
+		c:        c,
 		readAcks: make(map[uint16]*sim.Queue[struct{}]),
-		waits:    sim.NewQueue[*allocWait](s.e, 0),
-		lastSeen: s.e.Now(),
-	}
-	s.conns = append(s.conns, conn)
-	s.e.GoDaemon("oaf-server-conn", conn.run)
-	if s.cfg.KATO > 0 {
-		s.e.GoDaemon("oaf-kato-watchdog", conn.watchdog)
 	}
 }
 
-// Crash simulates target-process death: every connection drops with all
-// in-flight state (no goodbye messages), buffers return to the pool, and
-// nothing is served until Restart. Clients recover through deadlines,
-// retries, and reconnect.
-func (s *Server) Crash() {
-	if s.crashed {
-		return
-	}
-	s.crashed = true
-	if s.cfg.OnCrash != nil {
-		s.cfg.OnCrash()
-	}
-	for _, c := range s.conns {
-		c.closed = true
-		c.kick.Fire()
-	}
-}
-
-// Crashed reports whether the target is down.
-func (s *Server) Crashed() bool { return s.crashed }
-
-// Restart brings a crashed target back: a fresh connection handler
-// starts listening on every served endpoint.
-func (s *Server) Restart() {
-	if !s.crashed {
-		return
-	}
-	s.crashed = false
-	s.conns = nil
-	for _, ep := range s.eps {
-		s.startConn(ep)
-	}
-}
-
-type txBatch struct {
-	pdus  []pdu.PDU
-	after func()
-}
-
-type writeCtx struct {
-	cmd      nvme.Command
-	size     int
-	received int
-	real     bool // client payload is real bytes, not modeled
-	// staged marks real payload scattered into the pool buffers below
-	// (the DPDK path: received bytes land in pool elements, §4.4.3).
-	staged   bool
-	bufs     []*mempool.Buf
-	comm     time.Duration
-	copyTime time.Duration
-}
-
-// gather materializes the staged payload into one contiguous buffer for
-// the device execute; nil when the write carried no real bytes.
-func (ctx *writeCtx) gather() []byte {
-	if !ctx.staged {
-		return nil
-	}
-	return mempool.Gather(ctx.bufs, ctx.size)
-}
-
-type allocWait struct {
-	cid   uint16
-	need  int
-	since sim.Time
-	run   func(bufs []*mempool.Buf)
-}
-
-type srvConn struct {
-	srv    *Server
-	ep     *netsim.Endpoint
-	txQ    *sim.Queue[*txBatch]
-	kick   *sim.Signal
-	writes map[uint16]*writeCtx
+// oafConnWire is the per-connection adaptive wire: the Connection
+// Manager's locality check on handshake, reads and writes through
+// shared-memory slots when negotiated, TCP otherwise, and mid-stream
+// failover when the region is revoked.
+type oafConnWire struct {
+	s      *Server
+	c      *session.Conn
+	region *shm.Region // non-nil after a successful locality check
 	// readAcks routes the client's per-chunk acknowledgements to the
 	// read worker driving a conservative chunked transfer.
 	readAcks map[uint16]*sim.Queue[struct{}]
-	waits    *sim.Queue[*allocWait]
-	region   *shm.Region // non-nil after a successful locality check
-	lastSeen sim.Time
-	closed   bool
-	// Completion-reap scratch (run-loop only; reused so the coalesced
-	// transmit path stays allocation-free).
-	txPDUs   []pdu.PDU
-	txAfters []func()
-	// dead is set once the run loop exits: posts stop transmitting but
-	// still run their cleanup callbacks so buffers return to the pool.
-	dead bool
-	// Expired reports a keep-alive timeout teardown.
-	Expired bool
 }
 
-// watchdog enforces the keep-alive timeout, mirroring the TCP server's:
-// a connection silent for KATO is torn down and its resources reclaimed.
-func (c *srvConn) watchdog(p *sim.Proc) {
-	for !c.closed {
-		p.Sleep(c.srv.cfg.KATO / 2)
-		if c.closed {
-			return
-		}
-		if p.Now().Sub(c.lastSeen) > c.srv.cfg.KATO {
-			c.Expired = true
-			c.closed = true
-			c.srv.KAExpirations++
-			c.srv.tel.Inc(telemetry.CtrSrvKATOExpiry)
-			c.srv.tel.Trace(int64(p.Now()), telemetry.EvKATOExpired, 0, "", "watchdog")
-			c.kick.Fire()
-			return
+// OnICReq is the Connection Manager's locality check: the client's
+// proposed region key must resolve in the fabric registry (i.e. the
+// helper process hotplugged the same region on this host). A reconnect
+// after crash or KATO teardown re-runs the same negotiation.
+func (w *oafConnWire) OnICReq(req *pdu.ICReq) {
+	tel := w.c.Target().Telemetry()
+	resp := &pdu.ICResp{PFV: req.PFV, CPDA: 4, MaxH2CData: uint32(w.s.cfg.TP.ChunkSize)}
+	if req.AFCapab && req.SHMKey != 0 && w.s.cfg.Fabric != nil && w.s.cfg.Design.UsesSHM() {
+		if region, ok := w.s.cfg.Fabric.Lookup(req.SHMKey); ok && !region.Revoked() {
+			w.region = region
+			w.s.SHMConns++
+			tel.Inc(telemetry.CtrSrvSHMConns)
+			resp.AFEnabled = true
+			resp.SHMKey = region.Key
+			resp.SHMSize = uint64(region.Size())
+			resp.SlotSize = uint32(region.SlotSize)
+			resp.SlotCount = uint32(region.SlotCount)
 		}
 	}
+	if !resp.AFEnabled {
+		tel.Inc(telemetry.CtrSrvTCPConns)
+	}
+	w.c.Post(nil, resp)
 }
 
-func (c *srvConn) post(after func(), pdus ...pdu.PDU) {
-	if c.dead {
-		// The connection is gone; run the cleanup (buffer frees) so a
-		// late worker completion cannot leak pool buffers.
-		if after != nil {
-			after()
-		}
-		return
-	}
-	c.txQ.TryPut(&txBatch{pdus: pdus, after: after})
-	c.kick.Fire()
-}
+func (w *oafConnWire) TrType() uint8 { return nvme.TrTypeAdaptive }
 
-func (c *srvConn) run(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	for !c.closed {
-		if c.region != nil && c.region.Revoked() {
-			c.onRegionRevoked()
-		}
-		worked := false
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		if c.drainTx(p) {
-			worked = true
-		}
-		c.retryWaits()
-		if worked {
-			continue
-		}
-		if c.srv.cfg.TP.BusyPoll > 0 {
-			if msg := c.ep.RecvPoll(p, c.srv.cfg.TP.BusyPoll); msg != nil {
-				c.handle(p, msg)
-				continue
-			}
-			p.Sleep(pollMissCPU)
-		}
-		c.kick.Reset()
-		if c.ep.Pending() > 0 || c.txQ.Len() > 0 || c.closed {
-			continue
-		}
-		c.kick.Wait(p)
-		if c.ep.Pending() > 0 {
-			c.ep.ChargeWakeup(p)
-		}
-	}
-	c.teardown(p, !c.srv.crashed)
-	// A KATO teardown leaves the endpoint live: listen again so the
-	// client's automatic reconnect finds a fresh connection handler.
-	if c.Expired && !c.srv.crashed {
-		c.srv.startConn(c.ep)
-	}
-}
-
-// drainTx flushes the transmit queue. With completion-reap coalescing
-// enabled (TP.BatchSize > 1) up to BatchSize ready batches merge into
-// one network message — the target-side mirror of doorbell batching:
-// one per-message CPU charge and one client wakeup reap a whole train
-// of completions. Every merged batch's cleanup callback still runs
-// after its bytes are on the wire.
-func (c *srvConn) drainTx(p *sim.Proc) bool {
-	reap := 1
-	if c.srv.cfg.TP.BatchSize > 1 {
-		reap = c.srv.cfg.TP.BatchSize
-	}
-	worked := false
-	for {
-		batch, ok := c.txQ.TryGet()
-		if !ok {
-			break
-		}
-		worked = true
-		if reap <= 1 {
-			transport.SendPDUs(p, c.ep, batch.pdus...)
-			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-			if batch.after != nil {
-				batch.after()
-			}
-			continue
-		}
-		pdus := append(c.txPDUs[:0], batch.pdus...)
-		afters := c.txAfters[:0]
-		if batch.after != nil {
-			afters = append(afters, batch.after)
-		}
-		merged := 1
-		for merged < reap {
-			next, ok := c.txQ.TryGet()
-			if !ok {
-				break
-			}
-			pdus = append(pdus, next.pdus...)
-			if next.after != nil {
-				afters = append(afters, next.after)
-			}
-			merged++
-		}
-		transport.SendPDUs(p, c.ep, pdus...)
-		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(pdus)))
-		c.srv.tel.Observe(telemetry.HistReapDepth, int64(merged))
-		for i, fn := range afters {
-			fn()
-			afters[i] = nil
-		}
-		c.txPDUs = pdus[:0]
-		c.txAfters = afters[:0]
-	}
-	return worked
-}
-
-// teardown reclaims every connection resource: queued transmissions are
-// flushed (their cleanup callbacks always run; the bytes only transmit
-// on a graceful close), half-received writes free their pool buffers,
-// parked buffer-waiters drain, and per-command ack queues close so
-// blocked read workers abort instead of parking forever.
-func (c *srvConn) teardown(p *sim.Proc, transmit bool) {
-	c.dead = true
-	for {
-		batch, ok := c.txQ.TryGet()
-		if !ok {
-			break
-		}
-		if transmit {
-			transport.SendPDUs(p, c.ep, batch.pdus...)
-			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-		}
-		if batch.after != nil {
-			batch.after()
-		}
-	}
-	for _, cid := range sortedWriteCIDs(c.writes) {
-		freeBufs(c.writes[cid].bufs)
-		delete(c.writes, cid)
-	}
-	for {
-		if _, ok := c.waits.TryGet(); !ok {
-			break
-		}
-	}
-	for _, cid := range sortedAckCIDs(c.readAcks) {
-		c.readAcks[cid].Close()
-		delete(c.readAcks, cid)
+func (w *oafConnWire) PreLoop() {
+	if w.region != nil && w.region.Revoked() {
+		w.onRegionRevoked()
 	}
 }
 
@@ -392,27 +156,18 @@ func (c *srvConn) teardown(p *sim.Proc, transmit bool) {
 // through the region fails with a retryable typed error — the client
 // re-drives them over the TCP data path — and the connection stops using
 // shared memory for reads.
-func (c *srvConn) onRegionRevoked() {
-	for _, cid := range sortedWriteCIDs(c.writes) {
-		ctx := c.writes[cid]
-		freeBufs(ctx.bufs)
-		delete(c.writes, cid)
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusDataTransferErr}})
+func (w *oafConnWire) onRegionRevoked() {
+	for _, cid := range session.SortedWriteCIDs(w.c.Writes) {
+		ctx := w.c.Writes[cid]
+		session.FreeBufs(ctx.Bufs)
+		delete(w.c.Writes, cid)
+		w.c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusDataTransferErr}})
 	}
-	for _, cid := range sortedAckCIDs(c.readAcks) {
-		c.readAcks[cid].Close()
-		delete(c.readAcks, cid)
+	for _, cid := range sortedAckCIDs(w.readAcks) {
+		w.readAcks[cid].Close()
+		delete(w.readAcks, cid)
 	}
-	c.region = nil
-}
-
-func sortedWriteCIDs(m map[uint16]*writeCtx) []uint16 {
-	cids := make([]uint16, 0, len(m))
-	for cid := range m {
-		cids = append(cids, cid)
-	}
-	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
-	return cids
+	w.region = nil
 }
 
 func sortedAckCIDs(m map[uint16]*sim.Queue[struct{}]) []uint16 {
@@ -424,312 +179,114 @@ func sortedAckCIDs(m map[uint16]*sim.Queue[struct{}]) []uint16 {
 	return cids
 }
 
-func (c *srvConn) retryWaits() {
-	for c.waits.Len() > 0 {
-		w, _ := c.waits.TryGet()
-		bufs, ok := c.allocBufs(w.need)
-		if !ok {
-			rest := []*allocWait{w}
-			for c.waits.Len() > 0 {
-				x, _ := c.waits.TryGet()
-				rest = append(rest, x)
-			}
-			for _, x := range rest {
-				c.waits.TryPut(x)
-			}
+// DispatchRead serves a read: over shared memory when negotiated (payload
+// copied once from the DPDK buffer into C2H slots), over TCP otherwise.
+func (w *oafConnWire) DispatchRead(cmd nvme.Command, transit time.Duration) {
+	w.c.StartRead(cmd, transit, func(p *sim.Proc, res target.ExecResult, size int, bufs []*mempool.Buf) {
+		region := w.region
+		if region != nil && !region.Revoked() && (w.s.cfg.Design.Chunked() || size <= region.SlotSize) {
+			w.sendReadOverSHM(p, region, cmd, size, res, transit, bufs)
 			return
 		}
-		c.srv.tel.ObserveDuration(telemetry.HistBufWait, c.srv.e.Now().Sub(w.since))
-		w.run(bufs)
-	}
+		w.c.SendReadOverTCP(cmd, size, res, transit, bufs)
+	})
 }
 
-func (c *srvConn) allocBufs(n int) ([]*mempool.Buf, bool) {
-	if c.srv.pool.Available() < n {
-		return nil, false
-	}
-	bufs := make([]*mempool.Buf, 0, n)
-	for i := 0; i < n; i++ {
-		b, ok := c.srv.pool.Get()
-		if !ok {
-			for _, prev := range bufs {
-				prev.Free()
-			}
-			return nil, false
-		}
-		bufs = append(bufs, b)
-	}
-	return bufs, true
-}
-
-// withBufs runs fn once n pool buffers are available. Under exhaustion
-// the command parks in the wait queue; past MaxBufferWaiters the server
-// sheds it with a retryable typed error instead (backpressure to the
-// host rather than unbounded queueing).
-func (c *srvConn) withBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
-	if bufs, ok := c.allocBufs(n); ok {
-		fn(bufs)
-		return
-	}
-	if max := c.srv.cfg.MaxBufferWaiters; max > 0 && c.waits.Len() >= max {
-		c.srv.Shed++
-		c.srv.tel.Inc(telemetry.CtrSrvShed)
-		c.srv.tel.Trace(int64(c.srv.e.Now()), telemetry.EvShed, cid, "", "pool-exhausted")
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
-		return
-	}
-	c.srv.BufferWaits++
-	c.srv.tel.Inc(telemetry.CtrSrvBufWaits)
-	c.waits.TryPut(&allocWait{cid: cid, need: n, since: c.srv.e.Now(), run: fn})
-}
-
-func freeBufs(bufs []*mempool.Buf) {
-	for _, b := range bufs {
-		b.Free()
-	}
-}
-
-func (c *srvConn) handle(p *sim.Proc, msg *netsim.Message) {
-	c.lastSeen = p.Now()
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("oaf server: bad message: %v", err))
-	}
-	c.srv.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.ICReq:
-			c.onICReq(v)
-		case *pdu.CapsuleCmd:
-			c.onCommand(p, v, transit)
-		case *pdu.CmdBatch:
-			// A doorbell-batched capsule train: dispatch every entry as if
-			// it arrived in its own capsule. Fabric transit is attributed
-			// once (the train crossed the wire as one message).
-			for i := range v.Entries {
-				e := &v.Entries[i]
-				cc := pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-				c.onCommand(p, &cc, transit)
-				transit = 0
-			}
-		case *pdu.Data:
-			c.onTCPData(p, v, transit)
-		case *pdu.SHMNotify:
-			c.onSHMNotify(p, v, transit)
-		case *pdu.SHMRelease:
-			if ackQ, ok := c.readAcks[v.CID]; ok {
-				ackQ.TryPut(struct{}{})
-			}
-		case *pdu.Term:
-			c.closed = true
-			c.kick.Fire()
-		default:
-			panic(fmt.Sprintf("oaf server: unexpected PDU %v", u.Type()))
-		}
-		transit = 0
-	}
-}
-
-// onICReq is the Connection Manager's locality check: the client's
-// proposed region key must resolve in the fabric registry (i.e. the
-// helper process hotplugged the same region on this host). A reconnect
-// after crash or KATO teardown re-runs the same negotiation.
-func (c *srvConn) onICReq(req *pdu.ICReq) {
-	resp := &pdu.ICResp{PFV: req.PFV, CPDA: 4, MaxH2CData: uint32(c.srv.cfg.TP.ChunkSize)}
-	if req.AFCapab && req.SHMKey != 0 && c.srv.cfg.Fabric != nil && c.srv.cfg.Design.UsesSHM() {
-		if region, ok := c.srv.cfg.Fabric.Lookup(req.SHMKey); ok && !region.Revoked() {
-			c.region = region
-			c.srv.SHMConns++
-			c.srv.tel.Inc(telemetry.CtrSrvSHMConns)
-			resp.AFEnabled = true
-			resp.SHMKey = region.Key
-			resp.SHMSize = uint64(region.Size())
-			resp.SlotSize = uint32(region.SlotSize)
-			resp.SlotCount = uint32(region.SlotCount)
-		}
-	}
-	if !resp.AFEnabled {
-		c.srv.tel.Inc(telemetry.CtrSrvTCPConns)
-	}
-	c.post(nil, resp)
-}
-
-func (c *srvConn) onCommand(p *sim.Proc, cap *pdu.CapsuleCmd, transit time.Duration) {
+func (w *oafConnWire) DispatchWrite(cap *pdu.CapsuleCmd, size int, transit time.Duration) {
 	cmd := cap.Cmd
-	if cmd.Opcode == nvme.FabricsCommandType {
-		status := nvme.StatusInvalidField
-		if cmd.CDW10 == nvme.FctypeConnect {
-			if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.srv.cfg.NQN {
-				status = nvme.StatusSuccess
-			}
-		}
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
+	if cmd.Flags&session.CmdFlagSHMSlot != 0 {
+		w.startSHMWrite(cmd, size, transit)
 		return
 	}
-	if cmd.Flags&transport.AdminFlag != 0 {
-		c.onAdmin(cmd, transit)
+	inCap := len(cap.Data)
+	if inCap == 0 {
+		inCap = cap.VirtualLen
+	}
+	if inCap > 0 {
+		// In-capsule flow: one message carried command and payload.
+		w.c.ExecWrite(cmd, size, cap.Data, transit, nil, 0)
 		return
 	}
-	switch cmd.Opcode {
-	case nvme.OpRead:
-		c.startRead(cmd, transit)
-	case nvme.OpWrite:
-		size := int(cmd.NLB()) * transport.BlockSize
-		if cmd.Flags&cmdFlagSHMSlot != 0 {
-			c.startSHMWrite(cmd, size, transit)
-			return
-		}
-		inCap := 0
-		if cap.Data != nil {
-			inCap = len(cap.Data)
-		} else {
-			inCap = cap.VirtualLen
-		}
-		if inCap > 0 {
-			c.execWrite(cmd, size, cap.Data, transit, nil, 0)
-			return
-		}
-		c.startConservativeWrite(cmd, size, transit)
-	case nvme.OpFlush:
-		c.srv.e.Go("oaf-flush-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-			c.post(nil, c.resp(res, transit, 0))
-		})
-	default:
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
-	}
+	w.c.StartConservativeWrite(cmd, size, transit)
 }
 
-// onAdmin dispatches admin-queue commands.
-func (c *srvConn) onAdmin(cmd nvme.Command, transit time.Duration) {
-	switch cmd.Opcode {
-	case nvme.AdminIdentify:
-		c.execIdentify(cmd, transit)
-	case nvme.AdminGetLogPage:
-		c.execGetLogPage(cmd, transit)
-	case nvme.AdminKeepAlive:
-		c.post(nil, &pdu.CapsuleResp{
-			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
-			TgtCommNs: uint64(transit),
-		})
+func (w *oafConnWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	switch v := u.(type) {
+	case *pdu.SHMNotify:
+		w.onSHMNotify(p, v, transit)
+	case *pdu.SHMRelease:
+		if ackQ, ok := w.readAcks[v.CID]; ok {
+			ackQ.TryPut(struct{}{})
+		}
 	default:
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
+		return false
 	}
+	return true
 }
 
-// execGetLogPage serves the discovery log page (Get Log Page, LID 0x70).
-func (c *srvConn) execGetLogPage(cmd nvme.Command, comm time.Duration) {
-	if cmd.CDW10&0xFF != nvme.LIDDiscovery&0xFF {
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-		return
+// Teardown closes per-command ack queues so blocked read workers abort
+// instead of parking forever.
+func (w *oafConnWire) Teardown() {
+	for _, cid := range sortedAckCIDs(w.readAcks) {
+		w.readAcks[cid].Close()
+		delete(w.readAcks, cid)
 	}
-	page := c.srv.tgt.DiscoveryLog(nvme.TrTypeAdaptive, "storage-host")
-	c.post(nil,
-		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-		&pdu.CapsuleResp{
-			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
-			TgtCommNs: uint64(comm),
-		})
 }
 
 // startSHMWrite serves a write whose payload sits in a named slot: copy
 // it into a DPDK buffer (mandatory for device DMA, §4.4.3), release the
 // slot, execute. A revoked or missing region fails the command with a
 // retryable typed error; the client re-drives it over TCP.
-func (c *srvConn) startSHMWrite(cmd nvme.Command, size int, transit time.Duration) {
-	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
+func (w *oafConnWire) startSHMWrite(cmd nvme.Command, size int, transit time.Duration) {
+	need := transport.Chunks(size, w.s.cfg.TP.ChunkSize)
 	slotIdx := uint32(cmd.PRP1)
-	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
-		c.srv.e.Go("oaf-shm-write-worker", func(w *sim.Proc) {
-			region := c.region
+	c := w.c
+	c.WithBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
+		c.Target().Engine().Go("oaf-shm-write-worker", func(p *sim.Proc) {
+			region := w.region
 			if region == nil {
-				freeBufs(bufs)
-				c.kick.Fire()
-				c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
+				session.FreeBufs(bufs)
+				c.Kick()
+				c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
 				return
 			}
 			slot, err := region.Open(shm.H2C, slotIdx)
 			if err != nil {
 				// Revoked mid-stream, or the slot was reclaimed after a
 				// client-side timeout: the payload is unreachable.
-				freeBufs(bufs)
-				c.kick.Fire()
-				c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
+				session.FreeBufs(bufs)
+				c.Kick()
+				c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusDataTransferErr}})
 				return
 			}
 			var data []byte
 			if cmd.PRP2 == 1 { // client placed real bytes in the slot
 				data = make([]byte, size)
 			}
-			copyStart := w.Now()
-			slot.CopyOut(w, data, size)
-			copyTime := w.Now().Sub(copyStart)
+			copyStart := p.Now()
+			slot.CopyOut(p, data, size)
+			copyTime := p.Now().Sub(copyStart)
 			slot.TryRelease() // slot credit returns through shared state
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
-			freeBufs(bufs)
-			c.kick.Fire()
-			c.post(nil, c.resp(res, transit, copyTime))
+			res := c.Target().Subsys().Execute(p, w.s.cfg.NQN, cmd, data)
+			session.FreeBufs(bufs)
+			c.Kick()
+			c.Post(nil, c.Resp(res, transit, copyTime))
 		})
 	})
-}
-
-func (c *srvConn) startConservativeWrite(cmd nvme.Command, size int, transit time.Duration) {
-	if stale, ok := c.writes[cmd.CID]; ok {
-		// A retried command reused the CID of an abandoned earlier attempt
-		// whose half-received grant is still parked here: reclaim it before
-		// the new grant overwrites the map entry.
-		freeBufs(stale.bufs)
-		delete(c.writes, cmd.CID)
-		c.srv.StaleMsgs++
-		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
-	}
-	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
-		ctx := &writeCtx{cmd: cmd, size: size, bufs: bufs, comm: transit, real: cmd.PRP2 == 1}
-		c.writes[cmd.CID] = ctx
-		c.post(nil, &pdu.R2T{CID: cmd.CID, TTag: cmd.CID, Offset: 0, Length: uint32(size)})
-	})
-}
-
-// onTCPData accumulates H2CData for a conservative TCP-path write. Data
-// for an unknown CID (late chunks of a write the teardown or a failover
-// already failed) is dropped, not fatal.
-func (c *srvConn) onTCPData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
-	ctx, ok := c.writes[d.CID]
-	if !ok {
-		c.srv.StaleMsgs++
-		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
-		return
-	}
-	n := len(d.Payload)
-	if n == 0 {
-		n = d.VirtualLen
-	}
-	if d.Payload != nil {
-		mempool.Scatter(ctx.bufs, int(d.Offset), d.Payload)
-		ctx.staged = true
-	}
-	ctx.received += n
-	ctx.comm += transit
-	if ctx.received >= ctx.size {
-		delete(c.writes, d.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs, ctx.copyTime)
-	}
 }
 
 // onSHMNotify consumes a chunk of write payload from a shared-memory
 // slot (the chunked designs' data path). The copy-out runs on the
 // connection handler — the single target core serializing these copies is
 // part of what the lock-free + flow-control optimizations relieve.
-func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
-	ctx, ok := c.writes[n.CID]
+func (w *oafConnWire) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Duration) {
+	c := w.c
+	ctx, ok := c.Writes[n.CID]
 	if !ok {
-		c.srv.StaleMsgs++
-		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
+		c.NoteStale()
 		return
 	}
-	region := c.region
+	region := w.region
 	if region == nil {
 		return // revocation handler already failed this write
 	}
@@ -737,17 +294,17 @@ func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Durati
 	if err != nil {
 		// The slot (or the whole region) is gone: fail the write with a
 		// retryable error so the client re-drives it over TCP.
-		freeBufs(ctx.bufs)
-		delete(c.writes, n.CID)
-		c.kick.Fire()
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: n.CID, Status: nvme.StatusDataTransferErr}})
+		session.FreeBufs(ctx.Bufs)
+		delete(c.Writes, n.CID)
+		c.Kick()
+		c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: n.CID, Status: nvme.StatusDataTransferErr}})
 		return
 	}
 	var dst, tmp []byte
-	if ctx.real {
+	if ctx.Real {
 		// Copy straight into the covering pool element when the chunk
 		// doesn't straddle one; bounce through a scratch buffer otherwise.
-		dst = mempool.Span(ctx.bufs, int(n.Offset), int(n.Length))
+		dst = mempool.Span(ctx.Bufs, int(n.Offset), int(n.Length))
 		if dst == nil {
 			tmp = make([]byte, n.Length)
 			dst = tmp
@@ -755,59 +312,24 @@ func (c *srvConn) onSHMNotify(p *sim.Proc, n *pdu.SHMNotify, transit time.Durati
 	}
 	copyStart := p.Now()
 	slot.CopyOut(p, dst, int(n.Length))
-	ctx.copyTime += p.Now().Sub(copyStart)
-	if ctx.real {
+	ctx.CopyTime += p.Now().Sub(copyStart)
+	if ctx.Real {
 		if tmp != nil {
-			mempool.Scatter(ctx.bufs, int(n.Offset), tmp)
+			mempool.Scatter(ctx.Bufs, int(n.Offset), tmp)
 		}
-		ctx.staged = true
+		ctx.Staged = true
 	}
 	slot.TryRelease()
-	ctx.received += int(n.Length)
-	ctx.comm += transit
-	if ctx.received >= ctx.size {
-		delete(c.writes, n.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs, ctx.copyTime)
+	ctx.Received += int(n.Length)
+	ctx.Comm += transit
+	if ctx.Received >= ctx.Size {
+		delete(c.Writes, n.CID)
+		c.ExecWrite(ctx.Cmd, ctx.Size, ctx.Gather(), ctx.Comm, ctx.Bufs, ctx.CopyTime)
 		return
 	}
 	// Conservative flow control: acknowledge so the client sends the
 	// next chunk.
-	c.post(nil, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
-}
-
-func (c *srvConn) execWrite(cmd nvme.Command, size int, data []byte, comm time.Duration, bufs []*mempool.Buf, copyTime time.Duration) {
-	c.srv.e.Go("oaf-write-worker", func(w *sim.Proc) {
-		res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
-		if bufs != nil {
-			freeBufs(bufs)
-			c.kick.Fire()
-		}
-		c.post(nil, c.resp(res, comm, copyTime))
-	})
-}
-
-// startRead serves a read: over shared memory when negotiated (payload
-// copied once from the DPDK buffer into C2H slots), over TCP otherwise.
-func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
-	size := int(cmd.NLB()) * transport.BlockSize
-	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
-		c.srv.e.Go("oaf-read-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-			if res.CQE.Status.IsError() {
-				freeBufs(bufs)
-				c.kick.Fire()
-				c.post(nil, c.resp(res, transit, 0))
-				return
-			}
-			region := c.region
-			if region != nil && !region.Revoked() && (c.srv.cfg.Design.Chunked() || size <= region.SlotSize) {
-				c.sendReadOverSHM(w, region, cmd, size, res, transit, bufs)
-				return
-			}
-			c.sendReadOverTCP(cmd, size, res, transit, bufs)
-		})
-	})
+	c.Post(nil, &pdu.SHMRelease{CID: n.CID, Slot: n.Slot})
 }
 
 // sendReadOverSHM moves the payload through C2H slots: per-chunk slots
@@ -816,36 +338,37 @@ func (c *srvConn) startRead(cmd nvme.Command, transit time.Duration) {
 // revoked mid-stream — even while blocked waiting for a slot credit —
 // the transfer fails over to the TCP data path: the adaptive selection
 // of §4.1 extended from placement to failure.
-func (c *srvConn) sendReadOverSHM(w *sim.Proc, region *shm.Region, cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
-	if !c.srv.cfg.Design.Chunked() {
+func (w *oafConnWire) sendReadOverSHM(p *sim.Proc, region *shm.Region, cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
+	c := w.c
+	if !w.s.cfg.Design.Chunked() {
 		// Shared-memory flow control: one whole-I/O slot, one
 		// notification batched with the response.
-		slot := region.Claim(w, shm.C2H)
+		slot := region.Claim(p, shm.C2H)
 		if slot == nil {
-			c.sendReadOverTCP(cmd, size, res, transit, bufs)
+			c.SendReadOverTCP(cmd, size, res, transit, bufs)
 			return
 		}
-		t0 := w.Now()
-		slot.CopyIn(w, res.Data, size)
-		copyTime := w.Now().Sub(t0)
-		freeBufs(bufs)
-		c.kick.Fire()
-		c.post(nil,
+		t0 := p.Now()
+		slot.CopyIn(p, res.Data, size)
+		copyTime := p.Now().Sub(t0)
+		session.FreeBufs(bufs)
+		c.Kick()
+		c.Post(nil,
 			&pdu.SHMNotify{CID: cmd.CID, Slot: slot.Index, Offset: 0, Length: uint32(size), Last: true},
-			c.resp(res, transit, copyTime))
+			c.Resp(res, transit, copyTime))
 		return
 	}
 	// Chunked conservative transfer: one slot + notification per chunk,
 	// stop-and-wait on the client's acknowledgement — the naive flow the
 	// shared-memory flow control replaces (§4.4.2).
-	ackQ := sim.NewQueue[struct{}](c.srv.e, 0)
-	if old, ok := c.readAcks[cmd.CID]; ok {
+	ackQ := sim.NewQueue[struct{}](c.Target().Engine(), 0)
+	if old, ok := w.readAcks[cmd.CID]; ok {
 		// A retried read reused this CID while the abandoned attempt's
 		// worker is still parked on its ack queue: close it so that worker
 		// aborts and frees its buffers.
 		old.Close()
 	}
-	c.readAcks[cmd.CID] = ackQ
+	w.readAcks[cmd.CID] = ackQ
 	var copyTime time.Duration
 	chunk := region.SlotSize
 	for off := 0; off < size; off += chunk {
@@ -853,108 +376,44 @@ func (c *srvConn) sendReadOverSHM(w *sim.Proc, region *shm.Region, cmd nvme.Comm
 		if size-off < n {
 			n = size - off
 		}
-		slot := region.Claim(w, shm.C2H)
+		slot := region.Claim(p, shm.C2H)
 		if slot == nil {
 			// Region revoked mid-transfer: fail over, resending the
 			// whole payload over TCP (the client restarts reassembly).
-			if c.readAcks[cmd.CID] == ackQ {
-				delete(c.readAcks, cmd.CID)
+			if w.readAcks[cmd.CID] == ackQ {
+				delete(w.readAcks, cmd.CID)
 			}
-			c.sendReadOverTCP(cmd, size, res, transit, bufs)
+			c.SendReadOverTCP(cmd, size, res, transit, bufs)
 			return
 		}
 		var src []byte
 		if res.Data != nil {
 			src = res.Data[off : off+n]
 		}
-		t0 := w.Now()
-		slot.CopyIn(w, src, n)
-		copyTime += w.Now().Sub(t0)
+		t0 := p.Now()
+		slot.CopyIn(p, src, n)
+		copyTime += p.Now().Sub(t0)
 		last := off+n >= size
 		nf := &pdu.SHMNotify{CID: cmd.CID, Slot: slot.Index, Offset: uint64(off), Length: uint32(n), Last: last}
 		if last {
-			c.post(nil, nf, c.resp(res, transit, copyTime))
+			c.Post(nil, nf, c.Resp(res, transit, copyTime))
 		} else {
-			c.post(nil, nf)
-			if _, ok := ackQ.Get(w); !ok {
+			c.Post(nil, nf)
+			if _, ok := ackQ.Get(p); !ok {
 				// Teardown, revocation, or a CID-reusing retry closed the
 				// ack queue: abandon the transfer, reclaim the buffers.
-				if c.readAcks[cmd.CID] == ackQ {
-					delete(c.readAcks, cmd.CID)
+				if w.readAcks[cmd.CID] == ackQ {
+					delete(w.readAcks, cmd.CID)
 				}
-				freeBufs(bufs)
-				c.kick.Fire()
+				session.FreeBufs(bufs)
+				c.Kick()
 				return
 			}
 		}
 	}
-	if c.readAcks[cmd.CID] == ackQ {
-		delete(c.readAcks, cmd.CID)
+	if w.readAcks[cmd.CID] == ackQ {
+		delete(w.readAcks, cmd.CID)
 	}
-	freeBufs(bufs)
-	c.kick.Fire()
-}
-
-// sendReadOverTCP streams the payload as chunked C2HData PDUs.
-func (c *srvConn) sendReadOverTCP(cmd nvme.Command, size int, res target.ExecResult, transit time.Duration, bufs []*mempool.Buf) {
-	chunk := c.srv.cfg.TP.ChunkSize
-	var batches []*txBatch
-	transport.ChunkSizes(size, chunk, func(off, n int) {
-		d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Offset: uint32(off), Last: off+n >= size}
-		if res.Data != nil {
-			d.Payload = res.Data[off : off+n]
-		} else {
-			d.VirtualLen = n
-		}
-		batches = append(batches, &txBatch{pdus: []pdu.PDU{d}})
-	})
-	last := batches[len(batches)-1]
-	last.pdus = append(last.pdus, c.resp(res, transit, 0))
-	last.after = func() { freeBufs(bufs) }
-	if c.dead {
-		// Connection torn down while the read executed: reclaim without
-		// transmitting.
-		freeBufs(bufs)
-		return
-	}
-	for _, b := range batches {
-		c.txQ.TryPut(b)
-	}
-	c.kick.Fire()
-}
-
-func (c *srvConn) execIdentify(cmd nvme.Command, transit time.Duration) {
-	var page []byte
-	switch cmd.CDW10 {
-	case nvme.CNSController:
-		if id, err := c.srv.tgt.IdentifyController(c.srv.cfg.NQN); err == nil {
-			page = id.Encode()
-		}
-	case nvme.CNSNamespace:
-		if sub, ok := c.srv.tgt.Subsystem(c.srv.cfg.NQN); ok {
-			if ns, ok := sub.Namespace(cmd.NSID); ok {
-				idns := ns.Identify()
-				page = idns.Encode()
-			}
-		}
-	}
-	if page == nil {
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-		return
-	}
-	c.post(nil,
-		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-		&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
-	)
-}
-
-// resp builds the response capsule; the target's shared-memory copy time
-// is accounted as target-side "other" (buffer management).
-func (c *srvConn) resp(res target.ExecResult, comm time.Duration, copyTime time.Duration) *pdu.CapsuleResp {
-	return &pdu.CapsuleResp{
-		Rsp:        res.CQE,
-		IOTimeNs:   uint64(res.IOTime),
-		TgtCommNs:  uint64(comm),
-		TgtOtherNs: uint64(res.OtherTime + copyTime),
-	}
+	session.FreeBufs(bufs)
+	c.Kick()
 }

@@ -6,11 +6,14 @@
 //
 // The paper evaluates NVMe/RDMA over 56 Gb IB FDR (SR-IOV) and NVMe/RoCE
 // over 100 GbE on bare metal; both are instances of this transport with
-// different model.RDMAParams.
+// different model.RDMAParams. The session machinery (CID table, reactor,
+// deadlines, batching, keep-alive, KATO) lives in internal/session; this
+// file is the thin RDMA wire binding, which therefore inherits doorbell
+// batching, telemetry, per-command deadlines, and keep-alive from the
+// engine.
 package rdma
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -18,8 +21,10 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -43,114 +48,162 @@ type ClientConfig struct {
 	QueueDepth int
 	Params     model.RDMAParams
 	Host       model.HostParams
+	// BatchSize > 1 coalesces queued submissions into one doorbell train
+	// per message (0/1 = classic one-capsule-per-message wire).
+	BatchSize int
+	// CommandTimeout, MaxRetries, RetryBackoff, KeepAlive: engine
+	// recovery knobs, all off by default (see tcp.ClientConfig for
+	// semantics).
+	CommandTimeout time.Duration
+	MaxRetries     int
+	RetryBackoff   time.Duration
+	KeepAlive      time.Duration
+	// HostNQN identifies this host in the Fabrics Connect command
+	// (defaults to a generated NQN).
+	HostNQN string
+	// Telemetry receives counters and latency histograms (nil disables).
+	Telemetry *telemetry.Sink
 }
 
 // Client is the host side of one RDMA queue pair.
 type Client struct {
-	e       *sim.Engine
-	ep      *netsim.Endpoint
-	cfg     ClientConfig
-	cids    *nvme.CIDTable
-	submitQ *sim.Queue[*transport.Pending]
-	kick    *sim.Signal
-	closing bool
-	drained *sim.Signal
-	rng     interface{ Float64() float64 }
+	*session.Host
+	wire *rdmaWire
 
-	// Completed counts finished commands; it also drives the
-	// registration-cache warmup model.
-	Completed int64
 	// RegMisses counts memory-registration cache misses.
 	RegMisses int64
+}
+
+// rdmaWire is the direct-placement data path: writes carry their whole
+// payload with the capsule (no R2T), reads come back as one RDMA write,
+// and posting a work request may stall on a memory-registration miss.
+type rdmaWire struct {
+	cl  *Client
+	h   *session.Host
+	ep  *netsim.Endpoint
+	cfg *ClientConfig
+	rng interface{ Float64() float64 }
 }
 
 // Connect starts a client on ep (connection setup over the RDMA CM is
 // modeled by the ICReq/ICResp exchange).
 func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 128
-	}
 	e := p.Engine()
-	c := &Client{
-		e:       e,
-		ep:      ep,
-		cfg:     cfg,
-		cids:    nvme.NewCIDTable(cfg.QueueDepth),
-		submitQ: sim.NewQueue[*transport.Pending](e, 0),
-		kick:    sim.NewSignal(e),
-		drained: sim.NewSignal(e),
-		rng:     e.Rand("rdma/" + cfg.Params.Name),
-	}
-	transport.SendPDUs(p, ep, &pdu.ICReq{PFV: 0})
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return nil, fmt.Errorf("rdma: handshake: %w", err)
-	}
-	if _, ok := pdus[0].(*pdu.ICResp); !ok {
-		return nil, fmt.Errorf("rdma: handshake: unexpected %v", pdus[0].Type())
-	}
-	if err := fabricsConnect(p, ep, cfg.NQN); err != nil {
+	w := &rdmaWire{ep: ep, cfg: &cfg, rng: e.Rand("rdma/" + cfg.Params.Name)}
+	h := session.NewHost(e, ep, session.HostConfig{
+		Label:          "rdma",
+		NQN:            cfg.NQN,
+		HostNQN:        cfg.HostNQN,
+		QueueDepth:     cfg.QueueDepth,
+		Host:           cfg.Host,
+		BatchSize:      cfg.BatchSize,
+		CommandTimeout: cfg.CommandTimeout,
+		MaxRetries:     cfg.MaxRetries,
+		RetryBackoff:   cfg.RetryBackoff,
+		KeepAlive:      cfg.KeepAlive,
+		// Completion-queue polling: parking never pays the interrupt
+		// wakeup penalty (LinkParams zeroes it anyway).
+		InterruptWakeups: false,
+		Telemetry:        cfg.Telemetry,
+	}, w)
+	w.h = h
+	c := &Client{Host: h, wire: w}
+	w.cl = c
+	if err := h.Handshake(p); err != nil {
 		return nil, err
 	}
-	e.GoDaemon("rdma-client-reactor", c.reactor)
+	h.Telemetry().Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "rdma", cfg.Params.Name)
+	h.Start()
 	return c, nil
 }
 
-// fabricsConnect performs the NVMe-oF Connect command.
-func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, subNQN string) error {
-	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{
-		Cmd:  cmd,
-		Data: nvme.EncodeConnectData("nqn.2014-08.org.nvmexpress:uuid:sim-host", subNQN),
-	})
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return fmt.Errorf("rdma: connect: %w", err)
-	}
-	resp, ok := pdus[0].(*pdu.CapsuleResp)
-	if !ok {
-		return fmt.Errorf("rdma: connect: unexpected %v", pdus[0].Type())
-	}
-	if resp.Rsp.Status.IsError() {
-		return fmt.Errorf("rdma: connect rejected: %w", resp.Rsp.Status.Error())
-	}
-	return nil
-}
+func (w *rdmaWire) BuildICReq(reconnect bool) *pdu.ICReq { return &pdu.ICReq{PFV: 0} }
 
-// Submit implements transport.Queue.
-func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
-	fut := sim.NewFuture[*transport.Result](c.e)
-	if c.closing {
-		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
-		return fut
-	}
-	if io.Admin == 0 && !io.Flush && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
-		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
-		return fut
-	}
+func (w *rdmaWire) AdoptICResp(resp *pdu.ICResp) {}
+
+func (w *rdmaWire) Admit(io *transport.IO) nvme.Status { return nvme.StatusSuccess }
+
+// StageSubmit charges payload generation for writes on the submitting
+// process.
+func (w *rdmaWire) StageSubmit(p *sim.Proc, pend *session.Pending) {
+	io := pend.IO
 	if io.Write && !io.NoFill {
-		p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
+		p.Sleep(time.Duration(float64(io.Size) * w.cfg.Host.FillPerByteNanos))
 	}
-	p.Sleep(c.cfg.Host.SubmitCPU)
-	pend := &transport.Pending{IO: io, Fut: fut, SubmitAt: p.Now()}
-	c.submitQ.TryPut(pend)
-	c.kick.Fire()
-	return fut
 }
 
-// Close initiates orderly shutdown.
-func (c *Client) Close() {
-	if c.closing {
+// MakeIOEntry builds the work request: writes carry their full payload
+// with the capsule — the target's HCA places the data directly into the
+// reserved buffer (no R2T exchange).
+func (w *rdmaWire) MakeIOEntry(pend *session.Pending) pdu.BatchEntry {
+	io := pend.IO
+	w.h.Telemetry().Observe(telemetry.HistIOSize, int64(io.Size))
+	slba := uint64(io.Offset / transport.BlockSize)
+	nlb := uint32(io.Size / transport.BlockSize)
+	if !io.Write {
+		return pdu.BatchEntry{Cmd: nvme.NewRead(pend.CID, io.Nsid(), slba, nlb)}
+	}
+	e := pdu.BatchEntry{Cmd: nvme.NewWrite(pend.CID, io.Nsid(), slba, nlb)}
+	if io.Data != nil {
+		e.Data = io.Data
+	} else {
+		e.VirtualLen = io.Size
+	}
+	pend.Sent = io.Size
+	return e
+}
+
+// Transmit posts one work request. I/O commands may stall on a memory-
+// registration miss; admin and flush commands ride the send queue
+// directly (their buffers were registered at connect time).
+func (w *rdmaWire) Transmit(p *sim.Proc, e *pdu.BatchEntry) {
+	capsule := &pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+	if e.Cmd.Flags&transport.AdminFlag != 0 || e.Cmd.Opcode == nvme.OpFlush {
+		transport.SendPDUs(p, w.ep, capsule)
 		return
 	}
-	c.closing = true
-	c.kick.Fire()
+	if delay := w.registrationDelay(); delay > 0 {
+		// Registration runs on a kernel helper: only this command waits;
+		// the reactor keeps serving the queue.
+		ep := w.ep
+		w.h.Engine().Go("rdma-memreg", func(q *sim.Proc) {
+			q.Sleep(delay)
+			transport.SendPDUs(q, ep, capsule)
+		})
+		return
+	}
+	transport.SendPDUs(p, w.ep, capsule)
 }
 
-// WaitClosed blocks until the reactor has exited.
-func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
+// TransmitTrain posts a doorbell-coalesced train as one message. The
+// registration cache is consulted once for the train (the work requests
+// share the posting): a miss delays the whole train.
+func (w *rdmaWire) TransmitTrain(p *sim.Proc, b *pdu.CmdBatch) {
+	if delay := w.registrationDelay(); delay > 0 {
+		// The engine reuses its batch scratch: copy the entries before
+		// handing them to the delayed helper.
+		cp := &pdu.CmdBatch{Entries: append([]pdu.BatchEntry(nil), b.Entries...)}
+		ep := w.ep
+		w.h.Engine().Go("rdma-memreg", func(q *sim.Proc) {
+			q.Sleep(delay)
+			transport.SendPDUs(q, ep, cp)
+		})
+		return
+	}
+	transport.SendPDUs(p, w.ep, b)
+}
+
+// PollBudget is 0: the engine's kick/park loop already models CQ polling
+// without wakeup charges (InterruptWakeups off).
+func (w *rdmaWire) PollBudget() time.Duration { return 0 }
+
+func (w *rdmaWire) PreReactor(p *sim.Proc) {}
+
+func (w *rdmaWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	return false
+}
+
+func (w *rdmaWire) ReleaseAttempt(pend *session.Pending) {}
 
 // registrationDelay models the HCA memory-registration cache. The I/O
 // buffer pool registers at connect time; during a run the registration
@@ -161,352 +214,111 @@ func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
 // tail that a 3-4x longer run dilutes below the p99.9/p99.99 thresholds —
 // the paper's §5.4 observation. The expected number of events converges
 // to evictMissScale x MemRegWarmOps.
-func (c *Client) registrationDelay() time.Duration {
-	prm := c.cfg.Params
-	prob := evictMissScale*math.Exp(-float64(c.Completed)/prm.MemRegWarmOps) + prm.MemRegFloorProb
-	if c.rng.Float64() >= prob {
+func (w *rdmaWire) registrationDelay() time.Duration {
+	prm := w.cfg.Params
+	prob := evictMissScale*math.Exp(-float64(w.h.Completed)/prm.MemRegWarmOps) + prm.MemRegFloorProb
+	if w.rng.Float64() >= prob {
 		return 0
 	}
-	c.RegMisses++
-	return time.Duration(float64(prm.MemRegCost) * (0.7 + 0.6*c.rng.Float64()))
+	w.cl.RegMisses++
+	return time.Duration(float64(prm.MemRegCost) * (0.7 + 0.6*w.rng.Float64()))
 }
 
 // evictMissScale is the initial per-op registration-miss probability.
 const evictMissScale = 0.007
-
-// reactor is the client event loop: CQ polling, no interrupt penalty.
-func (c *Client) reactor(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	defer c.drained.Fire()
-	for {
-		worked := false
-		for !c.cids.Full() {
-			pend, ok := c.submitQ.TryGet()
-			if !ok {
-				break
-			}
-			c.start(p, pend)
-			worked = true
-		}
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		if worked {
-			continue
-		}
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
-			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
-			return
-		}
-		c.kick.Reset()
-		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
-			continue
-		}
-		c.kick.Wait(p)
-	}
-}
-
-// start posts the work request for one command. Writes carry their full
-// payload with the capsule: the target's HCA places the data directly
-// into the reserved buffer (no R2T exchange).
-func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
-	cid, err := c.cids.Alloc(pend)
-	if err != nil {
-		panic(err)
-	}
-	pend.CID = cid
-	io := pend.IO
-	var cmd nvme.Command
-	if io.Admin != 0 {
-		cmd = nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: cmd})
-		return
-	}
-	if io.Flush {
-		transport.SendPDUs(p, c.ep, &pdu.CapsuleCmd{Cmd: nvme.NewFlush(cid, io.Nsid())})
-		return
-	}
-	slba := uint64(io.Offset / transport.BlockSize)
-	nlb := uint32(io.Size / transport.BlockSize)
-	var capsule *pdu.CapsuleCmd
-	if io.Write {
-		cmd = nvme.NewWrite(cid, io.Nsid(), slba, nlb)
-		capsule = &pdu.CapsuleCmd{Cmd: cmd}
-		if io.Data != nil {
-			capsule.Data = io.Data
-		} else {
-			capsule.VirtualLen = io.Size
-		}
-		pend.Sent = io.Size
-	} else {
-		cmd = nvme.NewRead(cid, io.Nsid(), slba, nlb)
-		capsule = &pdu.CapsuleCmd{Cmd: cmd}
-	}
-	if delay := c.registrationDelay(); delay > 0 {
-		// Registration runs on a kernel helper: only this command waits;
-		// the reactor keeps serving the queue.
-		ep := c.ep
-		c.e.Go("rdma-memreg", func(w *sim.Proc) {
-			w.Sleep(delay)
-			transport.SendPDUs(w, ep, capsule)
-		})
-		return
-	}
-	transport.SendPDUs(p, c.ep, capsule)
-}
-
-// handle processes inbound completions and data.
-func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("rdma client: bad message: %v", err))
-	}
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.Data:
-			ctx, ok := c.cids.Lookup(v.CID)
-			if !ok {
-				panic(fmt.Sprintf("rdma client: data for unknown CID %d", v.CID))
-			}
-			pend := ctx.(*transport.Pending)
-			n := len(v.Payload)
-			if n == 0 {
-				n = v.VirtualLen
-			}
-			if v.Payload != nil && pend.IO.Data != nil {
-				copy(pend.IO.Data[v.Offset:], v.Payload)
-			}
-			pend.Received += n
-			pend.Comm += transit
-		case *pdu.CapsuleResp:
-			ctx, err := c.cids.Complete(v.Rsp.CID)
-			if err != nil {
-				panic(fmt.Sprintf("rdma client: %v", err))
-			}
-			pend := ctx.(*transport.Pending)
-			pend.Comm += transit
-			p.Sleep(c.cfg.Host.CompleteCPU)
-			var data []byte
-			if !pend.IO.Write && pend.IO.Data != nil {
-				data = pend.IO.Data[:pend.Received]
-			}
-			pend.Finish(p.Now(), v, data)
-			c.Completed++
-			c.kick.Fire()
-		case *pdu.Term:
-		default:
-			panic(fmt.Sprintf("rdma client: unexpected PDU %v", u.Type()))
-		}
-		transit = 0
-	}
-}
 
 // ServerConfig configures the target side.
 type ServerConfig struct {
 	NQN    string
 	Params model.RDMAParams
 	Host   model.HostParams
+	// BatchSize > 1 enables completion-reap coalescing on transmit.
+	BatchSize int
+	// KATO is the keep-alive timeout: a connection silent for longer is
+	// torn down (0 disables the watchdog).
+	KATO time.Duration
+	// Telemetry receives connection and keep-alive counters (nil
+	// disables).
+	Telemetry *telemetry.Sink
 }
 
-// Server is the target-side RDMA transport.
+// Server is the target-side RDMA transport: direct data placement into
+// pre-registered buffers, so no buffer pool and no R2T machinery — the
+// session engine drives connection lifecycle, dispatch, and teardown.
 type Server struct {
-	e   *sim.Engine
-	tgt *target.Target
+	*session.Target
 	cfg ServerConfig
 }
 
 // NewServer creates the RDMA transport for tgt.
 func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
-	return &Server{e: e, tgt: tgt, cfg: cfg}
+	s := &Server{cfg: cfg}
+	s.Target = session.NewTarget(e, tgt, session.TargetConfig{
+		Label:     "rdma",
+		NQN:       cfg.NQN,
+		BatchSize: cfg.BatchSize,
+		KATO:      cfg.KATO,
+		// Direct placement: no chunk pool, no busy-poll budget, and CQ
+		// polling never charges interrupt wakeups.
+		InterruptWakeups: false,
+		Telemetry:        cfg.Telemetry,
+	}, (*rdmaTargetWire)(s))
+	return s
 }
 
-// Serve starts a connection handler on ep.
-func (s *Server) Serve(ep *netsim.Endpoint) {
-	conn := &conn{srv: s, ep: ep, txQ: sim.NewQueue[[]pdu.PDU](s.e, 0), kick: sim.NewSignal(s.e)}
-	s.e.GoDaemon("rdma-server-conn", conn.run)
+// rdmaTargetWire binds the engine's connections to direct data placement.
+type rdmaTargetWire Server
+
+func (s *rdmaTargetWire) NewConn(c *session.Conn) session.ConnWire {
+	return &rdmaConnWire{s: (*Server)(s), c: c}
 }
 
-type conn struct {
-	srv    *Server
-	ep     *netsim.Endpoint
-	txQ    *sim.Queue[[]pdu.PDU]
-	kick   *sim.Signal
-	closed bool
+// rdmaConnWire is the per-connection RDMA wire: a bare CM-exchange
+// handshake, reads returned as one RDMA write, writes executed straight
+// from the capsule payload.
+type rdmaConnWire struct {
+	s *Server
+	c *session.Conn
 }
 
-func (c *conn) post(pdus ...pdu.PDU) {
-	c.txQ.TryPut(pdus)
-	c.kick.Fire()
+func (w *rdmaConnWire) OnICReq(req *pdu.ICReq) {
+	w.c.Target().Telemetry().Inc(telemetry.CtrSrvTCPConns)
+	w.c.Post(nil, &pdu.ICResp{PFV: req.PFV})
 }
 
-func (c *conn) run(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	for !c.closed {
-		worked := false
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		for {
-			batch, ok := c.txQ.TryGet()
-			if !ok {
-				break
-			}
-			transport.SendPDUs(p, c.ep, batch...)
-			worked = true
-		}
-		if worked {
-			continue
-		}
-		c.kick.Reset()
-		if c.ep.Pending() > 0 || c.txQ.Len() > 0 || c.closed {
-			continue
-		}
-		c.kick.Wait(p)
-	}
-	for {
-		batch, ok := c.txQ.TryGet()
-		if !ok {
-			break
-		}
-		transport.SendPDUs(p, c.ep, batch...)
-	}
-}
+func (w *rdmaConnWire) TrType() uint8 { return nvme.TrTypeRDMA }
 
-func (c *conn) handle(p *sim.Proc, msg *netsim.Message) {
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("rdma server: bad message: %v", err))
-	}
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.ICReq:
-			c.post(&pdu.ICResp{PFV: v.PFV})
-		case *pdu.CapsuleCmd:
-			c.onCommand(v, transit)
-		case *pdu.Term:
-			c.closed = true
-			c.kick.Fire()
-		default:
-			panic(fmt.Sprintf("rdma server: unexpected PDU %v", u.Type()))
-		}
-		transit = 0
-	}
-}
+func (w *rdmaConnWire) PreLoop() {}
 
-func (c *conn) onCommand(cap *pdu.CapsuleCmd, transit time.Duration) {
-	cmd := cap.Cmd
-	if cmd.Opcode == nvme.FabricsCommandType {
-		status := nvme.StatusInvalidField
-		if cmd.CDW10 == nvme.FctypeConnect {
-			if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.srv.cfg.NQN {
-				status = nvme.StatusSuccess
-			}
-		}
-		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
-		return
-	}
-	if cmd.Flags&transport.AdminFlag != 0 {
-		c.onAdmin(cmd, transit)
-		return
-	}
-	switch cmd.Opcode {
-	case nvme.OpRead:
-		size := int(cmd.NLB()) * transport.BlockSize
-		c.srv.e.Go("rdma-read-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-			if res.CQE.Status.IsError() {
-				c.post(c.resp(res, transit))
-				return
-			}
-			// One RDMA write moves the whole payload; the completion
-			// capsule rides behind it.
-			d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Last: true}
-			if res.Data != nil {
-				d.Payload = res.Data
-			} else {
-				d.VirtualLen = size
-			}
-			c.post(d, c.resp(res, transit))
-		})
-	case nvme.OpWrite:
-		data := cap.Data
-		c.srv.e.Go("rdma-write-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
-			c.post(c.resp(res, transit))
-		})
-	case nvme.OpFlush:
-		c.srv.e.Go("rdma-flush-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-			c.post(c.resp(res, transit))
-		})
-	default:
-		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
-	}
-}
-
-// onAdmin dispatches admin-queue commands.
-func (c *conn) onAdmin(cmd nvme.Command, transit time.Duration) {
-	switch cmd.Opcode {
-	case nvme.AdminIdentify:
-		c.onIdentify(cmd, transit)
-	case nvme.AdminGetLogPage:
-		if cmd.CDW10&0xFF != nvme.LIDDiscovery&0xFF {
-			c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
+func (w *rdmaConnWire) DispatchRead(cmd nvme.Command, transit time.Duration) {
+	c := w.c
+	size := int(cmd.NLB()) * transport.BlockSize
+	c.Target().Engine().Go("rdma-read-worker", func(p *sim.Proc) {
+		res := c.Target().Subsys().Execute(p, w.s.cfg.NQN, cmd, nil)
+		if res.CQE.Status.IsError() {
+			c.Post(nil, c.Resp(res, transit, 0))
 			return
 		}
-		page := c.srv.tgt.DiscoveryLog(nvme.TrTypeRDMA, "storage-host")
-		c.post(
-			&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-			&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
-		)
-	default:
-		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
-	}
+		// One RDMA write moves the whole payload; the completion
+		// capsule rides behind it.
+		d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Last: true}
+		if res.Data != nil {
+			d.Payload = res.Data
+		} else {
+			d.VirtualLen = size
+		}
+		c.Post(nil, d, c.Resp(res, transit, 0))
+	})
 }
 
-func (c *conn) onIdentify(cmd nvme.Command, transit time.Duration) {
-	var page []byte
-	switch cmd.CDW10 {
-	case nvme.CNSController:
-		id, err := c.srv.tgt.IdentifyController(c.srv.cfg.NQN)
-		if err == nil {
-			page = id.Encode()
-		}
-	case nvme.CNSNamespace:
-		if sub, ok := c.srv.tgt.Subsystem(c.srv.cfg.NQN); ok {
-			if ns, ok := sub.Namespace(cmd.NSID); ok {
-				idns := ns.Identify()
-				page = idns.Encode()
-			}
-		}
-	}
-	if page == nil {
-		c.post(&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-		return
-	}
-	c.post(
-		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-		&pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}, TgtCommNs: uint64(transit)},
-	)
+func (w *rdmaConnWire) DispatchWrite(cap *pdu.CapsuleCmd, size int, transit time.Duration) {
+	// The HCA already placed the payload: execute straight from the
+	// capsule, no pool buffers, no R2T.
+	w.c.ExecWrite(cap.Cmd, size, cap.Data, transit, nil, 0)
 }
 
-func (c *conn) resp(res target.ExecResult, comm time.Duration) *pdu.CapsuleResp {
-	return &pdu.CapsuleResp{
-		Rsp:        res.CQE,
-		IOTimeNs:   uint64(res.IOTime),
-		TgtCommNs:  uint64(comm),
-		TgtOtherNs: uint64(res.OtherTime),
-	}
+func (w *rdmaConnWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	return false
 }
+
+func (w *rdmaConnWire) Teardown() {}

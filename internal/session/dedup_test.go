@@ -1,0 +1,75 @@
+package session
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSharedConstantsDeclaredOnce is the dedup guard for the session
+// extraction: the wire-level constants that used to be copy-pasted into
+// every transport (capsule flag bits, poll-miss cost, host NQN default,
+// the reserved Connect CID) must have exactly one declaration across the
+// engine and the three bindings — in this package. A second declaration
+// anywhere in internal/{core,tcp,rdma} means the duplication crept back.
+func TestSharedConstantsDeclaredOnce(t *testing.T) {
+	shared := []string{"CmdFlagSHMSlot", "PollMissCPU", "DefaultHostNQN", "ConnectCID"}
+	// Case-insensitive match also catches a reintroduced unexported twin
+	// (pollMissCPU, connectCID, ...) in a binding package.
+	want := make(map[string]string, len(shared))
+	for _, name := range shared {
+		want[strings.ToLower(name)] = name
+	}
+
+	root := filepath.Join("..", "..")
+	decls := map[string][]string{} // canonical name -> declaration sites
+	fset := token.NewFileSet()
+	for _, dir := range []string{"internal/session", "internal/core", "internal/tcp", "internal/rdma"} {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") || strings.HasSuffix(ent.Name(), "_test.go") {
+				continue
+			}
+			path := filepath.Join(root, dir, ent.Name())
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						if canon, hit := want[strings.ToLower(id.Name)]; hit {
+							decls[canon] = append(decls[canon], dir+"/"+ent.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, name := range shared {
+		sites := decls[name]
+		if len(sites) != 1 {
+			t.Errorf("%s declared %d times (%v), want exactly 1", name, len(sites), sites)
+			continue
+		}
+		if !strings.HasPrefix(sites[0], "internal/session/") {
+			t.Errorf("%s declared in %s, want internal/session", name, sites[0])
+		}
+	}
+}

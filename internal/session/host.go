@@ -1,0 +1,820 @@
+package session
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/transport"
+)
+
+// HostWire is what a transport binding implements to put the host
+// engine on its wire. The engine owns everything CID- and lifecycle-
+// shaped; the wire owns handshake contents, payload staging, capsule
+// transmission, and path-specific PDUs.
+type HostWire interface {
+	// BuildICReq builds the handshake request (initial connect and
+	// mid-stream reconnect negotiate the same way).
+	BuildICReq(reconnect bool) *pdu.ICReq
+	// AdoptICResp adopts renegotiated parameters after a mid-stream
+	// reconnect (the data path may have changed).
+	AdoptICResp(resp *pdu.ICResp)
+	// Admit applies transport-specific admission checks beyond the
+	// engine's common ones; StatusSuccess admits the I/O.
+	Admit(io *transport.IO) nvme.Status
+	// StageSubmit charges payload staging for one admitted I/O on the
+	// submitting process (fill cost, slot claim + copy-in, ...).
+	StageSubmit(p *sim.Proc, pend *Pending)
+	// MakeIOEntry builds the wire entry (SQE + optional in-capsule
+	// payload) for a read/write command and records per-path submit
+	// telemetry. Admin and flush entries are engine-built.
+	MakeIOEntry(pend *Pending) pdu.BatchEntry
+	// Transmit sends one command capsule.
+	Transmit(p *sim.Proc, e *pdu.BatchEntry)
+	// TransmitTrain sends a multi-entry capsule train.
+	TransmitTrain(p *sim.Proc, b *pdu.CmdBatch)
+	// PollBudget returns the busy-poll budget for this reactor
+	// iteration (0 = interrupt mode).
+	PollBudget() time.Duration
+	// PreReactor runs at the top of every reactor iteration (the
+	// adaptive fabric checks for region revocation here).
+	PreReactor(p *sim.Proc)
+	// HandlePDU handles transport-specific PDUs; returning false makes
+	// the engine panic on the unexpected PDU.
+	HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool
+	// ReleaseAttempt reclaims per-attempt staging resources (Stage)
+	// when a command is torn down for retry or failure.
+	ReleaseAttempt(pend *Pending)
+}
+
+// HostConfig configures the host-side session engine.
+type HostConfig struct {
+	// Label prefixes daemon names, error strings, and panics
+	// ("oaf", "tcp", "rdma").
+	Label string
+	// NQN names the target subsystem; HostNQN identifies this host in
+	// the Fabrics Connect command (DefaultHostNQN when empty).
+	NQN     string
+	HostNQN string
+	// QueueDepth bounds outstanding commands.
+	QueueDepth int
+	// Host holds client software costs.
+	Host model.HostParams
+	// BatchSize is the submission-coalescing depth (0/1 = classic
+	// one-capsule-per-message wire).
+	BatchSize int
+	// CommandTimeout, MaxRetries, RetryBackoff, KeepAlive: recovery
+	// knobs, all off by default (see the transport configs for
+	// semantics).
+	CommandTimeout time.Duration
+	MaxRetries     int
+	RetryBackoff   time.Duration
+	KeepAlive      time.Duration
+	// InterruptWakeups charges the endpoint wakeup penalty when the
+	// reactor parks and traffic arrives (interrupt-driven receive).
+	// RDMA completion-queue polling leaves it off.
+	InterruptWakeups bool
+	// RNGStream names the seed-derived jitter stream for retry backoff
+	// (default Label+"-client-retry").
+	RNGStream string
+	// Telemetry receives counters, histograms, and traces; nil
+	// disables.
+	Telemetry *telemetry.Sink
+}
+
+// Host is the transport-independent host queue core.
+type Host struct {
+	e       *sim.Engine
+	ep      *netsim.Endpoint
+	wire    HostWire
+	cfg     HostConfig
+	cids    *nvme.CIDTable
+	submitQ *sim.Queue[*Pending]
+	kick    *sim.Signal
+	icresp  *pdu.ICResp
+	closing bool
+	drained *sim.Signal
+	rng     *rand.Rand
+	tel     *telemetry.Sink
+
+	// Hot-path recycling: pending-op freelist plus reactor-owned scratch
+	// structures for the batched submission path. The engine is
+	// cooperative, so plain slices suffice; scratch encode structures are
+	// only touched by the reactor (SendPDUs serializes before yielding).
+	freePends   []*Pending
+	pendScratch []*Pending
+	batch       pdu.CmdBatch
+	capsule     pdu.CapsuleCmd
+	entry       pdu.BatchEntry
+
+	// backlog counts commands parked in retry backoff (neither queued nor
+	// in flight); teardown waits for them.
+	backlog int
+	// consecTimeouts counts deadline expirations since the last
+	// successful completion; crossing the threshold triggers reconnect.
+	consecTimeouts int
+	reconnecting   bool
+	reconRetry     bool
+	reconGen       int
+
+	// Completed counts finished commands.
+	Completed int64
+	// Retries counts re-driven attempts; Timeouts counts per-command
+	// deadline expirations; Reconnects counts re-established
+	// connections; LateMsgs counts stale PDUs (for already-reaped
+	// commands) dropped.
+	Retries    int64
+	Timeouts   int64
+	Reconnects int64
+	LateMsgs   int64
+}
+
+// NewHost builds the engine core. The binding must call Handshake (on
+// the connecting process) and then Start.
+func NewHost(e *sim.Engine, ep *netsim.Endpoint, cfg HostConfig, wire HostWire) *Host {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.RNGStream == "" {
+		cfg.RNGStream = cfg.Label + "-client-retry"
+	}
+	h := &Host{
+		e:       e,
+		ep:      ep,
+		wire:    wire,
+		cfg:     cfg,
+		cids:    nvme.NewCIDTable(cfg.QueueDepth),
+		submitQ: sim.NewQueue[*Pending](e, 0),
+		kick:    sim.NewSignal(e),
+		drained: sim.NewSignal(e),
+		rng:     e.Rand(cfg.RNGStream),
+		tel:     cfg.Telemetry,
+	}
+	if h.tel == nil {
+		h.tel = telemetry.Disabled
+	}
+	return h
+}
+
+// Handshake performs the ICReq/ICResp exchange and the Fabrics Connect
+// command on the calling process.
+func (h *Host) Handshake(p *sim.Proc) error {
+	transport.SendPDUs(p, h.ep, h.wire.BuildICReq(false))
+	msg := h.ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return fmt.Errorf("%s: handshake: %w", h.cfg.Label, err)
+	}
+	icresp, ok := pdus[0].(*pdu.ICResp)
+	if !ok {
+		return fmt.Errorf("%s: handshake: unexpected %v", h.cfg.Label, pdus[0].Type())
+	}
+	h.icresp = icresp
+	return h.fabricsConnect(p)
+}
+
+// fabricsConnect performs the NVMe-oF Connect command over the control
+// path: the target validates the subsystem NQN before admitting I/O.
+func (h *Host) fabricsConnect(p *sim.Proc) error {
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: ConnectCID, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.hostNQN(), h.cfg.NQN)})
+	msg := h.ep.Recv(p)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		return fmt.Errorf("%s: connect: %w", h.cfg.Label, err)
+	}
+	resp, ok := pdus[0].(*pdu.CapsuleResp)
+	if !ok {
+		return fmt.Errorf("%s: connect: unexpected %v", h.cfg.Label, pdus[0].Type())
+	}
+	if resp.Rsp.Status.IsError() {
+		return fmt.Errorf("%s: connect rejected: %w", h.cfg.Label, resp.Rsp.Status.Error())
+	}
+	return nil
+}
+
+func (h *Host) hostNQN() string {
+	if h.cfg.HostNQN != "" {
+		return h.cfg.HostNQN
+	}
+	return DefaultHostNQN
+}
+
+// Start launches the reactor (and, when configured, the keep-alive
+// loop) as engine daemons.
+func (h *Host) Start() {
+	h.e.GoDaemon(h.cfg.Label+"-client-reactor", h.reactor)
+	if h.cfg.KeepAlive > 0 {
+		h.e.GoDaemon(h.cfg.Label+"-client-keepalive", h.keepAliveLoop)
+	}
+}
+
+// ICResp returns the negotiated connection parameters.
+func (h *Host) ICResp() *pdu.ICResp { return h.icresp }
+
+// Telemetry returns the active sink (never nil), so wire bindings emit
+// through the same sink the engine uses.
+func (h *Host) Telemetry() *telemetry.Sink { return h.tel }
+
+// Engine returns the simulation engine (for binding-owned futures and
+// workers).
+func (h *Host) Engine() *sim.Engine { return h.e }
+
+// Closing reports whether orderly shutdown has begun.
+func (h *Host) Closing() bool { return h.closing }
+
+// Reconnecting reports whether a mid-stream reconnect is in progress.
+func (h *Host) Reconnecting() bool { return h.reconnecting }
+
+// Kick wakes the reactor.
+func (h *Host) Kick() { h.kick.Fire() }
+
+// NoteLate counts a stale PDU for an already-reaped command.
+func (h *Host) NoteLate() {
+	h.LateMsgs++
+	h.tel.Inc(telemetry.CtrLateMsgs)
+}
+
+// LookupPending resolves an in-flight command by CID for a wire PDU
+// handler.
+func (h *Host) LookupPending(cid uint16) (*Pending, bool) {
+	ctx, ok := h.cids.Lookup(cid)
+	if !ok {
+		return nil, false
+	}
+	return ctx.(*Pending), true
+}
+
+// TakePending hands a binding (batch-submit override) a re-armed
+// pending op.
+func (h *Host) TakePending(io *transport.IO, fut *sim.Future[*transport.Result]) *Pending {
+	return h.takePending(io, fut)
+}
+
+// Push stamps the submission time and queues the pending op without
+// ringing the doorbell (batch-submit overrides kick once per train).
+func (h *Host) Push(p *sim.Proc, pend *Pending) {
+	pend.SubmitAt = p.Now()
+	h.submitQ.TryPut(pend)
+}
+
+// AdmitIO validates one I/O against the engine's common limits and the
+// wire's own, resolving the future with a typed error when it cannot be
+// queued. It returns false when the command must not proceed.
+func (h *Host) AdmitIO(io *transport.IO, fut *sim.Future[*transport.Result]) bool {
+	if h.closing {
+		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
+		return false
+	}
+	if io.Admin == 0 && !io.Flush && (io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0) {
+		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
+		return false
+	}
+	if st := h.wire.Admit(io); st != nvme.StatusSuccess {
+		fut.Resolve(&transport.Result{Status: st})
+		return false
+	}
+	return true
+}
+
+// Submit implements transport.Queue. The submitting process pays payload
+// generation and any wire staging costs (shared-memory flow control
+// pushes back here when all slots are busy).
+func (h *Host) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	fut := sim.NewFuture[*transport.Result](h.e)
+	if !h.AdmitIO(io, fut) {
+		return fut
+	}
+	pend := h.takePending(io, fut)
+	h.wire.StageSubmit(p, pend)
+	p.Sleep(h.cfg.Host.SubmitCPU)
+	pend.SubmitAt = p.Now()
+	h.submitQ.TryPut(pend)
+	h.kick.Fire()
+	return fut
+}
+
+// SubmitBatch implements transport.BatchQueue: it stages every I/O with
+// a single submit-CPU charge and a single reactor kick (one doorbell),
+// so the reactor can coalesce the train into batch capsules. Bindings
+// with amortized staging (the adaptive fabric's multi-slot claim)
+// shadow this with their own override.
+func (h *Host) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
+	futs := make([]*sim.Future[*transport.Result], len(ios))
+	pends := h.pendScratch[:0]
+	for i, io := range ios {
+		fut := sim.NewFuture[*transport.Result](h.e)
+		futs[i] = fut
+		if !h.AdmitIO(io, fut) {
+			continue
+		}
+		pend := h.takePending(io, fut)
+		h.wire.StageSubmit(p, pend)
+		pends = append(pends, pend)
+	}
+	h.pendScratch = pends[:0]
+	if len(pends) == 0 {
+		return futs
+	}
+	p.Sleep(h.cfg.Host.SubmitCPU)
+	for i, pend := range pends {
+		pend.SubmitAt = p.Now()
+		h.submitQ.TryPut(pend)
+		pends[i] = nil
+	}
+	h.kick.Fire()
+	return futs
+}
+
+// Close initiates orderly shutdown.
+func (h *Host) Close() {
+	if h.closing {
+		return
+	}
+	h.closing = true
+	h.kick.Fire()
+}
+
+// WaitClosed blocks until the reactor has exited.
+func (h *Host) WaitClosed(p *sim.Proc) { h.drained.Wait(p) }
+
+// reactor is the connection's single-core event loop.
+func (h *Host) reactor(p *sim.Proc) {
+	h.ep.OnDeliver = h.kick.Fire
+	defer h.drained.Fire()
+	for {
+		h.wire.PreReactor(p)
+		worked := false
+		if h.reconRetry {
+			h.reconRetry = false
+			if h.reconnecting && !h.closing {
+				h.sendICReq(p)
+				worked = true
+			}
+		}
+		if depth := h.batchDepth(); depth > 1 {
+			for !h.cids.Full() && !h.reconnecting && h.startTrain(p, depth) {
+				worked = true
+			}
+		} else {
+			for !h.cids.Full() && !h.reconnecting {
+				pend, ok := h.submitQ.TryGet()
+				if !ok {
+					break
+				}
+				h.start(p, pend)
+				worked = true
+			}
+		}
+		if h.closing && h.reconnecting {
+			// Tearing down with no usable connection: fail queued
+			// commands with a typed, retryable-at-application error
+			// rather than parking them forever.
+			for {
+				pend, ok := h.submitQ.TryGet()
+				if !ok {
+					break
+				}
+				pend.Fut.Resolve(&transport.Result{
+					Status:  nvme.StatusTransientTransport,
+					Latency: p.Now().Sub(pend.SubmitAt),
+				})
+				worked = true
+			}
+		}
+		for {
+			msg := h.ep.TryRecv(p)
+			if msg == nil {
+				break
+			}
+			h.handle(p, msg)
+			worked = true
+		}
+		if h.reapExpired(p) {
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 {
+			transport.SendPDUs(p, h.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
+			return
+		}
+		// Busy-poll the socket while commands are in flight: spin up to
+		// the budget inside the receive path (SO_BUSY_POLL semantics).
+		if budget := h.wire.PollBudget(); budget > 0 && h.cids.Outstanding() > 0 {
+			if msg := h.ep.RecvPoll(p, budget); msg != nil {
+				h.handle(p, msg)
+				continue
+			}
+			// Spin the budget, then fall through to the blocking wait.
+			p.Sleep(PollMissCPU)
+		}
+		h.kick.Reset()
+		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 {
+			continue
+		}
+		if h.ep.Pending() > 0 || (!h.cids.Full() && !h.reconnecting && h.submitQ.Len() > 0) {
+			continue
+		}
+		h.kick.Wait(p)
+		if h.cfg.InterruptWakeups && h.ep.Pending() > 0 {
+			h.ep.ChargeWakeup(p)
+		}
+	}
+}
+
+// maxRetries returns the per-command retry bound.
+func (h *Host) maxRetries() int {
+	if h.cfg.MaxRetries > 0 {
+		return h.cfg.MaxRetries
+	}
+	return 3
+}
+
+// retryBase returns the backoff base.
+func (h *Host) retryBase() time.Duration {
+	if h.cfg.RetryBackoff > 0 {
+		return h.cfg.RetryBackoff
+	}
+	return 100 * time.Microsecond
+}
+
+// backoff returns the delay before the given attempt: exponential in the
+// attempt number, capped, plus deterministic seed-derived jitter so
+// retrying queues don't synchronize into retry storms.
+func (h *Host) backoff(attempt int) time.Duration {
+	base := h.retryBase()
+	d := base << uint(attempt-1)
+	if max := 64 * base; d > max {
+		d = max
+	}
+	return d + time.Duration(h.rng.Int63n(int64(base)))
+}
+
+// armDeadline schedules the per-command deadline for the current attempt.
+// The generation check keeps a stale timer (for a completed or already
+// retried attempt) from firing on a reused CID.
+func (h *Host) armDeadline(pend *Pending) {
+	if h.cfg.CommandTimeout <= 0 {
+		return
+	}
+	gen := pend.Gen
+	cid := pend.CID
+	h.e.After(h.cfg.CommandTimeout, func() {
+		if pend.Gen != gen || pend.Expired {
+			return
+		}
+		ctx, ok := h.cids.Lookup(cid)
+		if !ok {
+			return
+		}
+		if cur, _ := ctx.(*Pending); cur != pend {
+			return
+		}
+		pend.Expired = true
+		h.kick.Fire()
+	})
+}
+
+// reapExpired tears down deadline-hit commands: the CID frees (late
+// responses for it are dropped as stale), staged payload reclaims, and
+// the command either re-drives after backoff or fails with a typed
+// transport error.
+func (h *Host) reapExpired(p *sim.Proc) bool {
+	if h.cfg.CommandTimeout <= 0 {
+		return false
+	}
+	worked := false
+	for i := 0; i < h.cids.Depth(); i++ {
+		ctx, ok := h.cids.Lookup(uint16(i))
+		if !ok {
+			continue
+		}
+		pend := ctx.(*Pending)
+		if !pend.Expired {
+			continue
+		}
+		if _, err := h.cids.Complete(pend.CID); err != nil {
+			panic(fmt.Sprintf("%s client: %v", h.cfg.Label, err))
+		}
+		h.Timeouts++
+		h.tel.Inc(telemetry.CtrTimeouts)
+		h.tel.Trace(int64(p.Now()), telemetry.EvTimeout, pend.CID, "", "deadline")
+		h.consecTimeouts++
+		h.requeueOrFail(p, pend)
+		worked = true
+	}
+	if h.consecTimeouts >= 2 && !h.reconnecting && !h.closing {
+		// Successive deadline hits mean the connection, not a command,
+		// is sick: re-run the handshake (the target may have crashed and
+		// restarted, or a KATO teardown dropped our connection state).
+		h.startReconnect(p)
+		worked = true
+	}
+	return worked
+}
+
+// requeueOrFail re-drives a torn-down command after a jittered backoff,
+// or fails it with StatusTransientTransport once attempts are exhausted
+// (or the client is closing). The caller must have freed the CID.
+func (h *Host) requeueOrFail(p *sim.Proc, pend *Pending) {
+	pend.Expired = false
+	pend.Gen++
+	pend.Received = 0
+	pend.Sent = 0
+	pend.DataLost = false
+	pend.WNext, pend.WEnd = 0, 0
+	h.wire.ReleaseAttempt(pend)
+	if h.closing || pend.Attempts >= h.maxRetries() {
+		pend.Fut.Resolve(&transport.Result{
+			Status:  nvme.StatusTransientTransport,
+			Latency: p.Now().Sub(pend.SubmitAt),
+		})
+		h.kick.Fire()
+		return
+	}
+	pend.Attempts++
+	h.Retries++
+	h.tel.Inc(telemetry.CtrRetries)
+	h.tel.Trace(int64(p.Now()), telemetry.EvRetry, pend.CID, "tcp", "backoff")
+	h.backlog++
+	h.e.After(h.backoff(pend.Attempts), func() {
+		h.backlog--
+		if h.closing {
+			pend.Fut.Resolve(&transport.Result{
+				Status:  nvme.StatusTransientTransport,
+				Latency: h.e.Now().Sub(pend.SubmitAt),
+			})
+			h.kick.Fire()
+			return
+		}
+		h.submitQ.TryPut(pend)
+		h.kick.Fire()
+	})
+}
+
+// keepAliveLoop enqueues a keep-alive admin command every interval. The
+// commands ride the normal submission path, so they are subject to
+// deadlines and drive crash detection even when the workload is idle.
+func (h *Host) keepAliveLoop(p *sim.Proc) {
+	for !h.closing {
+		p.Sleep(h.cfg.KeepAlive)
+		if h.closing {
+			return
+		}
+		if h.reconnecting || h.cids.Full() {
+			continue
+		}
+		pend := &Pending{Pending: transport.Pending{
+			IO:  &transport.IO{Admin: nvme.AdminKeepAlive},
+			Fut: sim.NewFuture[*transport.Result](h.e),
+		}}
+		pend.SubmitAt = p.Now()
+		h.submitQ.TryPut(pend)
+		h.kick.Fire()
+	}
+}
+
+// startReconnect re-runs the handshake on the live endpoint. Until it
+// completes, new submissions queue; in-flight commands keep timing out
+// into the retry path and re-drive afterwards.
+func (h *Host) startReconnect(p *sim.Proc) {
+	h.reconnecting = true
+	h.sendICReq(p)
+}
+
+// sendICReq (re)sends the handshake request and arms a retry timer in
+// case it, or the response, is lost.
+func (h *Host) sendICReq(p *sim.Proc) {
+	h.reconGen++
+	gen := h.reconGen
+	transport.SendPDUs(p, h.ep, h.wire.BuildICReq(true))
+	h.e.After(h.reconnectTimeout(), func() {
+		if h.reconnecting && h.reconGen == gen && !h.closing {
+			h.reconRetry = true
+			h.kick.Fire()
+		}
+	})
+}
+
+func (h *Host) reconnectTimeout() time.Duration {
+	if h.cfg.CommandTimeout > 0 {
+		return h.cfg.CommandTimeout
+	}
+	return time.Millisecond
+}
+
+// batchDepth returns the submission-coalescing depth in effect (1 =
+// classic one-capsule-per-message behaviour).
+func (h *Host) batchDepth() int {
+	if h.cfg.BatchSize > 1 {
+		return h.cfg.BatchSize
+	}
+	return 1
+}
+
+// prepareStart allocates the CID, arms the deadline, and builds the wire
+// entry for one command. It is the shared front half of start and
+// startTrain.
+func (h *Host) prepareStart(pend *Pending) pdu.BatchEntry {
+	cid, err := h.cids.Alloc(pend)
+	if err != nil {
+		// Caller ensured a free CID; allocation cannot fail here.
+		panic(err)
+	}
+	pend.CID = cid
+	h.armDeadline(pend)
+	io := pend.IO
+	if io.Admin != 0 {
+		return pdu.BatchEntry{Cmd: nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}}
+	}
+	if io.Flush {
+		// Flush carries no payload and no LBA range: it rides the control
+		// channel on either data path.
+		return pdu.BatchEntry{Cmd: nvme.NewFlush(cid, io.Nsid())}
+	}
+	return h.wire.MakeIOEntry(pend)
+}
+
+// SendCapsule transmits one entry as a classic command capsule using the
+// reactor-owned scratch (SendPDUs serializes before yielding, so reuse
+// across capsules is safe under the cooperative engine).
+func (h *Host) SendCapsule(p *sim.Proc, e *pdu.BatchEntry) {
+	h.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
+	transport.SendPDUs(p, h.ep, &h.capsule)
+}
+
+// start transmits one command capsule (the classic unbatched path). The
+// entry rides the reactor-owned scratch: passing a stack local through
+// the interface call would heap-allocate it per command, and every wire
+// consumes the entry before yielding back.
+func (h *Host) start(p *sim.Proc, pend *Pending) {
+	h.entry = h.prepareStart(pend)
+	h.wire.Transmit(p, &h.entry)
+	h.entry = pdu.BatchEntry{}
+}
+
+// startTrain drains up to depth admissible commands from the submit
+// queue and transmits them as one capsule train: a single network
+// message, so the per-message CPU, wakeup penalty, and all but one
+// common header are paid once for the whole batch. Returns false when
+// the queue had nothing to send.
+func (h *Host) startTrain(p *sim.Proc, depth int) bool {
+	entries := h.batch.Entries[:0]
+	for len(entries) < depth && !h.cids.Full() {
+		pend, ok := h.submitQ.TryGet()
+		if !ok {
+			break
+		}
+		entries = append(entries, h.prepareStart(pend))
+	}
+	h.batch.Entries = entries
+	if len(entries) == 0 {
+		return false
+	}
+	h.tel.Observe(telemetry.HistBatchSize, int64(len(entries)))
+	if len(entries) == 1 {
+		// A train of one degenerates to the classic capsule: no batch
+		// framing overhead, and single-command traffic stays on the
+		// established wire format.
+		h.wire.Transmit(p, &entries[0])
+		return true
+	}
+	h.wire.TransmitTrain(p, &h.batch)
+	return true
+}
+
+// handle processes one received network message.
+func (h *Host) handle(p *sim.Proc, msg *netsim.Message) {
+	transit := p.Now().Sub(msg.SentAt)
+	pdus, err := transport.DecodeAll(msg)
+	if err != nil {
+		panic(fmt.Sprintf("%s client: bad message: %v", h.cfg.Label, err))
+	}
+	h.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
+	reaped := 0
+	for _, u := range pdus {
+		switch v := u.(type) {
+		case *pdu.Data:
+			h.onData(p, v, transit)
+		case *pdu.CapsuleResp:
+			h.onResp(p, v, transit)
+			reaped++
+		case *pdu.ICResp:
+			h.onReconnectICResp(p, v)
+		case *pdu.Term:
+			// Target-initiated termination: nothing outstanding to do.
+		default:
+			if !h.wire.HandlePDU(p, u, transit) {
+				panic(fmt.Sprintf("%s client: unexpected PDU %v", h.cfg.Label, u.Type()))
+			}
+		}
+		// A message's transit is attributed once even when several PDUs
+		// were coalesced into it.
+		transit = 0
+	}
+	if reaped > 0 {
+		// Completions harvested per wakeup: the completion-reap analogue
+		// of HistBatchSize (the target coalesces responses when batching).
+		h.tel.Observe(telemetry.HistReapDepth, int64(reaped))
+	}
+}
+
+// onReconnectICResp completes the first half of a mid-stream reconnect:
+// adopt the renegotiated parameters (the data path may have changed) and
+// send the Fabrics Connect command.
+func (h *Host) onReconnectICResp(p *sim.Proc, resp *pdu.ICResp) {
+	if !h.reconnecting {
+		return
+	}
+	h.icresp = resp
+	h.wire.AdoptICResp(resp)
+	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: ConnectCID, CDW10: nvme.FctypeConnect}
+	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.hostNQN(), h.cfg.NQN)})
+}
+
+// onData receives one read payload chunk over the plain wire.
+func (h *Host) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
+	pend, ok := h.LookupPending(d.CID)
+	if !ok {
+		h.NoteLate() // late data for a command already reaped
+		return
+	}
+	n := len(d.Payload)
+	if n == 0 {
+		n = d.VirtualLen
+	}
+	if d.Payload != nil && pend.IO.Data != nil {
+		copy(pend.IO.Data[d.Offset:], d.Payload)
+	}
+	pend.Received += n
+	pend.Comm += transit
+}
+
+// onResp completes a command — or, when the target reported a retryable
+// typed error (shed under pressure, transfer failed mid-stream) or the
+// payload went missing, re-drives it.
+func (h *Host) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
+	if r.Rsp.CID == ConnectCID {
+		h.onConnectResp(r)
+		return
+	}
+	ctx, err := h.cids.Complete(r.Rsp.CID)
+	if err != nil {
+		// A response for a command the deadline already reaped: its CID
+		// was freed (or reused by a later command that also completed).
+		h.NoteLate()
+		return
+	}
+	pend := ctx.(*Pending)
+	pend.Comm += transit
+	p.Sleep(h.cfg.Host.CompleteCPU)
+	h.consecTimeouts = 0
+	pend.Expired = false // response raced the deadline: response wins
+	if h.cfg.CommandTimeout > 0 && !h.closing && (pend.DataLost || r.Rsp.Status.Retryable()) {
+		h.requeueOrFail(p, pend)
+		h.kick.Fire()
+		return
+	}
+	var data []byte
+	if !pend.IO.Write && pend.IO.Data != nil {
+		n := pend.Received
+		if n > len(pend.IO.Data) {
+			n = len(pend.IO.Data)
+		}
+		data = pend.IO.Data[:n]
+	}
+	pend.Finish(p.Now(), r, data)
+	h.Completed++
+	h.tel.Inc(telemetry.CtrCompletions)
+	if pend.IO.Admin == 0 {
+		lat := p.Now().Sub(pend.SubmitAt)
+		if pend.IO.Write {
+			h.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
+		} else {
+			h.tel.ObserveDuration(telemetry.HistReadLatency, lat)
+		}
+	}
+	h.recyclePending(pend)
+	h.kick.Fire()
+}
+
+// onConnectResp completes the second half of a mid-stream reconnect.
+func (h *Host) onConnectResp(r *pdu.CapsuleResp) {
+	if !h.reconnecting || r.Rsp.Status.IsError() {
+		return // the handshake retry timer will try again
+	}
+	h.reconnecting = false
+	h.consecTimeouts = 0
+	h.Reconnects++
+	h.tel.Inc(telemetry.CtrReconnects)
+	h.tel.Trace(int64(h.e.Now()), telemetry.EvReconnect, 0, "", "handshake")
+	h.kick.Fire()
+}

@@ -1,0 +1,94 @@
+// Package session implements the fabric-agnostic NVMe-oF session
+// engine: one host-side core (Host) and one target-side core (Target)
+// shared by every transport binding. The engine owns the machinery that
+// is identical across data paths — CID allocation, pending-op tracking,
+// queue-depth accounting, deadlines/retries/backoff, keep-alive,
+// batch-train assembly, completion reaping, connection lifecycle, the
+// KATO watchdog, bounded buffer-wait shedding, and telemetry emission —
+// while the transports (internal/core, internal/tcp, internal/rdma)
+// implement only the small Wire interfaces that differ per path:
+// handshake contents, payload staging, capsule transmission, and the
+// path-specific PDUs (R2T streaming, shared-memory notify/release,
+// direct placement). See DESIGN.md §5g for the layering contract.
+package session
+
+import (
+	"time"
+
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/transport"
+)
+
+// Shared wire constants. These live here and only here; the grep-guard
+// test in dedup_test.go fails if a transport re-declares one.
+const (
+	// CmdFlagSHMSlot marks a command capsule whose PRP1 carries a
+	// shared-memory slot index holding the write payload (the
+	// in-capsule-style flow of the shared-memory flow-control
+	// optimization, §4.4.2).
+	CmdFlagSHMSlot = 0x01
+
+	// PollMissCPU is the busy-poll expiry cost (syscall return + re-arm).
+	PollMissCPU = 8 * time.Microsecond
+
+	// DefaultHostNQN identifies the host when the caller sets none.
+	DefaultHostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
+
+	// ConnectCID is the reserved CID of the Fabrics Connect command; it
+	// never collides with I/O CIDs (queue depths are far smaller).
+	ConnectCID = 0xFFFF
+)
+
+// Pending tracks one in-flight command on the host side. It embeds the
+// transport-level pending record and adds the recovery state the engine
+// maintains (attempts, deadline generation) plus a transport-owned Stage
+// slot for per-attempt staging resources (e.g. a claimed shared-memory
+// slot).
+type Pending struct {
+	transport.Pending
+	// WNext and WEnd track chunked-write progress for conservative
+	// stop-and-wait flows (one chunk per target acknowledgement).
+	WNext, WEnd int
+	// Attempts counts retries so far; retried commands pin the plain
+	// wire data path. Gen invalidates stale deadline timers across
+	// attempts and recycles.
+	Attempts int
+	Gen      int
+	// Expired marks a deadline hit; the reactor reaps it.
+	Expired bool
+	// DataLost marks payload that went missing mid-transfer (revoked
+	// region); the response alone cannot complete the command.
+	DataLost bool
+	// Stage holds transport-specific per-attempt staging state (the
+	// adaptive fabric stores its claimed H2C slot here). The engine
+	// clears it on recycle and asks the wire to release it on retry.
+	Stage any
+}
+
+// takePending pops a recycled Pending (or allocates one) and re-arms it
+// for a fresh command. The generation bump invalidates any stale
+// deadline timer still holding the recycled struct.
+func (h *Host) takePending(io *transport.IO, fut *sim.Future[*transport.Result]) *Pending {
+	if n := len(h.freePends); n > 0 {
+		pend := h.freePends[n-1]
+		h.freePends[n-1] = nil
+		h.freePends = h.freePends[:n-1]
+		gen := pend.Gen + 1
+		*pend = Pending{Pending: transport.Pending{IO: io, Fut: fut}, Gen: gen}
+		return pend
+	}
+	return &Pending{Pending: transport.Pending{IO: io, Fut: fut}}
+}
+
+// recyclePending returns a finished pending op to the freelist. Only
+// fully resolved commands (future resolved, CID freed) may be recycled;
+// stale timers are fenced by the generation bump in takePending.
+func (h *Host) recyclePending(pend *Pending) {
+	if len(h.freePends) >= cap(h.freePends) && len(h.freePends) >= 4*h.cfg.QueueDepth {
+		return // bound the freelist; excess pends fall to the GC
+	}
+	pend.IO = nil
+	pend.Fut = nil
+	pend.Stage = nil
+	h.freePends = append(h.freePends, pend)
+}

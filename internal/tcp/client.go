@@ -2,27 +2,23 @@
 // the host-side queue (client) and the target-side connection server,
 // including in-capsule and R2T flow control, application-level chunking,
 // and the interrupt/busy-poll receive modes that the adaptive fabric
-// tunes (§4.5 of the paper).
+// tunes (§4.5 of the paper). The session machinery (CID table, reactor,
+// deadlines, batching) lives in internal/session; this file is the thin
+// TCP wire binding.
 package tcp
 
 import (
-	"fmt"
 	"time"
 
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
-
-// pollMissCPU is the fixed cost of a busy-poll budget expiring without
-// data: syscall return, poller re-arm, and scheduler bookkeeping. Frequent
-// misses at short budgets accumulate this overhead — the reason short
-// polls can underperform plain interrupt mode for write workloads (§4.5).
-const pollMissCPU = 8 * time.Microsecond
 
 // ClientConfig configures one NVMe/TCP host queue.
 type ClientConfig struct {
@@ -39,6 +35,12 @@ type ClientConfig struct {
 	// interval so the target's KATO watchdog keeps the connection alive
 	// (NVMe-oF keep-alive timer).
 	KeepAlive time.Duration
+	// CommandTimeout, when positive, bounds each command attempt;
+	// expired commands retry with backoff (MaxRetries, RetryBackoff)
+	// before failing with a transient transport error. Off by default.
+	CommandTimeout time.Duration
+	MaxRetries     int
+	RetryBackoff   time.Duration
 	// HostNQN identifies this host in the Fabrics Connect command
 	// (defaults to a generated NQN).
 	HostNQN string
@@ -48,369 +50,80 @@ type ClientConfig struct {
 
 // Client is one NVMe/TCP host queue pair over a network endpoint.
 type Client struct {
-	e       *sim.Engine
-	ep      *netsim.Endpoint
-	cfg     ClientConfig
-	cids    *nvme.CIDTable
-	submitQ *sim.Queue[*transport.Pending]
-	kick    *sim.Signal
-	icresp  *pdu.ICResp
-	closing bool
-	drained *sim.Signal
-	tel     *telemetry.Sink
+	*session.Host
+	wire *tcpWire
+}
 
-	// freePends recycles Pending structs between requests so the steady-
-	// state hot path allocates nothing per command. Safe without fencing:
-	// the TCP client has no deadline timers holding stale references, and
-	// a Pending leaves the CID table before it is recycled.
-	freePends []*transport.Pending
-	// batch and capsule are reactor-only scratch for outbound encoding.
-	// SendPDUs serializes synchronously before any yield, so reusing them
-	// across trains is safe under the cooperative engine.
-	batch   pdu.CmdBatch
-	capsule pdu.CapsuleCmd
-
-	// Stats.
-	Completed int64
+// tcpWire is the plain-TCP data path: in-capsule writes under the
+// threshold, R2T-granted chunk streaming above it, nothing else.
+type tcpWire struct {
+	h   *session.Host
+	ep  *netsim.Endpoint
+	cfg *ClientConfig
 }
 
 // Connect performs the ICReq/ICResp exchange over ep and starts the client
 // reactor. The calling process drives the handshake.
 func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 128
-	}
-	if cfg.Telemetry == nil {
-		cfg.Telemetry = telemetry.Disabled
-	}
 	e := p.Engine()
-	c := &Client{
-		e:       e,
-		ep:      ep,
-		cfg:     cfg,
-		cids:    nvme.NewCIDTable(cfg.QueueDepth),
-		submitQ: sim.NewQueue[*transport.Pending](e, 0),
-		kick:    sim.NewSignal(e),
-		drained: sim.NewSignal(e),
-		tel:     cfg.Telemetry,
-	}
-	transport.SendPDUs(p, ep, &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16})
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return nil, fmt.Errorf("tcp: handshake: %w", err)
-	}
-	icresp, ok := pdus[0].(*pdu.ICResp)
-	if !ok {
-		return nil, fmt.Errorf("tcp: handshake: unexpected %v", pdus[0].Type())
-	}
-	c.icresp = icresp
-	if err := fabricsConnect(p, ep, cfg.HostNQN, cfg.NQN); err != nil {
+	w := &tcpWire{ep: ep, cfg: &cfg}
+	h := session.NewHost(e, ep, session.HostConfig{
+		Label:            "tcp",
+		NQN:              cfg.NQN,
+		HostNQN:          cfg.HostNQN,
+		QueueDepth:       cfg.QueueDepth,
+		Host:             cfg.Host,
+		BatchSize:        cfg.TP.BatchSize,
+		CommandTimeout:   cfg.CommandTimeout,
+		MaxRetries:       cfg.MaxRetries,
+		RetryBackoff:     cfg.RetryBackoff,
+		KeepAlive:        cfg.KeepAlive,
+		InterruptWakeups: true,
+		Telemetry:        cfg.Telemetry,
+	}, w)
+	w.h = h
+	if err := h.Handshake(p); err != nil {
 		return nil, err
 	}
-	c.tel.Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", "nvme-tcp")
-	e.GoDaemon("tcp-client-reactor", c.reactor)
-	if cfg.KeepAlive > 0 {
-		e.GoDaemon("tcp-keepalive", c.keepAliveLoop)
-	}
-	return c, nil
+	h.Telemetry().Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "tcp", "nvme-tcp")
+	h.Start()
+	return &Client{Host: h, wire: w}, nil
 }
 
-// fabricsConnect performs the NVMe-oF Connect command: it associates the
-// host with the subsystem and lets the target validate the NQN before any
-// I/O flows.
-func fabricsConnect(p *sim.Proc, ep *netsim.Endpoint, hostNQN, subNQN string) error {
-	if hostNQN == "" {
-		hostNQN = "nqn.2014-08.org.nvmexpress:uuid:sim-host"
-	}
-	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: 0xFFFF, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(hostNQN, subNQN)})
-	msg := ep.Recv(p)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		return fmt.Errorf("tcp: connect: %w", err)
-	}
-	resp, ok := pdus[0].(*pdu.CapsuleResp)
-	if !ok {
-		return fmt.Errorf("tcp: connect: unexpected %v", pdus[0].Type())
-	}
-	if resp.Rsp.Status.IsError() {
-		return fmt.Errorf("tcp: connect rejected: %w", resp.Rsp.Status.Error())
-	}
-	return nil
+func (w *tcpWire) BuildICReq(reconnect bool) *pdu.ICReq {
+	return &pdu.ICReq{PFV: 0, HPDA: 4, MaxR2T: 16}
 }
 
-// keepAliveLoop issues keep-alive admin commands until the client closes.
-func (c *Client) keepAliveLoop(p *sim.Proc) {
-	for !c.closing {
-		p.Sleep(c.cfg.KeepAlive)
-		if c.closing {
-			return
-		}
-		c.Submit(p, &transport.IO{Admin: nvme.AdminKeepAlive})
-	}
-}
+func (w *tcpWire) AdoptICResp(resp *pdu.ICResp) {}
 
-// ICResp returns the connection parameters negotiated at handshake.
-func (c *Client) ICResp() *pdu.ICResp { return c.icresp }
+func (w *tcpWire) Admit(io *transport.IO) nvme.Status { return nvme.StatusSuccess }
 
-// Submit implements transport.Queue. The calling process pays payload
-// generation (writes) and submission CPU; protocol work happens on the
-// reactor.
-func (c *Client) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
-	fut := sim.NewFuture[*transport.Result](c.e)
-	if !c.admit(io, fut) {
-		return fut
-	}
-	if io.Write && !io.NoFill {
-		p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
-	}
-	p.Sleep(c.cfg.Host.SubmitCPU)
-	pend := c.newPending(io, fut)
-	pend.SubmitAt = p.Now()
-	c.submitQ.TryPut(pend)
-	c.kick.Fire()
-	return fut
-}
-
-// SubmitBatch implements transport.BatchQueue: it stages every I/O with a
-// single submit-CPU charge and a single reactor kick (one doorbell), so
-// the reactor can coalesce the train into batch capsules.
-func (c *Client) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
-	futs := make([]*sim.Future[*transport.Result], len(ios))
-	any := false
-	for i, io := range ios {
-		fut := sim.NewFuture[*transport.Result](c.e)
-		futs[i] = fut
-		if !c.admit(io, fut) {
-			continue
-		}
-		if io.Write && !io.NoFill {
-			p.Sleep(time.Duration(float64(io.Size) * c.cfg.Host.FillPerByteNanos))
-		}
-		any = true
-	}
-	if !any {
-		return futs
-	}
-	p.Sleep(c.cfg.Host.SubmitCPU)
-	for i, io := range ios {
-		if futs[i].Resolved() {
-			continue
-		}
-		pend := c.newPending(io, futs[i])
-		pend.SubmitAt = p.Now()
-		c.submitQ.TryPut(pend)
-	}
-	c.kick.Fire()
-	return futs
-}
-
-// admit validates an I/O, resolving the future with an error status when
-// it cannot be accepted. Returns true when the I/O may proceed.
-func (c *Client) admit(io *transport.IO, fut *sim.Future[*transport.Result]) bool {
-	if c.closing {
-		fut.Resolve(&transport.Result{Status: nvme.StatusAbortRequested})
-		return false
-	}
-	if err := validate(io); err != nil {
-		fut.Resolve(&transport.Result{Status: nvme.StatusInvalidField})
-		return false
-	}
-	return true
-}
-
-// newPending pops a recycled Pending or allocates one.
-func (c *Client) newPending(io *transport.IO, fut *sim.Future[*transport.Result]) *transport.Pending {
-	if n := len(c.freePends); n > 0 {
-		pend := c.freePends[n-1]
-		c.freePends[n-1] = nil
-		c.freePends = c.freePends[:n-1]
-		*pend = transport.Pending{IO: io, Fut: fut}
-		return pend
-	}
-	return &transport.Pending{IO: io, Fut: fut}
-}
-
-// recyclePending returns a completed Pending to the freelist (bounded at
-// a small multiple of the queue depth).
-func (c *Client) recyclePending(pend *transport.Pending) {
-	if len(c.freePends) >= 4*c.cfg.QueueDepth {
-		return
-	}
-	pend.IO, pend.Fut = nil, nil
-	c.freePends = append(c.freePends, pend)
-}
-
-// validate checks alignment and size.
-func validate(io *transport.IO) error {
-	if io.Admin != 0 || io.Flush {
-		return nil
-	}
-	if io.Size <= 0 || io.Size%transport.BlockSize != 0 || io.Offset%transport.BlockSize != 0 {
-		return fmt.Errorf("tcp: unaligned io off=%d size=%d", io.Offset, io.Size)
-	}
-	return nil
-}
-
-// Close initiates orderly shutdown: outstanding commands complete, then a
-// termination PDU is sent and the reactor exits.
-func (c *Client) Close() {
-	if c.closing {
-		return
-	}
-	c.closing = true
-	c.kick.Fire()
-}
-
-// WaitClosed blocks until the reactor has exited.
-func (c *Client) WaitClosed(p *sim.Proc) { c.drained.Wait(p) }
-
-// reactor is the single-core event loop serving this connection: it admits
-// submissions while CIDs are free, processes received PDUs, and waits in
-// the configured receive mode.
-func (c *Client) reactor(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	defer c.drained.Fire()
-	for {
-		worked := false
-		if depth := c.batchDepth(); depth > 1 {
-			for !c.cids.Full() && c.startTrain(p, depth) {
-				worked = true
-			}
-		} else {
-			for !c.cids.Full() {
-				pend, ok := c.submitQ.TryGet()
-				if !ok {
-					break
-				}
-				c.start(p, pend)
-				worked = true
-			}
-		}
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		if worked {
-			continue
-		}
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
-			transport.SendPDUs(p, c.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
-			return
-		}
-		// Busy-poll the socket while commands are in flight: spin up to
-		// the budget inside the receive path (SO_BUSY_POLL semantics).
-		// Submissions arriving mid-poll wait for the poll to return —
-		// the responsiveness cost of long budgets that Fig 10 exposes.
-		if c.cfg.TP.BusyPoll > 0 && c.cids.Outstanding() > 0 {
-			if msg := c.ep.RecvPoll(p, c.cfg.TP.BusyPoll); msg != nil {
-				c.handle(p, msg)
-				continue
-			}
-			// Expired poll: syscall return + re-arm cost, then fall
-			// through to the blocking wait (SO_BUSY_POLL semantics: spin
-			// the budget inside the syscall, then sleep until the
-			// interrupt fires).
-			p.Sleep(pollMissCPU)
-		}
-		c.kick.Reset()
-		// Re-check actionable work: the exit condition (handled at the
-		// top of the loop), received traffic, or an admissible
-		// submission. A backlogged submission with all CIDs in flight is
-		// not actionable until a completion arrives.
-		if c.closing && c.cids.Outstanding() == 0 && c.submitQ.Len() == 0 {
-			continue
-		}
-		if c.ep.Pending() > 0 || (!c.cids.Full() && c.submitQ.Len() > 0) {
-			continue
-		}
-		// With commands outstanding (even while closing) the next wake
-		// comes from the network; park until then.
-		c.kick.Wait(p)
-		if c.ep.Pending() > 0 {
-			c.ep.ChargeWakeup(p)
-		}
-	}
-}
-
-// batchDepth is the effective submission-coalescing depth.
-func (c *Client) batchDepth() int {
-	if c.cfg.TP.BatchSize > 1 {
-		return c.cfg.TP.BatchSize
-	}
-	return 1
-}
-
-// start transmits the command capsule for a newly admitted request.
-func (c *Client) start(p *sim.Proc, pend *transport.Pending) {
-	e := c.prepareStart(pend)
-	c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-	transport.SendPDUs(p, c.ep, &c.capsule)
-}
-
-// startTrain drains up to depth admissible requests and transmits them as
-// one capsule train: one network message, one doorbell. A single-entry
-// train degenerates to the classic capsule (no batch framing overhead).
-func (c *Client) startTrain(p *sim.Proc, depth int) bool {
-	entries := c.batch.Entries[:0]
-	for len(entries) < depth && !c.cids.Full() {
-		pend, ok := c.submitQ.TryGet()
-		if !ok {
-			break
-		}
-		entries = append(entries, c.prepareStart(pend))
-	}
-	c.batch.Entries = entries
-	if len(entries) == 0 {
-		return false
-	}
-	c.tel.Observe(telemetry.HistBatchSize, int64(len(entries)))
-	if len(entries) == 1 {
-		e := entries[0]
-		c.capsule = pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-		transport.SendPDUs(p, c.ep, &c.capsule)
-		return true
-	}
-	transport.SendPDUs(p, c.ep, &c.batch)
-	return true
-}
-
-// prepareStart allocates a CID for pend and builds its batch entry (the
-// command plus any in-capsule payload); the caller owns transmission.
-func (c *Client) prepareStart(pend *transport.Pending) pdu.BatchEntry {
-	cid, err := c.cids.Alloc(pend)
-	if err != nil {
-		// Caller ensured a free CID; allocation cannot fail here.
-		panic(err)
-	}
-	pend.CID = cid
+// StageSubmit charges payload generation for writes on the submitting
+// process.
+func (w *tcpWire) StageSubmit(p *sim.Proc, pend *session.Pending) {
 	io := pend.IO
-	if io.Admin != 0 {
-		cmd := nvme.Command{Opcode: io.Admin, CID: cid, NSID: io.NSID, CDW10: io.CDW10, Flags: transport.AdminFlag}
-		return pdu.BatchEntry{Cmd: cmd}
+	if io.Write && !io.NoFill {
+		p.Sleep(time.Duration(float64(io.Size) * w.cfg.Host.FillPerByteNanos))
 	}
-	if io.Flush {
-		// No payload, no LBA range: the flush capsule is pure control.
-		return pdu.BatchEntry{Cmd: nvme.NewFlush(cid, io.Nsid())}
-	}
-	c.tel.Inc(telemetry.CtrSubmitsTCP)
-	c.tel.Observe(telemetry.HistIOSize, int64(io.Size))
+}
+
+// MakeIOEntry builds the read/write entry; small writes ride in-capsule
+// with the command (§4.4.2).
+func (w *tcpWire) MakeIOEntry(pend *session.Pending) pdu.BatchEntry {
+	io := pend.IO
+	tel := w.h.Telemetry()
+	tel.Inc(telemetry.CtrSubmitsTCP)
+	tel.Observe(telemetry.HistIOSize, int64(io.Size))
 	slba := uint64(io.Offset / transport.BlockSize)
 	nlb := uint32(io.Size / transport.BlockSize)
 	var cmd nvme.Command
 	if io.Write {
-		cmd = nvme.NewWrite(cid, io.Nsid(), slba, nlb)
+		cmd = nvme.NewWrite(pend.CID, io.Nsid(), slba, nlb)
 	} else {
-		cmd = nvme.NewRead(cid, io.Nsid(), slba, nlb)
+		cmd = nvme.NewRead(pend.CID, io.Nsid(), slba, nlb)
 	}
 	e := pdu.BatchEntry{Cmd: cmd}
-	if io.Write && io.Size <= c.cfg.TP.InCapsuleThreshold {
-		// In-capsule flow: payload rides with the command (§4.4.2).
+	if io.Write && io.Size <= w.cfg.TP.InCapsuleThreshold {
 		if io.Data != nil {
 			e.Data = io.Data
 		} else {
@@ -421,48 +134,36 @@ func (c *Client) prepareStart(pend *transport.Pending) pdu.BatchEntry {
 	return e
 }
 
-// handle processes one received network message (one or more PDUs).
-func (c *Client) handle(p *sim.Proc, msg *netsim.Message) {
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("tcp client: bad message: %v", err))
-	}
-	c.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
-	reaped := 0
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.R2T:
-			c.onR2T(p, v)
-		case *pdu.Data:
-			c.onData(p, v, transit)
-		case *pdu.CapsuleResp:
-			c.onResp(p, v, transit)
-			reaped++
-		case *pdu.Term:
-			// Target-initiated termination: nothing outstanding to do.
-		default:
-			panic(fmt.Sprintf("tcp client: unexpected PDU %v", u.Type()))
-		}
-		// A message's transit is attributed once even when several PDUs
-		// were coalesced into it.
-		transit = 0
-	}
-	if reaped > 0 {
-		c.tel.Observe(telemetry.HistReapDepth, int64(reaped))
-	}
+func (w *tcpWire) Transmit(p *sim.Proc, e *pdu.BatchEntry) { w.h.SendCapsule(p, e) }
+
+func (w *tcpWire) TransmitTrain(p *sim.Proc, b *pdu.CmdBatch) {
+	transport.SendPDUs(p, w.ep, b)
 }
 
-// onR2T streams the granted write payload as chunk-sized H2CData PDUs.
-func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
-	ctx, ok := c.cids.Lookup(r.CID)
-	if !ok {
-		panic(fmt.Sprintf("tcp client: R2T for unknown CID %d", r.CID))
+func (w *tcpWire) PollBudget() time.Duration { return w.cfg.TP.BusyPoll }
+
+func (w *tcpWire) PreReactor(p *sim.Proc) {}
+
+func (w *tcpWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	if r, ok := u.(*pdu.R2T); ok {
+		w.onR2T(p, r)
+		return true
 	}
-	pend := ctx.(*transport.Pending)
+	return false
+}
+
+func (w *tcpWire) ReleaseAttempt(pend *session.Pending) {}
+
+// onR2T streams the granted write payload as chunk-sized H2CData PDUs.
+func (w *tcpWire) onR2T(p *sim.Proc, r *pdu.R2T) {
+	pend, ok := w.h.LookupPending(r.CID)
+	if !ok {
+		w.h.NoteLate() // grant for a command already reaped
+		return
+	}
 	io := pend.IO
 	grantEnd := int(r.Offset) + int(r.Length)
-	transport.ChunkSizes(grantEnd-int(r.Offset), c.chunk(), func(off, n int) {
+	transport.ChunkSizes(grantEnd-int(r.Offset), w.chunk(), func(off, n int) {
 		dataOff := int(r.Offset) + off
 		d := &pdu.Data{
 			Dir:    pdu.TypeH2CData,
@@ -476,55 +177,17 @@ func (c *Client) onR2T(p *sim.Proc, r *pdu.R2T) {
 		} else {
 			d.VirtualLen = n
 		}
-		transport.SendPDUs(p, c.ep, d)
+		transport.SendPDUs(p, w.ep, d)
 	})
 	pend.Sent += int(r.Length)
 }
 
-// onData receives one read payload chunk.
-func (c *Client) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
-	ctx, ok := c.cids.Lookup(d.CID)
-	if !ok {
-		panic(fmt.Sprintf("tcp client: data for unknown CID %d", d.CID))
+// chunk returns the effective chunk size.
+func (w *tcpWire) chunk() int {
+	if icresp := w.h.ICResp(); icresp != nil && icresp.MaxH2CData > 0 && int(icresp.MaxH2CData) < w.cfg.TP.ChunkSize {
+		return int(icresp.MaxH2CData)
 	}
-	pend := ctx.(*transport.Pending)
-	n := len(d.Payload)
-	if n == 0 {
-		n = d.VirtualLen
-	}
-	if d.Payload != nil && pend.IO.Data != nil {
-		copy(pend.IO.Data[d.Offset:], d.Payload)
-	}
-	pend.Received += n
-	pend.Comm += transit
-}
-
-// onResp completes a command.
-func (c *Client) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
-	ctx, err := c.cids.Complete(r.Rsp.CID)
-	if err != nil {
-		panic(fmt.Sprintf("tcp client: %v", err))
-	}
-	pend := ctx.(*transport.Pending)
-	pend.Comm += transit
-	p.Sleep(c.cfg.Host.CompleteCPU)
-	var data []byte
-	if !pend.IO.Write && pend.IO.Data != nil {
-		data = pend.IO.Data[:pend.Received]
-	}
-	pend.Finish(p.Now(), r, data)
-	c.Completed++
-	c.tel.Inc(telemetry.CtrCompletions)
-	if pend.IO.Admin == 0 {
-		lat := p.Now().Sub(pend.SubmitAt)
-		if pend.IO.Write {
-			c.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
-		} else {
-			c.tel.ObserveDuration(telemetry.HistReadLatency, lat)
-		}
-	}
-	c.recyclePending(pend)
-	c.kick.Fire() // a CID freed: admit backlog
+	return w.cfg.TP.ChunkSize
 }
 
 // Identify fetches the controller and namespace-1 identify pages through
@@ -553,12 +216,4 @@ func (c *Client) Identify(p *sim.Proc) (nvme.IdentifyController, nvme.IdentifyNa
 		return nvme.IdentifyController{}, nvme.IdentifyNamespace{}, err
 	}
 	return ctrl, ns, nil
-}
-
-// chunk returns the effective chunk size.
-func (c *Client) chunk() int {
-	if c.icresp != nil && c.icresp.MaxH2CData > 0 && int(c.icresp.MaxH2CData) < c.cfg.TP.ChunkSize {
-		return int(c.icresp.MaxH2CData)
-	}
-	return c.cfg.TP.ChunkSize
 }

@@ -1,20 +1,21 @@
 package tcp
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
-	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/telemetry"
-	"nvmeoaf/internal/transport"
 )
+
+// Conn is one target-side connection (the engine's connection core; the
+// TCP wire adds no per-connection state).
+type Conn = session.Conn
 
 // ServerConfig configures the target-side NVMe/TCP transport.
 type ServerConfig struct {
@@ -42,24 +43,12 @@ type ServerConfig struct {
 }
 
 // Server is the NVMe/TCP transport of one target: it owns the shared data
-// buffer pool and serves any number of connections.
+// buffer pool and serves any number of connections through the session
+// engine.
 type Server struct {
-	e    *sim.Engine
-	tgt  *target.Target
+	*session.Target
 	cfg  ServerConfig
 	pool *mempool.Pool
-	tel  *telemetry.Sink
-
-	// BufferWaits counts commands that had to wait for pool buffers.
-	BufferWaits int64
-	// Shed counts commands rejected with a retryable error under pool
-	// exhaustion.
-	Shed int64
-	// KAExpirations counts connections torn down by the KATO watchdog.
-	KAExpirations int64
-	// StaleMsgs counts PDUs for unknown commands (late data after a
-	// teardown) dropped instead of panicking.
-	StaleMsgs int64
 }
 
 // NewServer creates the transport for tgt with a fresh buffer pool.
@@ -67,17 +56,23 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 	if cfg.TP.ChunkSize <= 0 {
 		cfg.TP = model.DefaultTCPTransport()
 	}
-	if cfg.Telemetry == nil {
-		cfg.Telemetry = telemetry.Disabled
-	}
 	s := &Server{
-		e:    e,
-		tgt:  tgt,
 		cfg:  cfg,
 		pool: mempool.New("tcp-data/"+cfg.NQN, cfg.TP.ChunkSize, cfg.TP.DataBuffers),
-		tel:  cfg.Telemetry,
 	}
 	s.pool.SetPoison(cfg.PoisonPool)
+	s.Target = session.NewTarget(e, tgt, session.TargetConfig{
+		Label:            "tcp",
+		NQN:              cfg.NQN,
+		ChunkSize:        cfg.TP.ChunkSize,
+		BatchSize:        cfg.TP.BatchSize,
+		BusyPoll:         cfg.TP.BusyPoll,
+		KATO:             cfg.KATO,
+		MaxBufferWaiters: cfg.MaxBufferWaiters,
+		InterruptWakeups: true,
+		Pool:             s.pool,
+		Telemetry:        cfg.Telemetry,
+	}, (*tcpTargetWire)(s))
 	return s
 }
 
@@ -85,587 +80,54 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 // chunk-size experiment).
 func (s *Server) Pool() *mempool.Pool { return s.pool }
 
-// Serve starts a connection handler on ep.
-func (s *Server) Serve(ep *netsim.Endpoint) *Conn {
-	conn := &Conn{
-		srv:      s,
-		ep:       ep,
-		txQ:      sim.NewQueue[*txBatch](s.e, 0),
-		kick:     sim.NewSignal(s.e),
-		writes:   make(map[uint16]*writeCtx),
-		waitsQ:   sim.NewQueue[*allocWait](s.e, 0),
-		lastSeen: s.e.Now(),
-	}
-	s.e.GoDaemon("tcp-server-conn", conn.run)
-	if s.cfg.KATO > 0 {
-		s.e.GoDaemon("tcp-kato-watchdog", conn.watchdog)
-	}
-	return conn
+// tcpTargetWire binds the engine's connections to the plain-TCP data
+// path.
+type tcpTargetWire Server
+
+func (s *tcpTargetWire) NewConn(c *session.Conn) session.ConnWire {
+	return &tcpConnWire{s: (*Server)(s), c: c}
 }
 
-// watchdog enforces the keep-alive timeout: a connection with no traffic
-// for KATO is closed and its resources reclaimed.
-func (c *Conn) watchdog(p *sim.Proc) {
-	for !c.closed {
-		p.Sleep(c.srv.cfg.KATO / 2)
-		if c.closed {
-			return
-		}
-		if p.Now().Sub(c.lastSeen) > c.srv.cfg.KATO {
-			c.Expired = true
-			c.closed = true
-			c.srv.KAExpirations++
-			c.srv.tel.Inc(telemetry.CtrSrvKATOExpiry)
-			c.srv.tel.Trace(int64(p.Now()), telemetry.EvKATOExpired, 0, "tcp", "watchdog")
-			c.kick.Fire()
-			return
-		}
-	}
+// tcpConnWire is the per-connection TCP wire: a plain ICResp handshake,
+// reads streamed as chunked C2HData, writes in-capsule or via R2T flow
+// control — all through the engine's shared machinery.
+type tcpConnWire struct {
+	s *Server
+	c *session.Conn
 }
 
-// txBatch is a set of PDUs to transmit as one message, with an optional
-// post-send callback (used to release buffers once data is on the wire).
-type txBatch struct {
-	pdus  []pdu.PDU
-	after func()
-}
-
-// writeCtx tracks reassembly of one conservative-flow write command.
-// Real payloads are staged directly into the reserved pool elements (the
-// DPDK receive path), not a private heap buffer.
-type writeCtx struct {
-	cmd      nvme.Command
-	size     int
-	received int
-	staged   bool // real bytes landed in bufs
-	bufs     []*mempool.Buf
-	comm     time.Duration
-	arrived  sim.Time
-}
-
-// gather materializes the staged payload into one contiguous buffer for
-// the device execute; nil when the write carried no real bytes.
-func (ctx *writeCtx) gather() []byte {
-	if !ctx.staged {
-		return nil
-	}
-	return mempool.Gather(ctx.bufs, ctx.size)
-}
-
-// allocWait is a command parked until pool buffers free up.
-type allocWait struct {
-	need  int
-	run   func(bufs []*mempool.Buf)
-	since sim.Time
-}
-
-// Conn is one target-side connection.
-type Conn struct {
-	srv    *Server
-	ep     *netsim.Endpoint
-	txQ    *sim.Queue[*txBatch]
-	kick   *sim.Signal
-	writes map[uint16]*writeCtx
-	// waitsQ holds commands waiting for buffer credits, FIFO.
-	waitsQ   *sim.Queue[*allocWait]
-	lastSeen sim.Time
-	closed   bool
-	// connected is set once the Fabrics Connect command succeeds.
-	connected bool
-	// Expired reports a keep-alive timeout teardown.
-	Expired bool
-	// dead is set once the run loop exits: posts stop transmitting but
-	// still run their cleanup callbacks so buffers return to the pool.
-	dead bool
-	// txPDUs and txAfters are run-loop scratch for completion-reap
-	// coalescing; SendPDUs encodes before yielding, so reuse is safe.
-	txPDUs   []pdu.PDU
-	txAfters []func()
-}
-
-// post enqueues an outbound batch and wakes the handler.
-func (c *Conn) post(after func(), pdus ...pdu.PDU) {
-	if c.dead {
-		// The connection is gone; run the cleanup (buffer frees) so a
-		// late worker completion cannot leak pool buffers.
-		if after != nil {
-			after()
-		}
-		return
-	}
-	c.txQ.TryPut(&txBatch{pdus: pdus, after: after})
-	c.kick.Fire()
-}
-
-// run is the connection's event loop.
-func (c *Conn) run(p *sim.Proc) {
-	c.ep.OnDeliver = c.kick.Fire
-	for !c.closed {
-		worked := false
-		for {
-			msg := c.ep.TryRecv(p)
-			if msg == nil {
-				break
-			}
-			c.handle(p, msg)
-			worked = true
-		}
-		if c.drainTx(p) {
-			worked = true
-		}
-		// Retry commands waiting for buffers (frees may have happened).
-		c.retryWaits()
-		if worked {
-			continue
-		}
-		if c.srv.cfg.TP.BusyPoll > 0 {
-			if msg := c.ep.RecvPoll(p, c.srv.cfg.TP.BusyPoll); msg != nil {
-				c.handle(p, msg)
-				continue
-			}
-			p.Sleep(pollMissCPU)
-		}
-		c.kick.Reset()
-		if c.ep.Pending() > 0 || c.txQ.Len() > 0 || c.closed {
-			continue
-		}
-		c.kick.Wait(p)
-		if c.ep.Pending() > 0 {
-			c.ep.ChargeWakeup(p)
-		}
-	}
-	c.teardown(p)
-}
-
-// drainTx transmits queued batches. With BatchSize > 1 it merges up to
-// that many queued batches into one network message (completion-reap
-// coalescing: one interrupt/wakeup on the host covers many completions);
-// otherwise each batch goes out as its own message, bit-identical to the
-// classic path.
-func (c *Conn) drainTx(p *sim.Proc) bool {
-	reap := 1
-	if c.srv.cfg.TP.BatchSize > 1 {
-		reap = c.srv.cfg.TP.BatchSize
-	}
-	worked := false
-	for {
-		batch, ok := c.txQ.TryGet()
-		if !ok {
-			break
-		}
-		worked = true
-		if reap <= 1 {
-			transport.SendPDUs(p, c.ep, batch.pdus...)
-			c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-			if batch.after != nil {
-				batch.after()
-			}
-			continue
-		}
-		pdus := append(c.txPDUs[:0], batch.pdus...)
-		afters := c.txAfters[:0]
-		if batch.after != nil {
-			afters = append(afters, batch.after)
-		}
-		merged := 1
-		for merged < reap {
-			next, ok := c.txQ.TryGet()
-			if !ok {
-				break
-			}
-			pdus = append(pdus, next.pdus...)
-			if next.after != nil {
-				afters = append(afters, next.after)
-			}
-			merged++
-		}
-		transport.SendPDUs(p, c.ep, pdus...)
-		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(pdus)))
-		c.srv.tel.Observe(telemetry.HistReapDepth, int64(merged))
-		for i, fn := range afters {
-			fn()
-			afters[i] = nil
-		}
-		c.txPDUs, c.txAfters = pdus[:0], afters[:0]
-	}
-	return worked
-}
-
-// teardown reclaims every connection resource: queued transmissions are
-// flushed (their cleanup callbacks always run), half-received writes free
-// their pool buffers, and parked buffer-waiters drain — a KATO expiry
-// mid-transfer must not leak pool credits the other connections need.
-func (c *Conn) teardown(p *sim.Proc) {
-	c.dead = true
-	for {
-		batch, ok := c.txQ.TryGet()
-		if !ok {
-			break
-		}
-		transport.SendPDUs(p, c.ep, batch.pdus...)
-		c.srv.tel.Add(telemetry.CtrPDUsTx, int64(len(batch.pdus)))
-		if batch.after != nil {
-			batch.after()
-		}
-	}
-	for _, cid := range sortedWriteCIDs(c.writes) {
-		freeBufs(c.writes[cid].bufs)
-		delete(c.writes, cid)
-	}
-	for {
-		if _, ok := c.waitsQ.TryGet(); !ok {
-			break
-		}
-	}
-}
-
-func sortedWriteCIDs(m map[uint16]*writeCtx) []uint16 {
-	cids := make([]uint16, 0, len(m))
-	for cid := range m {
-		cids = append(cids, cid)
-	}
-	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
-	return cids
-}
-
-// retryWaits re-attempts buffer allocation for parked commands in FIFO
-// order, stopping at the first that still cannot be satisfied.
-func (c *Conn) retryWaits() {
-	for c.waitsQ.Len() > 0 {
-		w, _ := c.waitsQ.TryGet()
-		bufs, ok := c.allocBufs(w.need)
-		if ok {
-			c.srv.tel.ObserveDuration(telemetry.HistBufWait,
-				c.srv.e.Now().Sub(w.since))
-		} else {
-			// Put it back at the head position: re-queue preserving FIFO
-			// by draining and re-adding would reorder; instead use a
-			// fresh queue with w first.
-			rest := []*allocWait{w}
-			for c.waitsQ.Len() > 0 {
-				x, _ := c.waitsQ.TryGet()
-				rest = append(rest, x)
-			}
-			for _, x := range rest {
-				c.waitsQ.TryPut(x)
-			}
-			return
-		}
-		w.run(bufs)
-	}
-}
-
-// allocBufs grabs n buffers from the shared pool, all or nothing.
-func (c *Conn) allocBufs(n int) ([]*mempool.Buf, bool) {
-	if c.srv.pool.Available() < n {
-		return nil, false
-	}
-	bufs := make([]*mempool.Buf, 0, n)
-	for i := 0; i < n; i++ {
-		b, ok := c.srv.pool.Get()
-		if !ok {
-			for _, prev := range bufs {
-				prev.Free()
-			}
-			return nil, false
-		}
-		bufs = append(bufs, b)
-	}
-	return bufs, true
-}
-
-// withBufs runs fn once n pool buffers are available. Under exhaustion
-// the command parks in the wait queue (R2T flow control back-pressure);
-// past MaxBufferWaiters the server sheds it with a retryable typed
-// error instead of queueing without bound.
-func (c *Conn) withBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
-	if bufs, ok := c.allocBufs(n); ok {
-		fn(bufs)
-		return
-	}
-	if max := c.srv.cfg.MaxBufferWaiters; max > 0 && c.waitsQ.Len() >= max {
-		c.srv.Shed++
-		c.srv.tel.Inc(telemetry.CtrSrvShed)
-		c.srv.tel.Trace(int64(c.srv.e.Now()), telemetry.EvShed, cid, "tcp", "pool-exhausted")
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
-		return
-	}
-	c.srv.BufferWaits++
-	c.srv.tel.Inc(telemetry.CtrSrvBufWaits)
-	c.waitsQ.TryPut(&allocWait{need: n, run: fn, since: c.srv.e.Now()})
-}
-
-func freeBufs(bufs []*mempool.Buf) {
-	for _, b := range bufs {
-		b.Free()
-	}
-}
-
-// handle processes one received message.
-func (c *Conn) handle(p *sim.Proc, msg *netsim.Message) {
-	c.lastSeen = p.Now()
-	transit := p.Now().Sub(msg.SentAt)
-	pdus, err := transport.DecodeAll(msg)
-	if err != nil {
-		panic(fmt.Sprintf("tcp server: bad message: %v", err))
-	}
-	c.srv.tel.Add(telemetry.CtrPDUsRx, int64(len(pdus)))
-	for _, u := range pdus {
-		switch v := u.(type) {
-		case *pdu.ICReq:
-			c.srv.tel.Inc(telemetry.CtrSrvTCPConns)
-			c.post(nil, &pdu.ICResp{
-				PFV:        v.PFV,
-				CPDA:       4,
-				MaxH2CData: uint32(c.srv.cfg.TP.ChunkSize),
-			})
-		case *pdu.CapsuleCmd:
-			c.onCommand(p, v, transit)
-		case *pdu.CmdBatch:
-			// A capsule train: dispatch each entry; the message's transit
-			// is attributed to the first command only.
-			for i := range v.Entries {
-				e := &v.Entries[i]
-				cc := pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
-				c.onCommand(p, &cc, transit)
-				transit = 0
-			}
-		case *pdu.Data:
-			c.onData(p, v, transit)
-		case *pdu.Term:
-			c.closed = true
-			c.kick.Fire()
-		default:
-			panic(fmt.Sprintf("tcp server: unexpected PDU %v", u.Type()))
-		}
-		transit = 0 // attribute a message's transit once
-	}
-}
-
-// onCommand dispatches a command capsule.
-func (c *Conn) onCommand(p *sim.Proc, cap *pdu.CapsuleCmd, transit time.Duration) {
-	cmd := cap.Cmd
-	if cmd.Opcode == nvme.FabricsCommandType {
-		c.onFabrics(cap)
-		return
-	}
-	if cmd.Flags&transport.AdminFlag != 0 {
-		c.onAdmin(cmd, transit)
-		return
-	}
-	switch cmd.Opcode {
-	case nvme.OpRead:
-		c.startRead(cmd, transit)
-	case nvme.OpWrite:
-		size := int(cmd.NLB()) * transport.BlockSize
-		inCap := capsuleDataLen(cap)
-		if inCap > 0 {
-			// In-capsule flow: one message carried command and payload.
-			c.execWrite(cmd, size, cap.Data, transit, nil)
-			return
-		}
-		c.startConservativeWrite(cmd, size, transit)
-	case nvme.OpFlush:
-		c.execFlush(cmd, transit)
-	default:
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
-	}
-}
-
-// onFabrics serves Fabrics command capsules: Connect validates the
-// requested subsystem NQN before any I/O is admitted.
-func (c *Conn) onFabrics(cap *pdu.CapsuleCmd) {
-	cmd := cap.Cmd
-	status := nvme.StatusInvalidField
-	if cmd.CDW10 == nvme.FctypeConnect {
-		if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.srv.cfg.NQN {
-			status = nvme.StatusSuccess
-			c.connected = true
-		}
-	}
-	c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
-}
-
-// onAdmin dispatches admin-queue commands.
-func (c *Conn) onAdmin(cmd nvme.Command, transit time.Duration) {
-	switch cmd.Opcode {
-	case nvme.AdminIdentify:
-		c.execIdentify(cmd, transit)
-	case nvme.AdminGetLogPage:
-		c.execGetLogPage(cmd, transit)
-	case nvme.AdminKeepAlive:
-		c.post(nil, &pdu.CapsuleResp{
-			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
-			TgtCommNs: uint64(transit),
-		})
-	default:
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidOpcode}})
-	}
-}
-
-// execGetLogPage serves the discovery log page (Get Log Page, LID 0x70).
-func (c *Conn) execGetLogPage(cmd nvme.Command, comm time.Duration) {
-	if cmd.CDW10&0xFF != nvme.LIDDiscovery&0xFF {
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-		return
-	}
-	page := c.srv.tgt.DiscoveryLog(nvme.TrTypeTCP, "storage-host")
-	c.post(nil,
-		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-		&pdu.CapsuleResp{
-			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
-			TgtCommNs: uint64(comm),
-		})
-}
-
-// capsuleDataLen reports in-capsule payload size (real or virtual).
-func capsuleDataLen(cap *pdu.CapsuleCmd) int {
-	if cap.Data != nil {
-		return len(cap.Data)
-	}
-	return cap.VirtualLen
-}
-
-// startRead allocates chunk buffers and runs the read asynchronously.
-func (c *Conn) startRead(cmd nvme.Command, transit time.Duration) {
-	size := int(cmd.NLB()) * transport.BlockSize
-	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
-		c.srv.e.Go("tcp-read-worker", func(w *sim.Proc) {
-			res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-			if res.CQE.Status.IsError() {
-				freeBufs(bufs)
-				c.post(nil, c.resp(res, transit))
-				return
-			}
-			// Stream payload as chunk-sized C2HData PDUs; the final chunk
-			// travels with the response capsule in one message.
-			chunk := c.srv.cfg.TP.ChunkSize
-			var batches []*txBatch
-			transport.ChunkSizes(size, chunk, func(off, n int) {
-				d := &pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Offset: uint32(off), Last: off+n >= size}
-				if res.Data != nil {
-					d.Payload = res.Data[off : off+n]
-				} else {
-					d.VirtualLen = n
-				}
-				batches = append(batches, &txBatch{pdus: []pdu.PDU{d}})
-			})
-			last := batches[len(batches)-1]
-			last.pdus = append(last.pdus, c.resp(res, transit))
-			last.after = func() { freeBufs(bufs) }
-			if c.dead {
-				// Connection torn down while the read executed: reclaim
-				// the buffers without transmitting.
-				freeBufs(bufs)
-				return
-			}
-			for _, b := range batches {
-				c.txQ.TryPut(b)
-			}
-			c.kick.Fire()
-		})
+func (w *tcpConnWire) OnICReq(req *pdu.ICReq) {
+	w.c.Target().Telemetry().Inc(telemetry.CtrSrvTCPConns)
+	w.c.Post(nil, &pdu.ICResp{
+		PFV:        req.PFV,
+		CPDA:       4,
+		MaxH2CData: uint32(w.s.cfg.TP.ChunkSize),
 	})
 }
 
-// startConservativeWrite grants an R2T once buffers are reserved.
-func (c *Conn) startConservativeWrite(cmd nvme.Command, size int, transit time.Duration) {
-	need := transport.Chunks(size, c.srv.cfg.TP.ChunkSize)
-	c.withBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
-		ctx := &writeCtx{cmd: cmd, size: size, bufs: bufs, comm: transit, arrived: c.srv.e.Now()}
-		c.writes[cmd.CID] = ctx
-		c.post(nil, &pdu.R2T{CID: cmd.CID, TTag: cmd.CID, Offset: 0, Length: uint32(size)})
-	})
+func (w *tcpConnWire) TrType() uint8 { return nvme.TrTypeTCP }
+
+func (w *tcpConnWire) PreLoop() {}
+
+func (w *tcpConnWire) DispatchRead(cmd nvme.Command, transit time.Duration) {
+	w.c.StartReadTCP(cmd, transit)
 }
 
-// onData accumulates H2CData for a conservative write. Data for an
-// unknown CID (late chunks of a write a teardown already reclaimed) is
-// dropped, not fatal.
-func (c *Conn) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
-	ctx, ok := c.writes[d.CID]
-	if !ok {
-		c.srv.StaleMsgs++
-		c.srv.tel.Inc(telemetry.CtrSrvStaleMsgs)
+func (w *tcpConnWire) DispatchWrite(cap *pdu.CapsuleCmd, size int, transit time.Duration) {
+	inCap := len(cap.Data)
+	if inCap == 0 {
+		inCap = cap.VirtualLen
+	}
+	if inCap > 0 {
+		// In-capsule flow: one message carried command and payload.
+		w.c.ExecWrite(cap.Cmd, size, cap.Data, transit, nil, 0)
 		return
 	}
-	n := len(d.Payload)
-	if n == 0 {
-		n = d.VirtualLen
-	}
-	if d.Payload != nil {
-		mempool.Scatter(ctx.bufs, int(d.Offset), d.Payload)
-		ctx.staged = true
-	}
-	ctx.received += n
-	ctx.comm += transit
-	if ctx.received >= ctx.size {
-		delete(c.writes, d.CID)
-		c.execWrite(ctx.cmd, ctx.size, ctx.gather(), ctx.comm, ctx.bufs)
-	}
+	w.c.StartConservativeWrite(cap.Cmd, size, transit)
 }
 
-// execWrite runs a fully received write.
-func (c *Conn) execWrite(cmd nvme.Command, size int, data []byte, comm time.Duration, bufs []*mempool.Buf) {
-	c.srv.e.Go("tcp-write-worker", func(w *sim.Proc) {
-		res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, data)
-		if bufs != nil {
-			freeBufs(bufs)
-			c.kick.Fire() // buffer credits freed: retry waiters
-		}
-		c.post(nil, c.resp(res, comm))
-	})
+func (w *tcpConnWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool {
+	return false
 }
 
-// execFlush runs a flush command.
-func (c *Conn) execFlush(cmd nvme.Command, comm time.Duration) {
-	c.srv.e.Go("tcp-flush-worker", func(w *sim.Proc) {
-		res := c.srv.tgt.Execute(w, c.srv.cfg.NQN, cmd, nil)
-		c.post(nil, c.resp(res, comm))
-	})
-}
-
-// execIdentify serves an identify admin command with a real data page.
-func (c *Conn) execIdentify(cmd nvme.Command, comm time.Duration) {
-	var page []byte
-	switch cmd.CDW10 {
-	case nvme.CNSController:
-		id, err := c.srv.tgt.IdentifyController(c.srv.cfg.NQN)
-		if err != nil {
-			c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-			return
-		}
-		page = id.Encode()
-	case nvme.CNSNamespace:
-		sub, ok := c.srv.tgt.Subsystem(c.srv.cfg.NQN)
-		if !ok {
-			c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-			return
-		}
-		ns, ok := sub.Namespace(cmd.NSID)
-		if !ok {
-			c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidNamespace}})
-			return
-		}
-		idns := ns.Identify()
-		page = idns.Encode()
-	default:
-		c.post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusInvalidField}})
-		return
-	}
-	c.post(nil,
-		&pdu.Data{Dir: pdu.TypeC2HData, CID: cmd.CID, Payload: page, Last: true},
-		&pdu.CapsuleResp{
-			Rsp:       nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess},
-			TgtCommNs: uint64(comm),
-		})
-}
-
-// resp builds a response capsule with the timing trailer.
-func (c *Conn) resp(res target.ExecResult, comm time.Duration) *pdu.CapsuleResp {
-	return &pdu.CapsuleResp{
-		Rsp:        res.CQE,
-		IOTimeNs:   uint64(res.IOTime),
-		TgtCommNs:  uint64(comm),
-		TgtOtherNs: uint64(res.OtherTime),
-	}
-}
+func (w *tcpConnWire) Teardown() {}

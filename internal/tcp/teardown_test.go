@@ -75,10 +75,10 @@ func TestKATOExpiryReclaimsMidTransferResources(t *testing.T) {
 	if got := srv.Pool().InUse(); got != 0 {
 		t.Fatalf("teardown leaked %d pool buffers", got)
 	}
-	if got := conn.waitsQ.Len(); got != 0 {
+	if got := conn.WaitsQ.Len(); got != 0 {
 		t.Fatalf("teardown leaked %d parked buffer waiters", got)
 	}
-	if len(conn.writes) != 0 {
-		t.Fatalf("teardown leaked %d write contexts", len(conn.writes))
+	if len(conn.Writes) != 0 {
+		t.Fatalf("teardown leaked %d write contexts", len(conn.Writes))
 	}
 }

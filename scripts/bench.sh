@@ -9,7 +9,7 @@
 # CI artifacts.
 #
 # Environment knobs (all optional):
-#   BENCH_OUT      output file            (default BENCH_pr4.json)
+#   BENCH_OUT      output file            (default BENCH_pr5.json)
 #   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
 #   BENCH_QD       queue depth            (default 64)
 #   BENCH_SIZE     I/O size               (default 128K)
@@ -22,7 +22,7 @@
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr4.json}
+OUT=${BENCH_OUT:-BENCH_pr5.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}

@@ -2,7 +2,10 @@
 # Fast correctness gate for CI and pre-commit:
 #   1. go vet      — static checks
 #   2. go build    — everything compiles
-#   3. go test -race — full suite under the race detector (the sim engine
+#   3. dupcheck    — no >40-line cross-file clones in the fabric packages
+#      (internal/{core,tcp,rdma,session} must share the session engine,
+#      not carry private copies of it); also prints the LoC report
+#   4. go test -race — full suite under the race detector (the sim engine
 #      runs procs one at a time, but real goroutines, channels, and the
 #      shared-memory atomics still get exercised)
 #
@@ -17,6 +20,9 @@ go vet ./...
 
 echo "== build =="
 go build ./...
+
+echo "== dupcheck =="
+go run ./cmd/dupcheck
 
 echo "== test (race) =="
 go test -race "$@" ./...
