@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"nvmeoaf/internal/cache"
+	"nvmeoaf/internal/cluster"
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/exp"
+	"nvmeoaf/internal/faults"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/perf"
@@ -111,6 +113,14 @@ func main() {
 	cacheStr := flag.String("cache", "", "target-side DRAM block cache capacity per SSD (e.g. 256M; empty = uncached)")
 	cacheMode := flag.String("cache-mode", "wt", "cache write policy: wt/write-through or wb/write-back")
 	zipf := flag.Float64("zipf", 0, "Zipfian hot-set skew theta for random workloads (0 = uniform; YCSB default 0.99)")
+	targets := flag.Int("targets", 0, "shard+replicate the namespace across this many member targets (0 = direct per-stream connections)")
+	replicas := flag.Int("replicas", 0, "replica count R per extent for -targets runs (0 = default 2)")
+	wquorum := flag.Int("wquorum", 0, "write quorum W for -targets runs (0 = majority of R)")
+	spares := flag.Int("spares", 0, "members held out of placement as warm spares for -targets runs")
+	extent := flag.String("extent", "", "sharding extent size for -targets runs (e.g. 128K; empty = default)")
+	crashMember := flag.Int("crash-member", 0, "member index crashed mid-run when -crash-down is set")
+	crashAt := flag.Duration("crash-at", 0, "virtual time at which the crashed member goes down")
+	crashDown := flag.Duration("crash-down", 0, "crash outage length (0 disables the crash)")
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
@@ -173,6 +183,23 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *targets > 0 {
+		cfg.ClusterTargets = *targets
+		cfg.ClusterReplicas = *replicas
+		cfg.ClusterWriteQuorum = *wquorum
+		cfg.ClusterSpares = *spares
+		if *extent != "" {
+			es, err := parseSize(*extent)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oafperf:", err)
+				os.Exit(2)
+			}
+			cfg.ClusterExtent = int64(es)
+		}
+		cfg.CrashMember = *crashMember
+		cfg.CrashAt = *crashAt
+		cfg.CrashDown = *crashDown
+	}
 	if *chunk > 0 || *poll > 0 || *batch > 1 {
 		tp := model.DefaultTCPTransport()
 		if *chunk > 0 {
@@ -227,6 +254,17 @@ func main() {
 		fmt.Printf("  cache     : %s hit %.1f%% (%d hits / %d misses, %d bypass), %d evict, dirty %d B\n",
 			cs.Name, cs.HitRate()*100, cs.Hits, cs.Misses, cs.Bypasses, cs.Evictions, cs.DirtyBytes)
 	}
+	if cs := res.Cluster; cs != nil {
+		fmt.Printf("  cluster   : %d seats R=%d W=%d; %d downs / %d ups, %d read failovers, %d quorum fails\n",
+			cs.Seats, cs.Replicas, cs.WriteQuorum, cs.ReplicaDowns, cs.ReplicaUps, cs.ReadFailovers, cs.QuorumFails)
+		if cs.RebuildExtents > 0 || cs.StaleExtents > 0 {
+			fmt.Printf("  rebuild   : %d extents (%.1f MB) recopied in %d rounds, backlog %d\n",
+				cs.RebuildExtents, float64(cs.RebuildBytes)/1e6, cs.RebuildRounds, cs.StaleExtents)
+		}
+	}
+	for _, ev := range res.FaultLog {
+		fmt.Printf("  fault     : %v %s %s\n", ev.At, ev.Kind, ev.Detail)
+	}
 }
 
 // report is the -stats-json document: run configuration, the aggregate
@@ -244,6 +282,12 @@ type report struct {
 		CacheBytes int64   `json:"cache_bytes,omitempty"`
 		CacheMode  string  `json:"cache_mode,omitempty"`
 		Zipf       float64 `json:"zipf,omitempty"`
+		Targets    int     `json:"targets,omitempty"`
+		Replicas   int     `json:"replicas,omitempty"`
+		WQuorum    int     `json:"wquorum,omitempty"`
+		Spares     int     `json:"spares,omitempty"`
+		CrashAt    string  `json:"crash_at,omitempty"`
+		CrashDown  string  `json:"crash_down,omitempty"`
 		Window     string  `json:"window"`
 		Seed       int64   `json:"seed"`
 	} `json:"config"`
@@ -262,6 +306,8 @@ type report struct {
 	Telemetry telemetry.Snapshot `json:"telemetry"`
 	Pools     []mempool.Stats    `json:"pools,omitempty"`
 	Caches    []cache.Stats      `json:"caches,omitempty"`
+	Cluster   *cluster.Stats     `json:"cluster,omitempty"`
+	Faults    []faults.Event     `json:"faults,omitempty"`
 }
 
 func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Result) error {
@@ -279,6 +325,16 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 		r.Config.CacheMode = cfg.CacheMode.String()
 	}
 	r.Config.Zipf = cfg.Workload.Zipf
+	if cfg.ClusterTargets > 0 {
+		r.Config.Targets = cfg.ClusterTargets
+		r.Config.Replicas = cfg.ClusterReplicas
+		r.Config.WQuorum = cfg.ClusterWriteQuorum
+		r.Config.Spares = cfg.ClusterSpares
+		if cfg.CrashDown > 0 {
+			r.Config.CrashAt = cfg.CrashAt.String()
+			r.Config.CrashDown = cfg.CrashDown.String()
+		}
+	}
 	r.Config.Window = cfg.Workload.Duration.String()
 	r.Config.Seed = cfg.Seed
 	agg := res.Agg
@@ -295,6 +351,8 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Telemetry = res.Telemetry.Snapshot()
 	r.Pools = res.Pools
 	r.Caches = res.CacheStats
+	r.Cluster = res.Cluster
+	r.Faults = res.FaultLog
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

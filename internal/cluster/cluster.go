@@ -1,0 +1,842 @@
+// Package cluster is the self-healing sharded + replicated namespace
+// layer: a placement/replication router stacked above transport.Queue
+// that turns N independent NVMe-oF targets into one survivable
+// namespace.
+//
+// Placement shards the namespace into stripe-aligned extents and maps
+// each extent onto R distinct seats of a consistent-hash ring
+// (ring.go). Writes fan out to all R replicas and acknowledge at the
+// write quorum W (majority by default); per-extent version tracking
+// records which replicas hold the latest quorum-committed version, and
+// reads are routed only to replicas known to hold it — read-your-write
+// holds across replica failover. Replica death is detected from
+// keep-alive probes and typed NVMe errors on the data path; a dead
+// member's seat is inherited by a spare, and a background
+// re-replication loop (rebuild.go) copies stale extents from surviving
+// replicas until the cluster is whole again. Everything runs on the
+// deterministic sim clock: a given seed replays every failover and
+// rebuild bit-identically.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/transport"
+)
+
+// Member is one attachable replica target: an established queue to a
+// target that stores extents at identity offsets (replica i's byte x is
+// the namespace's byte x).
+type Member struct {
+	// Name labels the member in stats, traces, and errors (its NQN).
+	Name string
+	// Queue is the established connection. It should be configured with
+	// a command timeout and keep-alive so crashed targets produce typed
+	// errors instead of hanging the probe loop.
+	Queue transport.Queue
+}
+
+// Options configures a replicated namespace.
+type Options struct {
+	// Seats is N, the number of data-bearing targets the namespace is
+	// sharded across (default: all members, leaving no spares).
+	Seats int
+	// Replicas is R, the copies kept of each extent (default 2, capped
+	// at Seats).
+	Replicas int
+	// WriteQuorum is W, the replica acks required before a write
+	// completes (default majority of R; clamped to [1, R]).
+	WriteQuorum int
+	// ExtentSize is the placement granularity in bytes, rounded up to a
+	// BlockSize multiple (default transport.DefaultStripeUnit). I/Os
+	// spanning extents split at boundaries and aggregate like striping.
+	ExtentSize int64
+	// Vnodes is the virtual-node count per seat (DefaultVnodes when 0).
+	Vnodes int
+	// ProbeInterval is the keep-alive probing period per member; 0
+	// disables probing (death is then detected from data-path errors
+	// only).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe: a keep-alive that neither
+	// completes nor fails within it counts as a miss (default 4x
+	// ProbeInterval). This catches members whose transport is nursing
+	// commands through reconnect/retry loops instead of failing them —
+	// unresponsive is as dead as erroring.
+	ProbeTimeout time.Duration
+	// ProbeMisses is the consecutive typed-failure count (probe or data
+	// path) that declares a member dead (default 2).
+	ProbeMisses int
+	// RetainData makes rebuild move real bytes (the targets store
+	// payloads); modeled namespaces copy timing only.
+	RetainData bool
+	// Namespace labels this cluster in stats.
+	Namespace string
+	// Telemetry receives cluster counters, rebuild histograms, and
+	// replica up/down trace events; nil disables.
+	Telemetry *telemetry.Sink
+}
+
+func (o Options) withDefaults(members int) Options {
+	if o.Seats <= 0 || o.Seats > members {
+		o.Seats = members
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Replicas > o.Seats {
+		o.Replicas = o.Seats
+	}
+	if o.WriteQuorum <= 0 {
+		o.WriteQuorum = o.Replicas/2 + 1
+	}
+	if o.WriteQuorum > o.Replicas {
+		o.WriteQuorum = o.Replicas
+	}
+	if o.ExtentSize <= 0 {
+		o.ExtentSize = transport.DefaultStripeUnit
+	}
+	if rem := o.ExtentSize % transport.BlockSize; rem != 0 {
+		o.ExtentSize += transport.BlockSize - rem
+	}
+	if o.ProbeMisses <= 0 {
+		o.ProbeMisses = 2
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 4 * o.ProbeInterval
+	}
+	return o
+}
+
+// seatState is one stable placement slot. gen bumps whenever the
+// occupant changes, invalidating every per-extent ack recorded against
+// the previous occupant in O(1).
+type seatState struct {
+	member int // members index; -1 while vacant (dead occupant, no spare)
+	gen    int64
+}
+
+// memberState tracks one attached target's service state.
+type memberState struct {
+	idx    int
+	name   string
+	q      transport.Queue
+	alive  bool
+	seat   int // occupied seat, -1 when spare or displaced
+	misses int // consecutive typed failures (probe or data path)
+}
+
+// replState is one (extent, seat) replica record: the highest version
+// this seat's occupant has acknowledged, valid only while gen matches
+// the seat's current generation. chain serializes writes to this
+// replica so quorum-overlapped writes cannot reorder on the wire.
+type replState struct {
+	seat  int
+	gen   int64
+	acked int64
+	chain *sim.Future[*transport.Result]
+}
+
+// extentState is the per-extent routing record.
+type extentState struct {
+	idx       int64
+	ver       int64 // latest version assigned to a write
+	committed int64 // highest quorum-acknowledged version
+	size      int   // bytes ever written within the extent (rebuild copy size)
+	repl      []replState
+}
+
+// Cluster is the replicated namespace router. It implements
+// transport.Queue and transport.BatchQueue, so perf streams, the oaf
+// facade, and striped groups stack on it unchanged.
+type Cluster struct {
+	e       *sim.Engine
+	opts    Options
+	ring    *Ring
+	members []*memberState
+	seats   []seatState
+	spares  []int // member indices waiting to inherit a seat, FIFO
+
+	extents    map[int64]*extentState
+	extentList []*extentState // deterministic iteration order for rebuild
+
+	workQ   *sim.Queue[func(p *sim.Proc)]
+	dirty   *sim.Signal // wakes the rebuild loop
+	settled *sim.Signal // fired whenever a rebuild round drains the stale set
+	closing bool
+	tel     *telemetry.Sink
+	rr      int // read-rotation cursor across eligible replicas
+
+	// Counters mirrored into telemetry (kept locally for Stats()).
+	writes, reads  int64
+	quorumFails    int64
+	readFailovers  int64
+	degradedIOs    int64
+	replicaDowns   int64
+	replicaUps     int64
+	rebuildRounds  int64
+	rebuildExtents int64
+	rebuildBytes   int64
+}
+
+// New assembles a replicated namespace over the given members: the
+// first Seats members occupy the ring's seats, the rest start as
+// spares. Call Close to tear every member queue down.
+func New(e *sim.Engine, members []Member, opts Options) (*Cluster, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one member")
+	}
+	opts = opts.withDefaults(len(members))
+	if opts.Seats > 64 {
+		return nil, fmt.Errorf("cluster: at most 64 seats, got %d", opts.Seats)
+	}
+	c := &Cluster{
+		e:       e,
+		opts:    opts,
+		ring:    NewRing(opts.Seats, opts.Replicas, opts.Vnodes),
+		seats:   make([]seatState, opts.Seats),
+		extents: make(map[int64]*extentState),
+		workQ:   sim.NewQueue[func(p *sim.Proc)](e, 0),
+		dirty:   sim.NewSignal(e),
+		settled: sim.NewSignal(e),
+		tel:     opts.Telemetry,
+	}
+	for i, m := range members {
+		ms := &memberState{idx: i, name: m.Name, q: m.Queue, alive: true, seat: -1}
+		c.members = append(c.members, ms)
+		if i < opts.Seats {
+			ms.seat = i
+			c.seats[i] = seatState{member: i}
+		} else {
+			c.spares = append(c.spares, i)
+		}
+	}
+	e.GoDaemon("cluster-worker", c.workerLoop)
+	e.GoDaemon("cluster-rebuild", c.rebuildLoop)
+	if opts.ProbeInterval > 0 {
+		for _, ms := range c.members {
+			m := ms
+			e.GoDaemon(fmt.Sprintf("cluster-probe-%s", m.name), func(p *sim.Proc) {
+				c.probeLoop(p, m)
+			})
+		}
+	}
+	return c, nil
+}
+
+// Engine exposes the simulation engine (for facades and tests).
+func (c *Cluster) Engine() *sim.Engine { return c.e }
+
+// Options returns the effective (defaulted) configuration.
+func (c *Cluster) Options() Options { return c.opts }
+
+// workerLoop executes deferred submissions: work that must run on a
+// process (queue Submit can block on flow control) but was scheduled
+// from a resolve callback (write chains, read failovers).
+func (c *Cluster) workerLoop(p *sim.Proc) {
+	for {
+		fn, ok := c.workQ.Get(p)
+		if !ok {
+			return
+		}
+		fn(p)
+	}
+}
+
+// defer_ schedules fn on the worker process.
+func (c *Cluster) defer_(fn func(p *sim.Proc)) { c.workQ.TryPut(fn) }
+
+// extentFor maps a byte offset to its extent index.
+func (c *Cluster) extentFor(off int64) int64 { return off / c.opts.ExtentSize }
+
+// extent returns (creating on first touch) the routing record for ext.
+func (c *Cluster) extent(ext int64) *extentState {
+	st, ok := c.extents[ext]
+	if ok {
+		return st
+	}
+	st = &extentState{idx: ext, repl: make([]replState, 0, c.opts.Replicas)}
+	seats := c.ring.Locate(ext, make([]int, 0, c.opts.Replicas))
+	for _, s := range seats {
+		st.repl = append(st.repl, replState{seat: s, gen: c.seats[s].gen})
+	}
+	c.extents[ext] = st
+	c.extentList = append(c.extentList, st)
+	return st
+}
+
+// occupant returns the member currently seated at seat, nil when the
+// seat is vacant.
+func (c *Cluster) occupant(seat int) *memberState {
+	m := c.seats[seat].member
+	if m < 0 {
+		return nil
+	}
+	return c.members[m]
+}
+
+// eligible reports whether replica ri of st can serve a read without
+// violating read-your-write: its occupant is alive and has acknowledged
+// at least the extent's committed version under the seat's current
+// generation. An extent never committed reads from any live replica.
+func (c *Cluster) eligible(st *extentState, ri int) bool {
+	rs := &st.repl[ri]
+	ms := c.occupant(rs.seat)
+	if ms == nil || !ms.alive {
+		return false
+	}
+	if st.committed == 0 {
+		return true
+	}
+	return rs.gen == c.seats[rs.seat].gen && rs.acked >= st.committed
+}
+
+// Submit implements transport.Queue: writes replicate to quorum, reads
+// route to an up-to-date replica, I/Os spanning extents split and
+// aggregate, admin commands probe the first live member, and flush fans
+// out to every live seated member (the durability barrier must drain
+// every replica it may have dirtied).
+func (c *Cluster) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	if io.Admin != 0 {
+		return c.submitAdmin(p, io)
+	}
+	if io.Flush {
+		return c.submitFlush(p, io)
+	}
+	segs := transport.SplitAt(io, c.opts.ExtentSize)
+	if len(segs) == 1 {
+		return c.submitSeg(p, io)
+	}
+	futs := make([]*sim.Future[*transport.Result], len(segs))
+	for i, seg := range segs {
+		futs[i] = c.submitSeg(p, seg)
+	}
+	return transport.AggregateResults(c.e, io, futs)
+}
+
+func (c *Cluster) submitSeg(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	if io.Write {
+		return c.submitWrite(p, io)
+	}
+	return c.submitRead(p, io)
+}
+
+// submitAdmin forwards an admin command to the first live member.
+func (c *Cluster) submitAdmin(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	for _, ms := range c.members {
+		if ms.alive {
+			return ms.q.Submit(p, io)
+		}
+	}
+	fut := sim.NewFuture[*transport.Result](c.e)
+	fut.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
+	return fut
+}
+
+// submitFlush fans the barrier out to every live seated member.
+func (c *Cluster) submitFlush(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	var futs []*sim.Future[*transport.Result]
+	for s := range c.seats {
+		ms := c.occupant(s)
+		if ms == nil || !ms.alive {
+			continue
+		}
+		futs = append(futs, ms.q.Submit(p, &transport.IO{Flush: true, NSID: io.NSID}))
+	}
+	if len(futs) == 0 {
+		fut := sim.NewFuture[*transport.Result](c.e)
+		fut.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
+		return fut
+	}
+	return transport.AggregateResults(c.e, io, futs)
+}
+
+// writeOp tracks one replicated write until quorum (or until quorum
+// becomes unreachable).
+type writeOp struct {
+	c        *Cluster
+	st       *extentState
+	v        int64
+	out      *sim.Future[*transport.Result]
+	start    sim.Time
+	needed   int
+	pending  int // replica submissions still unresolved
+	acks     int
+	resolved bool
+	merged   transport.Result
+	errSt    nvme.Status
+}
+
+// ack folds one successful replica completion in; the W-th ack commits
+// the version and resolves the caller's future.
+func (w *writeOp) ack(r *transport.Result) {
+	w.pending--
+	w.acks++
+	if r.Latency > w.merged.Latency {
+		w.merged.Latency = r.Latency
+	}
+	if r.IOTime > w.merged.IOTime {
+		w.merged.IOTime = r.IOTime
+	}
+	if r.CommTime > w.merged.CommTime {
+		w.merged.CommTime = r.CommTime
+	}
+	if w.resolved || w.acks < w.needed {
+		return
+	}
+	w.resolved = true
+	if w.v > w.st.committed {
+		w.st.committed = w.v
+	}
+	w.c.writes++
+	w.c.tel.Inc(telemetry.CtrReplWrites)
+	res := w.merged
+	res.Status = nvme.StatusSuccess
+	res.Latency = w.c.e.Now().Sub(w.start)
+	if other := res.Latency - res.IOTime - res.CommTime; other > 0 {
+		res.OtherTime = other
+	}
+	w.out.Resolve(&res)
+}
+
+// fail folds one replica failure in; when quorum can no longer be
+// reached the write fails with the first replica error.
+func (w *writeOp) fail(st nvme.Status) {
+	w.pending--
+	if w.errSt == nvme.StatusSuccess {
+		w.errSt = st
+	}
+	if w.resolved || w.acks+w.pending >= w.needed {
+		return
+	}
+	w.resolved = true
+	w.c.quorumFails++
+	w.c.tel.Inc(telemetry.CtrReplQuorumFails)
+	w.out.Resolve(&transport.Result{
+		Status:  w.errSt,
+		Latency: w.c.e.Now().Sub(w.start),
+	})
+}
+
+// submitWrite fans one extent-contained write out to its R replicas and
+// completes at the write quorum. Each replica write rides that
+// replica's per-extent chain, so two overlapping writes to the same
+// extent apply in version order on every replica.
+func (c *Cluster) submitWrite(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	st := c.extent(c.extentFor(io.Offset))
+	st.ver++
+	v := st.ver
+	if end := int(io.Offset + int64(io.Size) - st.idx*c.opts.ExtentSize); end > st.size {
+		st.size = end
+	}
+	w := &writeOp{
+		c: c, st: st, v: v,
+		out:    sim.NewFuture[*transport.Result](c.e),
+		start:  p.Now(),
+		needed: c.opts.WriteQuorum,
+	}
+	issued := 0
+	first := true
+	for ri := range st.repl {
+		rs := &st.repl[ri]
+		ms := c.occupant(rs.seat)
+		if ms == nil || !ms.alive {
+			continue
+		}
+		wio := &transport.IO{
+			Write: true, NSID: io.NSID, Offset: io.Offset, Size: io.Size,
+			Data: io.Data, NoFill: !first || io.NoFill,
+		}
+		first = false
+		issued++
+		w.pending++
+		c.tel.Inc(telemetry.CtrReplReplicaWrites)
+		c.replicaWrite(p, st, ri, ms, wio, v, w)
+	}
+	if issued < len(st.repl) {
+		c.degradedIOs++
+		c.tel.Inc(telemetry.CtrReplDegraded)
+	}
+	if issued < w.needed {
+		// Not enough live replicas to ever reach quorum: fail fast (the
+		// issued writes still complete in the background and record
+		// their acks for rebuild bookkeeping).
+		w.resolved = true
+		c.quorumFails++
+		c.tel.Inc(telemetry.CtrReplQuorumFails)
+		w.out.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
+	}
+	return w.out
+}
+
+// replicaWrite issues one replica's copy of write v through the
+// (extent, seat) chain and records the ack against the seat generation
+// it was issued under.
+func (c *Cluster) replicaWrite(p *sim.Proc, st *extentState, ri int, ms *memberState, io *transport.IO, v int64, w *writeOp) {
+	rs := &st.repl[ri]
+	gen := c.seats[rs.seat].gen
+	fut := c.chainSubmit(p, rs, ms.q, io)
+	fut.OnResolve(func(r *transport.Result) {
+		if r.Status == nvme.StatusSuccess {
+			c.noteSuccess(ms)
+			// The ack only counts while the member still holds the seat
+			// it was written through; a promoted spare restarts from a
+			// clean generation.
+			if c.seats[rs.seat].gen == gen {
+				rs.gen = gen
+				if v > rs.acked {
+					rs.acked = v
+				}
+			}
+			if w != nil {
+				w.ack(r)
+			}
+			return
+		}
+		c.noteFailure(ms, r.Status)
+		if w != nil {
+			w.fail(r.Status)
+		}
+	})
+	fut.OnResolve(func(*transport.Result) { c.wakeIfStale(st) })
+}
+
+// wakeIfStale re-wakes the rebuild loop when a write resolution leaves
+// (or reveals) a stale replica on the extent. This closes the window the
+// rebuild loop skips on purpose: a copy is never queued behind a pending
+// chained write, so the write's own completion must re-trigger the pass
+// that decides whether a copy is still needed.
+func (c *Cluster) wakeIfStale(st *extentState) {
+	if c.closing {
+		return
+	}
+	for ri := range st.repl {
+		if c.staleRepl(st, ri) {
+			c.dirty.Fire()
+			return
+		}
+	}
+}
+
+// chainSubmit serializes submissions per (extent, seat): the new I/O is
+// issued immediately when the previous one has completed, otherwise it
+// is deferred to the worker process and issued on completion. This
+// prevents a quorum-overlapped later write from passing an earlier one
+// on the same replica queue.
+func (c *Cluster) chainSubmit(p *sim.Proc, rs *replState, q transport.Queue, io *transport.IO) *sim.Future[*transport.Result] {
+	out := sim.NewFuture[*transport.Result](c.e)
+	prev := rs.chain
+	rs.chain = out
+	if prev == nil || prev.Resolved() {
+		q.Submit(p, io).OnResolve(out.Resolve)
+		return out
+	}
+	prev.OnResolve(func(*transport.Result) {
+		c.defer_(func(dp *sim.Proc) {
+			q.Submit(dp, io).OnResolve(out.Resolve)
+		})
+	})
+	return out
+}
+
+// readOp tracks one replicated read across failover attempts.
+type readOp struct {
+	c     *Cluster
+	st    *extentState
+	io    *transport.IO
+	out   *sim.Future[*transport.Result]
+	tried []bool
+}
+
+// pickReplica returns the next untried eligible replica for st, -1 when
+// none remain. Rotation spreads read load across the eligible set.
+func (c *Cluster) pickReplica(st *extentState, tried []bool) int {
+	n := len(st.repl)
+	start := c.rr
+	c.rr++
+	for k := 0; k < n; k++ {
+		ri := (start + k) % n
+		if tried != nil && tried[ri] {
+			continue
+		}
+		if c.eligible(st, ri) {
+			return ri
+		}
+	}
+	return -1
+}
+
+// attach wires the failover handler to one read attempt: a typed error
+// marks the replica suspect and re-drives the read on the next eligible
+// one; running out of replicas surfaces the last error.
+func (op *readOp) attach(ri int, ms *memberState, fut *sim.Future[*transport.Result]) {
+	fut.OnResolve(func(r *transport.Result) {
+		if r.Status == nvme.StatusSuccess {
+			op.c.noteSuccess(ms)
+			op.c.reads++
+			op.c.tel.Inc(telemetry.CtrReplReads)
+			op.out.Resolve(r)
+			return
+		}
+		op.c.noteFailure(ms, r.Status)
+		op.tried[ri] = true
+		next := op.c.pickReplica(op.st, op.tried)
+		if next < 0 {
+			op.out.Resolve(r)
+			return
+		}
+		op.c.readFailovers++
+		op.c.tel.Inc(telemetry.CtrReplReadFailovers)
+		nm := op.c.occupant(op.st.repl[next].seat)
+		op.c.defer_(func(dp *sim.Proc) {
+			op.attach(next, nm, nm.q.Submit(dp, op.io))
+		})
+	})
+}
+
+// submitRead routes one extent-contained read to an up-to-date replica.
+func (c *Cluster) submitRead(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
+	st := c.extent(c.extentFor(io.Offset))
+	op := &readOp{
+		c: c, st: st, io: io,
+		out:   sim.NewFuture[*transport.Result](c.e),
+		tried: make([]bool, len(st.repl)),
+	}
+	ri := c.pickReplica(st, nil)
+	if ri < 0 {
+		op.out.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
+		return op.out
+	}
+	ms := c.occupant(st.repl[ri].seat)
+	op.attach(ri, ms, ms.q.Submit(p, io))
+	return op.out
+}
+
+// SubmitBatch implements transport.BatchQueue: single-extent reads are
+// grouped per chosen replica and submitted as one doorbell per member;
+// everything else (writes, split I/Os, admin) falls back to Submit
+// semantics within the same call. Futures align with ios.
+func (c *Cluster) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*transport.Result] {
+	out := make([]*sim.Future[*transport.Result], len(ios))
+	type slot struct {
+		idx int // ios index
+		ri  int // replica index within its extent
+		op  *readOp
+	}
+	perMember := make(map[*memberState][]slot)
+	memberIOs := make(map[*memberState][]*transport.IO)
+	for i, io := range ios {
+		if io.Admin != 0 || io.Flush || io.Write ||
+			transport.SpanCount(io, c.opts.ExtentSize) > 1 {
+			out[i] = c.Submit(p, io)
+			continue
+		}
+		st := c.extent(c.extentFor(io.Offset))
+		op := &readOp{
+			c: c, st: st, io: io,
+			out:   sim.NewFuture[*transport.Result](c.e),
+			tried: make([]bool, len(st.repl)),
+		}
+		out[i] = op.out
+		ri := c.pickReplica(st, nil)
+		if ri < 0 {
+			op.out.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
+			continue
+		}
+		ms := c.occupant(st.repl[ri].seat)
+		perMember[ms] = append(perMember[ms], slot{idx: i, ri: ri, op: op})
+		memberIOs[ms] = append(memberIOs[ms], io)
+	}
+	// Iterate members in attachment order for determinism (map order is
+	// randomized; member slices are not).
+	for _, ms := range c.members {
+		slots := perMember[ms]
+		if len(slots) == 0 {
+			continue
+		}
+		list := memberIOs[ms]
+		if bq, ok := ms.q.(transport.BatchQueue); ok {
+			futs := bq.SubmitBatch(p, list)
+			for k, sl := range slots {
+				sl.op.attach(sl.ri, ms, futs[k])
+			}
+			continue
+		}
+		for k, sl := range slots {
+			sl.op.attach(sl.ri, ms, ms.q.Submit(p, list[k]))
+		}
+	}
+	return out
+}
+
+// noteSuccess clears a member's failure streak and re-admits it when it
+// was considered dead (a restarted target answering again).
+func (c *Cluster) noteSuccess(ms *memberState) {
+	ms.misses = 0
+	if ms.alive {
+		return
+	}
+	ms.alive = true
+	c.replicaUps++
+	c.tel.Inc(telemetry.CtrReplicaUp)
+	c.tel.Trace(int64(c.e.Now()), telemetry.EvReplicaUp, 0, "", ms.name)
+	if ms.seat < 0 {
+		// Displaced while dead: rejoin as a spare and take over any
+		// vacant seat immediately.
+		c.spares = append(c.spares, ms.idx)
+		c.fillVacantSeats()
+		return
+	}
+	// Still the owner of its seat (no spare was free): resume it with
+	// the generation intact — data written before the crash is still on
+	// disk, so only the writes it missed rebuild.
+	if c.seats[ms.seat].member < 0 {
+		c.seats[ms.seat].member = ms.idx
+	}
+	c.kickRebuild(ms.name)
+}
+
+// noteFailure records a typed transient failure against a member and
+// declares it dead once the miss threshold is crossed. Non-retryable
+// statuses are command-level errors, not death signals.
+func (c *Cluster) noteFailure(ms *memberState, st nvme.Status) {
+	if c.closing {
+		return
+	}
+	if !st.Retryable() && st != nvme.StatusAbortRequested {
+		return
+	}
+	ms.misses++
+	if ms.alive && ms.misses >= c.opts.ProbeMisses {
+		c.declareDead(ms)
+	}
+}
+
+// declareDead removes a member from service: its seat passes to a spare
+// (bumping the seat generation so stale acks die with the old
+// occupant), or stays vacant until one frees up.
+func (c *Cluster) declareDead(ms *memberState) {
+	ms.alive = false
+	ms.misses = 0
+	c.replicaDowns++
+	c.tel.Inc(telemetry.CtrReplicaDown)
+	c.tel.Trace(int64(c.e.Now()), telemetry.EvReplicaDown, 0, "", ms.name)
+	if ms.seat < 0 {
+		return
+	}
+	seat := ms.seat
+	if sp := c.takeSpare(); sp != nil {
+		c.installSeat(seat, sp)
+		ms.seat = -1 // displaced; revives as a spare
+	} else {
+		// No spare: the seat goes vacant but the dead member keeps its
+		// claim (ms.seat). Its data is intact across a crash, so if it
+		// revives before a spare frees up it resumes the seat with the
+		// generation intact and only the writes it missed rebuild.
+		c.seats[seat].member = -1
+	}
+}
+
+// installSeat seats member sp at seat, bumping the generation: every
+// per-extent ack recorded against the previous occupant becomes stale,
+// and the rebuild loop re-replicates what the new occupant is missing.
+func (c *Cluster) installSeat(seat int, sp *memberState) {
+	c.seats[seat].member = sp.idx
+	c.seats[seat].gen++
+	sp.seat = seat
+	c.kickRebuild(sp.name)
+}
+
+// takeSpare pops the oldest live spare, nil when none.
+func (c *Cluster) takeSpare() *memberState {
+	for i, idx := range c.spares {
+		ms := c.members[idx]
+		if !ms.alive {
+			continue
+		}
+		c.spares = append(c.spares[:i], c.spares[i+1:]...)
+		return ms
+	}
+	return nil
+}
+
+// fillVacantSeats seats spares on any vacant seats. A seat whose dead
+// owner still claims it (ms.seat == seat) is reassigned only to a
+// spare; the owner loses its claim then.
+func (c *Cluster) fillVacantSeats() {
+	for s := range c.seats {
+		if c.seats[s].member >= 0 {
+			continue
+		}
+		sp := c.takeSpare()
+		if sp == nil {
+			return
+		}
+		// Strip the dead owner's claim, if any.
+		for _, ms := range c.members {
+			if ms.seat == s && ms.idx != sp.idx {
+				ms.seat = -1
+			}
+		}
+		c.installSeat(s, sp)
+	}
+}
+
+// probeLoop keep-alive-probes one member: a typed failure OR a probe
+// that hangs past ProbeTimeout counts a miss, an answer clears the
+// streak (and revives a dead member). The deadline matters because a
+// member transport mid-reconnect queues commands instead of failing
+// them — without it a crashed target would never be declared dead, just
+// silently stall its replicas.
+func (c *Cluster) probeLoop(p *sim.Proc, ms *memberState) {
+	for !c.closing {
+		p.Sleep(c.opts.ProbeInterval)
+		if c.closing {
+			return
+		}
+		fut := ms.q.Submit(p, &transport.IO{Admin: nvme.AdminKeepAlive})
+		r, ok := fut.WaitTimeout(p, c.opts.ProbeTimeout)
+		if c.closing {
+			return
+		}
+		if !ok {
+			c.noteFailure(ms, nvme.StatusTransientTransport)
+			// The hung probe's eventual resolution still feeds back: a
+			// late success is the revival signal after the target
+			// restarts and the transport reconnects.
+			fut.OnResolve(func(lr *transport.Result) {
+				if c.closing {
+					return
+				}
+				if lr.Status == nvme.StatusSuccess {
+					c.noteSuccess(ms)
+				} else {
+					c.noteFailure(ms, lr.Status)
+				}
+			})
+			continue
+		}
+		if r.Status == nvme.StatusSuccess {
+			c.noteSuccess(ms)
+		} else {
+			c.noteFailure(ms, r.Status)
+		}
+	}
+}
+
+// Close tears the cluster down: daemons stop and every member queue
+// closes (outstanding requests complete first).
+func (c *Cluster) Close() {
+	if c.closing {
+		return
+	}
+	c.closing = true
+	c.workQ.Close()
+	c.dirty.Fire()
+	for _, ms := range c.members {
+		ms.q.Close()
+	}
+}

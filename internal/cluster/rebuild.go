@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/transport"
+)
+
+// Re-replication: a background loop that copies stale extents — those
+// whose replica has not acknowledged the committed version under the
+// current seat generation — from an up-to-date survivor to the seat's
+// occupant. It runs as one engine daemon, woken whenever a replica is
+// declared dead, promoted, or revived, and sweeps passes over the
+// extent table until a full pass finds nothing stale. Copies ride the
+// same per-(extent, seat) write chain as foreground writes, so a
+// rebuild copy can never overwrite a newer concurrent write.
+
+// kickRebuild wakes the rebuild loop (traced per triggering member).
+func (c *Cluster) kickRebuild(member string) {
+	c.tel.Trace(int64(c.e.Now()), telemetry.EvRebuildStart, 0, "", member)
+	c.dirty.Fire()
+}
+
+// rebuildLoop drains the stale set whenever woken, then announces the
+// cluster whole again.
+func (c *Cluster) rebuildLoop(p *sim.Proc) {
+	for {
+		c.dirty.Wait(p)
+		c.dirty.Reset()
+		if c.closing {
+			return
+		}
+		progressed := false
+		for {
+			n := c.rebuildPass(p)
+			if c.closing {
+				return
+			}
+			if n == 0 {
+				break
+			}
+			progressed = true
+		}
+		if progressed && c.staleCount() == 0 {
+			c.rebuildRounds++
+			c.tel.Inc(telemetry.CtrRebuildRounds)
+			c.tel.Trace(int64(c.e.Now()), telemetry.EvRebuildDone, 0, "", c.opts.Namespace)
+			c.settled.Fire()
+		}
+	}
+}
+
+// staleRepl reports whether replica ri of st needs a copy: the extent
+// has committed data its seat occupant (live, present) has not
+// acknowledged under the current generation.
+func (c *Cluster) staleRepl(st *extentState, ri int) bool {
+	if st.committed == 0 {
+		return false
+	}
+	rs := &st.repl[ri]
+	ms := c.occupant(rs.seat)
+	if ms == nil || !ms.alive {
+		return false // nothing to copy to until a member serves the seat
+	}
+	return rs.gen != c.seats[rs.seat].gen || rs.acked < st.committed
+}
+
+// staleCount counts extent replicas still awaiting a copy.
+func (c *Cluster) staleCount() int {
+	n := 0
+	for _, st := range c.extentList {
+		for ri := range st.repl {
+			if c.staleRepl(st, ri) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// rebuildPass sweeps the extent table once, copying every stale replica
+// it can, and returns the number of successful copies. Extent order is
+// the deterministic first-touch order, so rebuild schedules replay per
+// seed.
+func (c *Cluster) rebuildPass(p *sim.Proc) int {
+	copied := 0
+	for _, st := range c.extentList {
+		for ri := range st.repl {
+			if c.closing {
+				return copied
+			}
+			if !c.staleRepl(st, ri) {
+				continue
+			}
+			if c.rebuildExtent(p, st, ri) {
+				copied++
+			}
+		}
+	}
+	return copied
+}
+
+// rebuildExtent copies one extent from an eligible survivor to the
+// stale replica ri. The copy is conservative: it carries the source's
+// acknowledged version at read-submit time, and the ack recorded on the
+// destination never exceeds it — if the committed version advances
+// mid-copy, the next pass copies again.
+func (c *Cluster) rebuildExtent(p *sim.Proc, st *extentState, ri int) bool {
+	src := -1
+	for k := range st.repl {
+		if k != ri && c.eligible(st, k) {
+			src = k
+			break
+		}
+	}
+	if src == -1 {
+		return false // no up-to-date survivor right now; retry next pass
+	}
+	srcRS := &st.repl[src]
+	srcMS := c.occupant(srcRS.seat)
+	dstRS := &st.repl[ri]
+	dstMS := c.occupant(dstRS.seat)
+	copyVer := srcRS.acked
+	if copyVer == 0 || copyVer > st.committed {
+		// Never read past what quorum committed; an extent whose source
+		// ack predates a generation change re-resolves next pass.
+		copyVer = st.committed
+	}
+	base := st.idx * c.opts.ExtentSize
+	size := st.size
+	if size <= 0 {
+		return false
+	}
+	start := p.Now()
+	rio := &transport.IO{Offset: base, Size: size}
+	if c.opts.RetainData {
+		rio.Data = make([]byte, size)
+	}
+	rr := srcMS.q.Submit(p, rio).Wait(p)
+	if rr.Status != nvme.StatusSuccess {
+		c.noteFailure(srcMS, rr.Status)
+		return false
+	}
+	c.noteSuccess(srcMS)
+	// Re-check under the destination's current occupancy: the seat may
+	// have changed hands, or a foreground write may have caught it up
+	// while the read was in flight.
+	if !c.staleRepl(st, ri) {
+		return false
+	}
+	// Never queue a copy behind a pending chain entry: a foreground
+	// write submitted while our source read was in flight carries a
+	// NEWER version, and a copy applied after it would clobber that
+	// version while the ack bookkeeping still reports it present (a
+	// silent stale-read hole). The write's resolution re-wakes the
+	// rebuild loop, which re-copies only if still needed.
+	if dstRS.chain != nil && !dstRS.chain.Resolved() {
+		return false
+	}
+	dstMS = c.occupant(dstRS.seat)
+	gen := c.seats[dstRS.seat].gen
+	wio := &transport.IO{Write: true, Offset: base, Size: size, Data: rio.Data, NoFill: true}
+	wr := c.chainSubmit(p, dstRS, dstMS.q, wio).Wait(p)
+	if wr.Status != nvme.StatusSuccess {
+		c.noteFailure(dstMS, wr.Status)
+		return false
+	}
+	c.noteSuccess(dstMS)
+	if c.seats[dstRS.seat].gen == gen {
+		dstRS.gen = gen
+		if copyVer > dstRS.acked {
+			dstRS.acked = copyVer
+		}
+	}
+	c.rebuildExtents++
+	c.rebuildBytes += int64(size)
+	c.tel.Inc(telemetry.CtrRebuildExtents)
+	c.tel.Add(telemetry.CtrRebuildBytes, int64(size))
+	c.tel.ObserveDuration(telemetry.HistRebuildCopy, p.Now().Sub(start))
+	return true
+}
+
+// WaitSettled blocks until the next time a rebuild round drains the
+// stale set (for tests and demos that want to observe a whole cluster).
+func (c *Cluster) WaitSettled(p *sim.Proc) {
+	c.settled.Reset()
+	c.settled.Wait(p)
+}

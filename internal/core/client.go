@@ -142,6 +142,20 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 // SHMEnabled reports whether the data path uses shared memory.
 func (c *Client) SHMEnabled() bool { return c.wire.region != nil }
 
+// Health shadows the session engine's report: a queue that failed over
+// from shared memory to the TCP data path mid-stream still serves, but
+// reports degraded so striped groups and replication layers can see
+// which member lost its fast path.
+func (c *Client) Health() transport.Health {
+	if h := c.Host.Health(); h != transport.HealthHealthy {
+		return h
+	}
+	if c.Failovers > 0 {
+		return transport.HealthDegraded
+	}
+	return transport.HealthHealthy
+}
+
 // Region returns the negotiated shared-memory region, or nil on the TCP
 // data path (never negotiated, or abandoned by a mid-stream failover).
 func (c *Client) Region() *shm.Region { return c.wire.region }

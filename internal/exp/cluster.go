@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"nvmeoaf/internal/bdev"
+	"nvmeoaf/internal/cluster"
+	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/faults"
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/rdma"
+	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/target"
+	"nvmeoaf/internal/tcp"
+	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/transport"
+)
+
+// Cluster experiments model the paper's HPC-cloud deployment one level
+// up: instead of one target VM per stream on a shared NIC, the namespace
+// is sharded and replicated across ClusterTargets independent target
+// machines (each with its own SSD, NIC, and fabric server), and a single
+// client drives the placement/replication router. Read IOPS should scale
+// with the member count — each extent's reads rotate across its
+// replicas — while quorum writes pay the replication factor.
+
+// nqnCluster names member i's storage service.
+func nqnCluster(i int) string { return fmt.Sprintf("nqn.2022-06.io.oaf:cluster%d", i) }
+
+// clusterMember is one member target machine: its fabric server (for
+// crash injection) and the client-side connection feeding the router.
+type clusterMember struct {
+	srv  faults.Crashable
+	q    transport.Queue
+	link *netsim.Link
+}
+
+// serveMember builds member i's target machine — target, SSD, NIC, link,
+// and fabric server — for the configured fabric kind.
+func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Result) (*clusterMember, error) {
+	tgt := target.New(e, model.DefaultHost())
+	sub, err := tgt.AddSubsystem(nqnCluster(i))
+	if err != nil {
+		return nil, err
+	}
+	bd := bdev.NewSimSSD(e, fmt.Sprintf("cnvme%d", i), cfg.SSDCapacity, cfg.SSD, cfg.RetainData, transport.BlockSize)
+	if _, err := sub.AddNamespace(1, bd); err != nil {
+		return nil, err
+	}
+	res.Devices = append(res.Devices, bd)
+
+	var linkParams model.LinkParams
+	switch cfg.Kind {
+	case TCP10G:
+		linkParams = model.TCP10G()
+	case TCP25G:
+		linkParams = model.TCP25G()
+	case TCP100G:
+		linkParams = model.TCP100G()
+	case RDMA56, OAFRDMACtl:
+		linkParams = rdma.LinkParams(model.RDMA56G())
+	case RoCE100:
+		linkParams = rdma.LinkParams(model.RoCE100G())
+	case OAF:
+		linkParams = model.TCP100G() // members are remote: no loopback SHM
+	default:
+		return nil, fmt.Errorf("exp: unknown fabric %q", cfg.Kind)
+	}
+	// One NIC per member: target machines are distinct hosts, so fabric
+	// bandwidth scales with the member count (the client NIC is modeled
+	// per link; the aggregate client side is not the bottleneck under
+	// study here).
+	nic := netsim.NewNIC(e, linkParams.WireBytesPerSec)
+	link := netsim.NewLink(e, linkParams, nic, nic)
+
+	m := &clusterMember{link: link}
+	switch cfg.Kind {
+	case RDMA56, RoCE100:
+		srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnCluster(i), Params: rdmaParams(cfg), Host: model.DefaultHost()})
+		srv.Serve(link.B)
+		m.srv = srv
+	case OAF, OAFRDMACtl:
+		fabric := core.NewFabric(e, model.DefaultSHM())
+		fabric.AttachTelemetry(tel)
+		srv := core.NewServer(e, tgt, core.ServerConfig{
+			NQN: nqnCluster(i), Design: cfg.Design, Fabric: fabric,
+			TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
+		})
+		srv.Serve(link.B)
+		res.PoolFootprint += srv.Pool().FootprintBytes()
+		m.srv = srv
+	default:
+		srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnCluster(i), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
+		srv.Serve(link.B)
+		res.PoolFootprint += srv.Pool().FootprintBytes()
+		m.srv = srv
+	}
+	return m, nil
+}
+
+// connectMember opens member i's client connection. Commands fail fast
+// with typed errors — the replication layer owns redundancy, so a dead
+// member should trigger failover, not a long per-member retry loop.
+func connectMember(p *sim.Proc, cfg Config, i int, m *clusterMember, qd int, tel *telemetry.Sink) (transport.Queue, error) {
+	const (
+		cmdTimeout = 500 * time.Microsecond
+		maxRetries = 1
+		backoff    = 100 * time.Microsecond
+	)
+	switch cfg.Kind {
+	case RDMA56, RoCE100:
+		return rdma.Connect(p, m.link.A, rdma.ClientConfig{
+			NQN: nqnCluster(i), QueueDepth: qd, Params: rdmaParams(cfg), Host: model.DefaultHost(),
+			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+		})
+	case OAF, OAFRDMACtl:
+		return core.Connect(p, m.link.A, core.ClientConfig{
+			NQN: nqnCluster(i), QueueDepth: qd, Design: cfg.Design,
+			TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
+			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+		})
+	default:
+		return tcp.Connect(p, m.link.A, tcp.ClientConfig{
+			NQN: nqnCluster(i), QueueDepth: qd, TP: cfg.TP, Host: model.DefaultHost(),
+			Telemetry:      tel,
+			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+		})
+	}
+}
+
+// runCluster executes a replicated-namespace configuration: N member
+// targets, one router, one perf stream.
+func runCluster(cfg Config) (*Result, error) {
+	n := cfg.ClusterTargets
+	if cfg.ClusterSpares < 0 || cfg.ClusterSpares >= n {
+		return nil, fmt.Errorf("exp: cluster spares must be in [0, %d)", n)
+	}
+	e := sim.NewEngine(cfg.Seed)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	res := &Result{Telemetry: tel}
+
+	members := make([]*clusterMember, n)
+	for i := 0; i < n; i++ {
+		m, err := serveMember(e, cfg, i, tel, res)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = m
+	}
+
+	var inj *faults.Injector
+	if cfg.CrashDown > 0 {
+		if cfg.CrashMember < 0 || cfg.CrashMember >= n {
+			return nil, fmt.Errorf("exp: crash member %d out of range", cfg.CrashMember)
+		}
+		inj = faults.NewInjector(e)
+		inj.CrashTarget(members[cfg.CrashMember].srv, cfg.CrashAt, cfg.CrashDown)
+	}
+
+	w := cfg.Workload
+	w.Name = fmt.Sprintf("%s-cluster%d", cfg.Kind, n)
+	w.Span = cfg.SSDCapacity
+
+	var cl *cluster.Cluster
+	var stream *perf.Stream
+	setupErr := sim.NewFuture[error](e)
+	e.Go("setup", func(p *sim.Proc) {
+		cms := make([]cluster.Member, 0, n)
+		for i, m := range members {
+			q, err := connectMember(p, cfg, i, m, w.QueueDepth, tel)
+			if err != nil {
+				setupErr.Resolve(err)
+				return
+			}
+			m.q = q
+			cms = append(cms, cluster.Member{Name: nqnCluster(i), Queue: q})
+		}
+		// Keep-alive probing only matters when a member can die; pure
+		// perf runs skip the probe traffic.
+		var probe time.Duration
+		if cfg.CrashDown > 0 {
+			probe = 200 * time.Microsecond
+		}
+		var err error
+		cl, err = cluster.New(e, cms, cluster.Options{
+			Seats:         n - cfg.ClusterSpares,
+			Replicas:      cfg.ClusterReplicas,
+			WriteQuorum:   cfg.ClusterWriteQuorum,
+			ExtentSize:    cfg.ClusterExtent,
+			ProbeInterval: probe,
+			RetainData:    cfg.RetainData,
+			Namespace:     w.Name,
+			Telemetry:     tel,
+		})
+		if err != nil {
+			setupErr.Resolve(err)
+			return
+		}
+		stream = perf.NewStream(e, cl, w)
+		stream.Start()
+		// The router's probe loops re-arm timers forever; close it once
+		// the stream drains so the engine can run out of events.
+		e.GoDaemon("cluster-close", func(p *sim.Proc) {
+			stream.Wait(p)
+			cl.Close()
+		})
+		setupErr.Resolve(nil)
+	})
+
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	if err, ok := setupErr.Value(); ok && err != nil {
+		return nil, err
+	}
+
+	res.PerStream = append(res.PerStream, stream.Result())
+	res.Agg = perf.Merge(res.PerStream...)
+	for _, m := range members {
+		res.WireBytes += m.link.A.BytesSent + m.link.B.BytesSent
+	}
+	st := cl.Stats()
+	res.Cluster = &st
+	if inj != nil {
+		res.FaultLog = inj.Log
+	}
+	return res, nil
+}

@@ -8,10 +8,13 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/cache"
+	"nvmeoaf/internal/cluster"
 	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/faults"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
@@ -87,6 +90,25 @@ type Config struct {
 	// for the run. Nil means Run creates its own sink, returned in
 	// Result.Telemetry either way.
 	Telemetry *telemetry.Sink
+
+	// ClusterTargets, when positive, replaces the per-stream direct
+	// connections with a sharded + replicated namespace over this many
+	// member targets — one target machine, SSD, NIC, and fabric
+	// connection per member — and drives the workload through the
+	// placement/replication router (Streams is forced to 1: the
+	// namespace is one logical volume).
+	ClusterTargets int
+	// ClusterReplicas / ClusterWriteQuorum / ClusterSpares /
+	// ClusterExtent tune the replication geometry; zero values take the
+	// cluster package defaults (R=2, W=majority, 128 KiB extents).
+	ClusterReplicas    int
+	ClusterWriteQuorum int
+	ClusterSpares      int
+	ClusterExtent      int64
+	// CrashDown > 0 schedules member CrashMember's target to crash at
+	// CrashAt and restart CrashDown later, mid-workload.
+	CrashMember        int
+	CrashAt, CrashDown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +169,11 @@ type Result struct {
 	// CacheStats their final accounting.
 	Caches     []*cache.Cache
 	CacheStats []cache.Stats
+	// Cluster is the replication layer's final snapshot for cluster runs
+	// (nil otherwise); FaultLog records the injected crash schedule as
+	// it executed.
+	Cluster  *cluster.Stats
+	FaultLog []faults.Event
 }
 
 // rdmaParams resolves the RDMA parameter set for a configuration.
@@ -166,6 +193,9 @@ func nqnFor(i int) string { return fmt.Sprintf("nqn.2022-06.io.oaf:ssd%d", i) }
 // Run executes the configuration and returns aggregated results.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ClusterTargets > 0 {
+		return runCluster(cfg)
+	}
 	e := sim.NewEngine(cfg.Seed)
 	tgt := target.New(e, model.DefaultHost())
 

@@ -26,11 +26,12 @@ type Crashable interface {
 }
 
 // Event records one applied fault for introspection and determinism
-// checks.
+// checks. The JSON form rides cluster snapshots so post-mortems can
+// correlate telemetry dips with the faults that caused them.
 type Event struct {
-	At     sim.Time
-	Kind   string
-	Detail string
+	At     sim.Time `json:"at_ns"`
+	Kind   string   `json:"kind"`
+	Detail string   `json:"detail,omitempty"`
 }
 
 func (ev Event) String() string {

@@ -232,6 +232,20 @@ func (h *Host) Closing() bool { return h.closing }
 // Reconnecting reports whether a mid-stream reconnect is in progress.
 func (h *Host) Reconnecting() bool { return h.reconnecting }
 
+// Health implements transport.HealthReporter: the queue is dead once
+// orderly shutdown has begun, degraded while a reconnect is in progress
+// or command deadlines are expiring back to back (the connection is
+// suspect but still retrying), and healthy otherwise.
+func (h *Host) Health() transport.Health {
+	switch {
+	case h.closing:
+		return transport.HealthDead
+	case h.reconnecting || h.consecTimeouts > 0:
+		return transport.HealthDegraded
+	}
+	return transport.HealthHealthy
+}
+
 // Kick wakes the reactor.
 func (h *Host) Kick() { h.kick.Fire() }
 

@@ -144,6 +144,17 @@ func (f *Future[T]) Wait(p *Proc) T {
 	return f.val
 }
 
+// WaitTimeout is Wait with a deadline: ok is false when the deadline
+// passed before the future resolved (the future stays valid and may
+// still resolve later). A non-positive timeout blocks indefinitely.
+func (f *Future[T]) WaitTimeout(p *Proc, timeout time.Duration) (v T, ok bool) {
+	if !f.sig.WaitTimeout(p, timeout) {
+		var zero T
+		return zero, false
+	}
+	return f.val, true
+}
+
 // Value returns the value without blocking; ok is false if unresolved.
 func (f *Future[T]) Value() (v T, ok bool) {
 	if !f.sig.Fired() {

@@ -77,6 +77,19 @@ const (
 	CtrCacheDirtyBytes   // current unflushed bytes (up/down via Add)
 	CtrCacheDirtyLost    // dirty lines lost to crash or flush failure
 
+	// Replicated namespace layer (internal/cluster).
+	CtrReplWrites        // replicated writes acknowledged at write quorum
+	CtrReplReads         // replicated reads completed
+	CtrReplReplicaWrites // per-replica write submissions (fan-out)
+	CtrReplQuorumFails   // writes that could not reach the write quorum
+	CtrReplReadFailovers // reads re-driven on another replica after an error
+	CtrReplDegraded      // I/Os issued with fewer than R live replicas
+	CtrReplicaDown       // replicas declared dead
+	CtrReplicaUp         // replicas (re)admitted to service
+	CtrRebuildRounds     // re-replication rounds completed (stale set drained)
+	CtrRebuildExtents    // extents copied to a recovering replica
+	CtrRebuildBytes      // bytes copied by re-replication
+
 	numCounters
 )
 
@@ -113,6 +126,17 @@ var counterNames = [numCounters]string{
 	CtrCacheThrottled:    "cache.wb_throttled",
 	CtrCacheDirtyBytes:   "cache.dirty_bytes",
 	CtrCacheDirtyLost:    "cache.dirty_lost",
+	CtrReplWrites:        "cluster.writes",
+	CtrReplReads:         "cluster.reads",
+	CtrReplReplicaWrites: "cluster.replica_writes",
+	CtrReplQuorumFails:   "cluster.quorum_failures",
+	CtrReplReadFailovers: "cluster.read_failovers",
+	CtrReplDegraded:      "cluster.degraded_ios",
+	CtrReplicaDown:       "cluster.replica_down",
+	CtrReplicaUp:         "cluster.replica_up",
+	CtrRebuildRounds:     "cluster.rebuild_rounds",
+	CtrRebuildExtents:    "cluster.rebuild_extents",
+	CtrRebuildBytes:      "cluster.rebuild_bytes",
 }
 
 // String returns the exported metric name.
@@ -135,6 +159,7 @@ const (
 	HistBatchSize                 // commands coalesced per doorbell/capsule train
 	HistReapDepth                 // completions reaped per received message
 	HistCacheFlushLat             // cache write-back flush latency, ns
+	HistRebuildCopy               // re-replication per-extent copy time, ns
 
 	numHists
 )
@@ -148,6 +173,7 @@ var histNames = [numHists]string{
 	HistBatchSize:     "batch.submit_size",
 	HistReapDepth:     "batch.reap_depth",
 	HistCacheFlushLat: "cache.flush_latency_ns",
+	HistRebuildCopy:   "cluster.rebuild_copy_ns",
 }
 
 // String returns the exported histogram name.
@@ -171,6 +197,10 @@ const (
 	EvShed                             // server shed a command
 	EvRevoked                          // SHM region revoked
 	EvKATOExpired                      // keep-alive watchdog fired
+	EvReplicaDown                      // cluster declared a replica dead
+	EvReplicaUp                        // cluster (re)admitted a replica
+	EvRebuildStart                     // re-replication began for a replica
+	EvRebuildDone                      // stale set drained; cluster whole
 )
 
 var eventKindNames = [...]string{
@@ -183,6 +213,10 @@ var eventKindNames = [...]string{
 	EvShed:            "shed",
 	EvRevoked:         "revoked",
 	EvKATOExpired:     "kato_expired",
+	EvReplicaDown:     "replica_down",
+	EvReplicaUp:       "replica_up",
+	EvRebuildStart:    "rebuild_start",
+	EvRebuildDone:     "rebuild_done",
 }
 
 // String returns the exported event name.

@@ -1,0 +1,45 @@
+package transport
+
+// Health classifies the condition of one queue as seen from the host:
+// whether its connection is serving normally, serving on a fallback path
+// or recovering, or gone.
+type Health int
+
+const (
+	// HealthHealthy: the queue serves on its negotiated data path.
+	HealthHealthy Health = iota
+	// HealthDegraded: the queue still serves but on a fallback path or
+	// mid-recovery (SHM→TCP failover, reconnect in progress, recent
+	// command deadline expirations).
+	HealthDegraded
+	// HealthDead: the queue is closed or its connection is gone.
+	HealthDead
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// HealthReporter is implemented by queues that can report their own
+// condition (the session-engine-backed clients do).
+type HealthReporter interface {
+	Health() Health
+}
+
+// HealthOf reports q's condition; queues that cannot introspect
+// themselves are assumed healthy (their failures surface as typed
+// command errors instead).
+func HealthOf(q Queue) Health {
+	if hr, ok := q.(HealthReporter); ok {
+		return hr.Health()
+	}
+	return HealthHealthy
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"nvmeoaf/internal/nvme"
+	"nvmeoaf/internal/sim"
+)
+
+// SpanCount reports how many unit-sized, unit-aligned segments io spans.
+// Admin, flush, and zero-size commands always count as one (they carry no
+// LBA range to cut).
+func SpanCount(io *IO, unit int64) int {
+	if io.Admin != 0 || io.Flush || io.Size <= 0 || unit <= 0 {
+		return 1
+	}
+	first := io.Offset / unit
+	last := (io.Offset + int64(io.Size) - 1) / unit
+	return int(last-first) + 1
+}
+
+// SplitAt cuts io at unit-aligned boundaries into per-segment IOs. Data
+// (when real) is sub-sliced so segments read into / write from the
+// caller's buffer in place. An io contained in one unit is returned as a
+// single-element slice holding io itself (no copy), so the caller can
+// forward it whole.
+func SplitAt(io *IO, unit int64) []*IO {
+	n := SpanCount(io, unit)
+	if n == 1 {
+		return []*IO{io}
+	}
+	segs := make([]*IO, 0, n)
+	off := io.Offset
+	end := io.Offset + int64(io.Size)
+	for off < end {
+		segEnd := (off/unit + 1) * unit
+		if segEnd > end {
+			segEnd = end
+		}
+		seg := &IO{
+			Write:  io.Write,
+			NSID:   io.NSID,
+			Offset: off,
+			Size:   int(segEnd - off),
+			NoFill: io.NoFill,
+		}
+		if io.Data != nil {
+			seg.Data = io.Data[off-io.Offset : segEnd-io.Offset]
+		}
+		segs = append(segs, seg)
+		off = segEnd
+	}
+	return segs
+}
+
+// AggregateResults resolves one future once every segment future of a
+// split io completes: the first error wins the status, timing reflects
+// the slowest segment, and a read into a real buffer returns the caller's
+// reassembled slice.
+func AggregateResults(e *sim.Engine, io *IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
+	out := sim.NewFuture[*Result](e)
+	remaining := len(futs)
+	for _, f := range futs {
+		f.OnResolve(func(*Result) {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			merged := &Result{Status: nvme.StatusSuccess}
+			for _, sf := range futs {
+				r, _ := sf.Value()
+				if merged.Status == nvme.StatusSuccess && r.Status != nvme.StatusSuccess {
+					merged.Status = r.Status
+				}
+				if r.Latency > merged.Latency {
+					merged.Latency = r.Latency
+				}
+				if r.IOTime > merged.IOTime {
+					merged.IOTime = r.IOTime
+				}
+				if r.CommTime > merged.CommTime {
+					merged.CommTime = r.CommTime
+				}
+			}
+			if other := merged.Latency - merged.IOTime - merged.CommTime; other > 0 {
+				merged.OtherTime = other
+			}
+			if !io.Write && io.Data != nil && merged.Status == nvme.StatusSuccess {
+				merged.Data = io.Data[:io.Size]
+			}
+			out.Resolve(merged)
+		})
+	}
+	return out
+}

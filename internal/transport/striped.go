@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/sim"
 )
 
@@ -47,6 +46,19 @@ func NewStriped(e *sim.Engine, stripeUnit int, members ...Queue) *StripedQueue {
 // Members exposes the member queues (for snapshots and tests).
 func (s *StripedQueue) Members() []Queue { return s.members }
 
+// MemberHealth reports each member's condition, aligned with Members().
+// A member that degraded mid-stream (e.g. a revoked shared-memory region
+// failed it over to TCP) still serves its stripe units, but its slice
+// entry says HealthDegraded so operators can see which queue is on the
+// fallback path.
+func (s *StripedQueue) MemberHealth() []Health {
+	out := make([]Health, len(s.members))
+	for i, m := range s.members {
+		out[i] = HealthOf(m)
+	}
+	return out
+}
+
 // StripeUnit reports the effective striping granularity.
 func (s *StripedQueue) StripeUnit() int { return int(s.stripeUnit) }
 
@@ -58,41 +70,14 @@ func (s *StripedQueue) queueFor(offset int64) int {
 
 // segCount reports how many stripe segments io spans (1 = forward whole).
 func (s *StripedQueue) segCount(io *IO) int {
-	if io.Admin != 0 || io.Size <= 0 || len(s.members) == 1 {
+	if len(s.members) == 1 {
 		return 1
 	}
-	first := io.Offset / s.stripeUnit
-	last := (io.Offset + int64(io.Size) - 1) / s.stripeUnit
-	return int(last-first) + 1
+	return SpanCount(io, s.stripeUnit)
 }
 
-// split cuts io at stripe boundaries. Data (when real) is sub-sliced so
-// segments read into / write from the caller's buffer in place.
-func (s *StripedQueue) split(io *IO) []*IO {
-	n := s.segCount(io)
-	segs := make([]*IO, 0, n)
-	off := io.Offset
-	end := io.Offset + int64(io.Size)
-	for off < end {
-		segEnd := (off/s.stripeUnit + 1) * s.stripeUnit
-		if segEnd > end {
-			segEnd = end
-		}
-		seg := &IO{
-			Write:  io.Write,
-			NSID:   io.NSID,
-			Offset: off,
-			Size:   int(segEnd - off),
-			NoFill: io.NoFill,
-		}
-		if io.Data != nil {
-			seg.Data = io.Data[off-io.Offset : segEnd-io.Offset]
-		}
-		segs = append(segs, seg)
-		off = segEnd
-	}
-	return segs
-}
+// split cuts io at stripe boundaries (SplitAt at the stripe unit).
+func (s *StripedQueue) split(io *IO) []*IO { return SplitAt(io, s.stripeUnit) }
 
 // Submit implements Queue. Admin commands go to member 0; data I/O routes
 // by offset, splitting across members when it spans stripe boundaries.
@@ -170,44 +155,10 @@ func (s *StripedQueue) memberIndexFor(io *IO) int {
 	return s.queueFor(io.Offset)
 }
 
-// aggregate resolves one future once every segment completes: the first
-// error wins the status, timing reflects the slowest segment, and a read
-// into a real buffer returns the caller's reassembled slice.
+// aggregate resolves one future once every segment completes
+// (AggregateResults on this queue's engine).
 func (s *StripedQueue) aggregate(io *IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
-	out := sim.NewFuture[*Result](s.e)
-	remaining := len(futs)
-	for _, f := range futs {
-		f.OnResolve(func(*Result) {
-			remaining--
-			if remaining > 0 {
-				return
-			}
-			merged := &Result{Status: nvme.StatusSuccess}
-			for _, sf := range futs {
-				r, _ := sf.Value()
-				if merged.Status == nvme.StatusSuccess && r.Status != nvme.StatusSuccess {
-					merged.Status = r.Status
-				}
-				if r.Latency > merged.Latency {
-					merged.Latency = r.Latency
-				}
-				if r.IOTime > merged.IOTime {
-					merged.IOTime = r.IOTime
-				}
-				if r.CommTime > merged.CommTime {
-					merged.CommTime = r.CommTime
-				}
-			}
-			if other := merged.Latency - merged.IOTime - merged.CommTime; other > 0 {
-				merged.OtherTime = other
-			}
-			if !io.Write && io.Data != nil && merged.Status == nvme.StatusSuccess {
-				merged.Data = io.Data[:io.Size]
-			}
-			out.Resolve(merged)
-		})
-	}
-	return out
+	return AggregateResults(s.e, io, futs)
 }
 
 // Close closes every member; outstanding requests complete first.

@@ -131,6 +131,18 @@ func TestGroupMemberRevocationDegradesOnlyThatQueue(t *testing.T) {
 		if got := g.Snapshot().Merged.Path; got != "mixed" {
 			t.Errorf("group path = %q, want mixed", got)
 		}
+		// Health must single out the degraded member: the failed-over
+		// queue reports Degraded, its peers Healthy, and the reads above
+		// already proved a degraded member still serves its stripes.
+		hs := g.MemberHealth()
+		if hs[1] != HealthDegraded {
+			t.Errorf("revoked member health = %v, want degraded", hs[1])
+		}
+		for _, i := range []int{0, 2} {
+			if hs[i] != HealthHealthy {
+				t.Errorf("healthy member %d reports %v", i, hs[i])
+			}
+		}
 		g.Close()
 		return nil
 	})

@@ -29,7 +29,9 @@ import (
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/cache"
+	"nvmeoaf/internal/cluster"
 	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/faults"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
@@ -161,6 +163,20 @@ type ConnectOptions struct {
 	// response message. 0 or 1 keeps the classic one-message-per-command
 	// wire behavior.
 	Batch int
+	// CommandTimeout, when positive, bounds each command attempt: an
+	// expired command fails over or retries with backoff and eventually
+	// surfaces a typed transient error instead of hanging. Required for
+	// crash-tolerant setups (replicated namespaces default it).
+	CommandTimeout time.Duration
+	// MaxRetries bounds retry attempts per timed-out command (default 3
+	// when CommandTimeout is set).
+	MaxRetries int
+	// RetryBackoff is the base of the exponential retry backoff.
+	RetryBackoff time.Duration
+	// KeepAlive, when positive, probes the connection with keep-alive
+	// admin commands at this period, detecting a dead target between
+	// I/Os.
+	KeepAlive time.Duration
 }
 
 // host is one simulated physical machine.
@@ -177,18 +193,41 @@ type tgtEntry struct {
 	cfg   TargetConfig
 	bdev  *bdev.SSDBdev
 	cache *cache.Cache // nil when the target is uncached
+	// srvs holds every per-connection server transport serving this
+	// target, so a scheduled crash takes the whole service down.
+	srvs []faults.Crashable
+}
+
+// crashAll makes one registered target a Crashable: crashing it drops
+// every server transport (and their connections) at once. The server
+// list is read at fire time, so connections opened after the schedule
+// still crash.
+type crashAll struct{ te *tgtEntry }
+
+func (ca crashAll) Crash() {
+	for _, s := range ca.te.srvs {
+		s.Crash()
+	}
+}
+
+func (ca crashAll) Restart() {
+	for _, s := range ca.te.srvs {
+		s.Restart()
+	}
 }
 
 // Cluster is a simulated HPC-cloud deployment.
 type Cluster struct {
-	engine  *sim.Engine
-	fabric  *core.Fabric
-	hosts   map[string]*host
-	targets map[string]*tgtEntry
-	tel     *telemetry.Sink
-	queues  []*Queue
-	pools   []*mempool.Pool
-	caches  []*cache.Cache
+	engine     *sim.Engine
+	fabric     *core.Fabric
+	hosts      map[string]*host
+	targets    map[string]*tgtEntry
+	tel        *telemetry.Sink
+	queues     []*Queue
+	pools      []*mempool.Pool
+	caches     []*cache.Cache
+	inj        *faults.Injector
+	replicated []*cluster.Cluster
 }
 
 // NewCluster creates an empty cluster.
@@ -252,6 +291,29 @@ func (c *Cluster) AddTarget(hostName, nqn string, cfg TargetConfig) error {
 		return err
 	}
 	c.targets[nqn] = &tgtEntry{host: h, tgt: tgt, cfg: cfg, bdev: bd, cache: ca}
+	return nil
+}
+
+// Injector returns the cluster's deterministic fault injector, creating
+// it on first use. Schedules placed on it derive from the cluster seed,
+// so chaos runs replay bit-identically.
+func (c *Cluster) Injector() *faults.Injector {
+	if c.inj == nil {
+		c.inj = faults.NewInjector(c.engine)
+	}
+	return c.inj
+}
+
+// ScheduleTargetCrash crashes the named target (every server transport
+// serving it) at virtual time at, restarting it downFor later.
+// Connections opened after this call still crash: the server set is
+// evaluated when the fault fires.
+func (c *Cluster) ScheduleTargetCrash(nqn string, at, downFor time.Duration) error {
+	te, ok := c.targets[nqn]
+	if !ok {
+		return fmt.Errorf("oaf: unknown target %q", nqn)
+	}
+	c.Injector().CrashTarget(crashAll{te}, at, downFor)
 	return nil
 }
 
@@ -388,6 +450,30 @@ type QueueGroup struct {
 // Members exposes the member queues (each independently snapshotable).
 func (g *QueueGroup) Members() []*Queue { return g.members }
 
+// Health is a connection's liveness classification, re-exported from the
+// transport layer: Healthy, Degraded (reconnecting, timing out, or
+// failed over), or Dead (closed).
+type Health = transport.Health
+
+// Health states.
+const (
+	HealthHealthy  = transport.HealthHealthy
+	HealthDegraded = transport.HealthDegraded
+	HealthDead     = transport.HealthDead
+)
+
+// MemberHealth reports each member queue's current health, index-aligned
+// with Members(). A member that degraded mid-stream (revoked region,
+// reconnect in progress) reports Degraded while the group keeps serving
+// through its healthy peers.
+func (g *QueueGroup) MemberHealth() []Health {
+	out := make([]Health, len(g.members))
+	for i, m := range g.members {
+		out[i] = transport.HealthOf(m.inner)
+	}
+	return out
+}
+
 // Connect establishes a connection from the application's host to the
 // named target. For FabricAdaptive, the Connection Manager provisions a
 // shared-memory region when client and target share the host and falls
@@ -473,9 +559,12 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		link := netsim.NewLink(c.engine, rdma.LinkParams(prm), clientHost.nic, te.host.nic)
 		srv := rdma.NewServer(c.engine, te.tgt, rdma.ServerConfig{NQN: targetNQN, Params: prm, Host: model.DefaultHost()})
 		srv.Serve(link.B)
+		te.srvs = append(te.srvs, srv)
 		link.A.AttachTracer(tracer)
 		cl, err := rdma.Connect(ctx.proc, link.A, rdma.ClientConfig{
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, Params: prm, Host: model.DefaultHost(),
+			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
+			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
 		})
 		if err != nil {
 			return nil, err
@@ -493,11 +582,14 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		link := netsim.NewLink(c.engine, lp, clientHost.nic, te.host.nic)
 		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost(), Telemetry: c.tel})
 		srv.Serve(link.B)
+		te.srvs = append(te.srvs, srv)
 		c.pools = append(c.pools, srv.Pool())
 		link.A.AttachTracer(tracer)
 		cl, err := tcp.Connect(ctx.proc, link.A, tcp.ClientConfig{
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, TP: tp, Host: model.DefaultHost(),
-			Telemetry: c.tel,
+			Telemetry:      c.tel,
+			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
+			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
 		})
 		if err != nil {
 			return nil, err
@@ -523,6 +615,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		}
 		srv := core.NewServer(c.engine, te.tgt, scfg)
 		srv.Serve(link.B)
+		te.srvs = append(te.srvs, srv)
 		c.pools = append(c.pools, srv.Pool())
 		region, err := c.fabric.RegionFor(design, clientHost.name, te.host.name, opts.MaxIOSize, tp.ChunkSize, opts.QueueDepth)
 		if err != nil {
@@ -537,7 +630,9 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		cl, err := core.Connect(ctx.proc, link.A, core.ClientConfig{
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, Design: design, Region: region,
 			TP: tp, Host: model.DefaultHost(),
-			Telemetry: c.tel,
+			Telemetry:      c.tel,
+			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
+			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
 		})
 		if err != nil {
 			return nil, err

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 
 	"nvmeoaf/internal/cache"
+	"nvmeoaf/internal/cluster"
 	"nvmeoaf/internal/core"
+	"nvmeoaf/internal/faults"
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/tcp"
 	"nvmeoaf/internal/telemetry"
@@ -105,6 +107,13 @@ type ClusterSnapshot struct {
 	// Caches reports every target-side block cache (hit/miss/dirty
 	// accounting and the live admission hit-rate EWMA).
 	Caches []cache.Stats `json:"caches,omitempty"`
+	// Replicated reports every replicated namespace: member health, seat
+	// occupancy, quorum counters, and the rebuild backlog.
+	Replicated []cluster.Stats `json:"replicated,omitempty"`
+	// Faults is the injector's applied-event log (empty when no faults
+	// were scheduled), so post-mortems can correlate telemetry dips with
+	// the faults that caused them.
+	Faults []faults.Event `json:"faults,omitempty"`
 }
 
 // Telemetry exposes the cluster's shared sink, shared by every
@@ -125,6 +134,12 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 	}
 	for _, ca := range c.caches {
 		snap.Caches = append(snap.Caches, ca.Stats())
+	}
+	for _, cl := range c.replicated {
+		snap.Replicated = append(snap.Replicated, cl.Stats())
+	}
+	if c.inj != nil {
+		snap.Faults = append(snap.Faults, c.inj.Log...)
 	}
 	return snap
 }

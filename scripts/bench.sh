@@ -1,15 +1,17 @@
 #!/bin/sh
 # Benchmark sweep: run a small fabric matrix through oafperf -stats-json
 # (perf numbers, fabric telemetry, pool stats), a cache on/off pair on
-# the Zipfian hot-set workload, then the batching wall-clock benchmarks
-# (`go test -bench QD64`), and collect everything into one JSON report.
-# The bench section records, per configuration, the simulator's own
-# wall-clock ns/op and allocs/op next to the simulated GB/s and IOPS it
-# achieved, so allocation regressions on the batched hot path show up in
-# CI artifacts.
+# the Zipfian hot-set workload, a replication scaling sweep (the 4 KiB
+# randread namespace sharded over 1, 2, and 4 member targets, plus a
+# 4-target run with a mid-run member crash), then the batching
+# wall-clock benchmarks (`go test -bench QD64`), and collect everything
+# into one JSON report. The bench section records, per configuration,
+# the simulator's own wall-clock ns/op and allocs/op next to the
+# simulated GB/s and IOPS it achieved, so allocation regressions on the
+# batched hot path show up in CI artifacts.
 #
 # Environment knobs (all optional):
-#   BENCH_OUT      output file            (default BENCH_pr5.json)
+#   BENCH_OUT      output file            (default BENCH_pr6.json)
 #   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
 #   BENCH_QD       queue depth            (default 64)
 #   BENCH_SIZE     I/O size               (default 128K)
@@ -18,11 +20,12 @@
 #   BENCH_FABRICS  fabrics to sweep       (default "nvme-oaf tcp-25g")
 #   BENCH_ZIPF     hot-set skew for the cache pair (default 0.99)
 #   BENCH_CACHE    cache size for the cache pair   (default 256M; empty skips)
+#   BENCH_CLUSTER  non-empty sweeps replication scaling (default on; empty skips)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr5.json}
+OUT=${BENCH_OUT:-BENCH_pr6.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
@@ -31,6 +34,7 @@ QUEUES=${BENCH_QUEUES:-4}
 FABRICS=${BENCH_FABRICS:-"nvme-oaf tcp-25g"}
 ZIPF=${BENCH_ZIPF:-0.99}
 CACHE=${BENCH_CACHE:-256M}
+CLUSTER=${BENCH_CLUSTER:-on}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
 TMP=$(mktemp -d)
@@ -88,6 +92,23 @@ go_bench() {
 		"$BIN" -fabric nvme-oaf -rw randread -size 4K -qd "$QD" -t "$DUR" \
 			-zipf "$ZIPF" -batch "$BATCH" -queues "$QUEUES" \
 			-cache "$CACHE" -cache-mode wb -stats-json
+	fi
+	# Replication scaling: the same 4 KiB randread workload routed
+	# through the sharded+replicated namespace layer as the member count
+	# grows, then the 4-target geometry again with one member crashed
+	# mid-window (failover + re-replication visible in the cluster and
+	# fault sections of the run).
+	if [ -n "$CLUSTER" ]; then
+		for geo in "1 1" "2 2" "4 2"; do
+			set -- $geo
+			printf ',\n'
+			"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$DUR" \
+				-targets "$1" -replicas "$2" -stats-json
+		done
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$DUR" \
+			-targets 4 -replicas 2 -crash-member 1 \
+			-crash-at 20ms -crash-down 10ms -stats-json
 	fi
 	printf '  ]'
 	if [ -n "$GOBENCH" ]; then

@@ -7,7 +7,10 @@
 #      not carry private copies of it); also prints the LoC report
 #   4. go test -race — full suite under the race detector (the sim engine
 #      runs procs one at a time, but real goroutines, channels, and the
-#      shared-memory atomics still get exercised)
+#      shared-memory atomics still get exercised); this includes the
+#      replicated-namespace chaos suite (internal/integration
+#      TestClusterChaos*) and the replication scaling gate
+#      (internal/exp TestClusterReadScalingAtFourTargets)
 #
 # Any arguments are passed through to `go test`; `scripts/verify.sh -short`
 # skips the slow figure/experiment sweeps (used on PRs, where a separate
