@@ -9,6 +9,7 @@
 //	oafperf -fabric tcp-25g -rw randrw -mix 70 -size 512K -t 2s
 //	oafperf -fabric nvme-oaf -design shm-lock-free -rw read -size 512K
 //	oafperf -fabric tcp-25g -rw randread -size 4K -qd 64 -batch 16 -queues 4
+//	oafperf -fabric tcp-25g -rw randread -size 4K -qd 256 -ring -batch 16
 //	oafperf -fabric nvme-oaf -rw randread -size 4K -qd 64 -zipf 0.99 -cache 256M -cache-mode wb
 package main
 
@@ -109,6 +110,7 @@ func main() {
 	chunk := flag.Int("chunk", 0, "TCP chunk size override in bytes (0 = 128K default)")
 	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
 	batch := flag.Int("batch", 0, "submission/completion coalescing depth (0 or 1 = one message per command)")
+	ringMode := flag.Bool("ring", false, "drive streams through the SQ/CQ ring fast path instead of the future-based API")
 	queues := flag.Int("queues", 1, "queue pairs per stream; I/O stripes across them by offset")
 	cacheStr := flag.String("cache", "", "target-side DRAM block cache capacity per SSD (e.g. 256M; empty = uncached)")
 	cacheMode := flag.String("cache-mode", "wt", "cache write policy: wt/write-through or wb/write-back")
@@ -135,7 +137,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch, Zipf: *zipf}
+	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch, Zipf: *zipf, Ring: *ringMode}
 	if *sizeMix != "" {
 		mixes, err := parseSizeMix(*sizeMix)
 		if err != nil {
@@ -227,8 +229,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d queues=%d batch=%d window=%v\n",
-		*fabric, d, *rw, *sizeStr, *qd, *streams, *queues, *batch, *dur)
+	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d queues=%d batch=%d ring=%v window=%v\n",
+		*fabric, d, *rw, *sizeStr, *qd, *streams, *queues, *batch, *ringMode, *dur)
 	agg := res.Agg
 	fmt.Printf("  bandwidth : %.3f GB/s (%.0f IOPS)\n", agg.Throughput.GBps(), agg.Throughput.IOPS())
 	fmt.Printf("  latency   : avg %.1f us  p50 %.1f  p99 %.1f  p99.9 %.1f  p99.99 %.1f\n",
@@ -279,6 +281,7 @@ type report struct {
 		Streams    int     `json:"streams"`
 		Queues     int     `json:"queues,omitempty"`
 		Batch      int     `json:"batch,omitempty"`
+		Ring       bool    `json:"ring,omitempty"`
 		CacheBytes int64   `json:"cache_bytes,omitempty"`
 		CacheMode  string  `json:"cache_mode,omitempty"`
 		Zipf       float64 `json:"zipf,omitempty"`
@@ -320,6 +323,7 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Config.Streams = cfg.Streams
 	r.Config.Queues = cfg.Queues
 	r.Config.Batch = cfg.Workload.Batch
+	r.Config.Ring = cfg.Workload.Ring
 	r.Config.CacheBytes = cfg.CacheBytes
 	if cfg.CacheBytes > 0 {
 		r.Config.CacheMode = cfg.CacheMode.String()

@@ -127,6 +127,16 @@ type memberState struct {
 	alive  bool
 	seat   int // occupied seat, -1 when spare or displaced
 	misses int // consecutive typed failures (probe or data path)
+
+	// Probe fencing: probeGen numbers the keep-alive probes issued to
+	// this member; probeSeen is the highest generation whose outcome
+	// (typed answer, timeout, or late resolution) has been applied to the
+	// health streak. A hung probe can resolve long after newer probes
+	// settled — its feedback is stale and must be dropped, not replayed
+	// against the newer streak. Close fences by advancing probeSeen past
+	// probeGen, retiring every in-flight probe at once.
+	probeGen  int64
+	probeSeen int64
 }
 
 // replState is one (extent, seat) replica record: the highest version
@@ -314,7 +324,7 @@ func (c *Cluster) Submit(p *sim.Proc, io *transport.IO) *sim.Future[*transport.R
 	for i, seg := range segs {
 		futs[i] = c.submitSeg(p, seg)
 	}
-	return transport.AggregateResults(c.e, io, futs)
+	return transport.AggregateResults(c.e, io, segs, futs)
 }
 
 func (c *Cluster) submitSeg(p *sim.Proc, io *transport.IO) *sim.Future[*transport.Result] {
@@ -351,7 +361,9 @@ func (c *Cluster) submitFlush(p *sim.Proc, io *transport.IO) *sim.Future[*transp
 		fut.Resolve(&transport.Result{Status: nvme.StatusNamespaceNotRdy})
 		return fut
 	}
-	return transport.AggregateResults(c.e, io, futs)
+	// A flush fan-out carries no offsets; seat order is the deterministic
+	// tie-break for the merged status.
+	return transport.AggregateResults(c.e, io, nil, futs)
 }
 
 // writeOp tracks one replicated write until quorum (or until quorum
@@ -672,9 +684,34 @@ func (c *Cluster) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*t
 	return out
 }
 
+// probeOutcome applies one probe's result to the member's health streak.
+// gen fences stale feedback: once a probe at generation g has settled
+// (typed answer, timeout, or late resolution), resolutions of probes
+// OLDER than g are dropped — several overlapping hung probes resolving
+// out of order must not flap noteSuccess/noteFailure against the streak
+// a newer probe established. A probe's own late resolution (gen ==
+// probeSeen after its timeout) still applies: a late success is the
+// revival signal.
+func (c *Cluster) probeOutcome(ms *memberState, gen int64, st nvme.Status) {
+	if c.closing || gen < ms.probeSeen {
+		return
+	}
+	ms.probeSeen = gen
+	if st == nvme.StatusSuccess {
+		c.noteSuccess(ms)
+	} else {
+		c.noteFailure(ms, st)
+	}
+}
+
 // noteSuccess clears a member's failure streak and re-admits it when it
-// was considered dead (a restarted target answering again).
+// was considered dead (a restarted target answering again). During
+// teardown nothing revives: queue close completes outstanding I/O, and a
+// late success must not re-seat a dead member or log fault events.
 func (c *Cluster) noteSuccess(ms *memberState) {
+	if c.closing {
+		return
+	}
 	ms.misses = 0
 	if ms.alive {
 		return
@@ -725,6 +762,10 @@ func (c *Cluster) declareDead(ms *memberState) {
 	c.tel.Inc(telemetry.CtrReplicaDown)
 	c.tel.Trace(int64(c.e.Now()), telemetry.EvReplicaDown, 0, "", ms.name)
 	if ms.seat < 0 {
+		// A dead spare leaves the pool now; revival re-admits it through
+		// noteSuccess, which would otherwise duplicate the stale entry
+		// (and a duplicated spare can be seated at two seats at once).
+		c.dropSpare(ms.idx)
 		return
 	}
 	seat := ms.seat
@@ -748,6 +789,16 @@ func (c *Cluster) installSeat(seat int, sp *memberState) {
 	c.seats[seat].gen++
 	sp.seat = seat
 	c.kickRebuild(sp.name)
+}
+
+// dropSpare removes member idx from the spare pool, if present.
+func (c *Cluster) dropSpare(idx int) {
+	for i, s := range c.spares {
+		if s == idx {
+			c.spares = append(c.spares[:i], c.spares[i+1:]...)
+			return
+		}
+	}
 }
 
 // takeSpare pops the oldest live spare, nil when none.
@@ -797,43 +848,41 @@ func (c *Cluster) probeLoop(p *sim.Proc, ms *memberState) {
 		if c.closing {
 			return
 		}
+		ms.probeGen++
+		gen := ms.probeGen
 		fut := ms.q.Submit(p, &transport.IO{Admin: nvme.AdminKeepAlive})
 		r, ok := fut.WaitTimeout(p, c.opts.ProbeTimeout)
 		if c.closing {
 			return
 		}
 		if !ok {
-			c.noteFailure(ms, nvme.StatusTransientTransport)
+			c.probeOutcome(ms, gen, nvme.StatusTransientTransport)
 			// The hung probe's eventual resolution still feeds back: a
 			// late success is the revival signal after the target
-			// restarts and the transport reconnects.
+			// restarts and the transport reconnects. probeOutcome drops
+			// it if a newer probe has settled in the meantime.
 			fut.OnResolve(func(lr *transport.Result) {
-				if c.closing {
-					return
-				}
-				if lr.Status == nvme.StatusSuccess {
-					c.noteSuccess(ms)
-				} else {
-					c.noteFailure(ms, lr.Status)
-				}
+				c.probeOutcome(ms, gen, lr.Status)
 			})
 			continue
 		}
-		if r.Status == nvme.StatusSuccess {
-			c.noteSuccess(ms)
-		} else {
-			c.noteFailure(ms, r.Status)
-		}
+		c.probeOutcome(ms, gen, r.Status)
 	}
 }
 
 // Close tears the cluster down: daemons stop and every member queue
-// closes (outstanding requests complete first).
+// closes (outstanding requests complete first). In-flight probes are
+// fenced BEFORE the member queues close: queue teardown resolves hung
+// keep-alives, and that feedback must not count spurious misses or log
+// bogus fault events against a cluster that is going away.
 func (c *Cluster) Close() {
 	if c.closing {
 		return
 	}
 	c.closing = true
+	for _, ms := range c.members {
+		ms.probeSeen = ms.probeGen + 1
+	}
 	c.workQ.Close()
 	c.dirty.Fire()
 	for _, ms := range c.members {

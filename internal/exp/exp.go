@@ -303,6 +303,9 @@ func Run(cfg Config) (*Result, error) {
 			w := cfg.Workload
 			w.Name = fmt.Sprintf("%s-s%d", cfg.Kind, i)
 			w.Span = cfg.SSDCapacity
+			// Ring-mode streams report the ring.* metric group through the
+			// run's sink like every other subsystem.
+			w.Telemetry = tel
 			members := make([]transport.Queue, 0, cfg.Queues)
 			for j := 0; j < cfg.Queues; j++ {
 				li := i*cfg.Queues + j

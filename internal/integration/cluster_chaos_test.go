@@ -30,6 +30,7 @@ type rollingOutcome struct {
 	degraded                  int64
 	stale                     int
 	retried, faults, verified int
+	postClose                 int // replica/rebuild fault events traced after Close
 }
 
 // runRollingCrash drives 120 writes round-robin over 16 extents across a
@@ -72,6 +73,7 @@ func runRollingCrash(t *testing.T, seed int64) rollingOutcome {
 	}
 
 	var out rollingOutcome
+	var closeNs int64 = -1
 	acked := map[int64][]byte{}
 	err := c.Run(func(ctx *oaf.Ctx) error {
 		rq, err := ctx.On("app").ConnectReplicated("nqn.roll", oaf.ReplicaOptions{
@@ -132,12 +134,26 @@ func runRollingCrash(t *testing.T, seed int64) rollingOutcome {
 		out.quorumFails, out.failovers = st.QuorumFails, st.ReadFailovers
 		out.degraded = st.DegradedIOs
 		out.stale = st.StaleExtents
+		closeNs = int64(ctx.Now())
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out.faults = len(c.Snapshot().Faults)
+	snap := c.Snapshot()
+	out.faults = len(snap.Faults)
+	// Pin the fault-event log across teardown: Close fences probes and
+	// health feedback, so no replica death/revival or rebuild kick may be
+	// traced once the scenario is over — in-flight completions draining
+	// through queue close must not masquerade as cluster events.
+	for _, ev := range snap.Telemetry.Trace {
+		switch ev.Kind {
+		case "replica_down", "replica_up", "rebuild_start":
+			if closeNs >= 0 && ev.AtNs > closeNs {
+				out.postClose++
+			}
+		}
+	}
 	return out
 }
 
@@ -163,6 +179,9 @@ func TestClusterChaosRollingCrash(t *testing.T) {
 	}
 	if out.faults != 6 {
 		t.Errorf("fault log has %d events, want 3 crashes + 3 restarts", out.faults)
+	}
+	if out.postClose != 0 {
+		t.Errorf("%d replica/rebuild fault events traced after Close, want 0", out.postClose)
 	}
 }
 

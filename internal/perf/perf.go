@@ -14,8 +14,10 @@ import (
 	"math/rand"
 	"time"
 
+	"nvmeoaf/internal/ring"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/stats"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -47,6 +49,16 @@ type Workload struct {
 	// charge, one doorbell per train) and reaps all available completions
 	// per wakeup before refilling — the SPDK submit/reap loop shape.
 	Batch int
+	// Ring drives the stream through the SQ/CQ ring fast path
+	// (internal/ring) instead of the future-based Submit API: fixed
+	// submission entries, one doorbell per refill train, completions
+	// reaped in batches, zero allocations per op on session-engine
+	// queues. Batch is ignored in ring mode — the refill train IS the
+	// batch.
+	Ring bool
+	// Telemetry, when Ring is set, receives the ring.* metric group
+	// (nil = off).
+	Telemetry *telemetry.Sink
 	// Span is the working-set size in bytes (defaults to 1 GiB).
 	Span int64
 	// Warmup is excluded from measurement.
@@ -150,6 +162,10 @@ type op struct {
 
 // drive is the stream's single-core driver loop.
 func (s *Stream) drive(p *sim.Proc) {
+	if s.w.Ring {
+		s.driveRing(p)
+		return
+	}
 	defer s.done.Fire()
 	s.start = p.Now()
 	measureFrom := s.start.Add(s.w.Warmup)
@@ -243,6 +259,81 @@ func (s *Stream) drive(p *sim.Proc) {
 	s.res.Throughput.End = time.Duration(measureTo)
 }
 
+// driveRing is the ring-mode driver: the same completion-driven loop as
+// drive, shaped as push -> one doorbell -> batched reap over a
+// submission/completion ring. Payloads are modeled (zero-Buf entries),
+// so a measured difference against the future-based driver isolates the
+// per-op submission/completion machinery — which is exactly what the
+// ring removes: no future or result allocation, no per-op wakeup.
+func (s *Stream) driveRing(p *sim.Proc) {
+	defer s.done.Fire()
+	s.start = p.Now()
+	measureFrom := s.start.Add(s.w.Warmup)
+	measureTo := measureFrom.Add(s.w.Duration)
+
+	depth := s.w.QueueDepth
+	r := ring.New(s.e, s.q, ring.Config{
+		SQSize:    depth,
+		Buffers:   1, // modeled payloads: the arena stays unused
+		BufSize:   transport.BlockSize,
+		Telemetry: s.w.Telemetry,
+	})
+	cq := make([]ring.CQE, depth)
+	var seqOffset int64
+	// The op's direction and size ride in UserData so the CQE is
+	// self-describing: bit 0 = write, the rest = size.
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			write, off, size := s.nextOp(&seqOffset)
+			ud := uint64(size) << 1
+			if write {
+				ud |= 1
+			}
+			r.Push(ring.SQE{Write: write, Offset: off, Size: size, UserData: ud})
+		}
+	}
+	push(depth)
+	r.Submit(p)
+	for {
+		n := r.Reap(p, cq, 1)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			s.recordCQE(&cq[i], measureFrom, measureTo)
+		}
+		// Refill the whole harvest with one train + doorbell.
+		if p.Now() < measureTo {
+			push(n)
+			r.Submit(p)
+		}
+	}
+	r.Close()
+	s.res.Throughput.Start = time.Duration(measureFrom)
+	s.res.Throughput.End = time.Duration(measureTo)
+}
+
+// recordCQE accounts one ring completion inside the measured window.
+func (s *Stream) recordCQE(c *ring.CQE, from, to sim.Time) {
+	if c.Status.IsError() {
+		s.res.Errors++
+		return
+	}
+	if c.At < from || c.At >= to {
+		return
+	}
+	s.res.Throughput.Ops++
+	s.res.Throughput.Bytes += int64(c.UserData >> 1)
+	lat := int64(c.Latency)
+	s.res.Latency.Record(lat)
+	if c.UserData&1 == 1 {
+		s.res.WriteLatency.Record(lat)
+	} else {
+		s.res.ReadLatency.Record(lat)
+	}
+	s.res.BD.Add(c.IOTime, c.CommTime, c.OtherTime)
+}
+
 type compl struct {
 	op       op
 	io       *transport.IO
@@ -299,12 +390,11 @@ func (s *Stream) pickSize() int {
 	return s.w.SizeMix[len(s.w.SizeMix)-1].Size
 }
 
-// nextIO produces the next request of the pattern.
-func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
+// nextOp draws the next request of the pattern: direction, offset, size.
+func (s *Stream) nextOp(seqOffset *int64) (write bool, off int64, size int) {
 	w := s.w
-	write := s.rng.Intn(100) >= w.ReadPct
-	size := s.pickSize()
-	var off int64
+	write = s.rng.Intn(100) >= w.ReadPct
+	size = s.pickSize()
 	switch {
 	case w.Seq:
 		off = *seqOffset
@@ -326,6 +416,12 @@ func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
 		}
 		off = s.rng.Int63n(blocks) * transport.BlockSize
 	}
+	return write, off, size
+}
+
+// nextIO produces the next request as a (recycled) IO struct.
+func (s *Stream) nextIO(seqOffset *int64) *transport.IO {
+	write, off, size := s.nextOp(seqOffset)
 	if n := len(s.freeIOs); n > 0 {
 		io := s.freeIOs[n-1]
 		s.freeIOs = s.freeIOs[:n-1]

@@ -346,6 +346,28 @@ func (h *Host) SubmitBatch(p *sim.Proc, ios []*transport.IO) []*sim.Future[*tran
 	return futs
 }
 
+// SubmitInto implements transport.RingSubmitter: one ring entry is
+// staged into the caller-owned (recycled) future without allocating or
+// ringing the doorbell. The staged train enters the reactor's normal
+// batch drain on the next RingDoorbell, so ring traffic coalesces into
+// capsule trains exactly like SubmitBatch traffic.
+func (h *Host) SubmitInto(p *sim.Proc, io *transport.IO, fut *sim.Future[*transport.Result]) {
+	if !h.AdmitIO(io, fut) {
+		return
+	}
+	pend := h.takePending(io, fut)
+	h.wire.StageSubmit(p, pend)
+	pend.SubmitAt = p.Now()
+	h.submitQ.TryPut(pend)
+}
+
+// RingDoorbell implements transport.RingSubmitter: one submit-CPU charge
+// and one reactor kick for everything staged since the last doorbell.
+func (h *Host) RingDoorbell(p *sim.Proc) {
+	p.Sleep(h.cfg.Host.SubmitCPU)
+	h.kick.Fire()
+}
+
 // Close initiates orderly shutdown.
 func (h *Host) Close() {
 	if h.closing {

@@ -121,7 +121,23 @@ func (f *Future[T]) Resolve(v T) {
 	for _, cb := range f.callbacks {
 		cb(v)
 	}
-	f.callbacks = nil
+	// Truncate rather than nil: a renewed future re-registers callbacks
+	// into the retained capacity, keeping recycled futures allocation-free.
+	f.callbacks = f.callbacks[:0]
+}
+
+// Renew re-arms a RESOLVED future for reuse, dropping its value and
+// callbacks. It exists for pools that recycle futures on a hot path
+// (the ring layer) instead of allocating one per operation; renewing an
+// unresolved future panics, since waiters may still be parked on it.
+func (f *Future[T]) Renew() {
+	if !f.sig.Fired() {
+		panic("sim: Renew on unresolved Future")
+	}
+	f.sig.Reset()
+	var zero T
+	f.val = zero
+	f.callbacks = f.callbacks[:0]
 }
 
 // OnResolve registers fn to run when the future resolves (immediately if

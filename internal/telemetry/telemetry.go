@@ -90,6 +90,12 @@ const (
 	CtrRebuildExtents    // extents copied to a recovering replica
 	CtrRebuildBytes      // bytes copied by re-replication
 
+	// Ring fast path (internal/ring).
+	CtrRingSubmits   // SQ entries submitted through rings
+	CtrRingReaps     // CQ entries reaped through rings
+	CtrRingSQFull    // pushes refused because the SQ was full (stalls)
+	CtrRingBufStalls // buffer claims refused because the arena was empty
+
 	numCounters
 )
 
@@ -137,6 +143,10 @@ var counterNames = [numCounters]string{
 	CtrRebuildRounds:     "cluster.rebuild_rounds",
 	CtrRebuildExtents:    "cluster.rebuild_extents",
 	CtrRebuildBytes:      "cluster.rebuild_bytes",
+	CtrRingSubmits:       "ring.submits",
+	CtrRingReaps:         "ring.reaps",
+	CtrRingSQFull:        "ring.sq_full_stalls",
+	CtrRingBufStalls:     "ring.buf_stalls",
 }
 
 // String returns the exported metric name.
@@ -151,29 +161,33 @@ func (c Counter) String() string {
 type Hist int
 
 const (
-	HistReadLatency   Hist = iota // read completion latency, ns
-	HistWriteLatency              // write completion latency, ns
-	HistIOSize                    // submitted I/O size, bytes
-	HistClaimWait                 // SHM slot claim wait, ns
-	HistBufWait                   // server data-buffer wait, ns
-	HistBatchSize                 // commands coalesced per doorbell/capsule train
-	HistReapDepth                 // completions reaped per received message
-	HistCacheFlushLat             // cache write-back flush latency, ns
-	HistRebuildCopy               // re-replication per-extent copy time, ns
+	HistReadLatency     Hist = iota // read completion latency, ns
+	HistWriteLatency                // write completion latency, ns
+	HistIOSize                      // submitted I/O size, bytes
+	HistClaimWait                   // SHM slot claim wait, ns
+	HistBufWait                     // server data-buffer wait, ns
+	HistBatchSize                   // commands coalesced per doorbell/capsule train
+	HistReapDepth                   // completions reaped per received message
+	HistCacheFlushLat               // cache write-back flush latency, ns
+	HistRebuildCopy                 // re-replication per-extent copy time, ns
+	HistRingSubmitDepth             // SQ entries flushed per ring doorbell
+	HistRingReapDepth               // CQ entries handed back per reap call
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistReadLatency:   "latency.read_ns",
-	HistWriteLatency:  "latency.write_ns",
-	HistIOSize:        "io.size_bytes",
-	HistClaimWait:     "shm.claim_wait_ns",
-	HistBufWait:       "server.buffer_wait_ns",
-	HistBatchSize:     "batch.submit_size",
-	HistReapDepth:     "batch.reap_depth",
-	HistCacheFlushLat: "cache.flush_latency_ns",
-	HistRebuildCopy:   "cluster.rebuild_copy_ns",
+	HistReadLatency:     "latency.read_ns",
+	HistWriteLatency:    "latency.write_ns",
+	HistIOSize:          "io.size_bytes",
+	HistClaimWait:       "shm.claim_wait_ns",
+	HistBufWait:         "server.buffer_wait_ns",
+	HistBatchSize:       "batch.submit_size",
+	HistReapDepth:       "batch.reap_depth",
+	HistCacheFlushLat:   "cache.flush_latency_ns",
+	HistRebuildCopy:     "cluster.rebuild_copy_ns",
+	HistRingSubmitDepth: "ring.submit_depth",
+	HistRingReapDepth:   "ring.reap_depth",
 }
 
 // String returns the exported histogram name.

@@ -52,10 +52,21 @@ func SplitAt(io *IO, unit int64) []*IO {
 }
 
 // AggregateResults resolves one future once every segment future of a
-// split io completes: the first error wins the status, timing reflects
-// the slowest segment, and a read into a real buffer returns the caller's
-// reassembled slice.
-func AggregateResults(e *sim.Engine, io *IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
+// split io completes. segs[i] is the segment whose completion futs[i]
+// carries (a nil segs means futs are already in ascending offset order,
+// as SplitAt emits them). Timing reflects the slowest segment.
+//
+// Status contract: on any failure the merged status is the status of the
+// FAILING SEGMENT WITH THE LOWEST OFFSET, regardless of the order the
+// futures were created or resolved in, so a multi-error split reports
+// the same error deterministically on every replay.
+//
+// Buffer-contents contract on mixed success/failure: split reads land in
+// sub-slices of the caller's buffer in place, so after a partial failure
+// the buffer holds an unspecified mix of freshly-read bytes and prior
+// contents. Result.Data is nil unless every segment succeeded — callers
+// must treat the buffer as garbage whenever Status != StatusSuccess.
+func AggregateResults(e *sim.Engine, io *IO, segs []*IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
 	out := sim.NewFuture[*Result](e)
 	remaining := len(futs)
 	for _, f := range futs {
@@ -65,10 +76,18 @@ func AggregateResults(e *sim.Engine, io *IO, futs []*sim.Future[*Result]) *sim.F
 				return
 			}
 			merged := &Result{Status: nvme.StatusSuccess}
-			for _, sf := range futs {
+			failAt := int64(-1)
+			for i, sf := range futs {
 				r, _ := sf.Value()
-				if merged.Status == nvme.StatusSuccess && r.Status != nvme.StatusSuccess {
-					merged.Status = r.Status
+				if r.Status != nvme.StatusSuccess {
+					at := int64(i)
+					if segs != nil {
+						at = segs[i].Offset
+					}
+					if failAt < 0 || at < failAt {
+						failAt = at
+						merged.Status = r.Status
+					}
 				}
 				if r.Latency > merged.Latency {
 					merged.Latency = r.Latency

@@ -90,7 +90,7 @@ func (s *StripedQueue) Submit(p *sim.Proc, io *IO) *sim.Future[*Result] {
 	for i, seg := range segs {
 		futs[i] = s.members[s.queueFor(seg.Offset)].Submit(p, seg)
 	}
-	return s.aggregate(io, futs)
+	return s.aggregate(io, segs, futs)
 }
 
 // SubmitBatch implements BatchQueue: I/Os are routed per offset like
@@ -140,7 +140,9 @@ func (s *StripedQueue) SubmitBatch(p *sim.Proc, ios []*IO) []*sim.Future[*Result
 		for j, sl := range route {
 			futs[j] = memberFuts[sl.member][sl.pos]
 		}
-		out[i] = s.aggregate(ios[i], futs)
+		// split is deterministic, so re-cutting yields segments aligned
+		// with the route (and therefore with futs).
+		out[i] = s.aggregate(ios[i], s.split(ios[i]), futs)
 	}
 	return out
 }
@@ -157,8 +159,8 @@ func (s *StripedQueue) memberIndexFor(io *IO) int {
 
 // aggregate resolves one future once every segment completes
 // (AggregateResults on this queue's engine).
-func (s *StripedQueue) aggregate(io *IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
-	return AggregateResults(s.e, io, futs)
+func (s *StripedQueue) aggregate(io *IO, segs []*IO, futs []*sim.Future[*Result]) *sim.Future[*Result] {
+	return AggregateResults(s.e, io, segs, futs)
 }
 
 // Close closes every member; outstanding requests complete first.

@@ -172,7 +172,7 @@ func TestAggregateResultsMergesErrorAndTiming(t *testing.T) {
 	io := &IO{Offset: 0, Size: 8192, Data: make([]byte, 8192)}
 	a := sim.NewFuture[*Result](e)
 	b := sim.NewFuture[*Result](e)
-	agg := AggregateResults(e, io, []*sim.Future[*Result]{a, b})
+	agg := AggregateResults(e, io, nil, []*sim.Future[*Result]{a, b})
 	e.Go("resolve", func(p *sim.Proc) {
 		a.Resolve(&Result{Status: nvme.StatusSuccess, Latency: time.Microsecond, IOTime: time.Microsecond})
 		b.Resolve(&Result{Status: nvme.StatusDataTransferErr, Latency: 3 * time.Microsecond})

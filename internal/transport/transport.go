@@ -101,6 +101,24 @@ type BatchQueue interface {
 	SubmitBatch(p *sim.Proc, ios []*IO) []*sim.Future[*Result]
 }
 
+// RingSubmitter is implemented by queues that additionally support
+// ring-native submission: the CALLER owns the completion future (a ring
+// recycles one per slot instead of allocating one per op) and rings the
+// doorbell once per staged train, so steady-state submission costs no
+// allocation and no per-op reactor wakeup. Queues without it (striped
+// groups, the replicated router) are still ring-drivable through
+// Submit/SubmitBatch, just not allocation-free.
+type RingSubmitter interface {
+	Queue
+	// SubmitInto stages io to complete into fut WITHOUT ringing the
+	// doorbell. fut must be unresolved; on admission failure it resolves
+	// immediately with a typed error. Completion semantics match Submit.
+	SubmitInto(p *sim.Proc, io *IO, fut *sim.Future[*Result])
+	// RingDoorbell charges one submit-CPU for everything staged since
+	// the previous doorbell and wakes the queue's reactor once.
+	RingDoorbell(p *sim.Proc)
+}
+
 // Pending tracks one in-flight request on the client side.
 type Pending struct {
 	IO       *IO

@@ -1,0 +1,105 @@
+package oaf
+
+import (
+	"nvmeoaf/internal/ring"
+)
+
+// Ring-entry types, re-exported from the ring layer: SQE describes one
+// submission, CQE one completion, Buf one registered buffer on loan from
+// the ring's arena.
+type (
+	SQE = ring.SQE
+	CQE = ring.CQE
+	Buf = ring.Buf
+)
+
+// RingOptions sizes a Ring. Zero values take the defaults: SQSize 64,
+// CQSize 2x SQSize, Buffers = SQSize, BufSize 128 KiB.
+type RingOptions struct {
+	// SQSize is the submission-ring capacity and the inflight bound.
+	SQSize int
+	// CQSize is the completion-ring capacity; submission throttles so
+	// completions are never overwritten.
+	CQSize int
+	// Buffers and BufSize shape the registered buffer arena.
+	Buffers int
+	BufSize int
+}
+
+// Ring is the io_uring-style zero-copy fast path over a Queue: the
+// application claims fixed-size buffers from the connection's registered
+// region, describes I/O by pushing fixed-size SQ entries, flushes a
+// train with one doorbell (Submit), and reaps completions in batches.
+// On session-engine connections (Connect, any fabric) the steady state
+// allocates nothing per op and wakes the reactor once per train instead
+// of once per I/O; striped groups and replicated namespaces run the same
+// ring semantics through their batch path.
+//
+// Ownership: a buffer moves Claim -> Push/Submit -> Reap -> Release.
+// Between Submit and the CQE it belongs to the transport — do not touch
+// it. One process drives a ring; rings on the same Queue are independent.
+//
+// The ring.* telemetry group (submit/reap depth histograms, sq-full and
+// buffer stalls) lands in Cluster.Snapshot() alongside every other
+// metric.
+type Ring struct {
+	inner *ring.Ring
+	q     *Queue
+}
+
+// Ring builds a submission/completion ring over this queue. It works on
+// every Queue-shaped facade — Connect, ConnectGroup, ConnectReplicated —
+// and uses the allocation-free native path whenever the underlying
+// connection supports it (Native reports which).
+func (q *Queue) Ring(opts RingOptions) *Ring {
+	return &Ring{
+		inner: ring.New(q.ctx.cluster.engine, q.inner, ring.Config{
+			SQSize:    opts.SQSize,
+			CQSize:    opts.CQSize,
+			Buffers:   opts.Buffers,
+			BufSize:   opts.BufSize,
+			Telemetry: q.ctx.cluster.tel,
+		}),
+		q: q,
+	}
+}
+
+// Native reports whether the ring runs the allocation-free fast path
+// (true on direct connections; false over striped/replicated facades,
+// which are driven through their batch interface instead).
+func (r *Ring) Native() bool { return r.inner.Native() }
+
+// BufSize returns the registered buffer size.
+func (r *Ring) BufSize() int { return r.inner.BufSize() }
+
+// Claim lends one registered buffer from the arena; ok is false (a
+// counted stall) when all buffers are out — reap and release first.
+func (r *Ring) Claim() (Buf, bool) { return r.inner.Claim() }
+
+// Release returns a reaped buffer to the arena. Releasing the zero Buf
+// is a no-op; releasing twice panics.
+func (r *Ring) Release(b Buf) { r.inner.Release(b) }
+
+// Push queues one submission entry; it reports false (a counted stall)
+// when the SQ is full. Entries reach the wire on the next Submit.
+func (r *Ring) Push(sqe SQE) bool { return r.inner.Push(sqe) }
+
+// Submit flushes queued entries to the transport with one doorbell for
+// the whole train and returns how many were admitted; entries beyond the
+// completion-space budget stay queued.
+func (r *Ring) Submit() int { return r.inner.Submit(r.q.ctx.proc) }
+
+// Reap copies up to len(dst) completions into dst, blocking until at
+// least min are available or nothing remains inflight. It returns 0 only
+// when the ring is idle, so a drain loop terminates.
+func (r *Ring) Reap(dst []CQE, min int) int { return r.inner.Reap(r.q.ctx.proc, dst, min) }
+
+// Queued, Inflight, and Completed expose the ring's three depths:
+// pushed-not-submitted, submitted-not-completed, completed-not-reaped.
+func (r *Ring) Queued() int    { return r.inner.Queued() }
+func (r *Ring) Inflight() int  { return r.inner.Inflight() }
+func (r *Ring) Completed() int { return r.inner.Completed() }
+
+// Close detaches the ring (inflight completions still land and can be
+// reaped); the underlying Queue stays open.
+func (r *Ring) Close() { r.inner.Close() }

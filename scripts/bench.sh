@@ -3,15 +3,17 @@
 # (perf numbers, fabric telemetry, pool stats), a cache on/off pair on
 # the Zipfian hot-set workload, a replication scaling sweep (the 4 KiB
 # randread namespace sharded over 1, 2, and 4 member targets, plus a
-# 4-target run with a mid-run member crash), then the batching
-# wall-clock benchmarks (`go test -bench QD64`), and collect everything
-# into one JSON report. The bench section records, per configuration,
-# the simulator's own wall-clock ns/op and allocs/op next to the
-# simulated GB/s and IOPS it achieved, so allocation regressions on the
-# batched hot path show up in CI artifacts.
+# 4-target run with a mid-run member crash), a ring-vs-futures sweep
+# (the 4 KiB randread workload driven through the future-based API and
+# the SQ/CQ ring fast path at QD 64 and 256 on tcp-25g), then the
+# batching and ring wall-clock benchmarks (`go test -bench QD`), and
+# collect everything into one JSON report. The bench section records,
+# per configuration, the simulator's own wall-clock ns/op and allocs/op
+# next to the simulated GB/s and IOPS it achieved, so allocation
+# regressions on the batched and ring hot paths show up in CI artifacts.
 #
 # Environment knobs (all optional):
-#   BENCH_OUT      output file            (default BENCH_pr6.json)
+#   BENCH_OUT      output file            (default BENCH_pr7.json)
 #   BENCH_DURATION measured window        (default 500ms; CI smoke: 50ms)
 #   BENCH_QD       queue depth            (default 64)
 #   BENCH_SIZE     I/O size               (default 128K)
@@ -21,11 +23,12 @@
 #   BENCH_ZIPF     hot-set skew for the cache pair (default 0.99)
 #   BENCH_CACHE    cache size for the cache pair   (default 256M; empty skips)
 #   BENCH_CLUSTER  non-empty sweeps replication scaling (default on; empty skips)
+#   BENCH_RING     non-empty sweeps ring vs futures (default on; empty skips)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr6.json}
+OUT=${BENCH_OUT:-BENCH_pr7.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
@@ -35,6 +38,7 @@ FABRICS=${BENCH_FABRICS:-"nvme-oaf tcp-25g"}
 ZIPF=${BENCH_ZIPF:-0.99}
 CACHE=${BENCH_CACHE:-256M}
 CLUSTER=${BENCH_CLUSTER:-on}
+RING=${BENCH_RING:-on}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
 TMP=$(mktemp -d)
@@ -42,14 +46,14 @@ BIN=$TMP/oafperf
 trap 'rm -rf "$TMP"' EXIT
 go build -o "$BIN" ./cmd/oafperf
 
-# go_bench runs the QD64 batching benchmarks and rewrites the standard
-# `go test -bench` lines into JSON objects with ns/op, allocs/op, and
-# the reported sim-GB/s / sim-IOPS metrics.
+# go_bench runs the QD-series batching and ring benchmarks and rewrites
+# the standard `go test -bench` lines into JSON objects with ns/op,
+# allocs/op, and the reported sim-GB/s / sim-IOPS metrics.
 go_bench() {
-	go test ./internal/exp/ -run 'NO_TESTS' -bench 'BenchmarkQD64' \
+	go test ./internal/exp/ -run 'NO_TESTS' -bench 'BenchmarkQD' \
 		-benchtime "$GOBENCH" 2>/dev/null |
 		awk '
-		/^BenchmarkQD64/ {
+		/^BenchmarkQD/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
 			ns = ""; allocs = ""; gbps = ""; iops = ""
 			for (i = 2; i < NF; i++) {
@@ -109,6 +113,20 @@ go_bench() {
 		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$DUR" \
 			-targets 4 -replicas 2 -crash-member 1 \
 			-crash-at 20ms -crash-down 10ms -stats-json
+	fi
+	# Ring vs futures: the same 4 KiB randread workload at QD 64 and 256
+	# on tcp-25g, once through the future-based Submit API and once
+	# through the SQ/CQ ring fast path (which drains in batch-capsule
+	# trains), so the report records the ring's IOPS advantage per depth.
+	if [ -n "$RING" ]; then
+		for rqd in 64 256; do
+			printf ',\n'
+			"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$rqd" -t "$DUR" \
+				-stats-json
+			printf ',\n'
+			"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$rqd" -t "$DUR" \
+				-ring -batch "$BATCH" -stats-json
+		done
 	fi
 	printf '  ]'
 	if [ -n "$GOBENCH" ]; then
