@@ -111,6 +111,9 @@ func main() {
 	poll := flag.Duration("busy-poll", 0, "socket busy-poll budget (0 = interrupt)")
 	batch := flag.Int("batch", 0, "submission/completion coalescing depth (0 or 1 = one message per command)")
 	ringMode := flag.Bool("ring", false, "drive streams through the SQ/CQ ring fast path instead of the future-based API")
+	rdmaRegCache := flag.Bool("rdma-regcache", false, "rdma fabrics: MR registration cache + pre-registered buffer pool")
+	rdmaMerge := flag.Bool("rdma-merge", false, "rdma fabrics: merge LBA-adjacent commands inside doorbell trains")
+	rdmaDynDB := flag.Bool("rdma-dyndb", false, "rdma fabrics: dynamic doorbell coalescing (grow under backlog, shrink on drain)")
 	queues := flag.Int("queues", 1, "queue pairs per stream; I/O stripes across them by offset")
 	cacheStr := flag.String("cache", "", "target-side DRAM block cache capacity per SSD (e.g. 256M; empty = uncached)")
 	cacheMode := flag.String("cache-mode", "wt", "cache write policy: wt/write-through or wb/write-back")
@@ -165,12 +168,15 @@ func main() {
 	}
 
 	cfg := exp.Config{
-		Kind:     exp.Kind(*fabric),
-		Design:   d,
-		Streams:  *streams,
-		Queues:   *queues,
-		Workload: w,
-		Seed:     *seed,
+		Kind:            exp.Kind(*fabric),
+		Design:          d,
+		Streams:         *streams,
+		Queues:          *queues,
+		Workload:        w,
+		Seed:            *seed,
+		RDMARegCache:    *rdmaRegCache,
+		RDMAMerge:       *rdmaMerge,
+		RDMADynDoorbell: *rdmaDynDB,
 	}
 	if *cacheStr != "" {
 		cb, err := parseSize(*cacheStr)
@@ -231,6 +237,9 @@ func main() {
 
 	fmt.Printf("fabric=%s design=%v rw=%s size=%s qd=%d streams=%d queues=%d batch=%d ring=%v window=%v\n",
 		*fabric, d, *rw, *sizeStr, *qd, *streams, *queues, *batch, *ringMode, *dur)
+	if *rdmaRegCache || *rdmaMerge || *rdmaDynDB {
+		fmt.Printf("  rdma fast path: regcache=%v merge=%v dyndb=%v\n", *rdmaRegCache, *rdmaMerge, *rdmaDynDB)
+	}
 	agg := res.Agg
 	fmt.Printf("  bandwidth : %.3f GB/s (%.0f IOPS)\n", agg.Throughput.GBps(), agg.Throughput.IOPS())
 	fmt.Printf("  latency   : avg %.1f us  p50 %.1f  p99 %.1f  p99.9 %.1f  p99.99 %.1f\n",
@@ -282,6 +291,9 @@ type report struct {
 		Queues     int     `json:"queues,omitempty"`
 		Batch      int     `json:"batch,omitempty"`
 		Ring       bool    `json:"ring,omitempty"`
+		RegCache   bool    `json:"rdma_regcache,omitempty"`
+		Merge      bool    `json:"rdma_merge,omitempty"`
+		DynDB      bool    `json:"rdma_dyndb,omitempty"`
 		CacheBytes int64   `json:"cache_bytes,omitempty"`
 		CacheMode  string  `json:"cache_mode,omitempty"`
 		Zipf       float64 `json:"zipf,omitempty"`
@@ -324,6 +336,9 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Config.Queues = cfg.Queues
 	r.Config.Batch = cfg.Workload.Batch
 	r.Config.Ring = cfg.Workload.Ring
+	r.Config.RegCache = cfg.RDMARegCache
+	r.Config.Merge = cfg.RDMAMerge
+	r.Config.DynDB = cfg.RDMADynDoorbell
 	r.Config.CacheBytes = cfg.CacheBytes
 	if cfg.CacheBytes > 0 {
 		r.Config.CacheMode = cfg.CacheMode.String()

@@ -48,6 +48,11 @@ type clientOpts struct {
 	backoff    time.Duration
 	keepAlive  time.Duration
 	telemetry  *telemetry.Sink
+	// fastPath requests the RDMA fast path (MR regcache + adjacent-
+	// request merging + dynamic doorbells). The core/tcp bindings have
+	// no such knobs and must ignore it — fastpath_test.go pins that
+	// inertness at the wire level.
+	fastPath bool
 }
 
 // srvOpts are the target-side knobs.
@@ -63,6 +68,7 @@ type rig struct {
 	tgt  *session.Target // embedded server core: counters, crash/restart
 	pool *mempool.Pool   // nil for RDMA (direct placement, no pool)
 	inj  *faults.Injector
+	link *netsim.Link // the host-target wire, for message/byte identity checks
 	// connect dials a new host-side queue; the returned *session.Host is
 	// the embedded engine core carrying the recovery counters.
 	connect func(p *sim.Proc, o clientOpts) (client, *session.Host)
@@ -119,7 +125,7 @@ var bindings = []binding{
 			link := netsim.NewLoopLink(e, model.Loopback())
 			srv.Serve(link.B)
 			return &rig{
-				e: e, tgt: srv.Target, pool: srv.Pool(), inj: faults.NewInjector(e),
+				e: e, tgt: srv.Target, pool: srv.Pool(), inj: faults.NewInjector(e), link: link,
 				connect: func(p *sim.Proc, o clientOpts) (client, *session.Host) {
 					tp := model.DefaultTCPTransport()
 					tp.BatchSize = o.batchSize
@@ -155,7 +161,7 @@ var bindings = []binding{
 			link := netsim.NewLoopLink(e, model.TCP25G())
 			srv.Serve(link.B)
 			return &rig{
-				e: e, tgt: srv.Target, pool: srv.Pool(), inj: faults.NewInjector(e),
+				e: e, tgt: srv.Target, pool: srv.Pool(), inj: faults.NewInjector(e), link: link,
 				connect: func(p *sim.Proc, o clientOpts) (client, *session.Host) {
 					tp := model.DefaultTCPTransport()
 					tp.BatchSize = o.batchSize
@@ -187,7 +193,7 @@ var bindings = []binding{
 			link := netsim.NewLoopLink(e, rdma.LinkParams(prm))
 			srv.Serve(link.B)
 			return &rig{
-				e: e, tgt: srv.Target, inj: faults.NewInjector(e),
+				e: e, tgt: srv.Target, inj: faults.NewInjector(e), link: link,
 				connect: func(p *sim.Proc, o clientOpts) (client, *session.Host) {
 					c, err := rdma.Connect(p, link.A, rdma.ClientConfig{
 						NQN: confNQN, QueueDepth: o.queueDepth, Params: prm,
@@ -195,6 +201,7 @@ var bindings = []binding{
 						CommandTimeout: o.timeout, MaxRetries: o.maxRetries,
 						RetryBackoff: o.backoff, KeepAlive: o.keepAlive,
 						Telemetry: o.telemetry,
+						RegCache:  o.fastPath, Merge: o.fastPath, DynDoorbell: o.fastPath,
 					})
 					if err != nil {
 						t.Fatal(err)

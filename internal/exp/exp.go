@@ -109,6 +109,14 @@ type Config struct {
 	// CrashAt and restart CrashDown later, mid-workload.
 	CrashMember        int
 	CrashAt, CrashDown time.Duration
+
+	// RDMARegCache / RDMAMerge / RDMADynDoorbell enable the RDMA fast
+	// path on RDMA/RoCE runs: the mechanistic MR cache with connect-time
+	// pool pre-registration, adjacent-request merging, and the
+	// occupancy-driven doorbell controller (see rdma.ClientConfig).
+	RDMARegCache    bool
+	RDMAMerge       bool
+	RDMADynDoorbell bool
 }
 
 func (c Config) withDefaults() Config {
@@ -263,7 +271,10 @@ func Run(cfg Config) (*Result, error) {
 	case RDMA56, RoCE100:
 		prm := rdmaParams(cfg)
 		for i := 0; i < nConns; i++ {
-			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnFor(i / cfg.Queues), Params: prm, Host: model.DefaultHost()})
+			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{
+				NQN: nqnFor(i / cfg.Queues), Params: prm, Host: model.DefaultHost(),
+				BatchSize: cfg.TP.BatchSize, Telemetry: tel,
+			})
 			srv.Serve(links[i].B)
 		}
 	case OAF, OAFRDMACtl:
@@ -314,6 +325,8 @@ func Run(cfg Config) (*Result, error) {
 					prm := rdmaParams(cfg)
 					c, err := rdma.Connect(p, links[li].A, rdma.ClientConfig{
 						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
+						BatchSize: cfg.TP.BatchSize, Telemetry: tel,
+						RegCache:  cfg.RDMARegCache, Merge: cfg.RDMAMerge, DynDoorbell: cfg.RDMADynDoorbell,
 					})
 					if err != nil {
 						setupErr.Resolve(err)

@@ -158,14 +158,22 @@ type RDMAParams struct {
 	// region). Paid on registration-cache misses; drives RDMA's
 	// short-run tail latency (Fig 13 and §5.4).
 	MemRegCost time.Duration
-	// MemRegWarmOps is the decay constant (in completed operations) of
-	// the registration miss rate; a handful of misses land early in the
-	// run. Short runs keep the tail high; runs 3-4x longer dilute the
-	// fixed event count below the tail percentiles, exactly as the paper
-	// observes in §5.4.
+	// MemRegWarmOps is a legacy-model knob: the decay constant (in
+	// completed operations) of the registration miss rate. The
+	// mechanistic MR cache derives its cold-region count from it
+	// (regions = round(0.007 x MemRegWarmOps)) so a handful of misses
+	// land early in the run with the same decay constant the stochastic
+	// model had. Short runs keep the tail high; runs 3-4x longer dilute
+	// the fixed event count below the tail percentiles, exactly as the
+	// paper observes in §5.4.
 	MemRegWarmOps float64
-	// MemRegFloorProb is the steady-state miss probability after warmup.
+	// MemRegFloorProb is a legacy-model knob: the steady-state miss
+	// probability after warmup. The mechanistic cache maps it to
+	// region-churn (invalidation) probability per post.
 	MemRegFloorProb float64
+	// RegCacheBytes caps the fast-path MR cache (0 = 256 MiB). Only
+	// consulted when the registration cache is enabled on the client.
+	RegCacheBytes int64
 }
 
 // RDMA56G models NVMe/RDMA over 56 Gb IB FDR with SR-IOV.

@@ -15,6 +15,8 @@ package rdma
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"time"
 
 	"nvmeoaf/internal/model"
@@ -63,6 +65,28 @@ type ClientConfig struct {
 	HostNQN string
 	// Telemetry receives counters and latency histograms (nil disables).
 	Telemetry *telemetry.Sink
+
+	// RegCache enables the mechanistic fast path: the I/O buffer pool is
+	// pre-registered with the HCA at connect time and every post goes
+	// through the LRU MR cache (regcache.go) instead of the legacy
+	// stochastic registration model. Steady-state pool and ring-arena
+	// I/O never registers inline; misses happen only for unregistered
+	// caller buffers and eviction churn.
+	RegCache bool
+	// RegCacheBytes caps the MR cache (0 = Params.RegCacheBytes, then
+	// 256 MiB).
+	RegCacheBytes int64
+	// Merge folds physically contiguous same-direction commands in a
+	// doorbell train into one work request (RDMAbox adjacent-request
+	// merging); completions are split back to member CIDs invisibly to
+	// the session engine.
+	Merge bool
+	// DynDoorbell replaces the fixed BatchSize with an occupancy-driven
+	// doorbell-train controller: the train grows while the submit queue
+	// has backlog and shrinks toward 1 when it drains.
+	DynDoorbell bool
+	// MaxTrain caps the dynamic doorbell train (0 = 64).
+	MaxTrain int
 }
 
 // Client is the host side of one RDMA queue pair.
@@ -71,7 +95,40 @@ type Client struct {
 	wire *rdmaWire
 
 	// RegMisses counts memory-registration cache misses.
+	//
+	// Deprecated: read the rdma.reg_misses telemetry counter instead;
+	// the field is kept in sync as an alias.
 	RegMisses int64
+}
+
+// AllocBuffer implements the ring arena hook (internal/ring asserts for
+// it on the wrapped queue): buffers handed to a Ring register with the
+// HCA at ring creation, so steady-state ring I/O is a guaranteed
+// registration-cache hit.
+func (c *Client) AllocBuffer(size int) []byte {
+	buf := make([]byte, size)
+	if w := c.wire; w.cache != nil {
+		w.cache.Preregister(regKey{ptr: &buf[0]}, int64(size))
+		c.Telemetry().Add(telemetry.CtrRDMAPreregBytes, alignRegion(int64(size)))
+	}
+	return buf
+}
+
+// mergeMember records one command folded into a merged work request.
+// Liveness across CID recycling is fenced by pointer identity plus the
+// pending generation (the same discipline armDeadline uses).
+type mergeMember struct {
+	pend *session.Pending
+	cid  uint16
+	gen  int
+	size int
+}
+
+// mergeGroup is one merged work request awaiting its completion, keyed
+// by the leader (lowest-offset member) CID.
+type mergeGroup struct {
+	members []mergeMember
+	total   int
 }
 
 // rdmaWire is the direct-placement data path: writes carry their whole
@@ -82,14 +139,49 @@ type rdmaWire struct {
 	h   *session.Host
 	ep  *netsim.Endpoint
 	cfg *ClientConfig
-	rng interface{ Float64() float64 }
+	rng *rand.Rand
+
+	// Legacy stochastic-model shim: coldSeen models the
+	// round(evictMissScale x MemRegWarmOps) distinct pool regions that
+	// have not yet been registered this run (see postDelay).
+	coldSeen []bool
+
+	// Fast path (RegCache): the mechanistic MR cache; nil when the
+	// legacy model is active.
+	cache *regCache
+
+	// Merge state: in-flight merged work requests by leader CID, plus
+	// reactor-owned scratch for rebuilding the train and fanning the
+	// merged completion back out.
+	groups      map[uint16]*mergeGroup
+	mergeIdx    []int
+	mergeDead   []bool
+	respScratch pdu.CapsuleResp
+
+	// Dynamic doorbell controller state.
+	dynTrain int
 }
+
+// poolRegion keys the connect-time pre-registered I/O buffer pool in
+// the MR cache; poolBufBytes is the modeled per-queue-entry pool buffer
+// (large enough for a max-size I/O).
+var poolRegion = regKey{id: 1}
+
+const poolBufBytes = 128 << 10
 
 // Connect starts a client on ep (connection setup over the RDMA CM is
 // modeled by the ICReq/ICResp exchange).
 func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
 	e := p.Engine()
-	w := &rdmaWire{ep: ep, cfg: &cfg, rng: e.Rand("rdma/" + cfg.Params.Name)}
+	w := &rdmaWire{ep: ep, cfg: &cfg, rng: e.Rand("rdma/" + cfg.Params.Name), dynTrain: 1}
+	if cfg.RegCache {
+		w.cache = newRegCache(regCacheCapacity(&cfg))
+	} else if k := int(math.Round(evictMissScale * cfg.Params.MemRegWarmOps)); k > 0 {
+		w.coldSeen = make([]bool, k)
+	}
+	if cfg.Merge {
+		w.groups = map[uint16]*mergeGroup{}
+	}
 	h := session.NewHost(e, ep, session.HostConfig{
 		Label:          "rdma",
 		NQN:            cfg.NQN,
@@ -112,9 +204,32 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 	if err := h.Handshake(p); err != nil {
 		return nil, err
 	}
+	if w.cache != nil {
+		// Pre-register the whole I/O buffer pool during connection setup:
+		// steady-state pool I/O never registers inline (RDMAbox).
+		depth := cfg.QueueDepth
+		if depth <= 0 {
+			depth = 128
+		}
+		poolBytes := int64(depth) * poolBufBytes
+		w.cache.Preregister(poolRegion, poolBytes)
+		h.Telemetry().Add(telemetry.CtrRDMAPreregBytes, poolBytes)
+	}
 	h.Telemetry().Trace(int64(p.Now()), telemetry.EvPathSelected, 0, "rdma", cfg.Params.Name)
 	h.Start()
 	return c, nil
+}
+
+// regCacheCapacity resolves the MR-cache byte cap: explicit client knob,
+// then the fabric parameter, then 256 MiB.
+func regCacheCapacity(cfg *ClientConfig) int64 {
+	if cfg.RegCacheBytes > 0 {
+		return cfg.RegCacheBytes
+	}
+	if cfg.Params.RegCacheBytes > 0 {
+		return cfg.Params.RegCacheBytes
+	}
+	return 256 << 20
 }
 
 func (w *rdmaWire) BuildICReq(reconnect bool) *pdu.ICReq { return &pdu.ICReq{PFV: 0} }
@@ -162,7 +277,7 @@ func (w *rdmaWire) Transmit(p *sim.Proc, e *pdu.BatchEntry) {
 		transport.SendPDUs(p, w.ep, capsule)
 		return
 	}
-	if delay := w.registrationDelay(); delay > 0 {
+	if delay := w.postDelay(e); delay > 0 {
 		// Registration runs on a kernel helper: only this command waits;
 		// the reactor keeps serving the queue.
 		ep := w.ep
@@ -175,11 +290,26 @@ func (w *rdmaWire) Transmit(p *sim.Proc, e *pdu.BatchEntry) {
 	transport.SendPDUs(p, w.ep, capsule)
 }
 
-// TransmitTrain posts a doorbell-coalesced train as one message. The
-// registration cache is consulted once for the train (the work requests
-// share the posting): a miss delays the whole train.
+// TransmitTrain posts a doorbell-coalesced train as one message: one
+// doorbell for the whole train. With Merge on, physically contiguous
+// same-direction entries fold into single work requests first. With the
+// MR cache, each work request's buffer region is touched (a miss delays
+// the train by its registration); the legacy model consults its miss
+// distribution once per train.
 func (w *rdmaWire) TransmitTrain(p *sim.Proc, b *pdu.CmdBatch) {
-	if delay := w.registrationDelay(); delay > 0 {
+	w.h.Telemetry().Add(telemetry.CtrRDMADoorbellsSaved, int64(len(b.Entries)-1))
+	if w.cfg.Merge {
+		w.mergeTrain(b)
+	}
+	var delay time.Duration
+	if w.cache != nil {
+		for i := range b.Entries {
+			delay += w.postDelay(&b.Entries[i])
+		}
+	} else {
+		delay = w.postDelay(nil)
+	}
+	if delay > 0 {
 		// The engine reuses its batch scratch: copy the entries before
 		// handing them to the delayed helper.
 		cp := &pdu.CmdBatch{Entries: append([]pdu.BatchEntry(nil), b.Entries...)}
@@ -191,6 +321,32 @@ func (w *rdmaWire) TransmitTrain(p *sim.Proc, b *pdu.CmdBatch) {
 		return
 	}
 	transport.SendPDUs(p, w.ep, b)
+}
+
+// TrainSize implements session.TrainSizer: dynamic doorbell coalescing.
+// The train doubles while the submit queue keeps at least twice the
+// current train queued (amortizing per-doorbell cost under backlog) and
+// halves when occupancy falls to half the train (protecting latency on
+// drain). Deterministic under the sim clock; 0 defers to BatchSize.
+func (w *rdmaWire) TrainSize(queued int) int {
+	if !w.cfg.DynDoorbell {
+		return 0
+	}
+	max := w.cfg.MaxTrain
+	if max <= 0 {
+		max = 64
+	}
+	for queued >= 2*w.dynTrain && w.dynTrain < max {
+		w.dynTrain *= 2
+	}
+	for queued <= w.dynTrain/2 && w.dynTrain > 1 {
+		w.dynTrain /= 2
+	}
+	d := w.dynTrain
+	if queued > 0 && d > queued {
+		d = queued
+	}
+	return d
 }
 
 // PollBudget is 0: the engine's kick/park loop already models CQ polling
@@ -205,27 +361,267 @@ func (w *rdmaWire) HandlePDU(p *sim.Proc, u pdu.PDU, transit time.Duration) bool
 
 func (w *rdmaWire) ReleaseAttempt(pend *session.Pending) {}
 
-// registrationDelay models the HCA memory-registration cache. The I/O
-// buffer pool registers at connect time; during a run the registration
-// cache occasionally misses (buffer-pool growth, eviction, fragmentation)
-// and the affected command must wait for a multi-millisecond region
-// registration (page pinning + HCA table update). The miss probability
-// decays with completed work, so a short run carries a heavy registration
-// tail that a 3-4x longer run dilutes below the p99.9/p99.99 thresholds —
-// the paper's §5.4 observation. The expected number of events converges
-// to evictMissScale x MemRegWarmOps.
-func (w *rdmaWire) registrationDelay() time.Duration {
+// postDelay models the HCA memory-registration check for one post.
+//
+// Fast path (cache non-nil): the work request's buffer region is looked
+// up in the mechanistic MR cache — the pre-registered pool for pooled /
+// virtual payloads, the buffer base address for caller buffers. A hit
+// costs nothing; a miss charges one region registration (page pinning +
+// HCA table update) and may evict LRU regions under capacity pressure.
+//
+// Legacy shim (cache nil): the stochastic model the fast path replaces,
+// recast mechanistically so its statistics survive. The run starts with
+// K = round(evictMissScale x MemRegWarmOps) cold pool regions; each post
+// picks a region with probability evictMissScale and the first touch of
+// each region is a miss, so the per-post miss rate decays as
+// evictMissScale x exp(-evictMissScale x posts / K) — the same decay
+// constant (~MemRegWarmOps) the old exponential coin flip had, and the
+// same expected total (~K) misses. MemRegFloorProb models steady-state
+// region churn (pool growth, fragmentation): a forced re-registration
+// with that probability per post. Short runs carry a heavy registration
+// tail that 3-4x longer runs dilute below p99.9/p99.99 — the paper's
+// §5.4 observation (Fig 13) — and the figure suite pins that shape.
+func (w *rdmaWire) postDelay(e *pdu.BatchEntry) time.Duration {
+	if w.cache != nil {
+		return w.touchEntry(e)
+	}
 	prm := w.cfg.Params
-	prob := evictMissScale*math.Exp(-float64(w.h.Completed)/prm.MemRegWarmOps) + prm.MemRegFloorProb
-	if w.rng.Float64() >= prob {
+	if prm.MemRegFloorProb > 0 && w.rng.Float64() < prm.MemRegFloorProb {
+		return w.missDelay() // churned region: forced re-registration
+	}
+	if k := len(w.coldSeen); k > 0 && w.rng.Float64() < evictMissScale {
+		if i := w.rng.Intn(k); !w.coldSeen[i] {
+			w.coldSeen[i] = true
+			return w.missDelay()
+		}
+	}
+	w.h.Telemetry().Inc(telemetry.CtrRDMARegHits)
+	return 0
+}
+
+// touchEntry resolves the buffer region behind one work request and
+// touches it in the MR cache: virtual / pooled payloads hit the pinned
+// pool region; real caller buffers key by base address (ring-arena
+// buffers were pre-registered by AllocBuffer and always hit).
+func (w *rdmaWire) touchEntry(e *pdu.BatchEntry) time.Duration {
+	if e.Cmd.Flags&transport.AdminFlag != 0 || e.Cmd.Opcode == nvme.OpFlush {
 		return 0
 	}
+	key := poolRegion
+	var bytes int64
+	if pend, ok := w.h.LookupPending(e.Cmd.CID); ok && pend.IO.Data != nil {
+		key = regKey{ptr: &pend.IO.Data[0]}
+		bytes = int64(len(pend.IO.Data))
+	}
+	tel := w.h.Telemetry()
+	hit, evicted := w.cache.Touch(key, bytes)
+	if hit {
+		tel.Inc(telemetry.CtrRDMARegHits)
+		return 0
+	}
+	tel.Add(telemetry.CtrRDMARegEvictions, int64(evicted))
+	return w.missDelay()
+}
+
+// missDelay charges one region registration, with the same jitter the
+// legacy model used.
+func (w *rdmaWire) missDelay() time.Duration {
 	w.cl.RegMisses++
-	return time.Duration(float64(prm.MemRegCost) * (0.7 + 0.6*w.rng.Float64()))
+	w.h.Telemetry().Inc(telemetry.CtrRDMARegMisses)
+	return time.Duration(float64(w.cfg.Params.MemRegCost) * (0.7 + 0.6*w.rng.Float64()))
 }
 
 // evictMissScale is the initial per-op registration-miss probability.
 const evictMissScale = 0.007
+
+// maxMergedBlocks caps a merged work request at the NVMe NLB field's
+// range (CDW12 holds a 0's-based 16-bit block count).
+const maxMergedBlocks = 65536
+
+// mergeable reports whether a train entry may fold into a merged work
+// request: IO reads always (the completion payload splits back by
+// offset), IO writes only with modeled (virtual) payloads — merging
+// real write payloads would need one contiguous wire buffer.
+func mergeable(e *pdu.BatchEntry) bool {
+	if e.Cmd.Flags&transport.AdminFlag != 0 {
+		return false
+	}
+	switch e.Cmd.Opcode {
+	case nvme.OpRead:
+		return true
+	case nvme.OpWrite:
+		return e.Data == nil && e.VirtualLen > 0
+	}
+	return false
+}
+
+// mergeTrain folds physically contiguous same-direction commands in the
+// train into single work requests (RDMAbox adjacent-request merging):
+// an offset-sorted scan per (opcode, NSID) finds runs whose LBA ranges
+// abut, each run posts as one work request carrying the leader
+// (lowest-offset) CID and the summed block count, and a mergeGroup
+// remembers the members so InterceptData/InterceptResp can split the
+// completion back per CID — invisible to the session engine.
+func (w *rdmaWire) mergeTrain(b *pdu.CmdBatch) {
+	entries := b.Entries
+	idx := w.mergeIdx[:0]
+	for i := range entries {
+		if mergeable(&entries[i]) {
+			idx = append(idx, i)
+		}
+	}
+	w.mergeIdx = idx
+	if len(idx) < 2 {
+		return
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ea, eb := &entries[idx[a]], &entries[idx[b]]
+		if ea.Cmd.Opcode != eb.Cmd.Opcode {
+			return ea.Cmd.Opcode < eb.Cmd.Opcode
+		}
+		if ea.Cmd.NSID != eb.Cmd.NSID {
+			return ea.Cmd.NSID < eb.Cmd.NSID
+		}
+		return ea.Cmd.SLBA() < eb.Cmd.SLBA()
+	})
+	dead := w.mergeDead[:0]
+	for range entries {
+		dead = append(dead, false)
+	}
+	w.mergeDead = dead
+	folded := 0
+	for s := 0; s < len(idx); {
+		run := s + 1
+		lead := &entries[idx[s]]
+		end := lead.Cmd.SLBA() + uint64(lead.Cmd.NLB())
+		blocks := int(lead.Cmd.NLB())
+		for run < len(idx) {
+			e := &entries[idx[run]]
+			if e.Cmd.Opcode != lead.Cmd.Opcode || e.Cmd.NSID != lead.Cmd.NSID ||
+				e.Cmd.SLBA() != end || blocks+int(e.Cmd.NLB()) > maxMergedBlocks {
+				break
+			}
+			end += uint64(e.Cmd.NLB())
+			blocks += int(e.Cmd.NLB())
+			run++
+		}
+		if run-s >= 2 {
+			folded += w.foldRun(entries, idx[s:run], blocks)
+		}
+		s = run
+	}
+	if folded == 0 {
+		return
+	}
+	w.h.Telemetry().Add(telemetry.CtrRDMAMergedOps, int64(folded))
+	out := entries[:0]
+	for i := range entries {
+		if !w.mergeDead[i] {
+			out = append(out, entries[i])
+		}
+	}
+	b.Entries = out
+}
+
+// foldRun rewrites the run's leader entry into the merged work request
+// and registers the merge group. Returns the number of entries folded
+// away (0 when a member cannot be resolved and the run is left alone).
+func (w *rdmaWire) foldRun(entries []pdu.BatchEntry, run []int, blocks int) int {
+	lead := &entries[run[0]]
+	g := &mergeGroup{members: make([]mergeMember, 0, len(run))}
+	for _, i := range run {
+		e := &entries[i]
+		pend, ok := w.h.LookupPending(e.Cmd.CID)
+		if !ok {
+			return 0
+		}
+		size := int(e.Cmd.NLB()) * transport.BlockSize
+		g.members = append(g.members, mergeMember{pend: pend, cid: e.Cmd.CID, gen: pend.Gen, size: size})
+		g.total += size
+	}
+	lead.Cmd.CDW12 = uint32(blocks - 1)
+	if lead.Cmd.Opcode == nvme.OpWrite {
+		lead.VirtualLen = g.total
+	}
+	for _, i := range run[1:] {
+		w.mergeDead[i] = true
+	}
+	w.groups[lead.Cmd.CID] = g
+	return len(run) - 1
+}
+
+// liveGroup resolves a merge group by leader CID, discarding it when the
+// leader pending is stale (the CID was reaped and reused: the incoming
+// PDU belongs to a newer command, so the engine must handle it).
+func (w *rdmaWire) liveGroup(cid uint16) *mergeGroup {
+	g, ok := w.groups[cid]
+	if !ok {
+		return nil
+	}
+	lead := g.members[0]
+	if pend, ok := w.h.LookupPending(cid); !ok || pend != lead.pend || pend.Gen != lead.gen {
+		delete(w.groups, cid)
+		return nil
+	}
+	return g
+}
+
+// InterceptData splits a merged read's single RDMA write back across the
+// member buffers by offset (members are stored in ascending LBA order,
+// which is payload order).
+func (w *rdmaWire) InterceptData(p *sim.Proc, d *pdu.Data, transit time.Duration) bool {
+	g := w.liveGroup(d.CID)
+	if g == nil {
+		return false
+	}
+	off := 0
+	for _, m := range g.members {
+		if pend, ok := w.h.LookupPending(m.cid); ok && pend == m.pend && pend.Gen == m.gen {
+			if d.Payload != nil && pend.IO.Data != nil && off < len(d.Payload) {
+				end := off + m.size
+				if end > len(d.Payload) {
+					end = len(d.Payload)
+				}
+				copy(pend.IO.Data, d.Payload[off:end])
+			}
+			pend.Received += m.size
+			pend.Comm += transit
+		} else {
+			w.h.NoteLate()
+		}
+		transit = 0
+		off += m.size
+	}
+	return true
+}
+
+// InterceptResp fans a merged work request's single completion back out
+// to the member commands through the engine's normal completion path.
+// Device time is split proportionally to member size; message transit
+// and target-side overheads are attributed once.
+func (w *rdmaWire) InterceptResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) bool {
+	g := w.liveGroup(r.Rsp.CID)
+	if g == nil {
+		return false
+	}
+	delete(w.groups, r.Rsp.CID)
+	for i, m := range g.members {
+		pend, ok := w.h.LookupPending(m.cid)
+		if !ok || pend != m.pend || pend.Gen != m.gen {
+			w.h.NoteLate()
+			continue
+		}
+		w.respScratch = *r
+		w.respScratch.Rsp.CID = m.cid
+		w.respScratch.IOTimeNs = uint64(float64(r.IOTimeNs) * float64(m.size) / float64(g.total))
+		if i > 0 {
+			w.respScratch.TgtCommNs, w.respScratch.TgtOtherNs = 0, 0
+		}
+		w.h.DeliverResp(p, &w.respScratch, transit)
+		transit = 0
+	}
+	return true
+}
 
 // ServerConfig configures the target side.
 type ServerConfig struct {

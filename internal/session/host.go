@@ -53,6 +53,24 @@ type HostWire interface {
 	ReleaseAttempt(pend *Pending)
 }
 
+// completionInterceptor is an optional HostWire extension: the wire sees
+// completion-path PDUs before the engine's default handling and returns
+// true to consume one (adjacent-request merging splits a merged
+// completion back to its member CIDs this way). The Fabrics Connect
+// response is never offered.
+type completionInterceptor interface {
+	InterceptData(p *sim.Proc, d *pdu.Data, transit time.Duration) bool
+	InterceptResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) bool
+}
+
+// TrainSizer is an optional HostWire extension: the wire chooses the
+// doorbell-train depth for each drain round from the current submit-queue
+// occupancy (dynamic doorbell coalescing). Returning 0 defers to the
+// configured BatchSize.
+type TrainSizer interface {
+	TrainSize(queued int) int
+}
+
 // HostConfig configures the host-side session engine.
 type HostConfig struct {
 	// Label prefixes daemon names, error strings, and panics
@@ -102,6 +120,8 @@ type Host struct {
 	drained *sim.Signal
 	rng     *rand.Rand
 	tel     *telemetry.Sink
+	icept   completionInterceptor
+	sizer   TrainSizer
 
 	// Hot-path recycling: pending-op freelist plus reactor-owned scratch
 	// structures for the batched submission path. The engine is
@@ -159,6 +179,8 @@ func NewHost(e *sim.Engine, ep *netsim.Endpoint, cfg HostConfig, wire HostWire) 
 	if h.tel == nil {
 		h.tel = telemetry.Disabled
 	}
+	h.icept, _ = wire.(completionInterceptor)
+	h.sizer, _ = wire.(TrainSizer)
 	return h
 }
 
@@ -394,19 +416,21 @@ func (h *Host) reactor(p *sim.Proc) {
 				worked = true
 			}
 		}
-		if depth := h.batchDepth(); depth > 1 {
-			for !h.cids.Full() && !h.reconnecting && h.startTrain(p, depth) {
-				worked = true
-			}
-		} else {
-			for !h.cids.Full() && !h.reconnecting {
+		for !h.cids.Full() && !h.reconnecting {
+			// Depth is re-read per train so a TrainSizer wire can grow or
+			// shrink the doorbell train as occupancy changes mid-drain.
+			if depth := h.trainDepth(); depth > 1 {
+				if !h.startTrain(p, depth) {
+					break
+				}
+			} else {
 				pend, ok := h.submitQ.TryGet()
 				if !ok {
 					break
 				}
 				h.start(p, pend)
-				worked = true
 			}
+			worked = true
 		}
 		if h.closing && h.reconnecting {
 			// Tearing down with no usable connection: fail queued
@@ -656,6 +680,18 @@ func (h *Host) batchDepth() int {
 	return 1
 }
 
+// trainDepth resolves the depth for the next doorbell train: a TrainSizer
+// wire may override per round from queue occupancy; 0 defers to the
+// configured BatchSize.
+func (h *Host) trainDepth() int {
+	if h.sizer != nil {
+		if d := h.sizer.TrainSize(h.submitQ.Len()); d > 0 {
+			return d
+		}
+	}
+	return h.batchDepth()
+}
+
 // prepareStart allocates the CID, arms the deadline, and builds the wire
 // entry for one command. It is the shared front half of start and
 // startTrain.
@@ -739,9 +775,13 @@ func (h *Host) handle(p *sim.Proc, msg *netsim.Message) {
 	for _, u := range pdus {
 		switch v := u.(type) {
 		case *pdu.Data:
-			h.onData(p, v, transit)
+			if h.icept == nil || !h.icept.InterceptData(p, v, transit) {
+				h.onData(p, v, transit)
+			}
 		case *pdu.CapsuleResp:
-			h.onResp(p, v, transit)
+			if h.icept == nil || v.Rsp.CID == ConnectCID || !h.icept.InterceptResp(p, v, transit) {
+				h.onResp(p, v, transit)
+			}
 			reaped++
 		case *pdu.ICResp:
 			h.onReconnectICResp(p, v)
@@ -840,6 +880,14 @@ func (h *Host) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
 	}
 	h.recyclePending(pend)
 	h.kick.Fire()
+}
+
+// DeliverResp feeds a wire-synthesized completion through the engine's
+// normal completion path (CID free, retry logic, latency histograms,
+// recycling). A merging wire uses it to fan a merged response back out
+// to member commands.
+func (h *Host) DeliverResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
+	h.onResp(p, r, transit)
 }
 
 // onConnectResp completes the second half of a mid-stream reconnect.

@@ -13,10 +13,11 @@ type HistSnapshot struct {
 	P99    int64   `json:"p99"`
 	P999   int64   `json:"p999"`
 	P9999  int64   `json:"p9999"`
-	MeanUs float64 `json:"mean_us"`
-	P50Us  float64 `json:"p50_us"`
-	P99Us  float64 `json:"p99_us"`
-	P999Us float64 `json:"p999_us"`
+	MeanUs  float64 `json:"mean_us"`
+	P50Us   float64 `json:"p50_us"`
+	P99Us   float64 `json:"p99_us"`
+	P999Us  float64 `json:"p999_us"`
+	P9999Us float64 `json:"p9999_us"`
 }
 
 // EventSnapshot is one trace entry in exported form.
@@ -66,10 +67,11 @@ func (s *Sink) Snapshot() Snapshot {
 			P99:    hist.P99(),
 			P999:   hist.P999(),
 			P9999:  hist.P9999(),
-			MeanUs: hist.Mean() / 1e3,
-			P50Us:  float64(hist.P50()) / 1e3,
-			P99Us:  float64(hist.P99()) / 1e3,
-			P999Us: float64(hist.P999()) / 1e3,
+			MeanUs:  hist.Mean() / 1e3,
+			P50Us:   float64(hist.P50()) / 1e3,
+			P99Us:   float64(hist.P99()) / 1e3,
+			P999Us:  float64(hist.P999()) / 1e3,
+			P9999Us: float64(hist.P9999()) / 1e3,
 		}
 	}
 	for _, ev := range s.Events() {

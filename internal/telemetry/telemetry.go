@@ -96,6 +96,15 @@ const (
 	CtrRingSQFull    // pushes refused because the SQ was full (stalls)
 	CtrRingBufStalls // buffer claims refused because the arena was empty
 
+	// RDMA fast path (internal/rdma): memory-registration cache and
+	// RDMAbox-style posting optimizations.
+	CtrRDMARegHits        // posts whose buffer region was already registered
+	CtrRDMARegMisses      // posts that stalled on an inline region registration
+	CtrRDMARegEvictions   // registered regions evicted under cache pressure
+	CtrRDMAPreregBytes    // bytes pre-registered at connect (pool + ring arena)
+	CtrRDMAMergedOps      // work requests folded away by adjacent-request merging
+	CtrRDMADoorbellsSaved // doorbell rings saved by train coalescing
+
 	numCounters
 )
 
@@ -147,6 +156,12 @@ var counterNames = [numCounters]string{
 	CtrRingReaps:         "ring.reaps",
 	CtrRingSQFull:        "ring.sq_full_stalls",
 	CtrRingBufStalls:     "ring.buf_stalls",
+	CtrRDMARegHits:       "rdma.reg_hits",
+	CtrRDMARegMisses:     "rdma.reg_misses",
+	CtrRDMARegEvictions:  "rdma.reg_evictions",
+	CtrRDMAPreregBytes:   "rdma.prereg_bytes",
+	CtrRDMAMergedOps:     "rdma.merged_ops",
+	CtrRDMADoorbellsSaved: "rdma.doorbells_saved",
 }
 
 // String returns the exported metric name.

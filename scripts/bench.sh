@@ -5,8 +5,11 @@
 # randread namespace sharded over 1, 2, and 4 member targets, plus a
 # 4-target run with a mid-run member crash), a ring-vs-futures sweep
 # (the 4 KiB randread workload driven through the future-based API and
-# the SQ/CQ ring fast path at QD 64 and 256 on tcp-25g), then the
-# batching and ring wall-clock benchmarks (`go test -bench QD`), and
+# the SQ/CQ ring fast path at QD 64 and 256 on tcp-25g), an rdma
+# fast-path sweep (4 KiB randread on rdma-ib56: regcache on/off x merge
+# on/off at QD 16 and 64, dynamic doorbells riding with the full fast
+# path), then the batching and ring wall-clock benchmarks
+# (`go test -bench QD`), and
 # collect everything into one JSON report. The bench section records,
 # per configuration, the simulator's own wall-clock ns/op and allocs/op
 # next to the simulated GB/s and IOPS it achieved, so allocation
@@ -24,11 +27,12 @@
 #   BENCH_CACHE    cache size for the cache pair   (default 256M; empty skips)
 #   BENCH_CLUSTER  non-empty sweeps replication scaling (default on; empty skips)
 #   BENCH_RING     non-empty sweeps ring vs futures (default on; empty skips)
+#   BENCH_RDMA     non-empty sweeps the rdma fast path (default on; empty skips)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr7.json}
+OUT=${BENCH_OUT:-BENCH_pr8.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
@@ -39,6 +43,7 @@ ZIPF=${BENCH_ZIPF:-0.99}
 CACHE=${BENCH_CACHE:-256M}
 CLUSTER=${BENCH_CLUSTER:-on}
 RING=${BENCH_RING:-on}
+RDMA=${BENCH_RDMA:-on}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
 TMP=$(mktemp -d)
@@ -126,6 +131,21 @@ go_bench() {
 			printf ',\n'
 			"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$rqd" -t "$DUR" \
 				-ring -batch "$BATCH" -stats-json
+		done
+	fi
+	# RDMA fast path: the 4 KiB randread workload on rdma-ib56 with batched
+	# doorbells, sweeping regcache on/off x merge on/off at QD 16 and 64.
+	# The all-on runs add dynamic doorbell coalescing, so the report shows
+	# each mechanism's tail contribution (p99.9/p99.99 vs the legacy model)
+	# at both depths.
+	if [ -n "$RDMA" ]; then
+		for rqd in 16 64; do
+			for fp in "" "-rdma-regcache" "-rdma-merge" "-rdma-regcache -rdma-merge -rdma-dyndb"; do
+				printf ',\n'
+				# shellcheck disable=SC2086
+				"$BIN" -fabric rdma-ib56 -rw randread -size 4K -qd "$rqd" \
+					-t "$DUR" -batch 8 $fp -stats-json
+			done
 		done
 	fi
 	printf '  ]'
