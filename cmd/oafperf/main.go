@@ -11,6 +11,8 @@
 //	oafperf -fabric tcp-25g -rw randread -size 4K -qd 64 -batch 16 -queues 4
 //	oafperf -fabric tcp-25g -rw randread -size 4K -qd 256 -ring -batch 16
 //	oafperf -fabric nvme-oaf -rw randread -size 4K -qd 64 -zipf 0.99 -cache 256M -cache-mode wb
+//	oafperf -fabric tcp-25g -rw randread -size 4K -qd 64 -drv-batch 32 -tune
+//	oafperf -fabric tcp-25g -rw randread -size 4K -tune -flip-at 1s -flip-rw read -flip-size 128K
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +34,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/perf"
 	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/tune"
 )
 
 // parseSize parses 4K/128K/1M style sizes.
@@ -76,6 +80,25 @@ func parseSizeMix(s string) ([]perf.SizeWeight, error) {
 		return nil, fmt.Errorf("empty size mix")
 	}
 	return out, nil
+}
+
+// parseRW maps an -rw/-flip-rw pattern name to (sequential, read%).
+func parseRW(s string, mix int) (bool, int, error) {
+	switch s {
+	case "read":
+		return true, 100, nil
+	case "write":
+		return true, 0, nil
+	case "randread":
+		return false, 100, nil
+	case "randwrite":
+		return false, 0, nil
+	case "rw":
+		return true, mix, nil
+	case "randrw":
+		return false, mix, nil
+	}
+	return false, 0, fmt.Errorf("unknown pattern %q", s)
 }
 
 func parseDesign(s string) (core.Design, error) {
@@ -126,6 +149,12 @@ func main() {
 	crashMember := flag.Int("crash-member", 0, "member index crashed mid-run when -crash-down is set")
 	crashAt := flag.Duration("crash-at", 0, "virtual time at which the crashed member goes down")
 	crashDown := flag.Duration("crash-down", 0, "crash outage length (0 disables the crash)")
+	tuneOn := flag.Bool("tune", false, "attach the online self-tuner: hill-climb live knobs (batch, busy-poll, QD, chunk, cache) during the run")
+	tunePeriod := flag.Duration("tune-period", 50*time.Millisecond, "tuner sampling/decision epoch (virtual time)")
+	drvBatch := flag.Int("drv-batch", 0, "driver-side submission train length (0 = same as -batch)")
+	flipAt := flag.Duration("flip-at", 0, "flip the workload to a second phase at this virtual time (0 = no flip)")
+	flipRW := flag.String("flip-rw", "", "second-phase pattern for -flip-at: read, write, randread, randwrite, rw, randrw")
+	flipSize := flag.String("flip-size", "", "second-phase I/O size for -flip-at (empty = keep first-phase size)")
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
@@ -141,6 +170,9 @@ func main() {
 	}
 
 	w := perf.Workload{IOSize: size, QueueDepth: *qd, Duration: *dur, Warmup: *warmup, Batch: *batch, Zipf: *zipf, Ring: *ringMode}
+	if *drvBatch > 0 {
+		w.Batch = *drvBatch
+	}
 	if *sizeMix != "" {
 		mixes, err := parseSizeMix(*sizeMix)
 		if err != nil {
@@ -149,22 +181,31 @@ func main() {
 		}
 		w.SizeMix = mixes
 	}
-	switch *rw {
-	case "read":
-		w.Seq, w.ReadPct = true, 100
-	case "write":
-		w.Seq, w.ReadPct = true, 0
-	case "randread":
-		w.ReadPct = 100
-	case "randwrite":
-		w.ReadPct = 0
-	case "rw":
-		w.Seq, w.ReadPct = true, *mix
-	case "randrw":
-		w.ReadPct = *mix
-	default:
-		fmt.Fprintf(os.Stderr, "oafperf: unknown -rw %q\n", *rw)
+	w.Seq, w.ReadPct, err = parseRW(*rw, *mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oafperf:", err)
 		os.Exit(2)
+	}
+	if *flipAt > 0 {
+		if *flipRW == "" {
+			fmt.Fprintln(os.Stderr, "oafperf: -flip-at requires -flip-rw")
+			os.Exit(2)
+		}
+		ph := &perf.Phase{}
+		ph.Seq, ph.ReadPct, err = parseRW(*flipRW, *mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oafperf:", err)
+			os.Exit(2)
+		}
+		if *flipSize != "" {
+			ph.IOSize, err = parseSize(*flipSize)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oafperf:", err)
+				os.Exit(2)
+			}
+		}
+		w.FlipAt = *flipAt
+		w.FlipTo = ph
 	}
 
 	cfg := exp.Config{
@@ -216,6 +257,10 @@ func main() {
 		tp.BusyPoll = *poll
 		tp.BatchSize = *batch
 		cfg.TP = tp
+	}
+	if *tuneOn {
+		cfg.Tune = true
+		cfg.TunePeriod = *tunePeriod
 	}
 
 	res, err := exp.Run(cfg)
@@ -276,6 +321,18 @@ func main() {
 	for _, ev := range res.FaultLog {
 		fmt.Printf("  fault     : %v %s %s\n", ev.At, ev.Kind, ev.Detail)
 	}
+	if tr := res.Tuner; tr != nil {
+		fmt.Printf("  tuner     : %d epochs, %d accepted / %d reverted / %d explored, %d phase resets, quiesced=%v\n",
+			tr.Epochs, tr.Accepted, tr.Reverted, tr.Explored, tr.PhaseResets, tr.Quiesced)
+		names := make([]string, 0, len(tr.Final))
+		for name := range tr.Final {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("    %-20s = %d\n", name, tr.Final[name])
+		}
+	}
 }
 
 // report is the -stats-json document: run configuration, the aggregate
@@ -303,6 +360,9 @@ type report struct {
 		Spares     int     `json:"spares,omitempty"`
 		CrashAt    string  `json:"crash_at,omitempty"`
 		CrashDown  string  `json:"crash_down,omitempty"`
+		Tune       bool    `json:"tune,omitempty"`
+		TunePeriod string  `json:"tune_period,omitempty"`
+		FlipAt     string  `json:"flip_at,omitempty"`
 		Window     string  `json:"window"`
 		Seed       int64   `json:"seed"`
 	} `json:"config"`
@@ -323,6 +383,7 @@ type report struct {
 	Caches    []cache.Stats      `json:"caches,omitempty"`
 	Cluster   *cluster.Stats     `json:"cluster,omitempty"`
 	Faults    []faults.Event     `json:"faults,omitempty"`
+	Tuner     *tune.Report       `json:"tuner,omitempty"`
 }
 
 func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Result) error {
@@ -354,6 +415,13 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 			r.Config.CrashDown = cfg.CrashDown.String()
 		}
 	}
+	if cfg.Tune {
+		r.Config.Tune = true
+		r.Config.TunePeriod = cfg.TunePeriod.String()
+	}
+	if cfg.Workload.FlipAt > 0 {
+		r.Config.FlipAt = cfg.Workload.FlipAt.String()
+	}
 	r.Config.Window = cfg.Workload.Duration.String()
 	r.Config.Seed = cfg.Seed
 	agg := res.Agg
@@ -372,6 +440,7 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Caches = res.CacheStats
 	r.Cluster = res.Cluster
 	r.Faults = res.FaultLog
+	r.Tuner = res.Tuner
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

@@ -1,0 +1,102 @@
+// Selftune: the online self-tuner recovering a deliberately bad
+// configuration at run time. An application connects over NVMe/TCP with
+// the worst batching setup (one message per command), attaches the
+// tuner, and drives a 4 KiB random-read load; the tuner hill-climbs the
+// live knobs — submission/reap batching, busy-poll budget, queue-depth
+// target, TCP chunk size — on the running connection, without a single
+// reconnect. The demo prints the per-epoch completion rate as the climb
+// happens, then the accepted moves and the final knob settings.
+//
+//	go run ./examples/selftune
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"nvmeoaf/oaf"
+)
+
+func main() {
+	cluster := oaf.NewCluster(oaf.Config{Seed: 9})
+	if err := cluster.AddHost("compute"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AddHost("storage"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AddTarget("storage", "nqn.selftune", oaf.TargetConfig{SSDCapacity: 1 << 30}); err != nil {
+		log.Fatal(err)
+	}
+
+	err := cluster.Run(func(ctx *oaf.Ctx) error {
+		// The bad starting point: no batching, default everything else.
+		q, err := ctx.Connect("nqn.selftune", oaf.ConnectOptions{
+			Fabric: oaf.FabricTCP25G, QueueDepth: 64, Batch: 1,
+		})
+		if err != nil {
+			return err
+		}
+		defer q.Close()
+
+		tuner, err := ctx.Cluster().AttachTuner(oaf.TunerOptions{Period: 50 * time.Millisecond})
+		if err != nil {
+			return err
+		}
+
+		// Drive a steady 4 KiB random-read load while the tuner climbs,
+		// sampling the public snapshot every 200 ms to show progress.
+		fmt.Println("tuning a live 4K randread connection (started at batch=1):")
+		prev := ctx.Cluster().Snapshot()
+		deadline := 2 * time.Second
+		lastPrint := time.Duration(0)
+		for ctx.Now() < deadline {
+			batch := make([]*oaf.Async, 0, 32)
+			for i := 0; i < 32; i++ {
+				off := int64((int(ctx.Now()/time.Microsecond)+i)%2048) * 4096
+				batch = append(batch, q.ReadAsyncModeled(off, 4096))
+			}
+			for _, a := range batch {
+				if _, err := q.Wait(a); err != nil {
+					return err
+				}
+			}
+			if ctx.Now()-lastPrint >= 200*time.Millisecond {
+				cur := ctx.Cluster().Snapshot()
+				d := cur.Telemetry.DeltaSince(prev.Telemetry)
+				fmt.Printf("  t=%-6v %8.0f IOPS\n", ctx.Now().Round(time.Millisecond), d.Rate("client.completions"))
+				prev, lastPrint = cur, ctx.Now()
+			}
+		}
+
+		rep := tuner.Report()
+		fmt.Printf("\ntuner: %d epochs, %d accepted / %d reverted moves, quiesced=%v\n",
+			rep.Epochs, rep.Accepted, rep.Reverted, rep.Quiesced)
+		for _, mv := range rep.Moves {
+			if mv.Accepted && mv.Kind != "phase-reset" {
+				fmt.Printf("  accepted: %-14s %6d -> %-6d (%.0f -> %.0f IOPS)\n",
+					mv.Knob, mv.From, mv.To, mv.Baseline, mv.Score)
+			}
+		}
+		names := make([]string, 0, len(rep.Final))
+		for name := range rep.Final {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("final knobs:")
+		for _, name := range names {
+			fmt.Printf("  %-14s = %d\n", name, rep.Final[name])
+		}
+		if rc := q.Snapshot().Reconnects; rc == 0 {
+			fmt.Println("reconnects: 0 — every change was applied to the live connection")
+		} else {
+			fmt.Printf("reconnects: %d (unexpected)\n", rc)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

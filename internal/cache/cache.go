@@ -21,6 +21,7 @@ package cache
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nvmeoaf/internal/bdev"
 	"nvmeoaf/internal/sim"
@@ -156,10 +157,14 @@ type Cache struct {
 	lineSize int64
 	tick     uint64
 
-	// Write-back state.
-	dirtyBytes int64
-	hiWater    int64
-	loWater    int64
+	// Write-back state. The watermarks and the bypass threshold are
+	// atomics: the tuning controller (or an operator goroutine) adjusts
+	// them live via SetMaxDirtyFrac/SetBypassBytes.
+	dirtyBytes  int64
+	capBytes    int64
+	hiWater     atomic.Int64
+	loWater     atomic.Int64
+	bypassBytes atomic.Int64
 	kickQ      *sim.Queue[struct{}]
 	flushing   bool
 	// flushMu serializes flushBatch between the background flusher and
@@ -279,11 +284,9 @@ func New(e *sim.Engine, backing bdev.Device, cfg Config) *Cache {
 		flight:   make(map[int64]struct{}),
 	}
 	capBytes := int64(nLines) * c.lineSize
-	c.hiWater = int64(cfg.MaxDirtyFrac * float64(capBytes))
-	c.loWater = c.hiWater / 4
-	if c.hiWater < c.lineSize {
-		c.hiWater = c.lineSize
-	}
+	c.capBytes = capBytes
+	c.SetMaxDirtyFrac(cfg.MaxDirtyFrac)
+	c.bypassBytes.Store(int64(cfg.BypassBytes))
 	for i := range c.lines {
 		c.lines[i].tag = -1
 	}
@@ -304,6 +307,43 @@ func New(e *sim.Engine, backing bdev.Device, cfg Config) *Cache {
 
 // Name implements bdev.Device.
 func (c *Cache) Name() string { return c.cfg.Name }
+
+// SetMaxDirtyFrac retunes the write-back dirty bound live: the high
+// watermark becomes frac of capacity (at least one line) and the low
+// watermark a quarter of that. Lowering it below the current dirt makes
+// new write-back absorption throttle until the flusher catches up —
+// no restart, no data movement beyond the usual flush path.
+func (c *Cache) SetMaxDirtyFrac(frac float64) {
+	if frac <= 0 {
+		frac = 0.5
+	} else if frac > 1 {
+		frac = 1
+	}
+	hi := int64(frac * float64(c.capBytes))
+	if hi < c.lineSize {
+		hi = c.lineSize
+	}
+	c.hiWater.Store(hi)
+	c.loWater.Store(hi / 4)
+}
+
+// MaxDirtyBytes returns the live high watermark in bytes.
+func (c *Cache) MaxDirtyBytes() int64 { return c.hiWater.Load() }
+
+// CapBytes returns the cache capacity in bytes (fixed at construction).
+func (c *Cache) CapBytes() int64 { return c.capBytes }
+
+// SetBypassBytes retunes the large-request admission threshold live;
+// n <= 0 disables size-based bypass.
+func (c *Cache) SetBypassBytes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.bypassBytes.Store(int64(n))
+}
+
+// LiveBypassBytes returns the live admission threshold (0 = disabled).
+func (c *Cache) LiveBypassBytes() int { return int(c.bypassBytes.Load()) }
 
 // BlockSize implements bdev.Device.
 func (c *Cache) BlockSize() int { return c.backing.BlockSize() }
@@ -417,7 +457,7 @@ func (c *Cache) noteSeq(off int64, size int) bool {
 // protecting (NetCAS-style adaptive admission).
 func (c *Cache) bypassRead(off int64, size int) bool {
 	seq := c.noteSeq(off, size)
-	if c.cfg.BypassBytes > 0 && size >= c.cfg.BypassBytes {
+	if bp := c.bypassBytes.Load(); bp > 0 && int64(size) >= bp {
 		return true
 	}
 	return seq && c.warm >= ewmaWarmMin && c.hitEWMA >= protectEWMA
@@ -655,21 +695,23 @@ func (c *Cache) submitWrite(req *ssd.Request) *sim.Future[ssd.Result] {
 	}
 	c.noteSeq(req.Offset, req.Size)
 	aligned := req.Offset%c.lineSize == 0 && int64(req.Size)%c.lineSize == 0
-	large := c.cfg.BypassBytes > 0 && req.Size >= c.cfg.BypassBytes
+	bp := c.bypassBytes.Load()
+	large := bp > 0 && int64(req.Size) >= bp
 	// Retained caches cannot absorb modeled (nil-payload) writes: the
 	// backing device ignores their bytes, so caching them would invent
 	// data. They fall through to write-through, which is a no-op on
 	// resident line contents — matching the backing semantics exactly.
 	materializable := !c.cfg.Retain || req.Data != nil
 	if c.cfg.Mode == WriteBack && aligned && !large && materializable {
-		if c.dirtyBytes+int64(req.Size) > c.hiWater {
+		hi := c.hiWater.Load()
+		if c.dirtyBytes+int64(req.Size) > hi {
 			c.stats.Throttled++
 			c.tel.Inc(telemetry.CtrCacheThrottled)
 			c.kick()
 		} else if c.absorbWrite(req) {
 			c.stats.WriteBacks++
 			c.tel.Inc(telemetry.CtrCacheWriteBack)
-			if c.dirtyBytes >= c.hiWater/2 {
+			if c.dirtyBytes >= hi/2 {
 				c.kick()
 			}
 			fut := sim.NewFuture[ssd.Result](c.e)
@@ -827,7 +869,7 @@ func (c *Cache) flusherLoop(p *sim.Proc) {
 		}
 		c.flushing = true
 		c.flushMu.Acquire(p)
-		for c.dirtyBytes > c.loWater {
+		for c.dirtyBytes > c.loWater.Load() {
 			if c.flushBatch(p) == 0 {
 				break
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"nvmeoaf/internal/model"
@@ -85,6 +86,9 @@ type oafWire struct {
 	cfg    *ClientConfig
 	region *shm.Region // non-nil when the AF negotiated shared memory
 	policy pollPolicy
+	// chunkB is the live TCP-channel chunk size (atomic: adjustable from
+	// the tuning controller or an operator goroutine mid-run).
+	chunkB atomic.Int64
 
 	// slotScratch backs the amortized multi-slot claim in SubmitBatch.
 	slotScratch []*shm.Slot
@@ -104,6 +108,7 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 	}
 	e := p.Engine()
 	w := &oafWire{ep: ep, cfg: &cfg}
+	w.chunkB.Store(int64(cfg.TP.ChunkSize))
 	h := session.NewHost(e, ep, session.HostConfig{
 		Label:            "oaf",
 		NQN:              cfg.NQN,
@@ -141,6 +146,32 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 
 // SHMEnabled reports whether the data path uses shared memory.
 func (c *Client) SHMEnabled() bool { return c.wire.region != nil }
+
+// chunk returns the effective TCP-path chunk size: the live knob,
+// capped by the target's negotiated MaxH2CData.
+func (w *oafWire) chunk() int {
+	c := int(w.chunkB.Load())
+	if icresp := w.h.ICResp(); icresp != nil && icresp.MaxH2CData > 0 && int(icresp.MaxH2CData) < c {
+		return int(icresp.MaxH2CData)
+	}
+	return c
+}
+
+// SetChunkSize adjusts the host-side chunk size live (block aligned, at
+// least one block). Values below the negotiated MaxH2CData take effect
+// on the next R2T grant; larger values apply up to the negotiated
+// ceiling now and fully after the next (re)negotiation.
+func (c *Client) SetChunkSize(n int) {
+	if n < transport.BlockSize {
+		n = transport.BlockSize
+	}
+	n -= n % transport.BlockSize
+	c.wire.chunkB.Store(int64(n))
+}
+
+// LiveChunkSize returns the host-side chunk size knob (which may exceed
+// the per-connection negotiated ceiling; see SetChunkSize).
+func (c *Client) LiveChunkSize() int { return int(c.wire.chunkB.Load()) }
 
 // Health shadows the session engine's report: a queue that failed over
 // from shared memory to the TCP data path mid-stream still serves, but
@@ -461,7 +492,7 @@ func (w *oafWire) onR2T(p *sim.Proc, r *pdu.R2T) {
 		w.sendWriteChunk(p, pend)
 		return
 	}
-	transport.ChunkSizes(int(r.Length), w.cfg.TP.ChunkSize, func(off, n int) {
+	transport.ChunkSizes(int(r.Length), w.chunk(), func(off, n int) {
 		dataOff := int(r.Offset) + off
 		d := &pdu.Data{
 			Dir:    pdu.TypeH2CData,

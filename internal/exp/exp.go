@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"nvmeoaf/internal/bdev"
@@ -20,12 +21,14 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/perf"
 	"nvmeoaf/internal/rdma"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/tcp"
 	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
+	"nvmeoaf/internal/tune"
 )
 
 // Kind names a fabric under test.
@@ -117,6 +120,17 @@ type Config struct {
 	RDMARegCache    bool
 	RDMAMerge       bool
 	RDMADynDoorbell bool
+
+	// Tune attaches the online self-tuning controller (internal/tune)
+	// to the run: every client queue's live knobs (batch, busy-poll,
+	// QD target, chunk size) and every target cache's admission knobs
+	// are hill-climbed against the completion rate while the workload
+	// runs — no reconnects, no restarts. The trajectory lands in
+	// Result.Tuner. Not supported on cluster runs.
+	Tune bool
+	// TunePeriod overrides the controller's sampling interval
+	// (default 20 ms of virtual time).
+	TunePeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,15 +150,9 @@ func (c Config) withDefaults() Config {
 		c.SSDCapacity = 2 << 30
 	}
 	if c.MaxIO <= 0 {
-		c.MaxIO = c.Workload.IOSize
-		for _, sw := range c.Workload.SizeMix {
-			if sw.Size > c.MaxIO {
-				c.MaxIO = sw.Size
-			}
-		}
-		if c.MaxIO <= 0 {
-			c.MaxIO = 4096
-		}
+		// MaxIOSize covers SizeMix entries and the flip phase, so
+		// shared-memory slots fit every request either phase can draw.
+		c.MaxIO = c.Workload.MaxIOSize()
 	}
 	if c.Kind == "" {
 		c.Kind = OAF
@@ -182,6 +190,9 @@ type Result struct {
 	// it executed.
 	Cluster  *cluster.Stats
 	FaultLog []faults.Event
+	// Tuner is the self-tuning controller's trajectory and final knob
+	// settings (nil unless Config.Tune).
+	Tuner *tune.Report
 }
 
 // rdmaParams resolves the RDMA parameter set for a configuration.
@@ -202,6 +213,9 @@ func nqnFor(i int) string { return fmt.Sprintf("nqn.2022-06.io.oaf:ssd%d", i) }
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.ClusterTargets > 0 {
+		if cfg.Tune {
+			return nil, fmt.Errorf("exp: Tune is not supported on cluster runs")
+		}
 		return runCluster(cfg)
 	}
 	e := sim.NewEngine(cfg.Seed)
@@ -264,9 +278,12 @@ func Run(cfg Config) (*Result, error) {
 		links = append(links, netsim.NewLink(e, linkParams, nic, nic))
 	}
 
-	// Fabric servers + shared-memory provisioning.
+	// Fabric servers + shared-memory provisioning. Each connection's
+	// server is retained so the tuner can drive the target-side
+	// reap-coalescing depth in lockstep with the host-side batch knob.
 	var fabric *core.Fabric
 	var regions []*shm.Region
+	servers := make([]*session.Target, nConns)
 	switch cfg.Kind {
 	case RDMA56, RoCE100:
 		prm := rdmaParams(cfg)
@@ -276,6 +293,7 @@ func Run(cfg Config) (*Result, error) {
 				BatchSize: cfg.TP.BatchSize, Telemetry: tel,
 			})
 			srv.Serve(links[i].B)
+			servers[i] = srv.Target
 		}
 	case OAF, OAFRDMACtl:
 		fabric = core.NewFabric(e, model.DefaultSHM())
@@ -286,6 +304,7 @@ func Run(cfg Config) (*Result, error) {
 				TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
 			})
 			srv.Serve(links[i].B)
+			servers[i] = srv.Target
 			res.PoolFootprint += srv.Pool().FootprintBytes()
 			pools = append(pools, srv.Pool())
 			region, err := fabric.RegionFor(cfg.Design, "host0", "host0", cfg.MaxIO, cfg.TP.ChunkSize, cfg.Workload.QueueDepth)
@@ -300,6 +319,7 @@ func Run(cfg Config) (*Result, error) {
 		for i := 0; i < nConns; i++ {
 			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i / cfg.Queues), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
 			srv.Serve(links[i].B)
+			servers[i] = srv.Target
 			res.PoolFootprint += srv.Pool().FootprintBytes()
 			pools = append(pools, srv.Pool())
 		}
@@ -308,6 +328,15 @@ func Run(cfg Config) (*Result, error) {
 	// Connect clients and run one perf stream per pair.
 	streams := make([]*perf.Stream, cfg.Streams)
 	var oafClients []*core.Client
+	var ctl *tune.Controller
+	// The cache knobs exist before any connection; queue knobs join as
+	// clients connect inside the setup process.
+	var knobs []tune.Knob
+	if cfg.Tune {
+		for i, ca := range res.Caches {
+			knobs = append(knobs, tune.CacheKnobs(fmt.Sprintf("cache%d", i), ca)...)
+		}
+	}
 	setupErr := sim.NewFuture[error](e)
 	e.Go("setup", func(p *sim.Proc) {
 		for i := 0; i < cfg.Streams; i++ {
@@ -326,7 +355,7 @@ func Run(cfg Config) (*Result, error) {
 					c, err := rdma.Connect(p, links[li].A, rdma.ClientConfig{
 						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
 						BatchSize: cfg.TP.BatchSize, Telemetry: tel,
-						RegCache:  cfg.RDMARegCache, Merge: cfg.RDMAMerge, DynDoorbell: cfg.RDMADynDoorbell,
+						RegCache: cfg.RDMARegCache, Merge: cfg.RDMAMerge, DynDoorbell: cfg.RDMADynDoorbell,
 					})
 					if err != nil {
 						setupErr.Resolve(err)
@@ -356,6 +385,30 @@ func Run(cfg Config) (*Result, error) {
 					}
 					members = append(members, c)
 				}
+				if cfg.Tune {
+					// Every client kind exposes the live-knob surface
+					// through its embedded session engine; TCP-path
+					// clients add the chunk knob via ChunkTunable. The
+					// batch knob drives both halves of the connection:
+					// host-side submission coalescing and target-side
+					// completion-reap coalescing move together, as they
+					// do for a statically configured TP.BatchSize.
+					if tq, ok := members[len(members)-1].(tune.TunableQueue); ok {
+						qk := tune.QueueKnobs(fmt.Sprintf("s%d/q%d", i, j), tq)
+						if srv := servers[li]; srv != nil {
+							for n := range qk {
+								if strings.HasSuffix(qk[n].Name, "/batch") {
+									set := qk[n].Set
+									qk[n].Set = func(v int64) {
+										set(v)
+										srv.SetBatchSize(int(v))
+									}
+								}
+							}
+						}
+						knobs = append(knobs, qk...)
+					}
+				}
 			}
 			var q transport.Queue = members[0]
 			if len(members) > 1 {
@@ -365,6 +418,21 @@ func Run(cfg Config) (*Result, error) {
 		}
 		for _, s := range streams {
 			s.Start()
+		}
+		if cfg.Tune {
+			ctl = tune.NewController(e, tune.Config{
+				Period:    cfg.TunePeriod,
+				Telemetry: tel,
+			}, knobs)
+			ctl.Start()
+			// The tuner re-arms a timer every period; stop it when the
+			// workload drains so the engine run can complete.
+			e.Go("tuner-stop", func(p *sim.Proc) {
+				for _, s := range streams {
+					s.Wait(p)
+				}
+				ctl.Stop()
+			})
 		}
 		setupErr.Resolve(nil)
 	})
@@ -391,6 +459,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, ca := range res.Caches {
 		res.CacheStats = append(res.CacheStats, ca.Stats())
+	}
+	if ctl != nil {
+		rep := ctl.Report()
+		res.Tuner = &rep
 	}
 	return res, nil
 }

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nvmeoaf/internal/model"
+	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/telemetry"
+	"nvmeoaf/internal/tune"
+)
+
+// tuneBase is the gated scenario: tcp-25g, one stream, one queue, 4K
+// random read at QD 64 with driver-side trains of 32 — the workload
+// where submission/reap batching is the dominant knob (BENCH series).
+func tuneBase(seed int64) Config {
+	tp := model.DefaultTCPTransport()
+	tp.BatchSize = 1 // deliberately bad starting point
+	return Config{
+		Kind: TCP25G, Streams: 1, Queues: 1, Seed: seed, TP: tp,
+		Workload: perf.Workload{
+			ReadPct: 100, IOSize: 4096, QueueDepth: 64, Batch: 32,
+			Warmup: 20 * time.Millisecond, Duration: 2 * time.Second,
+		},
+	}
+}
+
+// tailAvg averages the last n per-epoch scores — the converged
+// operating point, excluding the climb itself.
+func tailAvg(scores []float64, n int) float64 {
+	if len(scores) < n {
+		n = len(scores)
+	}
+	var sum float64
+	for _, s := range scores[len(scores)-n:] {
+		sum += s
+	}
+	return sum / float64(n)
+}
+
+// sweepBest runs the config statically at each batch size and returns
+// the best IOPS — the hand-swept optimum the tuner must approach.
+func sweepBest(t *testing.T, base Config, batches []int) float64 {
+	t.Helper()
+	best := 0.0
+	for _, b := range batches {
+		cfg := base
+		cfg.TP.BatchSize = b
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iops := r.Agg.Throughput.IOPS(); iops > best {
+			best = iops
+		}
+	}
+	return best
+}
+
+// TestTunerReachesHandSweptWithin10Pct is the convergence gate: started
+// from a deliberately bad configuration (no batching), the tuner's
+// converged per-epoch completion rate must reach 90% of the best
+// hand-swept static configuration — without a single reconnect.
+func TestTunerReachesHandSweptWithin10Pct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	static := tuneBase(42)
+	static.Workload.Duration = 500 * time.Millisecond
+	best := sweepBest(t, static, []int{1, 8, 16, 32})
+
+	cfg := tuneBase(42)
+	cfg.Tune = true
+	cfg.TunePeriod = 50 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuner == nil || len(r.Tuner.Scores) == 0 {
+		t.Fatal("no tuner trajectory")
+	}
+	tail := tailAvg(r.Tuner.Scores, 8)
+	if tail < 0.9*best {
+		t.Fatalf("tuner tail %.0f IOPS < 90%% of hand-swept best %.0f (report: %+v)",
+			tail, best, r.Tuner)
+	}
+	if r.Tuner.Accepted == 0 {
+		t.Fatalf("tuner accepted no moves: %+v", r.Tuner)
+	}
+	if rc := r.Telemetry.Snapshot().Counters[telemetry.CtrReconnects.String()]; rc != 0 {
+		t.Fatalf("tuning caused %d reconnects; must be restart-free", rc)
+	}
+}
+
+// TestTunerTrajectoryDeterministic: equal seeds must produce identical
+// knob trajectories and score series — the property that makes the
+// convergence gate meaningful in CI.
+func TestTunerTrajectoryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	run := func() *tune.Report {
+		cfg := tuneBase(7)
+		cfg.Tune = true
+		cfg.TunePeriod = 50 * time.Millisecond
+		cfg.Workload.Duration = time.Second
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Tuner
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Moves, b.Moves) {
+		t.Fatalf("move trajectories diverge:\n%+v\n%+v", a.Moves, b.Moves)
+	}
+	if !reflect.DeepEqual(a.Scores, b.Scores) {
+		t.Fatal("score series diverge")
+	}
+	if !reflect.DeepEqual(a.Final, b.Final) {
+		t.Fatalf("final knobs diverge: %v vs %v", a.Final, b.Final)
+	}
+}
+
+// TestTunerReconvergesAfterWorkloadFlip is the phase gate: mid-run the
+// workload flips 4K-random-read -> 128K-seq-read. The tuner must detect
+// the phase change, re-open its search, and land within 10% of the best
+// static configuration for the second phase — all on the same
+// connection (zero reconnects).
+func TestTunerReconvergesAfterWorkloadFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	// Hand-swept reference for phase two alone.
+	static := tuneBase(42)
+	static.Workload.Seq = true
+	static.Workload.IOSize = 128 << 10
+	static.Workload.Duration = time.Second
+	best := sweepBest(t, static, []int{1, 8, 16})
+
+	cfg := tuneBase(42)
+	cfg.Tune = true
+	cfg.TunePeriod = 50 * time.Millisecond
+	cfg.Workload.FlipAt = time.Second
+	cfg.Workload.FlipTo = &perf.Phase{Seq: true, ReadPct: 100, IOSize: 128 << 10}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuner.PhaseResets == 0 {
+		t.Fatalf("tuner never detected the workload flip: %+v", r.Tuner)
+	}
+	tail := tailAvg(r.Tuner.Scores, 8)
+	if tail < 0.9*best {
+		t.Fatalf("post-flip tail %.0f IOPS < 90%% of phase-two best %.0f (report: %+v)",
+			tail, best, r.Tuner)
+	}
+	pf := r.PerStream[0].PostFlip
+	if pf == nil || pf.Throughput.Ops == 0 {
+		t.Fatal("no post-flip accounting")
+	}
+	if rc := r.Telemetry.Snapshot().Counters[telemetry.CtrReconnects.String()]; rc != 0 {
+		t.Fatalf("flip recovery caused %d reconnects; must be restart-free", rc)
+	}
+}
+
+// TestTunerSmoke is the always-on fast check: a short tuned run must
+// produce a trajectory, accept at least one move, and leave the
+// connection intact.
+func TestTunerSmoke(t *testing.T) {
+	cfg := tuneBase(1)
+	cfg.Tune = true
+	cfg.Workload.Duration = 300 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuner == nil || r.Tuner.Epochs == 0 || r.Tuner.Accepted == 0 {
+		t.Fatalf("tuner inert: %+v", r.Tuner)
+	}
+	if rc := r.Telemetry.Snapshot().Counters[telemetry.CtrReconnects.String()]; rc != 0 {
+		t.Fatalf("%d reconnects", rc)
+	}
+}
+
+// TestTuneRejectsClusterRuns pins the documented restriction.
+func TestTuneRejectsClusterRuns(t *testing.T) {
+	cfg := tuneBase(1)
+	cfg.Tune = true
+	cfg.ClusterTargets = 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Tune on a cluster run must error")
+	}
+}

@@ -65,6 +65,28 @@ type Workload struct {
 	Warmup time.Duration
 	// Duration is the measured window (the paper uses 20 s).
 	Duration time.Duration
+	// FlipAt, together with FlipTo, switches the stream to a second
+	// pattern phase mid-run: FlipAt is the offset from stream start
+	// (warmup included) at which requests drawn after that instant use
+	// FlipTo's pattern. The flip is a generator-side change only — the
+	// queue, connection, and measured window are untouched, which is what
+	// lets a tuning controller prove it re-converges across workload
+	// phases without reconnecting.
+	FlipAt time.Duration
+	// FlipTo is the second phase's pattern (nil = no flip).
+	FlipTo *Phase
+}
+
+// Phase is the pattern half of a Workload: the fields a mid-run flip
+// replaces. All fields are authoritative — ReadPct 0 means pure write,
+// Seq false means random — except IOSize, where 0 keeps the phase-one
+// size. Span and QueueDepth cannot flip (they size buffers and bounds).
+type Phase struct {
+	Seq     bool
+	Zipf    float64
+	ReadPct int
+	IOSize  int
+	SizeMix []SizeWeight
 }
 
 // SizeWeight is one entry of a request-size distribution.
@@ -87,7 +109,35 @@ func (w Workload) withDefaults() Workload {
 	if w.IOSize <= 0 {
 		w.IOSize = 4096
 	}
+	if w.FlipTo != nil && w.FlipTo.IOSize <= 0 {
+		flip := *w.FlipTo
+		flip.IOSize = w.IOSize
+		w.FlipTo = &flip
+	}
 	return w
+}
+
+// MaxIOSize returns the largest request size any phase of the workload
+// can draw — what buffer-sizing consumers must provision for.
+func (w Workload) MaxIOSize() int {
+	w = w.withDefaults()
+	max := w.IOSize
+	for _, sw := range w.SizeMix {
+		if sw.Size > max {
+			max = sw.Size
+		}
+	}
+	if w.FlipTo != nil {
+		if w.FlipTo.IOSize > max {
+			max = w.FlipTo.IOSize
+		}
+		for _, sw := range w.FlipTo.SizeMix {
+			if sw.Size > max {
+				max = sw.Size
+			}
+		}
+	}
+	return max
 }
 
 // Result captures one stream's measured window.
@@ -100,6 +150,11 @@ type Result struct {
 	BD stats.Breakdown
 	// Errors counts failed commands.
 	Errors int64
+	// PostFlip, for a flipped workload (Workload.FlipTo), separately
+	// accounts completions landing after the flip instant, so phase-two
+	// throughput and latency can be judged on their own. Those
+	// completions are also included in the totals above.
+	PostFlip *Result
 }
 
 // Stream drives one workload against one transport queue.
@@ -112,6 +167,10 @@ type Stream struct {
 	res   *Result
 	done  *sim.Signal
 	start sim.Time
+	// Flip state: the virtual instant the second phase begins and
+	// whether the generator has switched yet.
+	flipAt  sim.Time
+	flipped bool
 	// freeIOs recycles request structs between submissions (driver-proc
 	// only; bounded by capacity).
 	freeIOs []*transport.IO
@@ -170,6 +229,7 @@ func (s *Stream) drive(p *sim.Proc) {
 	s.start = p.Now()
 	measureFrom := s.start.Add(s.w.Warmup)
 	measureTo := measureFrom.Add(s.w.Duration)
+	s.armFlip()
 
 	completions := sim.NewQueue[compl](s.e, 0)
 	var seqOffset int64
@@ -257,6 +317,58 @@ func (s *Stream) drive(p *sim.Proc) {
 	}
 	s.res.Throughput.Start = time.Duration(measureFrom)
 	s.res.Throughput.End = time.Duration(measureTo)
+	s.closeFlipWindow(measureFrom, measureTo)
+}
+
+// armFlip latches the flip instant from the stream's start time.
+func (s *Stream) armFlip() {
+	if s.w.FlipTo != nil {
+		s.flipAt = s.start.Add(s.w.FlipAt)
+	}
+}
+
+// maybeFlip switches the generator to the second phase once virtual
+// time passes the flip instant. Called on the request-drawing path, so
+// every request after the flip uses the new pattern; completions of
+// phase-one requests still in flight drain normally. The sequential
+// cursor resets so a flipped-to sequential phase starts a clean walk.
+func (s *Stream) maybeFlip(seqOffset *int64) {
+	if s.w.FlipTo == nil || s.flipped || s.e.Now() < s.flipAt {
+		return
+	}
+	s.flipped = true
+	*seqOffset = 0
+	ph := s.w.FlipTo
+	s.w.Seq = ph.Seq
+	s.w.Zipf = ph.Zipf
+	s.w.ReadPct = ph.ReadPct
+	s.w.IOSize = ph.IOSize
+	s.w.SizeMix = ph.SizeMix
+	s.zipf = nil
+	if !ph.Seq && ph.Zipf > 0 {
+		s.zipf = newZipf(s.w.Span/int64(ph.IOSize), ph.Zipf)
+	}
+	s.res.PostFlip = &Result{
+		Name:         s.w.Name + "/post-flip",
+		Latency:      stats.NewHistogram(),
+		ReadLatency:  stats.NewHistogram(),
+		WriteLatency: stats.NewHistogram(),
+	}
+}
+
+// closeFlipWindow stamps the post-flip sub-result's measured window:
+// from the flip instant (clamped into the measured window) to its end.
+func (s *Stream) closeFlipWindow(from, to sim.Time) {
+	pf := s.res.PostFlip
+	if pf == nil {
+		return
+	}
+	start := s.flipAt
+	if start < from {
+		start = from
+	}
+	pf.Throughput.Start = time.Duration(start)
+	pf.Throughput.End = time.Duration(to)
 }
 
 // driveRing is the ring-mode driver: the same completion-driven loop as
@@ -270,6 +382,7 @@ func (s *Stream) driveRing(p *sim.Proc) {
 	s.start = p.Now()
 	measureFrom := s.start.Add(s.w.Warmup)
 	measureTo := measureFrom.Add(s.w.Duration)
+	s.armFlip()
 
 	depth := s.w.QueueDepth
 	r := ring.New(s.e, s.q, ring.Config{
@@ -311,6 +424,7 @@ func (s *Stream) driveRing(p *sim.Proc) {
 	r.Close()
 	s.res.Throughput.Start = time.Duration(measureFrom)
 	s.res.Throughput.End = time.Duration(measureTo)
+	s.closeFlipWindow(measureFrom, measureTo)
 }
 
 // recordCQE accounts one ring completion inside the measured window.
@@ -322,16 +436,11 @@ func (s *Stream) recordCQE(c *ring.CQE, from, to sim.Time) {
 	if c.At < from || c.At >= to {
 		return
 	}
-	s.res.Throughput.Ops++
-	s.res.Throughput.Bytes += int64(c.UserData >> 1)
-	lat := int64(c.Latency)
-	s.res.Latency.Record(lat)
-	if c.UserData&1 == 1 {
-		s.res.WriteLatency.Record(lat)
-	} else {
-		s.res.ReadLatency.Record(lat)
-	}
+	s.recordSample(c.At, c.UserData&1 == 1, int64(c.UserData>>1), int64(c.Latency))
 	s.res.BD.Add(c.IOTime, c.CommTime, c.OtherTime)
+	if pf := s.postFlipFor(c.At); pf != nil {
+		pf.BD.Add(c.IOTime, c.CommTime, c.OtherTime)
+	}
 }
 
 type compl struct {
@@ -359,16 +468,38 @@ func (s *Stream) record(c compl, from, to sim.Time) {
 	if c.at < from || c.at >= to {
 		return
 	}
-	s.res.Throughput.Ops++
-	s.res.Throughput.Bytes += int64(c.op.size)
-	lat := int64(c.res.Latency)
-	s.res.Latency.Record(lat)
-	if c.op.write {
-		s.res.WriteLatency.Record(lat)
-	} else {
-		s.res.ReadLatency.Record(lat)
-	}
+	s.recordSample(c.at, c.op.write, int64(c.op.size), int64(c.res.Latency))
 	s.res.BD.Add(c.res.IOTime, c.res.CommTime, c.res.OtherTime)
+	if pf := s.postFlipFor(c.at); pf != nil {
+		pf.BD.Add(c.res.IOTime, c.res.CommTime, c.res.OtherTime)
+	}
+}
+
+// recordSample accounts one in-window completion into the totals and,
+// when it lands after the flip instant, the post-flip sub-result.
+func (s *Stream) recordSample(at sim.Time, write bool, size, lat int64) {
+	for _, r := range [...]*Result{s.res, s.postFlipFor(at)} {
+		if r == nil {
+			continue
+		}
+		r.Throughput.Ops++
+		r.Throughput.Bytes += size
+		r.Latency.Record(lat)
+		if write {
+			r.WriteLatency.Record(lat)
+		} else {
+			r.ReadLatency.Record(lat)
+		}
+	}
+}
+
+// postFlipFor returns the post-flip sub-result when the completion
+// belongs to the second phase's interval (nil otherwise).
+func (s *Stream) postFlipFor(at sim.Time) *Result {
+	if s.res.PostFlip != nil && at >= s.flipAt {
+		return s.res.PostFlip
+	}
+	return nil
 }
 
 // pickSize draws the next request size.
@@ -392,6 +523,7 @@ func (s *Stream) pickSize() int {
 
 // nextOp draws the next request of the pattern: direction, offset, size.
 func (s *Stream) nextOp(seqOffset *int64) (write bool, off int64, size int) {
+	s.maybeFlip(seqOffset)
 	w := s.w
 	write = s.rng.Intn(100) >= w.ReadPct
 	size = s.pickSize()

@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"nvmeoaf/internal/model"
@@ -133,6 +134,23 @@ type Host struct {
 	capsule     pdu.CapsuleCmd
 	entry       pdu.BatchEntry
 
+	// Live-tunable knobs. These are the only engine state written from
+	// outside the cooperative simulation (the tuning controller runs as
+	// an engine daemon, but operators and the -race regression hammer
+	// them from foreign goroutines), so they are atomics: the reactor
+	// re-reads them every iteration and the new values take effect on
+	// the next drain round — no reconnect, no restart.
+	//
+	// liveBatch is the submission-coalescing depth (overrides
+	// cfg.BatchSize; <=1 = classic wire). livePollNs is the busy-poll
+	// budget override in nanoseconds (<0 defers to the wire's own
+	// policy). liveQD is a soft cap on outstanding commands, clamped to
+	// [1, QueueDepth]; lowering it parks excess submissions in the
+	// submit queue instead of the CID table.
+	liveBatch  atomic.Int32
+	livePollNs atomic.Int64
+	liveQD     atomic.Int32
+
 	// backlog counts commands parked in retry backoff (neither queued nor
 	// in flight); teardown waits for them.
 	backlog int
@@ -181,7 +199,68 @@ func NewHost(e *sim.Engine, ep *netsim.Endpoint, cfg HostConfig, wire HostWire) 
 	}
 	h.icept, _ = wire.(completionInterceptor)
 	h.sizer, _ = wire.(TrainSizer)
+	h.liveBatch.Store(int32(cfg.BatchSize))
+	h.livePollNs.Store(-1)
+	h.liveQD.Store(int32(cfg.QueueDepth))
 	return h
+}
+
+// SetBatchSize adjusts the submission-coalescing depth live: the next
+// drain round packs up to n commands per capsule train (n <= 1 restores
+// the classic one-capsule-per-message wire). Safe to call from outside
+// the engine.
+func (h *Host) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.liveBatch.Store(int32(n))
+}
+
+// LiveBatchSize returns the coalescing depth currently in effect.
+func (h *Host) LiveBatchSize() int { return int(h.liveBatch.Load()) }
+
+// SetPollBudget overrides the receive busy-poll budget live (0 = pure
+// interrupt mode). A negative budget removes the override, deferring to
+// the wire's own policy (static config or the adaptive §4.5 policy).
+func (h *Host) SetPollBudget(d time.Duration) { h.livePollNs.Store(int64(d)) }
+
+// LivePollBudget returns the busy-poll override, or a negative duration
+// when the wire's own policy is in effect.
+func (h *Host) LivePollBudget() time.Duration { return time.Duration(h.livePollNs.Load()) }
+
+// SetQDTarget caps outstanding commands live, clamped to
+// [1, QueueDepth]. Commands beyond the target queue host-side until
+// completions free room, trading throughput for queueing delay exactly
+// like shrinking the hardware queue would — without reconnecting.
+func (h *Host) SetQDTarget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > h.cfg.QueueDepth {
+		n = h.cfg.QueueDepth
+	}
+	h.liveQD.Store(int32(n))
+}
+
+// QDTarget returns the live outstanding-command cap.
+func (h *Host) QDTarget() int { return int(h.liveQD.Load()) }
+
+// QueueDepth returns the connection's configured (hard) queue depth.
+func (h *Host) QueueDepth() int { return h.cfg.QueueDepth }
+
+// canStart reports whether another command may enter the CID table
+// under both the hard depth and the live QD target.
+func (h *Host) canStart() bool {
+	return !h.cids.Full() && h.cids.Outstanding() < int(h.liveQD.Load())
+}
+
+// pollBudget resolves the receive busy-poll budget for this reactor
+// iteration: the live override when set, else the wire's policy.
+func (h *Host) pollBudget() time.Duration {
+	if v := h.livePollNs.Load(); v >= 0 {
+		return time.Duration(v)
+	}
+	return h.wire.PollBudget()
 }
 
 // Handshake performs the ICReq/ICResp exchange and the Fabrics Connect
@@ -416,7 +495,7 @@ func (h *Host) reactor(p *sim.Proc) {
 				worked = true
 			}
 		}
-		for !h.cids.Full() && !h.reconnecting {
+		for h.canStart() && !h.reconnecting {
 			// Depth is re-read per train so a TrainSizer wire can grow or
 			// shrink the doorbell train as occupancy changes mid-drain.
 			if depth := h.trainDepth(); depth > 1 {
@@ -468,7 +547,7 @@ func (h *Host) reactor(p *sim.Proc) {
 		}
 		// Busy-poll the socket while commands are in flight: spin up to
 		// the budget inside the receive path (SO_BUSY_POLL semantics).
-		if budget := h.wire.PollBudget(); budget > 0 && h.cids.Outstanding() > 0 {
+		if budget := h.pollBudget(); budget > 0 && h.cids.Outstanding() > 0 {
 			if msg := h.ep.RecvPoll(p, budget); msg != nil {
 				h.handle(p, msg)
 				continue
@@ -480,7 +559,7 @@ func (h *Host) reactor(p *sim.Proc) {
 		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 {
 			continue
 		}
-		if h.ep.Pending() > 0 || (!h.cids.Full() && !h.reconnecting && h.submitQ.Len() > 0) {
+		if h.ep.Pending() > 0 || (h.canStart() && !h.reconnecting && h.submitQ.Len() > 0) {
 			continue
 		}
 		h.kick.Wait(p)
@@ -672,10 +751,11 @@ func (h *Host) reconnectTimeout() time.Duration {
 }
 
 // batchDepth returns the submission-coalescing depth in effect (1 =
-// classic one-capsule-per-message behaviour).
+// classic one-capsule-per-message behaviour). It reads the live knob,
+// so a SetBatchSize call changes the very next drain round.
 func (h *Host) batchDepth() int {
-	if h.cfg.BatchSize > 1 {
-		return h.cfg.BatchSize
+	if b := int(h.liveBatch.Load()); b > 1 {
+		return b
 	}
 	return 1
 }
@@ -740,7 +820,7 @@ func (h *Host) start(p *sim.Proc, pend *Pending) {
 // the queue had nothing to send.
 func (h *Host) startTrain(p *sim.Proc, depth int) bool {
 	entries := h.batch.Entries[:0]
-	for len(entries) < depth && !h.cids.Full() {
+	for len(entries) < depth && h.canStart() {
 		pend, ok := h.submitQ.TryGet()
 		if !ok {
 			break

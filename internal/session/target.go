@@ -3,6 +3,7 @@ package session
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"nvmeoaf/internal/mempool"
@@ -94,6 +95,11 @@ type Target struct {
 	conns   []*Conn
 	crashed bool
 
+	// liveBatch is the live completion-reap coalescing depth (atomic:
+	// adjustable mid-run by the tuning controller, mirroring the host's
+	// SetBatchSize).
+	liveBatch atomic.Int32
+
 	// Worker names, prebuilt so the per-command dispatch paths don't
 	// concatenate strings on every I/O.
 	readWorker, writeWorker, flushWorker string
@@ -116,6 +122,7 @@ func NewTarget(e *sim.Engine, tgt *target.Target, cfg TargetConfig, wire TargetW
 	if t.tel == nil {
 		t.tel = telemetry.Disabled
 	}
+	t.liveBatch.Store(int32(cfg.BatchSize))
 	t.readWorker = cfg.Label + "-read-worker"
 	t.writeWorker = cfg.Label + "-write-worker"
 	t.flushWorker = cfg.Label + "-flush-worker"
@@ -133,6 +140,19 @@ func (t *Target) Engine() *sim.Engine { return t.e }
 
 // Telemetry returns the active sink (never nil).
 func (t *Target) Telemetry() *telemetry.Sink { return t.tel }
+
+// SetBatchSize adjusts the completion-reap coalescing depth live: the
+// next transmit drain merges up to n ready batches into one network
+// message. Safe to call from outside the engine.
+func (t *Target) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.liveBatch.Store(int32(n))
+}
+
+// LiveBatchSize returns the live reap-coalescing depth.
+func (t *Target) LiveBatchSize() int { return int(t.liveBatch.Load()) }
 
 // Serve starts a connection handler on ep and returns it.
 func (t *Target) Serve(ep *netsim.Endpoint) *Conn {
@@ -360,8 +380,8 @@ func (c *Conn) run(p *sim.Proc) {
 // its bytes are on the wire.
 func (c *Conn) drainTx(p *sim.Proc) bool {
 	reap := 1
-	if c.t.cfg.BatchSize > 1 {
-		reap = c.t.cfg.BatchSize
+	if b := int(c.t.liveBatch.Load()); b > 1 {
+		reap = b
 	}
 	worked := false
 	for {

@@ -8,6 +8,7 @@
 package tcp
 
 import (
+	"sync/atomic"
 	"time"
 
 	"nvmeoaf/internal/model"
@@ -60,6 +61,9 @@ type tcpWire struct {
 	h   *session.Host
 	ep  *netsim.Endpoint
 	cfg *ClientConfig
+	// chunkB is the live host-side chunk size (atomic: adjustable from
+	// the tuning controller or an operator goroutine mid-run).
+	chunkB atomic.Int64
 }
 
 // Connect performs the ICReq/ICResp exchange over ep and starts the client
@@ -67,6 +71,8 @@ type tcpWire struct {
 func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error) {
 	e := p.Engine()
 	w := &tcpWire{ep: ep, cfg: &cfg}
+	// 0 keeps the legacy no-chunking behaviour for configs without TP.
+	w.chunkB.Store(int64(cfg.TP.ChunkSize))
 	h := session.NewHost(e, ep, session.HostConfig{
 		Label:            "tcp",
 		NQN:              cfg.NQN,
@@ -182,13 +188,33 @@ func (w *tcpWire) onR2T(p *sim.Proc, r *pdu.R2T) {
 	pend.Sent += int(r.Length)
 }
 
-// chunk returns the effective chunk size.
+// chunk returns the effective chunk size: the live knob, capped by the
+// target's negotiated MaxH2CData.
 func (w *tcpWire) chunk() int {
-	if icresp := w.h.ICResp(); icresp != nil && icresp.MaxH2CData > 0 && int(icresp.MaxH2CData) < w.cfg.TP.ChunkSize {
+	c := int(w.chunkB.Load())
+	if icresp := w.h.ICResp(); icresp != nil && icresp.MaxH2CData > 0 && int(icresp.MaxH2CData) < c {
 		return int(icresp.MaxH2CData)
 	}
-	return w.cfg.TP.ChunkSize
+	return c
 }
+
+// SetChunkSize adjusts the host-side chunk size live (block aligned, at
+// least one block). Sizes below the negotiated MaxH2CData take effect on
+// the next R2T grant; larger values are staged — they apply up to the
+// negotiated ceiling now and fully after the next (re)negotiation, the
+// honest treatment of a knob whose target half is immutable per
+// connection.
+func (c *Client) SetChunkSize(n int) {
+	if n < transport.BlockSize {
+		n = transport.BlockSize
+	}
+	n -= n % transport.BlockSize
+	c.wire.chunkB.Store(int64(n))
+}
+
+// LiveChunkSize returns the host-side chunk size knob (which may exceed
+// the per-connection negotiated ceiling; see SetChunkSize).
+func (c *Client) LiveChunkSize() int { return int(c.wire.chunkB.Load()) }
 
 // Identify fetches the controller and namespace-1 identify pages through
 // admin commands, as a host does during controller initialization.

@@ -1,0 +1,106 @@
+package telemetry
+
+// Delta is the interval view between two snapshots of the same sink:
+// counter increments, derived per-second rates, and histogram interval
+// summaries. Operators (and the tuning controller in internal/tune)
+// consume deltas instead of hand-diffing cumulative snapshots.
+type Delta struct {
+	// IntervalNs is the virtual time between the two snapshots (0 when
+	// either snapshot was taken without a timestamp, in which case no
+	// rates are derived).
+	IntervalNs int64 `json:"interval_ns"`
+	// Counters holds the per-counter increments over the interval.
+	// A counter that moved backwards (the sink was replaced across a
+	// reconnect or target restart) is treated as reset: the delta is
+	// its current value, i.e. everything counted since the reset.
+	Counters map[string]int64 `json:"counters"`
+	// Rates holds per-second rates for every counter delta, derived
+	// when IntervalNs is positive.
+	Rates map[string]float64 `json:"rates,omitempty"`
+	// Histograms holds the interval count and interval mean per
+	// distribution that received samples during the interval.
+	Histograms map[string]HistDelta `json:"histograms,omitempty"`
+	// Reset reports that at least one counter or histogram moved
+	// backwards (a reconnect/restart replaced the underlying state);
+	// interval-sensitive consumers should discard this delta.
+	Reset bool `json:"reset,omitempty"`
+}
+
+// HistDelta summarizes one distribution's interval activity.
+type HistDelta struct {
+	// Count is the number of samples recorded during the interval.
+	Count int64 `json:"count"`
+	// Mean is the mean of the interval's samples (derived from the
+	// cumulative sums of the two snapshots).
+	Mean float64 `json:"mean"`
+	// Rate is Count per second when the interval is timestamped.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// DeltaSince computes the interval activity between prev and s, where
+// prev is an earlier snapshot of the same sink. Counters or histograms
+// that moved backwards are treated as freshly reset (the full current
+// value becomes the delta and Reset is flagged). Zero deltas are elided,
+// matching Snapshot's own elision of zero counters.
+func (s Snapshot) DeltaSince(prev Snapshot) Delta {
+	d := Delta{Counters: map[string]int64{}}
+	if s.AtNs > prev.AtNs && prev.AtNs >= 0 && s.AtNs > 0 {
+		d.IntervalNs = s.AtNs - prev.AtNs
+	}
+	for name, cur := range s.Counters {
+		base := prev.Counters[name]
+		inc := cur - base
+		if inc < 0 {
+			// Counter went backwards: the sink restarted.
+			inc = cur
+			d.Reset = true
+		}
+		if inc == 0 {
+			continue
+		}
+		d.Counters[name] = inc
+		if d.IntervalNs > 0 {
+			if d.Rates == nil {
+				d.Rates = map[string]float64{}
+			}
+			d.Rates[name] = float64(inc) * 1e9 / float64(d.IntervalNs)
+		}
+	}
+	for name, cur := range s.Histograms {
+		base, ok := prev.Histograms[name]
+		hd := HistDelta{Count: cur.Count - base.Count}
+		switch {
+		case !ok || hd.Count == cur.Count:
+			hd.Mean = cur.Mean
+		case hd.Count < 0:
+			// Histogram restarted with the sink.
+			hd = HistDelta{Count: cur.Count, Mean: cur.Mean}
+			d.Reset = true
+		case hd.Count == 0:
+			continue
+		default:
+			curSum := cur.Mean * float64(cur.Count)
+			baseSum := base.Mean * float64(base.Count)
+			hd.Mean = (curSum - baseSum) / float64(hd.Count)
+		}
+		if hd.Count == 0 {
+			continue
+		}
+		if d.IntervalNs > 0 {
+			hd.Rate = float64(hd.Count) * 1e9 / float64(d.IntervalNs)
+		}
+		if d.Histograms == nil {
+			d.Histograms = map[string]HistDelta{}
+		}
+		d.Histograms[name] = hd
+	}
+	return d
+}
+
+// Counter returns the interval increment for the named counter (0 when
+// it did not move).
+func (d Delta) Counter(name string) int64 { return d.Counters[name] }
+
+// Rate returns the per-second rate for the named counter (0 when the
+// counter did not move or the interval was untimed).
+func (d Delta) Rate(name string) float64 { return d.Rates[name] }

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeltaSinceCountersAndRates(t *testing.T) {
+	s := New()
+	s.Add(CtrCompletions, 100)
+	s.Add(CtrRetries, 2)
+	prev := s.SnapshotAt(int64(time.Second))
+
+	s.Add(CtrCompletions, 50)
+	s.Add(CtrTimeouts, 3)
+	cur := s.SnapshotAt(int64(2 * time.Second))
+
+	d := cur.DeltaSince(prev)
+	if d.IntervalNs != int64(time.Second) {
+		t.Fatalf("interval = %d, want 1s", d.IntervalNs)
+	}
+	if got := d.Counter("client.completions"); got != 50 {
+		t.Fatalf("completions delta = %d, want 50", got)
+	}
+	if got := d.Counter("client.timeouts"); got != 3 {
+		t.Fatalf("timeouts delta = %d, want 3", got)
+	}
+	if _, ok := d.Counters["client.retries"]; ok {
+		t.Fatalf("unchanged counter must be elided, got %v", d.Counters)
+	}
+	if got := d.Rate("client.completions"); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("completions rate = %v, want 50/s", got)
+	}
+	if d.Reset {
+		t.Fatal("no reset happened")
+	}
+}
+
+func TestDeltaSinceHistogramIntervalMean(t *testing.T) {
+	s := New()
+	s.Observe(HistBatchSize, 10)
+	s.Observe(HistBatchSize, 20)
+	prev := s.SnapshotAt(1e9)
+
+	s.Observe(HistBatchSize, 40)
+	s.Observe(HistBatchSize, 60)
+	cur := s.SnapshotAt(2e9)
+
+	d := cur.DeltaSince(prev)
+	hd, ok := d.Histograms["batch.submit_size"]
+	if !ok {
+		t.Fatalf("missing histogram delta: %+v", d.Histograms)
+	}
+	if hd.Count != 2 {
+		t.Fatalf("interval count = %d, want 2", hd.Count)
+	}
+	// Interval samples were 40 and 60: interval mean 50, even though the
+	// cumulative mean is 32.5.
+	if math.Abs(hd.Mean-50) > 1e-9 {
+		t.Fatalf("interval mean = %v, want 50", hd.Mean)
+	}
+	if math.Abs(hd.Rate-2) > 1e-9 {
+		t.Fatalf("interval rate = %v, want 2/s", hd.Rate)
+	}
+}
+
+func TestDeltaSinceCounterResetOnReconnect(t *testing.T) {
+	// A sink replaced across a reconnect/restart yields smaller
+	// cumulative values; the delta must be the post-reset activity, not
+	// a negative increment.
+	old := New()
+	old.Add(CtrCompletions, 1000)
+	prev := old.SnapshotAt(1e9)
+
+	fresh := New()
+	fresh.Add(CtrCompletions, 40)
+	fresh.Observe(HistBatchSize, 8)
+	cur := fresh.SnapshotAt(2e9)
+
+	d := cur.DeltaSince(prev)
+	if got := d.Counter("client.completions"); got != 40 {
+		t.Fatalf("reset delta = %d, want 40", got)
+	}
+	if !d.Reset {
+		t.Fatal("reset not flagged")
+	}
+}
+
+func TestDeltaSinceHistogramReset(t *testing.T) {
+	old := New()
+	for i := 0; i < 10; i++ {
+		old.Observe(HistReapDepth, 100)
+	}
+	prev := old.SnapshotAt(1e9)
+
+	fresh := New()
+	fresh.Observe(HistReapDepth, 4)
+	cur := fresh.SnapshotAt(2e9)
+
+	d := cur.DeltaSince(prev)
+	hd := d.Histograms["batch.reap_depth"]
+	if hd.Count != 1 || math.Abs(hd.Mean-4) > 1e-9 {
+		t.Fatalf("reset histogram delta = %+v, want count 1 mean 4", hd)
+	}
+	if !d.Reset {
+		t.Fatal("reset not flagged")
+	}
+}
+
+func TestDeltaSinceUntimedSnapshotsDeriveNoRates(t *testing.T) {
+	s := New()
+	s.Inc(CtrCompletions)
+	prev := s.Snapshot() // no timestamp
+	s.Inc(CtrCompletions)
+	cur := s.Snapshot()
+	d := cur.DeltaSince(prev)
+	if d.IntervalNs != 0 || d.Rates != nil {
+		t.Fatalf("untimed delta derived rates: %+v", d)
+	}
+	if got := d.Counter("client.completions"); got != 1 {
+		t.Fatalf("delta = %d, want 1", got)
+	}
+}
+
+func TestDeltaSinceEmptyPrev(t *testing.T) {
+	// First observation interval: prev is the zero Snapshot.
+	s := New()
+	s.Add(CtrCompletions, 7)
+	cur := s.SnapshotAt(5e8)
+	d := cur.DeltaSince(Snapshot{})
+	if got := d.Counter("client.completions"); got != 7 {
+		t.Fatalf("delta = %d, want 7", got)
+	}
+	if d.Reset {
+		t.Fatal("empty prev is not a reset")
+	}
+	if d.IntervalNs != 5e8 {
+		t.Fatalf("interval = %d, want 5e8", d.IntervalNs)
+	}
+}

@@ -32,10 +32,22 @@ type EventSnapshot struct {
 // Snapshot is the JSON-marshalable view of a sink. Zero-valued counters
 // and empty histograms are elided so exported documents stay readable.
 type Snapshot struct {
+	// AtNs is the virtual time the snapshot was taken (0 when captured
+	// through Snapshot rather than SnapshotAt). DeltaSince uses it to
+	// derive per-second rates between two timestamped snapshots.
+	AtNs       int64                   `json:"at_ns,omitempty"`
 	Counters   map[string]int64        `json:"counters"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
 	Trace      []EventSnapshot         `json:"trace,omitempty"`
 	TraceTotal uint64                  `json:"trace_total,omitempty"`
+}
+
+// SnapshotAt captures the sink's current state stamped with the given
+// virtual time, enabling rate derivation via DeltaSince.
+func (s *Sink) SnapshotAt(atNs int64) Snapshot {
+	snap := s.Snapshot()
+	snap.AtNs = atNs
+	return snap
 }
 
 // Snapshot captures the sink's current state. It allocates; call it at

@@ -36,6 +36,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/rdma"
+	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/tcp"
@@ -228,6 +229,7 @@ type Cluster struct {
 	caches     []*cache.Cache
 	inj        *faults.Injector
 	replicated []*cluster.Cluster
+	tuners     []*Tuner
 }
 
 // NewCluster creates an empty cluster.
@@ -334,6 +336,7 @@ func (c *Cluster) Run(fn func(ctx *Ctx) error) error {
 	var appErr error
 	c.engine.Go("oaf-app", func(p *sim.Proc) {
 		appErr = fn(&Ctx{cluster: c, proc: p, hostName: firstHost(c)})
+		c.stopTuners()
 	})
 	if err := c.engine.Run(); err != nil {
 		return err
@@ -346,6 +349,7 @@ func (c *Cluster) RunUntil(limit time.Duration, fn func(ctx *Ctx) error) error {
 	var appErr error
 	c.engine.Go("oaf-app", func(p *sim.Proc) {
 		appErr = fn(&Ctx{cluster: c, proc: p, hostName: firstHost(c)})
+		c.stopTuners()
 	})
 	if err := c.engine.RunUntil(sim.Time(limit)); err != nil {
 		return err
@@ -426,6 +430,10 @@ type Queue struct {
 	ctx    *Ctx
 	tracer *netsim.Tracer
 	target string
+	// srvTarget is the session engine of the server transport serving this
+	// queue; the tuner uses it to keep target-side reap coalescing in step
+	// with the client-side batch knob.
+	srvTarget *session.Target
 	// SharedMemory reports whether the adaptive fabric negotiated the
 	// shared-memory data path for this connection.
 	SharedMemory bool
@@ -569,7 +577,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target}), nil
 
 	case FabricTCP10G, FabricTCP25G, FabricTCP100G:
 		lp := model.TCP25G()
@@ -594,7 +602,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target}), nil
 
 	default: // FabricAdaptive
 		design := opts.Design.internal()
@@ -637,7 +645,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, SharedMemory: cl.SHMEnabled()}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target, SharedMemory: cl.SHMEnabled()}), nil
 	}
 }
 

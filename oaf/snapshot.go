@@ -123,8 +123,10 @@ func (c *Cluster) Telemetry() *telemetry.Sink { return c.tel }
 // Snapshot captures the whole cluster's observability state.
 func (c *Cluster) Snapshot() ClusterSnapshot {
 	snap := ClusterSnapshot{
-		TimeNs:    int64(c.engine.Now()),
-		Telemetry: c.tel.Snapshot(),
+		TimeNs: int64(c.engine.Now()),
+		// Stamped with virtual time so two snapshots feed
+		// telemetry.Snapshot.DeltaSince directly (interval rates).
+		Telemetry: c.tel.SnapshotAt(int64(c.engine.Now())),
 	}
 	for _, q := range c.queues {
 		snap.Queues = append(snap.Queues, q.Snapshot())

@@ -8,7 +8,10 @@
 # the SQ/CQ ring fast path at QD 64 and 256 on tcp-25g), an rdma
 # fast-path sweep (4 KiB randread on rdma-ib56: regcache on/off x merge
 # on/off at QD 16 and 64, dynamic doorbells riding with the full fast
-# path), then the batching and ring wall-clock benchmarks
+# path), an online self-tuning sweep (the 4 KiB randread workload from
+# the worst static batch config: static-bad vs tuned vs hand-swept
+# static best, plus a tuned run with a mid-window 128K-seq flip), then
+# the batching and ring wall-clock benchmarks
 # (`go test -bench QD`), and
 # collect everything into one JSON report. The bench section records,
 # per configuration, the simulator's own wall-clock ns/op and allocs/op
@@ -28,11 +31,13 @@
 #   BENCH_CLUSTER  non-empty sweeps replication scaling (default on; empty skips)
 #   BENCH_RING     non-empty sweeps ring vs futures (default on; empty skips)
 #   BENCH_RDMA     non-empty sweeps the rdma fast path (default on; empty skips)
+#   BENCH_TUNE     non-empty sweeps the online self-tuner (default on; empty skips)
+#   BENCH_TUNE_DURATION window for the tuner runs (default 2s; the flip fires at 1s)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr8.json}
+OUT=${BENCH_OUT:-BENCH_pr9.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
@@ -44,6 +49,8 @@ CACHE=${BENCH_CACHE:-256M}
 CLUSTER=${BENCH_CLUSTER:-on}
 RING=${BENCH_RING:-on}
 RDMA=${BENCH_RDMA:-on}
+TUNE=${BENCH_TUNE:-on}
+TUNE_DUR=${BENCH_TUNE_DURATION:-2s}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
 TMP=$(mktemp -d)
@@ -147,6 +154,27 @@ go_bench() {
 					-t "$DUR" -batch 8 $fp -stats-json
 			done
 		done
+	fi
+	# Online self-tuning: the 4 KiB randread workload on tcp-25g started
+	# from the worst static configuration (batch 1), once left static,
+	# once with the live tuner attached (same bad start), and once at the
+	# hand-swept static best — so the report shows how much of the
+	# hand-tuned gap the tuner closes without a reconnect. The last run
+	# flips to 128K sequential mid-window and records the phase reset.
+	if [ -n "$TUNE" ]; then
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$TUNE_DUR" \
+			-batch 1 -drv-batch 32 -stats-json
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$TUNE_DUR" \
+			-batch 1 -drv-batch 32 -tune -stats-json
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$TUNE_DUR" \
+			-batch 16 -drv-batch 32 -stats-json
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$TUNE_DUR" \
+			-batch 1 -drv-batch 32 -tune \
+			-flip-at 1s -flip-rw read -flip-size 128K -stats-json
 	fi
 	printf '  ]'
 	if [ -n "$GOBENCH" ]; then
