@@ -33,6 +33,7 @@ import (
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/tune"
 )
@@ -101,6 +102,67 @@ func parseRW(s string, mix int) (bool, int, error) {
 	return false, 0, fmt.Errorf("unknown pattern %q", s)
 }
 
+// parseTenants builds the per-tenant QoS specs from the -tenants,
+// -slo, and -rate flags. -slo and -rate accept either one value
+// (applied to every tenant) or a comma list matching -tenants
+// position for position. Streams are assigned round-robin.
+func parseTenants(names, slos, rates string) ([]exp.TenantSpec, error) {
+	if names == "" {
+		if slos != "" || rates != "" {
+			return nil, fmt.Errorf("-slo/-rate require -tenants")
+		}
+		return nil, nil
+	}
+	var specs []exp.TenantSpec
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("empty tenant name in -tenants")
+		}
+		specs = append(specs, exp.TenantSpec{Name: n})
+	}
+	fan := func(flagName, list string, apply func(i int, v string) error) error {
+		if list == "" {
+			return nil
+		}
+		vv := strings.Split(list, ",")
+		if len(vv) != 1 && len(vv) != len(specs) {
+			return fmt.Errorf("%s: got %d values for %d tenants", flagName, len(vv), len(specs))
+		}
+		for i := range specs {
+			v := vv[0]
+			if len(vv) > 1 {
+				v = vv[i]
+			}
+			if err := apply(i, strings.TrimSpace(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fan("-slo", slos, func(i int, v string) error {
+		s, err := qos.ParseSLO(v)
+		if err != nil {
+			return err
+		}
+		specs[i].SLO = s
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := fan("-rate", rates, func(i int, v string) error {
+		r, err := strconv.Atoi(v)
+		if err != nil || r < 0 {
+			return fmt.Errorf("-rate: bad rate %q (MiB/s)", v)
+		}
+		specs[i].RateMBps = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
 func parseDesign(s string) (core.Design, error) {
 	switch s {
 	case "", "shm-0-copy":
@@ -155,6 +217,10 @@ func main() {
 	flipAt := flag.Duration("flip-at", 0, "flip the workload to a second phase at this virtual time (0 = no flip)")
 	flipRW := flag.String("flip-rw", "", "second-phase pattern for -flip-at: read, write, randread, randwrite, rw, randrw")
 	flipSize := flag.String("flip-size", "", "second-phase I/O size for -flip-at (empty = keep first-phase size)")
+	tenantsStr := flag.String("tenants", "", "comma-separated tenant names; streams are assigned round-robin and per-tenant QoS + reporting are armed")
+	sloStr := flag.String("slo", "", "per-tenant SLO tier (latency, throughput, batch, none): one value or a comma list matching -tenants")
+	rateStr := flag.String("rate", "", "per-tenant rate cap in MiB/s (0 = unlimited): one value or a comma list matching -tenants")
+	targetQoS := flag.Bool("target-qos", false, "also enforce tenant budgets at the target (typed throttle rejections), not just host-side admission")
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON report (perf + fabric telemetry + pool stats) instead of text")
 	flag.Parse()
 
@@ -262,6 +328,12 @@ func main() {
 		cfg.Tune = true
 		cfg.TunePeriod = *tunePeriod
 	}
+	cfg.Tenants, err = parseTenants(*tenantsStr, *sloStr, *rateStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oafperf:", err)
+		os.Exit(2)
+	}
+	cfg.TargetQoS = *targetQoS
 
 	res, err := exp.Run(cfg)
 	if err != nil {
@@ -301,6 +373,17 @@ func main() {
 	}
 	for i, s := range res.PerStream {
 		fmt.Printf("  stream %d  : %.3f GB/s, avg %.1f us\n", i, s.Throughput.GBps(), s.BD.MeanTotal())
+	}
+	for _, tr := range tenantReports(cfg, res) {
+		rate := "unlimited"
+		if tr.RateMBps > 0 {
+			rate = fmt.Sprintf("%d MiB/s", tr.RateMBps)
+		}
+		fmt.Printf("  tenant    : %-8s slo=%-10s rate=%-10s %.3f GB/s (%.0f IOPS), p99 %.1f us, p99.99 %.1f us\n",
+			tr.Name, tr.SLO, rate, tr.GBps, tr.IOPS, tr.P99Us, tr.P9999Us)
+		fmt.Printf("              tokens: %.1f MB taken, %.1f MB borrowed, %.1f MB lent; %d throttles, %d token waits, %d sheds\n",
+			float64(tr.TakenBytes)/1e6, float64(tr.BorrowedBytes)/1e6, float64(tr.LentBytes)/1e6,
+			tr.Throttled, tr.TokenWaits, tr.Sheds)
 	}
 	for i, dev := range res.Devices {
 		fmt.Printf("  ssd %d     : util %.0f%%, %d reads / %d writes\n",
@@ -362,6 +445,7 @@ type report struct {
 		CrashDown  string  `json:"crash_down,omitempty"`
 		Tune       bool    `json:"tune,omitempty"`
 		TunePeriod string  `json:"tune_period,omitempty"`
+		TargetQoS  bool    `json:"target_qos,omitempty"`
 		FlipAt     string  `json:"flip_at,omitempty"`
 		Window     string  `json:"window"`
 		Seed       int64   `json:"seed"`
@@ -384,6 +468,66 @@ type report struct {
 	Cluster   *cluster.Stats     `json:"cluster,omitempty"`
 	Faults    []faults.Event     `json:"faults,omitempty"`
 	Tuner     *tune.Report       `json:"tuner,omitempty"`
+	Tenants   []tenantReport     `json:"tenants,omitempty"`
+}
+
+// tenantReport is one tenant's slice of the run: its share of the
+// perf result plus the QoS ledger and throttle activity.
+type tenantReport struct {
+	Name          string  `json:"name"`
+	SLO           string  `json:"slo"`
+	RateMBps      int     `json:"rate_mbps,omitempty"`
+	GBps          float64 `json:"gbps"`
+	IOPS          float64 `json:"iops"`
+	P99Us         float64 `json:"p99_us"`
+	P9999Us       float64 `json:"p9999_us"`
+	TakenBytes    int64   `json:"taken_bytes"`
+	BorrowedBytes int64   `json:"borrowed_bytes,omitempty"`
+	LentBytes     int64   `json:"lent_bytes,omitempty"`
+	Throttled     int64   `json:"throttles,omitempty"`
+	TokenWaits    int64   `json:"token_waits,omitempty"`
+	Sheds         int64   `json:"sheds,omitempty"`
+}
+
+// tenantReports groups the per-stream results by assigned tenant and
+// joins each group with that tenant's token-ledger stats and
+// telemetry counters, in -tenants order.
+func tenantReports(cfg exp.Config, res *exp.Result) []tenantReport {
+	if len(cfg.Tenants) == 0 {
+		return nil
+	}
+	ledger := make(map[string]qos.TenantStats, len(res.QoS))
+	for _, s := range res.QoS {
+		ledger[s.Name] = s
+	}
+	views := res.Telemetry.Snapshot().Tenants
+	byName := make(map[string][]*perf.Result, len(cfg.Tenants))
+	for i, s := range res.PerStream {
+		n := cfg.TenantFor(i).Name
+		byName[n] = append(byName[n], s)
+	}
+	out := make([]tenantReport, 0, len(cfg.Tenants))
+	for _, ts := range cfg.Tenants {
+		agg := perf.Merge(byName[ts.Name]...)
+		st := ledger[ts.Name]
+		tv := views[ts.Name]
+		out = append(out, tenantReport{
+			Name:          ts.Name,
+			SLO:           ts.SLO.String(),
+			RateMBps:      ts.RateMBps,
+			GBps:          agg.Throughput.GBps(),
+			IOPS:          agg.Throughput.IOPS(),
+			P99Us:         float64(agg.Latency.P99()) / 1e3,
+			P9999Us:       float64(agg.Latency.P9999()) / 1e3,
+			TakenBytes:    st.Taken,
+			BorrowedBytes: st.Borrowed,
+			LentBytes:     st.Lent,
+			Throttled:     st.Throttles,
+			TokenWaits:    tv.Counters["tenant.token_waits"],
+			Sheds:         tv.Counters["tenant.sheds"],
+		})
+	}
+	return out
 }
 
 func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Result) error {
@@ -441,6 +585,8 @@ func emitJSON(w *os.File, cfg exp.Config, fabric, rw, size string, res *exp.Resu
 	r.Cluster = res.Cluster
 	r.Faults = res.FaultLog
 	r.Tuner = res.Tuner
+	r.Config.TargetQoS = cfg.TargetQoS
+	r.Tenants = tenantReports(cfg, res)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

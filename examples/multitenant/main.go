@@ -6,6 +6,11 @@
 // posture: tenants never share a mapping), so payloads stay off the wire
 // and the SSDs, not the network, become the bottleneck.
 //
+// The second half shares ONE storage service between a greedy tenant
+// (deep-queue bulk reads) and a polite one (shallow small reads) and
+// prints the polite tenant's p99 before and after capping the greedy
+// tenant with per-tenant QoS.
+//
 //	go run ./examples/multitenant
 package main
 
@@ -102,4 +107,107 @@ func main() {
 	fmt.Printf("  adaptive fabric : %.2f GB/s (shared memory on all tenants: %v)\n", oafGBps, shm)
 	fmt.Printf("  NVMe/TCP-25G    : %.2f GB/s\n", tcpGBps)
 	fmt.Printf("  speedup         : %.2fx\n", oafGBps/tcpGBps)
+
+	before, err := runSharedService(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const cap = 200 // MiB/s, well under the greedy tenant's natural rate
+	after, err := runSharedService(cap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngreedy (32x128K reads) vs polite (4K reads) on ONE shared service\n")
+	fmt.Printf("  no QoS          : polite p99 %8v   greedy %.2f GB/s\n",
+		before["polite"].p99, before["greedy"].gbps)
+	fmt.Printf("  greedy@%dMiB/s : polite p99 %8v   greedy %.2f GB/s\n",
+		cap, after["polite"].p99, after["greedy"].gbps)
+	fmt.Printf("  polite p99 improvement: %.2fx\n",
+		float64(before["polite"].p99)/float64(after["polite"].p99))
+}
+
+// tenantP99 is one tenant's latency tail and bandwidth share pulled
+// from the per-tenant telemetry view.
+type tenantP99 struct {
+	p99  time.Duration
+	gbps float64
+}
+
+// runSharedService drives a greedy and a polite tenant into ONE
+// storage service over NVMe/TCP-25G. With greedyRate == 0 the greedy
+// tenant is unshaped (the noisy-neighbor baseline); a nonzero rate
+// caps it at that many MiB/s through the host-side token bucket.
+func runSharedService(greedyRate int) (map[string]tenantP99, error) {
+	const nqn = "nqn.2022-06.io.oaf:shared"
+	cluster := oaf.NewCluster(oaf.Config{Seed: 7})
+	if err := cluster.AddHost("hostA"); err != nil {
+		return nil, err
+	}
+	if err := cluster.AddTarget("hostA", nqn, oaf.TargetConfig{SSDCapacity: 1 << 30}); err != nil {
+		return nil, err
+	}
+	if err := cluster.AddTenant(oaf.TenantConfig{Name: "polite", SLO: oaf.SLOLatencySensitive}); err != nil {
+		return nil, err
+	}
+	if err := cluster.AddTenant(oaf.TenantConfig{
+		Name: "greedy", SLO: oaf.SLOThroughput,
+		RateMBps: greedyRate, BurstBytes: 256 << 10,
+	}); err != nil {
+		return nil, err
+	}
+
+	err := cluster.Run(func(ctx *oaf.Ctx) error {
+		greedy := ctx.Go("greedy", func(ctx *oaf.Ctx) error {
+			q, err := ctx.Connect(nqn, oaf.ConnectOptions{
+				Fabric: oaf.FabricTCP25G, QueueDepth: 32, Tenant: "greedy",
+			})
+			if err != nil {
+				return err
+			}
+			defer q.Close()
+			var asyncs []*oaf.Async
+			for j := 0; j < 192; j++ {
+				asyncs = append(asyncs, q.ReadAsyncModeled(int64(j)*ioSize, ioSize))
+			}
+			for _, a := range asyncs {
+				if _, err := q.Wait(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		polite := ctx.Go("polite", func(ctx *oaf.Ctx) error {
+			q, err := ctx.Connect(nqn, oaf.ConnectOptions{
+				Fabric: oaf.FabricTCP25G, QueueDepth: 4, Tenant: "polite",
+			})
+			if err != nil {
+				return err
+			}
+			defer q.Close()
+			for j := 0; j < 64; j++ {
+				if _, err := q.ReadModeled(int64(j)<<12, 4096); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := greedy.Wait(ctx); err != nil {
+			return err
+		}
+		return polite.Wait(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]tenantP99)
+	snap := cluster.Snapshot()
+	window := float64(snap.TimeNs) / 1e9
+	for name, tv := range snap.Tenants {
+		out[name] = tenantP99{
+			p99:  time.Duration(tv.Histograms["tenant.latency_ns"].P99),
+			gbps: float64(tv.Counters["tenant.bytes"]) / 1e9 / window,
+		}
+	}
+	return out, nil
 }

@@ -89,6 +89,14 @@ type Config struct {
 	// must match the backing device's retention or reads through the
 	// cache would diverge from reads around it.
 	Retain bool
+	// TenantDirtyFrac optionally partitions the write-back dirty budget
+	// per tenant: a write attributed to a listed tenant degrades to
+	// write-through once that tenant's dirty lines exceed its fraction
+	// of capacity, even when the shared MaxDirtyFrac bound still has
+	// room — one tenant's write burst cannot consume the whole absorb
+	// budget. Tenants not listed (and unattributed writes) are bounded
+	// only by the shared watermark.
+	TenantDirtyFrac map[string]float64
 	// Telemetry receives hit/miss/fill/evict counters and the
 	// flush-latency histogram. Nil disables.
 	Telemetry *telemetry.Sink
@@ -119,10 +127,13 @@ func (e *DirtyLossError) Error() string {
 func (e *DirtyLossError) Unwrap() error { return e.Cause }
 
 // line is one cache line. tag is the line number (-1 = invalid).
+// tenant records who dirtied the line (retained across flushes so a
+// racing re-dirty reattributes to the same tenant).
 type line struct {
 	tag     int64
 	dirty   bool
 	lastUse uint64
+	tenant  string
 	data    []byte
 }
 
@@ -161,7 +172,10 @@ type Cache struct {
 	// atomics: the tuning controller (or an operator goroutine) adjusts
 	// them live via SetMaxDirtyFrac/SetBypassBytes.
 	dirtyBytes  int64
-	capBytes    int64
+	// dirtyByTenant partitions dirtyBytes by the tenant that dirtied
+	// each line (only maintained when TenantDirtyFrac is configured).
+	dirtyByTenant map[string]int64
+	capBytes      int64
 	hiWater     atomic.Int64
 	loWater     atomic.Int64
 	bypassBytes atomic.Int64
@@ -286,6 +300,9 @@ func New(e *sim.Engine, backing bdev.Device, cfg Config) *Cache {
 	capBytes := int64(nLines) * c.lineSize
 	c.capBytes = capBytes
 	c.SetMaxDirtyFrac(cfg.MaxDirtyFrac)
+	if len(cfg.TenantDirtyFrac) > 0 {
+		c.dirtyByTenant = make(map[string]int64, len(cfg.TenantDirtyFrac))
+	}
 	c.bypassBytes.Store(int64(cfg.BypassBytes))
 	for i := range c.lines {
 		c.lines[i].tag = -1
@@ -540,6 +557,7 @@ func (c *Cache) install(first, last int64, spanOff int64, spanData []byte) {
 				c.tel.Inc(telemetry.CtrCacheEvict)
 			}
 			c.lines[i].tag = ln
+			c.lines[i].tenant = ""
 			c.lines[i].dirty = false
 			c.stats.Fills++
 			c.tel.Inc(telemetry.CtrCacheFill)
@@ -564,15 +582,48 @@ func (c *Cache) install(first, last int64, spanOff int64, spanData []byte) {
 	}
 }
 
-// markDirty marks a resident line dirty, accounting the transition.
-func (c *Cache) markDirty(i int) {
+// markDirty marks a resident line dirty, accounting the transition to
+// the named tenant (empty keeps the line's previous attribution, which
+// is what a flusher-raced re-dirty wants).
+func (c *Cache) markDirty(i int, tenant string) {
 	if !c.lines[i].dirty {
 		c.lines[i].dirty = true
 		c.dirtyBytes += c.lineSize
+		if tenant != "" {
+			c.lines[i].tenant = tenant
+		}
+		if t := c.lines[i].tenant; t != "" && c.dirtyByTenant != nil {
+			c.dirtyByTenant[t] += c.lineSize
+		}
 		c.stats.DirtyBytes = c.dirtyBytes
 		c.tel.Add(telemetry.CtrCacheDirtyBytes, c.lineSize)
 	}
 }
+
+// cleanLine accounts one dirty line's transition back to clean.
+func (c *Cache) cleanLine(i int) {
+	c.lines[i].dirty = false
+	c.dirtyBytes -= c.lineSize
+	if t := c.lines[i].tenant; t != "" && c.dirtyByTenant != nil {
+		c.dirtyByTenant[t] -= c.lineSize
+	}
+}
+
+// tenantDirtyOver reports whether absorbing size more dirty bytes for
+// the tenant would exceed its configured partition of the dirty budget.
+func (c *Cache) tenantDirtyOver(tenant string, size int) bool {
+	if tenant == "" || c.dirtyByTenant == nil {
+		return false
+	}
+	frac, ok := c.cfg.TenantDirtyFrac[tenant]
+	if !ok {
+		return false
+	}
+	return float64(c.dirtyByTenant[tenant]+int64(size)) > frac*float64(c.capBytes)
+}
+
+// TenantDirty returns the named tenant's current dirty bytes.
+func (c *Cache) TenantDirty(tenant string) int64 { return c.dirtyByTenant[tenant] }
 
 // updateResident copies the overlap of a completed write into resident
 // lines so subsequent hits observe it (Retain with materialized data).
@@ -704,7 +755,7 @@ func (c *Cache) submitWrite(req *ssd.Request) *sim.Future[ssd.Result] {
 	materializable := !c.cfg.Retain || req.Data != nil
 	if c.cfg.Mode == WriteBack && aligned && !large && materializable {
 		hi := c.hiWater.Load()
-		if c.dirtyBytes+int64(req.Size) > hi {
+		if c.dirtyBytes+int64(req.Size) > hi || c.tenantDirtyOver(req.Tenant, req.Size) {
 			c.stats.Throttled++
 			c.tel.Inc(telemetry.CtrCacheThrottled)
 			c.kick()
@@ -793,7 +844,7 @@ func (c *Cache) redirtyFlight(off int64, size int) {
 			continue
 		}
 		if i := c.lookup(ln); i >= 0 {
-			c.markDirty(i)
+			c.markDirty(i, "")
 			dirtied = true
 		}
 	}
@@ -832,6 +883,7 @@ func (c *Cache) absorbWrite(req *ssd.Request) bool {
 				c.tel.Inc(telemetry.CtrCacheEvict)
 			}
 			c.lines[i].tag = ln
+			c.lines[i].tenant = ""
 			c.lines[i].dirty = false
 			c.stats.Fills++
 			c.tel.Inc(telemetry.CtrCacheFill)
@@ -842,7 +894,7 @@ func (c *Cache) absorbWrite(req *ssd.Request) bool {
 			o := ln*c.lineSize - req.Offset
 			copy(c.lines[i].data, req.Data[o:o+c.lineSize])
 		}
-		c.markDirty(i)
+		c.markDirty(i, req.Tenant)
 	}
 	return true
 }
@@ -897,8 +949,7 @@ func (c *Cache) flushBatch(p *sim.Proc) int {
 			continue
 		}
 		ln := c.lines[i].tag
-		c.lines[i].dirty = false
-		c.dirtyBytes -= c.lineSize
+		c.cleanLine(i)
 		c.stats.DirtyBytes = c.dirtyBytes
 		c.tel.Add(telemetry.CtrCacheDirtyBytes, -c.lineSize)
 		var data []byte
@@ -1010,9 +1061,9 @@ func (c *Cache) LoseDirty() *DirtyLossError {
 		if !c.lines[i].dirty {
 			continue
 		}
-		c.lines[i].dirty = false
+		c.cleanLine(i)
 		c.lines[i].tag = -1
-		c.dirtyBytes -= c.lineSize
+		c.lines[i].tenant = ""
 		lost++
 	}
 	c.stats.DirtyBytes = c.dirtyBytes

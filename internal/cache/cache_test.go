@@ -654,3 +654,64 @@ func TestStatsString(t *testing.T) {
 		t.Error("mode string")
 	}
 }
+
+// TestTenantDirtyPartitionThrottlesOnlyThatTenant: with a per-tenant
+// dirty fraction configured, a listed tenant's write burst degrades to
+// write-through once ITS slice of the absorb budget is full, while the
+// shared watermark still has plenty of room — so another tenant's
+// writes keep absorbing at cache speed.
+func TestTenantDirtyPartitionThrottlesOnlyThatTenant(t *testing.T) {
+	// 1 MiB cache, shared dirty watermark 0.5 (512 KiB); greedy gets
+	// 1/32 of capacity = 32 KiB = 8 lines before write-through kicks in.
+	e, _, c := rig(t, false, Config{
+		Bytes: 1 << 20, Mode: WriteBack,
+		TenantDirtyFrac: map[string]float64{"greedy": 1.0 / 32},
+	})
+	data := make([]byte, 4096)
+	twrite := func(p *sim.Proc, tenant string, off int64) {
+		res := c.Submit(&ssd.Request{
+			Op: ssd.OpWrite, Offset: off, Size: len(data), Data: data, Tenant: tenant,
+		}).Wait(p)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	run(t, e, func(p *sim.Proc) {
+		// Burst 40 distinct greedy lines (160 KiB) back to back: well
+		// past the 32 KiB slice, well under the 512 KiB shared bound.
+		for i := 0; i < 40; i++ {
+			twrite(p, "greedy", int64(i)<<12)
+			if got := c.TenantDirty("greedy"); got > 32<<10 {
+				t.Fatalf("greedy dirty %d bytes exceeds its 32 KiB slice", got)
+			}
+		}
+		throttled := c.Stats().Throttled
+		if throttled == 0 {
+			t.Fatal("160 KiB greedy burst never tripped the 32 KiB tenant slice")
+		}
+		// An unlisted tenant is bounded only by the shared watermark:
+		// its writes still absorb, and absorbs don't count as throttles.
+		before := c.Stats()
+		twrite(p, "polite", 1<<21)
+		after := c.Stats()
+		if after.WriteBacks != before.WriteBacks+1 {
+			t.Errorf("polite write did not absorb: write-backs %d -> %d",
+				before.WriteBacks, after.WriteBacks)
+		}
+		if after.Throttled != throttled {
+			t.Errorf("polite write throttled (%d -> %d) despite shared headroom",
+				throttled, after.Throttled)
+		}
+		if got := c.TenantDirty("polite"); got != 4096 {
+			t.Errorf("polite dirty attribution = %d, want one 4 KiB line", got)
+		}
+		// Flush drains everything; per-tenant accounting must return to
+		// zero via the same clean path.
+		if res := c.Submit(&ssd.Request{Op: ssd.OpFlush}).Wait(p); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if got := c.TenantDirty("greedy"); got != 0 {
+			t.Errorf("greedy dirty = %d after flush, want 0", got)
+		}
+	})
+}

@@ -354,7 +354,7 @@ func (c *Cluster) submitFlush(p *sim.Proc, io *transport.IO) *sim.Future[*transp
 		if ms == nil || !ms.alive {
 			continue
 		}
-		futs = append(futs, ms.q.Submit(p, &transport.IO{Flush: true, NSID: io.NSID}))
+		futs = append(futs, ms.q.Submit(p, &transport.IO{Flush: true, NSID: io.NSID, Tenant: io.Tenant}))
 	}
 	if len(futs) == 0 {
 		fut := sim.NewFuture[*transport.Result](c.e)
@@ -458,9 +458,13 @@ func (c *Cluster) submitWrite(p *sim.Proc, io *transport.IO) *sim.Future[*transp
 		if ms == nil || !ms.alive {
 			continue
 		}
+		// Only the first replica copy is QoS-chargeable: a quorum write
+		// debits the tenant's budget once, the fan-out copies ride exempt
+		// but stay attributed for per-tenant telemetry.
 		wio := &transport.IO{
 			Write: true, NSID: io.NSID, Offset: io.Offset, Size: io.Size,
 			Data: io.Data, NoFill: !first || io.NoFill,
+			Tenant: io.Tenant, QoSExempt: !first || io.QoSExempt,
 		}
 		first = false
 		issued++

@@ -133,7 +133,10 @@ func (c *Cluster) rebuildExtent(p *sim.Proc, st *extentState, ri int) bool {
 		return false
 	}
 	start := p.Now()
-	rio := &transport.IO{Offset: base, Size: size}
+	// Rebuild traffic is system-internal: never charged to any tenant's
+	// token budget (QoSExempt, and untenanted so it lands in the ambient
+	// per-queue attribution if the member queue carries one).
+	rio := &transport.IO{Offset: base, Size: size, QoSExempt: true}
 	if c.opts.RetainData {
 		rio.Data = make([]byte, size)
 	}
@@ -160,7 +163,7 @@ func (c *Cluster) rebuildExtent(p *sim.Proc, st *extentState, ri int) bool {
 	}
 	dstMS = c.occupant(dstRS.seat)
 	gen := c.seats[dstRS.seat].gen
-	wio := &transport.IO{Write: true, Offset: base, Size: size, Data: rio.Data, NoFill: true}
+	wio := &transport.IO{Write: true, Offset: base, Size: size, Data: rio.Data, NoFill: true, QoSExempt: true}
 	wr := c.chainSubmit(p, dstRS, dstMS.q, wio).Wait(p)
 	if wr.Status != nvme.StatusSuccess {
 		c.noteFailure(dstMS, wr.Status)

@@ -8,6 +8,7 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
@@ -57,6 +58,13 @@ type ClientConfig struct {
 	// Telemetry receives path-selection traces, per-path submit and
 	// recovery counters, and latency histograms. Nil means disabled.
 	Telemetry *telemetry.Sink
+
+	// Tenant names the tenant this queue submits for (carried to the
+	// target inside the Fabrics Connect hostNQN; empty = untenanted,
+	// wire byte-identical). QoS is the host-side per-tenant admission
+	// shaper shared by the queues of one contention domain (nil = off).
+	Tenant string
+	QoS    *qos.Shaper
 }
 
 // Client is the NVMe-oAF host queue: control path over TCP, data path
@@ -122,6 +130,8 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		KeepAlive:        cfg.KeepAlive,
 		InterruptWakeups: true,
 		Telemetry:        cfg.Telemetry,
+		Tenant:           cfg.Tenant,
+		QoS:              cfg.QoS,
 	}, w)
 	w.h = h
 	c := &Client{Host: h, wire: w}

@@ -8,6 +8,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
 	"nvmeoaf/internal/sim"
@@ -46,6 +47,8 @@ type ServerConfig struct {
 	// Telemetry receives connection, shedding, and keep-alive counters.
 	// Nil means disabled.
 	Telemetry *telemetry.Sink
+	// QoS is the target-side per-tenant admission shaper (nil = off).
+	QoS *qos.Shaper
 	// OnCrash runs when Crash tears the target down, before connections
 	// drop — the hook a write-back bdev cache uses to account its
 	// unflushed dirty lines as lost.
@@ -85,6 +88,7 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 		InterruptWakeups: true,
 		Pool:             s.pool,
 		Telemetry:        cfg.Telemetry,
+		QoS:              cfg.QoS,
 		OnCrash:          cfg.OnCrash,
 	}, (*oafTargetWire)(s))
 	return s
@@ -267,7 +271,7 @@ func (w *oafConnWire) startSHMWrite(cmd nvme.Command, size int, transit time.Dur
 			slot.CopyOut(p, data, size)
 			copyTime := p.Now().Sub(copyStart)
 			slot.TryRelease() // slot credit returns through shared state
-			res := c.Target().Subsys().Execute(p, w.s.cfg.NQN, cmd, data)
+			res := c.Target().Subsys().ExecuteAs(p, w.s.cfg.NQN, c.Tenant(), cmd, data)
 			session.FreeBufs(bufs)
 			c.Kick()
 			c.Post(nil, c.Resp(res, transit, copyTime))

@@ -11,6 +11,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/rdma"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
@@ -40,7 +41,7 @@ type clusterMember struct {
 
 // serveMember builds member i's target machine — target, SSD, NIC, link,
 // and fabric server — for the configured fabric kind.
-func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Result) (*clusterMember, error) {
+func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Result, tgtSh *qos.Shaper) (*clusterMember, error) {
 	tgt := target.New(e, model.DefaultHost())
 	sub, err := tgt.AddSubsystem(nqnCluster(i))
 	if err != nil {
@@ -79,7 +80,7 @@ func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Res
 	m := &clusterMember{link: link}
 	switch cfg.Kind {
 	case RDMA56, RoCE100:
-		srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnCluster(i), Params: rdmaParams(cfg), Host: model.DefaultHost()})
+		srv := rdma.NewServer(e, tgt, rdma.ServerConfig{NQN: nqnCluster(i), Params: rdmaParams(cfg), Host: model.DefaultHost(), QoS: tgtSh})
 		srv.Serve(link.B)
 		m.srv = srv
 	case OAF, OAFRDMACtl:
@@ -88,12 +89,13 @@ func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Res
 		srv := core.NewServer(e, tgt, core.ServerConfig{
 			NQN: nqnCluster(i), Design: cfg.Design, Fabric: fabric,
 			TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
+			QoS: tgtSh,
 		})
 		srv.Serve(link.B)
 		res.PoolFootprint += srv.Pool().FootprintBytes()
 		m.srv = srv
 	default:
-		srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnCluster(i), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
+		srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnCluster(i), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel, QoS: tgtSh})
 		srv.Serve(link.B)
 		res.PoolFootprint += srv.Pool().FootprintBytes()
 		m.srv = srv
@@ -104,7 +106,7 @@ func serveMember(e *sim.Engine, cfg Config, i int, tel *telemetry.Sink, res *Res
 // connectMember opens member i's client connection. Commands fail fast
 // with typed errors — the replication layer owns redundancy, so a dead
 // member should trigger failover, not a long per-member retry loop.
-func connectMember(p *sim.Proc, cfg Config, i int, m *clusterMember, qd int, tel *telemetry.Sink) (transport.Queue, error) {
+func connectMember(p *sim.Proc, cfg Config, i int, m *clusterMember, qd int, tel *telemetry.Sink, tenant string, hostSh *qos.Shaper) (transport.Queue, error) {
 	const (
 		cmdTimeout = 500 * time.Microsecond
 		maxRetries = 1
@@ -115,18 +117,21 @@ func connectMember(p *sim.Proc, cfg Config, i int, m *clusterMember, qd int, tel
 		return rdma.Connect(p, m.link.A, rdma.ClientConfig{
 			NQN: nqnCluster(i), QueueDepth: qd, Params: rdmaParams(cfg), Host: model.DefaultHost(),
 			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+			Tenant: tenant, QoS: hostSh,
 		})
 	case OAF, OAFRDMACtl:
 		return core.Connect(p, m.link.A, core.ClientConfig{
 			NQN: nqnCluster(i), QueueDepth: qd, Design: cfg.Design,
 			TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
 			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+			Tenant: tenant, QoS: hostSh,
 		})
 	default:
 		return tcp.Connect(p, m.link.A, tcp.ClientConfig{
 			NQN: nqnCluster(i), QueueDepth: qd, TP: cfg.TP, Host: model.DefaultHost(),
 			Telemetry:      tel,
 			CommandTimeout: cmdTimeout, MaxRetries: maxRetries, RetryBackoff: backoff,
+			Tenant: tenant, QoS: hostSh,
 		})
 	}
 }
@@ -144,10 +149,17 @@ func runCluster(cfg Config) (*Result, error) {
 		tel = telemetry.New()
 	}
 	res := &Result{Telemetry: tel}
+	// Cluster runs drive one logical stream, so one tenant (the first)
+	// covers all router traffic; the replica fan-out marks every copy
+	// after the first QoS-exempt, debiting the budget once per write.
+	hostSh, tgtSh, err := cfg.qosShapers(tel)
+	if err != nil {
+		return nil, err
+	}
 
 	members := make([]*clusterMember, n)
 	for i := 0; i < n; i++ {
-		m, err := serveMember(e, cfg, i, tel, res)
+		m, err := serveMember(e, cfg, i, tel, res, tgtSh)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +185,7 @@ func runCluster(cfg Config) (*Result, error) {
 	e.Go("setup", func(p *sim.Proc) {
 		cms := make([]cluster.Member, 0, n)
 		for i, m := range members {
-			q, err := connectMember(p, cfg, i, m, w.QueueDepth, tel)
+			q, err := connectMember(p, cfg, i, m, w.QueueDepth, tel, cfg.TenantFor(0).Name, hostSh)
 			if err != nil {
 				setupErr.Resolve(err)
 				return
@@ -230,5 +242,6 @@ func runCluster(cfg Config) (*Result, error) {
 	if inj != nil {
 		res.FaultLog = inj.Log
 	}
+	res.finishQoS(hostSh, tgtSh)
 	return res, nil
 }

@@ -20,6 +20,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/perf"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/rdma"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/shm"
@@ -121,6 +122,19 @@ type Config struct {
 	RDMAMerge       bool
 	RDMADynDoorbell bool
 
+	// Tenants assigns the run's streams to named tenants round-robin
+	// (stream i submits as Tenants[i mod len]) and arms host-side
+	// per-tenant token admission: one shared enforcement point models
+	// every client VM sitting on the one physical host. Empty keeps the
+	// QoS layer wire- and timing-inert.
+	Tenants []TenantSpec
+	// TargetQoS additionally arms target-side admission with the same
+	// tenant rates: an over-budget tenant's commands get typed retryable
+	// rejections (StatusTenantThrottled) at the target instead of
+	// queueing. Pair with a command timeout when rejections must be
+	// re-driven rather than surfaced.
+	TargetQoS bool
+
 	// Tune attaches the online self-tuning controller (internal/tune)
 	// to the run: every client queue's live knobs (batch, busy-poll,
 	// QD target, chunk size) and every target cache's admission knobs
@@ -193,6 +207,124 @@ type Result struct {
 	// Tuner is the self-tuning controller's trajectory and final knob
 	// settings (nil unless Config.Tune).
 	Tuner *tune.Report
+	// HostQoS / TargetQoS are the run's QoS enforcement points (nil when
+	// untenanted or not armed), exposed for token-ledger checks.
+	HostQoS, TargetQoS *qos.Shaper
+	// QoS merges the per-tenant token accounting across both points.
+	QoS []qos.TenantStats
+}
+
+// TenantSpec names one tenant sharing a run, with its QoS contract.
+type TenantSpec struct {
+	// Name identifies the tenant across enforcement points.
+	Name string
+	// SLO steers the tenant's connections' receive path: latency-
+	// sensitive tenants busy-poll with shallow trains, throughput/batch
+	// tenants run interrupt-mode with deep coalescing. Knobs the run's
+	// TP pins explicitly win.
+	SLO qos.SLO
+	// RateMBps is the token refill rate in MiB/s at each enforcement
+	// point (0 = unlimited: attributed, lends its burst, never throttled).
+	RateMBps int
+	// BurstBytes bounds the bucket (0 = package default).
+	BurstBytes int64
+	// Streams, when positive, assigns this many of the run's streams to
+	// this tenant (specs consume streams in declaration order; the last
+	// spec absorbs any remainder). When every spec leaves it zero,
+	// streams round-robin across tenants.
+	Streams int
+	// QueueDepth, when positive, overrides the run workload's queue
+	// depth for this tenant's streams — how load asymmetry between
+	// tenants is expressed without separate runs.
+	QueueDepth int
+	// Pattern, when set, overrides the run workload's pattern fields
+	// (Seq, Zipf, ReadPct, SizeMix, and IOSize when positive) for this
+	// tenant's streams, so tenants with different request shapes can
+	// share one run. Note shared-memory slot sizing still follows the
+	// run workload: keep the largest I/O size on Config.Workload.
+	Pattern *perf.Phase
+}
+
+// TenantFor resolves stream i's tenant (zero spec when untenanted).
+func (c Config) TenantFor(i int) TenantSpec {
+	if len(c.Tenants) == 0 {
+		return TenantSpec{}
+	}
+	blocks := false
+	for _, ts := range c.Tenants {
+		if ts.Streams > 0 {
+			blocks = true
+			break
+		}
+	}
+	if !blocks {
+		return c.Tenants[i%len(c.Tenants)]
+	}
+	for _, ts := range c.Tenants {
+		n := ts.Streams
+		if n <= 0 {
+			n = 1
+		}
+		if i < n {
+			return ts
+		}
+		i -= n
+	}
+	return c.Tenants[len(c.Tenants)-1]
+}
+
+// tpFor resolves stream i's transport knobs: the tenant's SLO steers
+// busy-poll and batching where the run config left them unset.
+func (c Config) tpFor(i int) model.TCPTransportParams {
+	tp := c.TP
+	if bp, batch, ok := c.TenantFor(i).SLO.ReceiveTuning(); ok {
+		if tp.BusyPoll == 0 {
+			tp.BusyPoll = bp
+		}
+		if tp.BatchSize == 0 {
+			tp.BatchSize = batch
+		}
+	}
+	return tp
+}
+
+// qosShapers builds the run's enforcement points from Config.Tenants.
+func (c Config) qosShapers(tel *telemetry.Sink) (host, tgt *qos.Shaper, err error) {
+	if len(c.Tenants) == 0 {
+		if c.TargetQoS {
+			return nil, nil, fmt.Errorf("exp: TargetQoS requires Tenants")
+		}
+		return nil, nil, nil
+	}
+	reg := qos.NewRegistry()
+	for _, ts := range c.Tenants {
+		if err := reg.Add(qos.Spec{
+			Name: ts.Name, SLO: ts.SLO,
+			RateBps: int64(ts.RateMBps) << 20, BurstBytes: ts.BurstBytes,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	host = qos.NewShaper("host", reg, tel)
+	if c.TargetQoS {
+		tgt = qos.NewShaper("target", reg, tel)
+	}
+	return host, tgt, nil
+}
+
+// finishQoS folds the enforcement points into the result.
+func (res *Result) finishQoS(host, tgt *qos.Shaper) {
+	res.HostQoS, res.TargetQoS = host, tgt
+	var shapers []*qos.Shaper
+	if host != nil {
+		shapers = append(shapers, host)
+	}
+	if tgt != nil {
+		shapers = append(shapers, tgt)
+	}
+	if len(shapers) > 0 {
+		res.QoS = qos.MergeStats(shapers...)
+	}
 }
 
 // rdmaParams resolves the RDMA parameter set for a configuration.
@@ -226,6 +358,10 @@ func Run(cfg Config) (*Result, error) {
 		tel = telemetry.New()
 	}
 	res := &Result{Telemetry: tel}
+	hostSh, tgtSh, err := cfg.qosShapers(tel)
+	if err != nil {
+		return nil, err
+	}
 	var pools []*mempool.Pool
 	for i := 0; i < cfg.Streams; i++ {
 		sub, err := tgt.AddSubsystem(nqnFor(i))
@@ -290,7 +426,8 @@ func Run(cfg Config) (*Result, error) {
 		for i := 0; i < nConns; i++ {
 			srv := rdma.NewServer(e, tgt, rdma.ServerConfig{
 				NQN: nqnFor(i / cfg.Queues), Params: prm, Host: model.DefaultHost(),
-				BatchSize: cfg.TP.BatchSize, Telemetry: tel,
+				BatchSize: cfg.tpFor(i / cfg.Queues).BatchSize, Telemetry: tel,
+				QoS: tgtSh,
 			})
 			srv.Serve(links[i].B)
 			servers[i] = srv.Target
@@ -301,7 +438,8 @@ func Run(cfg Config) (*Result, error) {
 		for i := 0; i < nConns; i++ {
 			srv := core.NewServer(e, tgt, core.ServerConfig{
 				NQN: nqnFor(i / cfg.Queues), Design: cfg.Design, Fabric: fabric,
-				TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel,
+				TP: cfg.tpFor(i / cfg.Queues), Host: model.DefaultHost(), Telemetry: tel,
+				QoS: tgtSh,
 			})
 			srv.Serve(links[i].B)
 			servers[i] = srv.Target
@@ -317,7 +455,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	default: // TCP kinds
 		for i := 0; i < nConns; i++ {
-			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i / cfg.Queues), TP: cfg.TP, Host: model.DefaultHost(), Telemetry: tel})
+			srv := tcp.NewServer(e, tgt, tcp.ServerConfig{NQN: nqnFor(i / cfg.Queues), TP: cfg.tpFor(i / cfg.Queues), Host: model.DefaultHost(), Telemetry: tel, QoS: tgtSh})
 			srv.Serve(links[i].B)
 			servers[i] = srv.Target
 			res.PoolFootprint += srv.Pool().FootprintBytes()
@@ -346,6 +484,18 @@ func Run(cfg Config) (*Result, error) {
 			// Ring-mode streams report the ring.* metric group through the
 			// run's sink like every other subsystem.
 			w.Telemetry = tel
+			ts := cfg.TenantFor(i)
+			tenant := ts.Name
+			if ts.QueueDepth > 0 {
+				w.QueueDepth = ts.QueueDepth
+			}
+			if pat := ts.Pattern; pat != nil {
+				w.Seq, w.Zipf, w.ReadPct, w.SizeMix = pat.Seq, pat.Zipf, pat.ReadPct, pat.SizeMix
+				if pat.IOSize > 0 {
+					w.IOSize = pat.IOSize
+				}
+			}
+			stp := cfg.tpFor(i)
 			members := make([]transport.Queue, 0, cfg.Queues)
 			for j := 0; j < cfg.Queues; j++ {
 				li := i*cfg.Queues + j
@@ -354,8 +504,9 @@ func Run(cfg Config) (*Result, error) {
 					prm := rdmaParams(cfg)
 					c, err := rdma.Connect(p, links[li].A, rdma.ClientConfig{
 						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Params: prm, Host: model.DefaultHost(),
-						BatchSize: cfg.TP.BatchSize, Telemetry: tel,
+						BatchSize: stp.BatchSize, Telemetry: tel,
 						RegCache: cfg.RDMARegCache, Merge: cfg.RDMAMerge, DynDoorbell: cfg.RDMADynDoorbell,
+						Tenant: tenant, QoS: hostSh,
 					})
 					if err != nil {
 						setupErr.Resolve(err)
@@ -365,8 +516,9 @@ func Run(cfg Config) (*Result, error) {
 				case OAF, OAFRDMACtl:
 					c, err := core.Connect(p, links[li].A, core.ClientConfig{
 						NQN: nqnFor(i), QueueDepth: w.QueueDepth, Design: cfg.Design,
-						Region: regions[li], TP: cfg.TP, Host: model.DefaultHost(),
+						Region: regions[li], TP: stp, Host: model.DefaultHost(),
 						Telemetry: tel,
+						Tenant:    tenant, QoS: hostSh,
 					})
 					if err != nil {
 						setupErr.Resolve(err)
@@ -376,8 +528,9 @@ func Run(cfg Config) (*Result, error) {
 					members = append(members, c)
 				default:
 					c, err := tcp.Connect(p, links[li].A, tcp.ClientConfig{
-						NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: cfg.TP, Host: model.DefaultHost(),
+						NQN: nqnFor(i), QueueDepth: w.QueueDepth, TP: stp, Host: model.DefaultHost(),
 						Telemetry: tel,
+						Tenant:    tenant, QoS: hostSh,
 					})
 					if err != nil {
 						setupErr.Resolve(err)
@@ -464,5 +617,6 @@ func Run(cfg Config) (*Result, error) {
 		rep := ctl.Report()
 		res.Tuner = &rep
 	}
+	res.finishQoS(hostSh, tgtSh)
 	return res, nil
 }

@@ -23,7 +23,11 @@ const (
 	// (timeout, lost connection); hosts may retry on the same or another
 	// path.
 	StatusTransientTransport Status = 0x022
-	StatusLBAOutOfRange      Status = 0x080
+	// StatusTenantThrottled marks a command rejected at the target because
+	// the submitting tenant's QoS token budget is exhausted. Retryable:
+	// tokens refill and ledger borrowing may admit the retry.
+	StatusTenantThrottled Status = 0x023
+	StatusLBAOutOfRange   Status = 0x080
 	StatusCapacityExceeded   Status = 0x081
 	StatusNamespaceNotRdy    Status = 0x082
 	// StatusWriteFault (media status, SCT 2) marks data the device
@@ -38,7 +42,7 @@ const (
 // command-level error it must surface.
 func (s Status) Retryable() bool {
 	switch s {
-	case StatusCommandInterrupted, StatusTransientTransport, StatusDataTransferErr, StatusNamespaceNotRdy:
+	case StatusCommandInterrupted, StatusTransientTransport, StatusTenantThrottled, StatusDataTransferErr, StatusNamespaceNotRdy:
 		return true
 	}
 	return false
@@ -69,6 +73,8 @@ func (s Status) String() string {
 		return "command interrupted"
 	case StatusTransientTransport:
 		return "transient transport error"
+	case StatusTenantThrottled:
+		return "tenant throttled"
 	case StatusLBAOutOfRange:
 		return "LBA out of range"
 	case StatusCapacityExceeded:

@@ -23,6 +23,7 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
@@ -65,6 +66,12 @@ type ClientConfig struct {
 	HostNQN string
 	// Telemetry receives counters and latency histograms (nil disables).
 	Telemetry *telemetry.Sink
+
+	// Tenant names the tenant this queue submits for (carried in the
+	// Fabrics Connect hostNQN); QoS is the host-side per-tenant
+	// admission shaper (nil = off).
+	Tenant string
+	QoS    *qos.Shaper
 
 	// RegCache enables the mechanistic fast path: the I/O buffer pool is
 	// pre-registered with the HCA at connect time and every post goes
@@ -197,6 +204,8 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		// wakeup penalty (LinkParams zeroes it anyway).
 		InterruptWakeups: false,
 		Telemetry:        cfg.Telemetry,
+		Tenant:           cfg.Tenant,
+		QoS:              cfg.QoS,
 	}, w)
 	w.h = h
 	c := &Client{Host: h, wire: w}
@@ -636,6 +645,8 @@ type ServerConfig struct {
 	// Telemetry receives connection and keep-alive counters (nil
 	// disables).
 	Telemetry *telemetry.Sink
+	// QoS is the target-side per-tenant admission shaper (nil = off).
+	QoS *qos.Shaper
 }
 
 // Server is the target-side RDMA transport: direct data placement into
@@ -658,6 +669,7 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 		// polling never charges interrupt wakeups.
 		InterruptWakeups: false,
 		Telemetry:        cfg.Telemetry,
+		QoS:              cfg.QoS,
 	}, (*rdmaTargetWire)(s))
 	return s
 }
@@ -690,7 +702,7 @@ func (w *rdmaConnWire) DispatchRead(cmd nvme.Command, transit time.Duration) {
 	c := w.c
 	size := int(cmd.NLB()) * transport.BlockSize
 	c.Target().Engine().Go("rdma-read-worker", func(p *sim.Proc) {
-		res := c.Target().Subsys().Execute(p, w.s.cfg.NQN, cmd, nil)
+		res := c.Target().Subsys().ExecuteAs(p, w.s.cfg.NQN, c.Tenant(), cmd, nil)
 		if res.CQE.Status.IsError() {
 			c.Post(nil, c.Resp(res, transit, 0))
 			return

@@ -49,6 +49,11 @@ type Config struct {
 	BufSize int
 	// Telemetry receives the ring.* metric group (nil = off).
 	Telemetry *telemetry.Sink
+	// Tenant stamps every ring submission with a tenant name for QoS
+	// admission and per-tenant telemetry (empty = the queue's default).
+	// Ring traffic drains through the session submit queue, so the
+	// host-side QoS gate covers it like any other submission.
+	Tenant string
 }
 
 func (c Config) withDefaults() Config {
@@ -349,6 +354,7 @@ func (r *Ring) takeSlot(sqe SQE) int32 {
 		NSID:   sqe.NSID,
 		Offset: sqe.Offset,
 		Size:   sqe.Size,
+		Tenant: r.cfg.Tenant,
 	}
 	if sqe.Buf.Valid() {
 		s.io.Data = sqe.Buf.b[:sqe.Size]

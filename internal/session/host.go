@@ -10,6 +10,7 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
@@ -105,6 +106,17 @@ type HostConfig struct {
 	// Telemetry receives counters, histograms, and traces; nil
 	// disables.
 	Telemetry *telemetry.Sink
+	// Tenant names the default tenant every I/O on this queue belongs to
+	// (a per-IO Tenant overrides it). The name is carried to the target
+	// once, inside the Fabrics Connect hostNQN field; empty leaves the
+	// wire byte-identical to an untenanted build.
+	Tenant string
+	// QoS is the host-side token-bucket enforcement point shared by the
+	// queues of one contention domain; nil disables host-side admission.
+	// Inadmissible commands park in submission order and re-enter the
+	// drain when their tenant's tokens refill (or ledger borrowing
+	// covers them).
+	QoS *qos.Shaper
 }
 
 // Host is the transport-independent host queue core.
@@ -150,6 +162,14 @@ type Host struct {
 	liveBatch  atomic.Int32
 	livePollNs atomic.Int64
 	liveQD     atomic.Int32
+
+	// qosParked holds commands QoS admission refused, in submission
+	// order; the drain consults it before the submit queue (skipping
+	// still-throttled tenants so one dry bucket cannot head-of-line
+	// block the rest). qosWake guards the single outstanding refill
+	// wake timer.
+	qosParked []*Pending
+	qosWake   bool
 
 	// backlog counts commands parked in retry backoff (neither queued nor
 	// in flight); teardown waits for them.
@@ -284,7 +304,7 @@ func (h *Host) Handshake(p *sim.Proc) error {
 // path: the target validates the subsystem NQN before admitting I/O.
 func (h *Host) fabricsConnect(p *sim.Proc) error {
 	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: ConnectCID, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.hostNQN(), h.cfg.NQN)})
+	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.connectHostNQN(), h.cfg.NQN)})
 	msg := h.ep.Recv(p)
 	pdus, err := transport.DecodeAll(msg)
 	if err != nil {
@@ -305,6 +325,98 @@ func (h *Host) hostNQN() string {
 		return h.cfg.HostNQN
 	}
 	return DefaultHostNQN
+}
+
+// connectHostNQN is the hostNQN carried in Connect data: the bare host
+// NQN with the queue's tenant folded in (unchanged when untenanted, so
+// the wire stays byte-identical).
+func (h *Host) connectHostNQN() string {
+	return TenantHostNQN(h.hostNQN(), h.cfg.Tenant)
+}
+
+// Tenant returns the queue's default tenant ("" when untenanted).
+func (h *Host) Tenant() string { return h.cfg.Tenant }
+
+// tenantOf resolves the tenant an I/O belongs to: its own stamp, else
+// the queue default.
+func (h *Host) tenantOf(io *transport.IO) string {
+	if io.Tenant != "" {
+		return io.Tenant
+	}
+	return h.cfg.Tenant
+}
+
+// tview returns the telemetry view for an I/O's tenant (nil when
+// untenanted or the sink is disabled; a nil view records nothing).
+func (h *Host) tview(io *transport.IO) *telemetry.TenantView {
+	return h.tel.Tenant(h.tenantOf(io))
+}
+
+// qosAdmit charges an I/O against its tenant's token bucket. Admin,
+// flush, exempt, and untenanted traffic always passes, as does
+// everything when no shaper is configured.
+func (h *Host) qosAdmit(pend *Pending, nowNs int64) bool {
+	io := pend.IO
+	if h.cfg.QoS == nil || io.QoSExempt || io.Admin != 0 || io.Flush {
+		return true
+	}
+	name := h.tenantOf(io)
+	if name == "" {
+		return true
+	}
+	b := h.cfg.QoS.Bucket(name, nowNs)
+	if !b.Limited() {
+		return true
+	}
+	return b.TryTake(nowNs, int64(io.Size))
+}
+
+// popAdmitted yields the next command the QoS gate admits: parked
+// commands first (in park order, skipping tenants whose buckets are
+// still dry so one throttled tenant cannot head-of-line block others),
+// then the submit queue, parking whatever the gate refuses.
+func (h *Host) popAdmitted(p *sim.Proc) (*Pending, bool) {
+	now := int64(p.Now())
+	for i, pend := range h.qosParked {
+		if !h.qosAdmit(pend, now) {
+			continue
+		}
+		h.qosParked = append(h.qosParked[:i], h.qosParked[i+1:]...)
+		if tv := h.tview(pend.IO); tv != nil {
+			tv.ObserveDuration(telemetry.THistTokenWait, p.Now().Sub(pend.qosParkAt))
+		}
+		pend.qosParkAt = 0
+		return pend, true
+	}
+	for {
+		pend, ok := h.submitQ.TryGet()
+		if !ok {
+			return nil, false
+		}
+		if h.qosAdmit(pend, now) {
+			return pend, true
+		}
+		pend.qosParkAt = p.Now()
+		h.tview(pend.IO).Inc(telemetry.TCtrTokenWaits)
+		h.qosParked = append(h.qosParked, pend)
+	}
+}
+
+// armQoSWake schedules one reactor wake-up for the oldest parked
+// command's estimated refill time, so token waits end without any
+// other traffic. The qosWake flag bounds it to one outstanding timer.
+func (h *Host) armQoSWake(p *sim.Proc) {
+	if len(h.qosParked) == 0 || h.qosWake || h.cfg.QoS == nil {
+		return
+	}
+	pend := h.qosParked[0]
+	now := int64(p.Now())
+	wait := h.cfg.QoS.Bucket(h.tenantOf(pend.IO), now).WaitNs(now, int64(pend.IO.Size))
+	h.qosWake = true
+	h.e.After(time.Duration(wait), func() {
+		h.qosWake = false
+		h.kick.Fire()
+	})
 }
 
 // Start launches the reactor (and, when configured, the keep-alive
@@ -503,7 +615,7 @@ func (h *Host) reactor(p *sim.Proc) {
 					break
 				}
 			} else {
-				pend, ok := h.submitQ.TryGet()
+				pend, ok := h.popAdmitted(p)
 				if !ok {
 					break
 				}
@@ -526,6 +638,14 @@ func (h *Host) reactor(p *sim.Proc) {
 				})
 				worked = true
 			}
+			for _, pend := range h.qosParked {
+				pend.Fut.Resolve(&transport.Result{
+					Status:  nvme.StatusTransientTransport,
+					Latency: p.Now().Sub(pend.SubmitAt),
+				})
+				worked = true
+			}
+			h.qosParked = h.qosParked[:0]
 		}
 		for {
 			msg := h.ep.TryRecv(p)
@@ -541,7 +661,7 @@ func (h *Host) reactor(p *sim.Proc) {
 		if worked {
 			continue
 		}
-		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 {
+		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 && len(h.qosParked) == 0 {
 			transport.SendPDUs(p, h.ep, &pdu.Term{Dir: pdu.TypeH2CTermReq})
 			return
 		}
@@ -556,7 +676,8 @@ func (h *Host) reactor(p *sim.Proc) {
 			p.Sleep(PollMissCPU)
 		}
 		h.kick.Reset()
-		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 {
+		h.armQoSWake(p)
+		if h.closing && h.cids.Outstanding() == 0 && h.submitQ.Len() == 0 && h.backlog == 0 && len(h.qosParked) == 0 {
 			continue
 		}
 		if h.ep.Pending() > 0 || (h.canStart() && !h.reconnecting && h.submitQ.Len() > 0) {
@@ -821,7 +942,7 @@ func (h *Host) start(p *sim.Proc, pend *Pending) {
 func (h *Host) startTrain(p *sim.Proc, depth int) bool {
 	entries := h.batch.Entries[:0]
 	for len(entries) < depth && h.canStart() {
-		pend, ok := h.submitQ.TryGet()
+		pend, ok := h.popAdmitted(p)
 		if !ok {
 			break
 		}
@@ -893,7 +1014,7 @@ func (h *Host) onReconnectICResp(p *sim.Proc, resp *pdu.ICResp) {
 	h.icresp = resp
 	h.wire.AdoptICResp(resp)
 	cmd := nvme.Command{Opcode: nvme.FabricsCommandType, CID: ConnectCID, CDW10: nvme.FctypeConnect}
-	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.hostNQN(), h.cfg.NQN)})
+	transport.SendPDUs(p, h.ep, &pdu.CapsuleCmd{Cmd: cmd, Data: nvme.EncodeConnectData(h.connectHostNQN(), h.cfg.NQN)})
 }
 
 // onData receives one read payload chunk over the plain wire.
@@ -956,6 +1077,11 @@ func (h *Host) onResp(p *sim.Proc, r *pdu.CapsuleResp, transit time.Duration) {
 			h.tel.ObserveDuration(telemetry.HistWriteLatency, lat)
 		} else {
 			h.tel.ObserveDuration(telemetry.HistReadLatency, lat)
+		}
+		if tv := h.tview(pend.IO); tv != nil {
+			tv.Inc(telemetry.TCtrCompletions)
+			tv.Add(telemetry.TCtrBytes, int64(pend.IO.Size))
+			tv.ObserveDuration(telemetry.THistLatency, lat)
 		}
 	}
 	h.recyclePending(pend)

@@ -13,9 +13,11 @@
 package session
 
 import (
+	"strings"
 	"time"
 
 	"nvmeoaf/internal/sim"
+	"nvmeoaf/internal/telemetry"
 	"nvmeoaf/internal/transport"
 )
 
@@ -63,12 +65,41 @@ type Pending struct {
 	// adaptive fabric stores its claimed H2C slot here). The engine
 	// clears it on recycle and asks the wire to release it on retry.
 	Stage any
+	// qosParkAt records when QoS admission parked this command (0 when it
+	// was never parked); the reactor uses it to attribute token-wait time.
+	qosParkAt sim.Time
+}
+
+// tenantSep joins the host NQN and the tenant name inside the Fabrics
+// Connect hostNQN field. Identity therefore crosses the wire once per
+// connection inside an already fixed-width field: with no tenant
+// configured the encoded bytes are identical to an untenanted build.
+const tenantSep = ",tenant="
+
+// TenantHostNQN encodes a tenant into a host NQN for Connect data.
+func TenantHostNQN(hostNQN, tenant string) string {
+	if tenant == "" {
+		return hostNQN
+	}
+	return hostNQN + tenantSep + tenant
+}
+
+// SplitTenantHostNQN recovers the bare host NQN and the tenant name from
+// a Connect-data hostNQN (tenant is empty when none was encoded).
+func SplitTenantHostNQN(s string) (hostNQN, tenant string) {
+	if i := strings.LastIndex(s, tenantSep); i >= 0 {
+		return s[:i], s[i+len(tenantSep):]
+	}
+	return s, ""
 }
 
 // takePending pops a recycled Pending (or allocates one) and re-arms it
 // for a fresh command. The generation bump invalidates any stale
 // deadline timer still holding the recycled struct.
 func (h *Host) takePending(io *transport.IO, fut *sim.Future[*transport.Result]) *Pending {
+	if io.Admin == 0 {
+		h.tview(io).Inc(telemetry.TCtrSubmits)
+	}
 	if n := len(h.freePends); n > 0 {
 		pend := h.freePends[n-1]
 		h.freePends[n-1] = nil

@@ -10,6 +10,7 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
 	"nvmeoaf/internal/telemetry"
@@ -77,6 +78,12 @@ type TargetConfig struct {
 	// Telemetry receives connection, shedding, and keep-alive counters;
 	// nil disables.
 	Telemetry *telemetry.Sink
+	// QoS is the target-side token-bucket enforcement point shared by
+	// this target's connections; nil disables target-side admission.
+	// Unlike the host-side gate (which parks), the target rejects
+	// inadmissible commands with the retryable StatusTenantThrottled —
+	// a server cannot hold client commands hostage waiting for tokens.
+	QoS *qos.Shaper
 	// OnCrash runs when Crash tears the target down, before connections
 	// drop — the hook a write-back bdev cache uses to account its
 	// unflushed dirty lines as lost.
@@ -261,7 +268,11 @@ type Conn struct {
 	// Writes tracks in-progress conservative-flow writes by CID.
 	Writes map[uint16]*WriteCtx
 	// WaitsQ holds commands waiting for buffer credits, FIFO.
-	WaitsQ   *sim.Queue[*AllocWait]
+	WaitsQ *sim.Queue[*AllocWait]
+	// tenant is the connection's tenant, recovered from the Fabrics
+	// Connect hostNQN; tview is its telemetry view (nil when untenanted).
+	tenant   string
+	tview    *telemetry.TenantView
 	lastSeen sim.Time
 	closed   bool
 	// dead is set once the run loop exits: posts stop transmitting but
@@ -277,6 +288,29 @@ type Conn struct {
 
 // Target returns the owning engine core.
 func (c *Conn) Target() *Target { return c.t }
+
+// Tenant returns the connection's tenant ("" when untenanted).
+func (c *Conn) Tenant() string { return c.tenant }
+
+// qosAdmit charges one I/O command against the connection tenant's
+// bucket at the target-side shaper. On refusal it posts the retryable
+// typed throttle status and returns false — a server sheds rather than
+// holding client commands hostage waiting for tokens.
+func (c *Conn) qosAdmit(cmd nvme.Command) bool {
+	sh := c.t.cfg.QoS
+	if sh == nil || c.tenant == "" {
+		return true
+	}
+	now := int64(c.t.e.Now())
+	b := sh.Bucket(c.tenant, now)
+	if !b.Limited() || b.TryTake(now, int64(cmd.NLB())*transport.BlockSize) {
+		return true
+	}
+	c.tview.Inc(telemetry.TCtrThrottled)
+	c.t.tel.Trace(now, telemetry.EvTenantThrottle, cmd.CID, "", c.tenant)
+	c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: nvme.StatusTenantThrottled}})
+	return false
+}
 
 // Kick wakes the connection's run loop.
 func (c *Conn) Kick() { c.kick.Fire() }
@@ -526,6 +560,17 @@ func (c *Conn) WithBufs(cid uint16, n int, fn func(bufs []*mempool.Buf)) {
 		c.t.Shed++
 		c.t.tel.Inc(telemetry.CtrSrvShed)
 		c.t.tel.Trace(int64(c.t.e.Now()), telemetry.EvShed, cid, "", "pool-exhausted")
+		if c.tenant != "" {
+			// A shed buffer wait is work this tenant caused and wasted:
+			// count it against the tenant and debit its bucket for the
+			// buffers it tried to pin, so a flood of oversized waits
+			// cannot starve the pool for free.
+			c.tview.Inc(telemetry.TCtrSheds)
+			if sh := c.t.cfg.QoS; sh != nil {
+				now := int64(c.t.e.Now())
+				sh.Bucket(c.tenant, now).Penalize(now, int64(n*c.t.cfg.ChunkSize))
+			}
+		}
 		c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cid, Status: nvme.StatusCommandInterrupted}})
 		return
 	}
@@ -566,7 +611,9 @@ func (c *Conn) handle(p *sim.Proc, msg *netsim.Message) {
 			for i := range v.Entries {
 				e := &v.Entries[i]
 				if e.Cmd.Opcode == nvme.OpRead && e.Cmd.Flags&transport.AdminFlag == 0 {
-					c.wire.DispatchRead(e.Cmd, transit)
+					if c.qosAdmit(e.Cmd) {
+						c.wire.DispatchRead(e.Cmd, transit)
+					}
 				} else {
 					cc := pdu.CapsuleCmd{Cmd: e.Cmd, Data: e.Data, VirtualLen: e.VirtualLen}
 					c.onCommand(p, &cc, transit)
@@ -595,8 +642,14 @@ func (c *Conn) onCommand(p *sim.Proc, cap *pdu.CapsuleCmd, transit time.Duration
 		// any I/O is admitted.
 		status := nvme.StatusInvalidField
 		if cmd.CDW10 == nvme.FctypeConnect {
-			if _, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.t.cfg.NQN {
+			if hostNQN, subNQN, err := nvme.DecodeConnectData(cap.Data); err == nil && subNQN == c.t.cfg.NQN {
 				status = nvme.StatusSuccess
+				// The tenant rides inside the hostNQN field: recover it
+				// here so every command on this connection is attributed
+				// (and, when a shaper is configured, admission-charged)
+				// to the right tenant.
+				_, c.tenant = SplitTenantHostNQN(hostNQN)
+				c.tview = c.t.tel.Tenant(c.tenant)
 			}
 		}
 		c.Post(nil, &pdu.CapsuleResp{Rsp: nvme.Completion{CID: cmd.CID, Status: status}})
@@ -608,15 +661,21 @@ func (c *Conn) onCommand(p *sim.Proc, cap *pdu.CapsuleCmd, transit time.Duration
 	}
 	switch cmd.Opcode {
 	case nvme.OpRead:
+		if !c.qosAdmit(cmd) {
+			return
+		}
 		c.wire.DispatchRead(cmd, transit)
 	case nvme.OpWrite:
+		if !c.qosAdmit(cmd) {
+			return
+		}
 		c.wire.DispatchWrite(cap, int(cmd.NLB())*transport.BlockSize, transit)
 	case nvme.OpFlush:
 		// Copy into case scope: capturing cmd itself would heap-allocate
 		// it for every command that passes through this dispatch.
 		fcmd := cmd
 		c.t.e.Go(c.t.flushWorker, func(w *sim.Proc) {
-			res := c.t.tgt.Execute(w, c.t.cfg.NQN, fcmd, nil)
+			res := c.t.tgt.ExecuteAs(w, c.t.cfg.NQN, c.tenant, fcmd, nil)
 			c.Post(nil, c.Resp(res, transit, 0))
 		})
 	default:
@@ -739,7 +798,7 @@ func (c *Conn) onData(p *sim.Proc, d *pdu.Data, transit time.Duration) {
 // ExecWrite runs a fully received write on a device worker.
 func (c *Conn) ExecWrite(cmd nvme.Command, size int, data []byte, comm time.Duration, bufs []*mempool.Buf, copyTime time.Duration) {
 	c.t.e.Go(c.t.writeWorker, func(w *sim.Proc) {
-		res := c.t.tgt.Execute(w, c.t.cfg.NQN, cmd, data)
+		res := c.t.tgt.ExecuteAs(w, c.t.cfg.NQN, c.tenant, cmd, data)
 		if bufs != nil {
 			FreeBufs(bufs)
 			c.kick.Fire() // buffer credits freed: retry waiters
@@ -756,7 +815,7 @@ func (c *Conn) StartRead(cmd nvme.Command, transit time.Duration, done func(w *s
 	need := transport.Chunks(size, c.t.cfg.ChunkSize)
 	c.WithBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		c.t.e.Go(c.t.readWorker, func(w *sim.Proc) {
-			res := c.t.tgt.Execute(w, c.t.cfg.NQN, cmd, nil)
+			res := c.t.tgt.ExecuteAs(w, c.t.cfg.NQN, c.tenant, cmd, nil)
 			if res.CQE.Status.IsError() {
 				FreeBufs(bufs)
 				c.kick.Fire()
@@ -777,7 +836,7 @@ func (c *Conn) StartReadTCP(cmd nvme.Command, transit time.Duration) {
 	need := transport.Chunks(size, c.t.cfg.ChunkSize)
 	c.WithBufs(cmd.CID, need, func(bufs []*mempool.Buf) {
 		c.t.e.Go(c.t.readWorker, func(w *sim.Proc) {
-			res := c.t.tgt.Execute(w, c.t.cfg.NQN, cmd, nil)
+			res := c.t.tgt.ExecuteAs(w, c.t.cfg.NQN, c.tenant, cmd, nil)
 			if res.CQE.Status.IsError() {
 				FreeBufs(bufs)
 				c.kick.Fire()

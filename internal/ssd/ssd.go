@@ -57,6 +57,10 @@ type Request struct {
 	Offset int64
 	Size   int
 	Data   []byte
+	// Tenant attributes the request to a named tenant; a write-back
+	// cache with per-tenant dirty budgets partitions on it. Empty means
+	// unattributed (shared budget only).
+	Tenant string
 }
 
 // Result is the completion of a Request.

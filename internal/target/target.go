@@ -142,6 +142,13 @@ type ExecResult struct {
 // failures and device errors come back as typed NVMe statuses — the
 // transports propagate them to the host instead of dropping the command.
 func (t *Target) Execute(w *sim.Proc, nqn string, cmd nvme.Command, data []byte) ExecResult {
+	return t.ExecuteAs(w, nqn, "", cmd, data)
+}
+
+// ExecuteAs is Execute with tenant attribution: the bdev request carries
+// the tenant name so tenant-aware devices (a write-back cache with
+// per-tenant dirty budgets) can partition on it.
+func (t *Target) ExecuteAs(w *sim.Proc, nqn, tenant string, cmd nvme.Command, data []byte) ExecResult {
 	fail := func(st nvme.Status, other time.Duration) ExecResult {
 		return ExecResult{CQE: nvme.Completion{CID: cmd.CID, Status: st}, OtherTime: other}
 	}
@@ -158,7 +165,7 @@ func (t *Target) Execute(w *sim.Proc, nqn string, cmd nvme.Command, data []byte)
 		return fail(nvme.StatusInvalidNamespace, 0)
 	}
 
-	req := &ssd.Request{}
+	req := &ssd.Request{Tenant: tenant}
 	switch cmd.Opcode {
 	case nvme.OpFlush:
 		req.Op = ssd.OpFlush

@@ -15,6 +15,7 @@ import (
 	"nvmeoaf/internal/netsim"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/telemetry"
@@ -47,6 +48,11 @@ type ClientConfig struct {
 	HostNQN string
 	// Telemetry receives counters and latency histograms (nil disables).
 	Telemetry *telemetry.Sink
+	// Tenant names the tenant this queue submits for (carried in the
+	// Fabrics Connect hostNQN); QoS is the host-side per-tenant
+	// admission shaper (nil = off).
+	Tenant string
+	QoS    *qos.Shaper
 }
 
 // Client is one NVMe/TCP host queue pair over a network endpoint.
@@ -86,6 +92,8 @@ func Connect(p *sim.Proc, ep *netsim.Endpoint, cfg ClientConfig) (*Client, error
 		KeepAlive:        cfg.KeepAlive,
 		InterruptWakeups: true,
 		Telemetry:        cfg.Telemetry,
+		Tenant:           cfg.Tenant,
+		QoS:              cfg.QoS,
 	}, w)
 	w.h = h
 	if err := h.Handshake(p); err != nil {

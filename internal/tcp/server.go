@@ -7,6 +7,7 @@ import (
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/nvme"
 	"nvmeoaf/internal/pdu"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
 	"nvmeoaf/internal/target"
@@ -40,6 +41,8 @@ type ServerConfig struct {
 	// Telemetry receives connection, shedding, and keep-alive counters.
 	// Nil means disabled.
 	Telemetry *telemetry.Sink
+	// QoS is the target-side per-tenant admission shaper (nil = off).
+	QoS *qos.Shaper
 }
 
 // Server is the NVMe/TCP transport of one target: it owns the shared data
@@ -72,6 +75,7 @@ func NewServer(e *sim.Engine, tgt *target.Target, cfg ServerConfig) *Server {
 		InterruptWakeups: true,
 		Pool:             s.pool,
 		Telemetry:        cfg.Telemetry,
+		QoS:              cfg.QoS,
 	}, (*tcpTargetWire)(s))
 	return s
 }

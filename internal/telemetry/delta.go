@@ -20,6 +20,10 @@ type Delta struct {
 	// Histograms holds the interval count and interval mean per
 	// distribution that received samples during the interval.
 	Histograms map[string]HistDelta `json:"histograms,omitempty"`
+	// Tenants holds the per-tenant interval views. A tenant present only
+	// in the newer snapshot is reported whole (it appeared during the
+	// interval); one present only in the older snapshot is dropped.
+	Tenants map[string]TenantDelta `json:"tenants,omitempty"`
 	// Reset reports that at least one counter or histogram moved
 	// backwards (a reconnect/restart replaced the underlying state);
 	// interval-sensitive consumers should discard this delta.
@@ -37,62 +41,110 @@ type HistDelta struct {
 	Rate float64 `json:"rate,omitempty"`
 }
 
-// DeltaSince computes the interval activity between prev and s, where
-// prev is an earlier snapshot of the same sink. Counters or histograms
-// that moved backwards are treated as freshly reset (the full current
-// value becomes the delta and Reset is flagged). Zero deltas are elided,
-// matching Snapshot's own elision of zero counters.
-func (s Snapshot) DeltaSince(prev Snapshot) Delta {
-	d := Delta{Counters: map[string]int64{}}
-	if s.AtNs > prev.AtNs && prev.AtNs >= 0 && s.AtNs > 0 {
-		d.IntervalNs = s.AtNs - prev.AtNs
-	}
-	for name, cur := range s.Counters {
-		base := prev.Counters[name]
-		inc := cur - base
+// TenantDelta is one tenant's interval activity: the tenant-scoped
+// shape of Delta. Reset flags a backwards move inside this tenant's
+// view specifically (its connection reconnected and replaced the
+// underlying state).
+type TenantDelta struct {
+	Counters   map[string]int64     `json:"counters"`
+	Rates      map[string]float64   `json:"rates,omitempty"`
+	Histograms map[string]HistDelta `json:"histograms,omitempty"`
+	Reset      bool                 `json:"reset,omitempty"`
+}
+
+// diffCounters computes per-counter increments (and rates when the
+// interval is timed). A counter that moved backwards resets: the delta
+// is its full current value and reset reports true.
+func diffCounters(cur, prev map[string]int64, intervalNs int64) (counters map[string]int64, rates map[string]float64, reset bool) {
+	counters = map[string]int64{}
+	for name, c := range cur {
+		inc := c - prev[name]
 		if inc < 0 {
 			// Counter went backwards: the sink restarted.
-			inc = cur
-			d.Reset = true
+			inc = c
+			reset = true
 		}
 		if inc == 0 {
 			continue
 		}
-		d.Counters[name] = inc
-		if d.IntervalNs > 0 {
-			if d.Rates == nil {
-				d.Rates = map[string]float64{}
+		counters[name] = inc
+		if intervalNs > 0 {
+			if rates == nil {
+				rates = map[string]float64{}
 			}
-			d.Rates[name] = float64(inc) * 1e9 / float64(d.IntervalNs)
+			rates[name] = float64(inc) * 1e9 / float64(intervalNs)
 		}
 	}
-	for name, cur := range s.Histograms {
-		base, ok := prev.Histograms[name]
-		hd := HistDelta{Count: cur.Count - base.Count}
+	return counters, rates, reset
+}
+
+// diffHists computes per-histogram interval summaries, reconstructing
+// interval means from the cumulative sums of the two snapshots. A count
+// that moved backwards resets like a counter.
+func diffHists(cur, prev map[string]HistSnapshot, intervalNs int64) (hists map[string]HistDelta, reset bool) {
+	for name, c := range cur {
+		base, ok := prev[name]
+		hd := HistDelta{Count: c.Count - base.Count}
 		switch {
-		case !ok || hd.Count == cur.Count:
-			hd.Mean = cur.Mean
+		case !ok || hd.Count == c.Count:
+			hd.Mean = c.Mean
 		case hd.Count < 0:
 			// Histogram restarted with the sink.
-			hd = HistDelta{Count: cur.Count, Mean: cur.Mean}
-			d.Reset = true
+			hd = HistDelta{Count: c.Count, Mean: c.Mean}
+			reset = true
 		case hd.Count == 0:
 			continue
 		default:
-			curSum := cur.Mean * float64(cur.Count)
+			curSum := c.Mean * float64(c.Count)
 			baseSum := base.Mean * float64(base.Count)
 			hd.Mean = (curSum - baseSum) / float64(hd.Count)
 		}
 		if hd.Count == 0 {
 			continue
 		}
-		if d.IntervalNs > 0 {
-			hd.Rate = float64(hd.Count) * 1e9 / float64(d.IntervalNs)
+		if intervalNs > 0 {
+			hd.Rate = float64(hd.Count) * 1e9 / float64(intervalNs)
 		}
-		if d.Histograms == nil {
-			d.Histograms = map[string]HistDelta{}
+		if hists == nil {
+			hists = map[string]HistDelta{}
 		}
-		d.Histograms[name] = hd
+		hists[name] = hd
+	}
+	return hists, reset
+}
+
+// DeltaSince computes the interval activity between prev and s, where
+// prev is an earlier snapshot of the same sink. Counters or histograms
+// that moved backwards are treated as freshly reset (the full current
+// value becomes the delta and Reset is flagged). Zero deltas are elided,
+// matching Snapshot's own elision of zero counters. Per-tenant views
+// diff the same way, tenant by tenant; a tenant-level reset flags both
+// that tenant's delta and the top-level Reset.
+func (s Snapshot) DeltaSince(prev Snapshot) Delta {
+	d := Delta{}
+	if s.AtNs > prev.AtNs && prev.AtNs >= 0 && s.AtNs > 0 {
+		d.IntervalNs = s.AtNs - prev.AtNs
+	}
+	var reset bool
+	d.Counters, d.Rates, reset = diffCounters(s.Counters, prev.Counters, d.IntervalNs)
+	d.Reset = d.Reset || reset
+	d.Histograms, reset = diffHists(s.Histograms, prev.Histograms, d.IntervalNs)
+	d.Reset = d.Reset || reset
+	for name, cur := range s.Tenants {
+		td := TenantDelta{}
+		base := prev.Tenants[name] // zero value when the tenant is new
+		td.Counters, td.Rates, reset = diffCounters(cur.Counters, base.Counters, d.IntervalNs)
+		td.Reset = td.Reset || reset
+		td.Histograms, reset = diffHists(cur.Histograms, base.Histograms, d.IntervalNs)
+		td.Reset = td.Reset || reset
+		if len(td.Counters) == 0 && len(td.Histograms) == 0 && !td.Reset {
+			continue
+		}
+		if d.Tenants == nil {
+			d.Tenants = map[string]TenantDelta{}
+		}
+		d.Tenants[name] = td
+		d.Reset = d.Reset || td.Reset
 	}
 	return d
 }
@@ -104,3 +156,10 @@ func (d Delta) Counter(name string) int64 { return d.Counters[name] }
 // Rate returns the per-second rate for the named counter (0 when the
 // counter did not move or the interval was untimed).
 func (d Delta) Rate(name string) float64 { return d.Rates[name] }
+
+// Tenant returns the interval view for the named tenant (zero when it
+// had no activity).
+func (d Delta) Tenant(name string) TenantDelta { return d.Tenants[name] }
+
+// Counter returns the tenant's interval increment for the named counter.
+func (td TenantDelta) Counter(name string) int64 { return td.Counters[name] }

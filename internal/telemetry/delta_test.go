@@ -139,3 +139,80 @@ func TestDeltaSinceEmptyPrev(t *testing.T) {
 		t.Fatalf("interval = %d, want 5e8", d.IntervalNs)
 	}
 }
+
+// TestDeltaSincePerTenantViews: tenant activity diffs tenant by
+// tenant — increments and rates are scoped to each tenant's view, a
+// tenant idle over the interval is elided, and one that first appears
+// mid-interval is reported whole.
+func TestDeltaSincePerTenantViews(t *testing.T) {
+	s := New()
+	g, p := s.Tenant("greedy"), s.Tenant("polite")
+	g.Add(TCtrBytes, 1000)
+	g.Inc(TCtrSubmits)
+	p.Inc(TCtrSubmits)
+	prev := s.SnapshotAt(int64(time.Second))
+
+	g.Add(TCtrBytes, 500)
+	g.Inc(TCtrSubmits)
+	g.ObserveDuration(THistLatency, 10*time.Microsecond)
+	s.Tenant("newcomer").Add(TCtrBytes, 7)
+	cur := s.SnapshotAt(int64(3 * time.Second))
+
+	d := cur.DeltaSince(prev)
+	gd := d.Tenant("greedy")
+	if got := gd.Counter("tenant.bytes"); got != 500 {
+		t.Fatalf("greedy bytes delta = %d, want 500", got)
+	}
+	if got := gd.Rates["tenant.bytes"]; math.Abs(got-250) > 1e-9 {
+		t.Fatalf("greedy bytes rate = %v, want 250/s over the 2s interval", got)
+	}
+	if hd := gd.Histograms["tenant.latency_ns"]; hd.Count != 1 {
+		t.Fatalf("greedy latency interval count = %d, want 1", hd.Count)
+	}
+	if _, ok := d.Tenants["polite"]; ok {
+		t.Fatalf("idle tenant must be elided from the delta, got %v", d.Tenants)
+	}
+	if got := d.Tenant("newcomer").Counter("tenant.bytes"); got != 7 {
+		t.Fatalf("new tenant reported %d, want its whole view (7)", got)
+	}
+	if d.Reset {
+		t.Fatal("no reset happened")
+	}
+}
+
+// TestDeltaSinceTenantCounterReset: a tenant counter that moved
+// backwards (its connection reconnected and replaced the underlying
+// sink state) flags that tenant's delta AND the top-level Reset, so
+// interval-sensitive consumers discard the whole delta, and reports
+// the full post-reset value as the increment.
+func TestDeltaSinceTenantCounterReset(t *testing.T) {
+	s := New()
+	s.Tenant("greedy").Add(TCtrBytes, 1000)
+	s.Tenant("polite").Add(TCtrBytes, 50)
+	prev := s.SnapshotAt(int64(time.Second))
+
+	// Model the restart: a fresh sink whose greedy view restarts from
+	// zero while polite keeps rolling forward.
+	s2 := New()
+	s2.Tenant("greedy").Add(TCtrBytes, 200)
+	s2.Tenant("polite").Add(TCtrBytes, 80)
+	cur := s2.SnapshotAt(int64(2 * time.Second))
+
+	d := cur.DeltaSince(prev)
+	gd := d.Tenant("greedy")
+	if !gd.Reset {
+		t.Fatal("greedy moved backwards; its tenant delta must flag Reset")
+	}
+	if got := gd.Counter("tenant.bytes"); got != 200 {
+		t.Fatalf("post-reset delta = %d, want the full current value 200", got)
+	}
+	if d.Tenant("polite").Reset {
+		t.Fatal("polite moved forward; it must not flag Reset")
+	}
+	if got := d.Tenant("polite").Counter("tenant.bytes"); got != 30 {
+		t.Fatalf("polite delta = %d, want 30", got)
+	}
+	if !d.Reset {
+		t.Fatal("a tenant-level reset must flag the top-level Reset for discard")
+	}
+}

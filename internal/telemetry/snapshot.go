@@ -1,6 +1,10 @@
 package telemetry
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"nvmeoaf/internal/stats"
+)
 
 // HistSnapshot is the exported summary of one distribution. Latency
 // histograms are in nanoseconds; the *_us fields convert for humans.
@@ -38,8 +42,31 @@ type Snapshot struct {
 	AtNs       int64                   `json:"at_ns,omitempty"`
 	Counters   map[string]int64        `json:"counters"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
-	Trace      []EventSnapshot         `json:"trace,omitempty"`
-	TraceTotal uint64                  `json:"trace_total,omitempty"`
+	// Tenants holds the per-tenant views (absent when no tenant was ever
+	// named): who submitted, who was throttled, who borrowed or lent
+	// token capacity.
+	Tenants    map[string]TenantSnapshot `json:"tenants,omitempty"`
+	Trace      []EventSnapshot           `json:"trace,omitempty"`
+	TraceTotal uint64                    `json:"trace_total,omitempty"`
+}
+
+// histSnapshotOf summarizes one histogram in exported form.
+func histSnapshotOf(hist *stats.Histogram) HistSnapshot {
+	return HistSnapshot{
+		Count:   hist.Count(),
+		Mean:    hist.Mean(),
+		Min:     hist.Min(),
+		Max:     hist.Max(),
+		P50:     hist.P50(),
+		P99:     hist.P99(),
+		P999:    hist.P999(),
+		P9999:   hist.P9999(),
+		MeanUs:  hist.Mean() / 1e3,
+		P50Us:   float64(hist.P50()) / 1e3,
+		P99Us:   float64(hist.P99()) / 1e3,
+		P999Us:  float64(hist.P999()) / 1e3,
+		P9999Us: float64(hist.P9999()) / 1e3,
+	}
 }
 
 // SnapshotAt captures the sink's current state stamped with the given
@@ -70,22 +97,9 @@ func (s *Sink) Snapshot() Snapshot {
 		if hist.Count() == 0 {
 			continue
 		}
-		snap.Histograms[h.String()] = HistSnapshot{
-			Count:  hist.Count(),
-			Mean:   hist.Mean(),
-			Min:    hist.Min(),
-			Max:    hist.Max(),
-			P50:    hist.P50(),
-			P99:    hist.P99(),
-			P999:   hist.P999(),
-			P9999:  hist.P9999(),
-			MeanUs:  hist.Mean() / 1e3,
-			P50Us:   float64(hist.P50()) / 1e3,
-			P99Us:   float64(hist.P99()) / 1e3,
-			P999Us:  float64(hist.P999()) / 1e3,
-			P9999Us: float64(hist.P9999()) / 1e3,
-		}
+		snap.Histograms[h.String()] = histSnapshotOf(hist)
 	}
+	snap.Tenants = s.snapshotTenants()
 	for _, ev := range s.Events() {
 		snap.Trace = append(snap.Trace, EventSnapshot{
 			AtNs: ev.AtNs, Kind: ev.Kind.String(), CID: ev.CID,

@@ -230,6 +230,7 @@ const (
 	EvReplicaUp                        // cluster (re)admitted a replica
 	EvRebuildStart                     // re-replication began for a replica
 	EvRebuildDone                      // stale set drained; cluster whole
+	EvTenantThrottle                   // a tenant's command was rejected over budget
 )
 
 var eventKindNames = [...]string{
@@ -246,6 +247,7 @@ var eventKindNames = [...]string{
 	EvReplicaUp:       "replica_up",
 	EvRebuildStart:    "rebuild_start",
 	EvRebuildDone:     "rebuild_done",
+	EvTenantThrottle:  "tenant_throttle",
 }
 
 // String returns the exported event name.
@@ -276,6 +278,10 @@ type Sink struct {
 	enabled  bool
 	counters [numCounters]int64
 	hists    [numHists]*stats.Histogram
+
+	// tenants holds the lazily created per-tenant views (see tenant.go);
+	// nil until the first tenant is named.
+	tenants map[string]*TenantView
 
 	ring  []Event
 	next  int    // ring write cursor
@@ -407,4 +413,5 @@ func (s *Sink) Merge(other *Sink) {
 	for i := range s.hists {
 		s.hists[i].Merge(other.hists[i])
 	}
+	s.mergeTenants(other)
 }

@@ -36,11 +36,13 @@ func SplitAt(io *IO, unit int64) []*IO {
 			segEnd = end
 		}
 		seg := &IO{
-			Write:  io.Write,
-			NSID:   io.NSID,
-			Offset: off,
-			Size:   int(segEnd - off),
-			NoFill: io.NoFill,
+			Write:     io.Write,
+			NSID:      io.NSID,
+			Offset:    off,
+			Size:      int(segEnd - off),
+			NoFill:    io.NoFill,
+			Tenant:    io.Tenant,
+			QoSExempt: io.QoSExempt,
 		}
 		if io.Data != nil {
 			seg.Data = io.Data[off-io.Offset : segEnd-io.Offset]

@@ -53,6 +53,16 @@ type IO struct {
 	Admin uint8
 	// CDW10 is the admin command's dword 10.
 	CDW10 uint32
+	// Tenant attributes this I/O to a named tenant for QoS admission and
+	// per-tenant telemetry, overriding the queue's configured tenant.
+	// Host-side only: identity crosses the wire per-connection (in the
+	// Fabrics Connect hostNQN), never per-command, so an empty tenant
+	// leaves the wire byte-identical.
+	Tenant string
+	// QoSExempt skips token-bucket admission for this I/O while keeping
+	// tenant attribution (used by replica fan-out so a quorum write
+	// debits one tenant budget once, not once per replica).
+	QoSExempt bool
 }
 
 // Nsid returns the effective namespace ID.

@@ -35,6 +35,7 @@ import (
 	"nvmeoaf/internal/mempool"
 	"nvmeoaf/internal/model"
 	"nvmeoaf/internal/netsim"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/rdma"
 	"nvmeoaf/internal/session"
 	"nvmeoaf/internal/sim"
@@ -119,6 +120,17 @@ type TargetConfig struct {
 	CacheBytes int64
 	// CacheMode selects the cache write policy.
 	CacheMode CacheMode
+	// QoSEnforce arms target-side per-tenant admission for this service:
+	// a tenant over budget at the target gets a typed retryable rejection
+	// (StatusTenantThrottled) instead of queueing. Host-side shaping is
+	// always on once tenants are registered; target enforcement is the
+	// second, decentralized line of defense for hosts that under-shape.
+	// Connections that re-drive rejections need a CommandTimeout.
+	QoSEnforce bool
+	// TenantDirtyFrac caps each named tenant's share of the write-back
+	// cache's dirty budget (fraction of cache capacity); a tenant over
+	// its share degrades to write-through instead of starving others.
+	TenantDirtyFrac map[string]float64
 }
 
 // WithCache returns a copy of the config with a block cache of the given
@@ -178,6 +190,13 @@ type ConnectOptions struct {
 	// admin commands at this period, detecting a dead target between
 	// I/Os.
 	KeepAlive time.Duration
+	// Tenant attributes every I/O on this connection to a registered
+	// tenant (AddTenant): host-side token admission, per-tenant
+	// telemetry, and — unless BusyPoll/Batch are set explicitly — the
+	// tenant's SLO steers the receive-path knobs. Identity crosses the
+	// wire once, inside the Fabrics Connect hostNQN; an empty Tenant
+	// leaves the wire byte-identical to an untenanted build.
+	Tenant string
 }
 
 // host is one simulated physical machine.
@@ -194,6 +213,9 @@ type tgtEntry struct {
 	cfg   TargetConfig
 	bdev  *bdev.SSDBdev
 	cache *cache.Cache // nil when the target is uncached
+	// shaper is the target-side QoS enforcement point (nil until a
+	// tenant-enforcing connection is opened; shared across connections).
+	shaper *qos.Shaper
 	// srvs holds every per-connection server transport serving this
 	// target, so a scheduled crash takes the whole service down.
 	srvs []faults.Crashable
@@ -230,6 +252,10 @@ type Cluster struct {
 	inj        *faults.Injector
 	replicated []*cluster.Cluster
 	tuners     []*Tuner
+	// qosReg holds the registered tenants; hostQoS the per-host
+	// enforcement points (one decentralized token ledger per host).
+	qosReg  *qos.Registry
+	hostQoS map[string]*qos.Shaper
 }
 
 // NewCluster creates an empty cluster.
@@ -285,6 +311,7 @@ func (c *Cluster) AddTarget(hostName, nqn string, cfg TargetConfig) error {
 		ca = cache.New(c.engine, bd, cache.Config{
 			Bytes: cfg.CacheBytes, Mode: cfg.CacheMode.internal(),
 			Retain: cfg.RetainData, Telemetry: c.tel,
+			TenantDirtyFrac: cfg.TenantDirtyFrac,
 		})
 		dev = ca
 		c.caches = append(c.caches, ca)
@@ -430,6 +457,7 @@ type Queue struct {
 	ctx    *Ctx
 	tracer *netsim.Tracer
 	target string
+	tenant string
 	// srvTarget is the session engine of the server transport serving this
 	// queue; the tuner uses it to keep target-side reap coalescing in step
 	// with the client-side batch knob.
@@ -556,6 +584,25 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 	tp.BusyPoll = opts.BusyPoll
 	tp.BatchSize = opts.Batch
 
+	if opts.Tenant != "" {
+		spec, known := c.qosReg.Lookup(opts.Tenant)
+		if !known {
+			return nil, fmt.Errorf("oaf: unknown tenant %q (register with AddTenant first)", opts.Tenant)
+		}
+		// The tenant's SLO tier steers the receive path unless the caller
+		// pinned the knobs explicitly.
+		if bp, batch, ok := spec.SLO.ReceiveTuning(); ok {
+			if opts.BusyPoll == 0 {
+				tp.BusyPoll = bp
+			}
+			if opts.Batch == 0 {
+				tp.BatchSize = batch
+			}
+		}
+	}
+	hqos := c.hostShaper(ctx.hostName)
+	tqos := c.targetShaper(te, targetNQN)
+
 	tracer := netsim.NewTracer(targetNQN)
 	intra := clientHost == te.host
 	switch opts.Fabric {
@@ -565,7 +612,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 			prm = model.RoCE100G()
 		}
 		link := netsim.NewLink(c.engine, rdma.LinkParams(prm), clientHost.nic, te.host.nic)
-		srv := rdma.NewServer(c.engine, te.tgt, rdma.ServerConfig{NQN: targetNQN, Params: prm, Host: model.DefaultHost()})
+		srv := rdma.NewServer(c.engine, te.tgt, rdma.ServerConfig{NQN: targetNQN, Params: prm, Host: model.DefaultHost(), QoS: tqos})
 		srv.Serve(link.B)
 		te.srvs = append(te.srvs, srv)
 		link.A.AttachTracer(tracer)
@@ -573,11 +620,12 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 			NQN: targetNQN, QueueDepth: opts.QueueDepth, Params: prm, Host: model.DefaultHost(),
 			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
 			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
+			Tenant: opts.Tenant, QoS: hqos,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, tenant: opts.Tenant, srvTarget: srv.Target}), nil
 
 	case FabricTCP10G, FabricTCP25G, FabricTCP100G:
 		lp := model.TCP25G()
@@ -588,7 +636,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 			lp = model.TCP100G()
 		}
 		link := netsim.NewLink(c.engine, lp, clientHost.nic, te.host.nic)
-		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost(), Telemetry: c.tel})
+		srv := tcp.NewServer(c.engine, te.tgt, tcp.ServerConfig{NQN: targetNQN, TP: tp, Host: model.DefaultHost(), Telemetry: c.tel, QoS: tqos})
 		srv.Serve(link.B)
 		te.srvs = append(te.srvs, srv)
 		c.pools = append(c.pools, srv.Pool())
@@ -598,11 +646,12 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 			Telemetry:      c.tel,
 			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
 			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
+			Tenant: opts.Tenant, QoS: hqos,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, tenant: opts.Tenant, srvTarget: srv.Target}), nil
 
 	default: // FabricAdaptive
 		design := opts.Design.internal()
@@ -614,7 +663,7 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 		}
 		scfg := core.ServerConfig{
 			NQN: targetNQN, Design: design, Fabric: c.fabric, TP: tp, Host: model.DefaultHost(),
-			Telemetry: c.tel,
+			Telemetry: c.tel, QoS: tqos,
 		}
 		if ca := te.cache; ca != nil {
 			// Target-process death loses unflushed write-back data: account
@@ -641,11 +690,12 @@ func (ctx *Ctx) connectOne(targetNQN string, opts ConnectOptions) (*Queue, error
 			Telemetry:      c.tel,
 			CommandTimeout: opts.CommandTimeout, MaxRetries: opts.MaxRetries,
 			RetryBackoff: opts.RetryBackoff, KeepAlive: opts.KeepAlive,
+			Tenant: opts.Tenant, QoS: hqos,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, srvTarget: srv.Target, SharedMemory: cl.SHMEnabled()}), nil
+		return c.register(&Queue{inner: cl, ctx: ctx, tracer: tracer, target: targetNQN, tenant: opts.Tenant, srvTarget: srv.Target, SharedMemory: cl.SHMEnabled()}), nil
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"nvmeoaf/internal/core"
 	"nvmeoaf/internal/faults"
 	"nvmeoaf/internal/mempool"
+	"nvmeoaf/internal/qos"
 	"nvmeoaf/internal/tcp"
 	"nvmeoaf/internal/telemetry"
 )
@@ -16,6 +17,8 @@ import (
 // which data path the queue runs on and its recovery counters.
 type QueueSnapshot struct {
 	Target string `json:"target"`
+	// Tenant is the tenant this queue submits for ("" = untenanted).
+	Tenant string `json:"tenant,omitempty"`
 	// Path is "shm" when the adaptive fabric negotiated shared memory,
 	// "tcp" otherwise.
 	Path            string `json:"path"`
@@ -30,7 +33,7 @@ type QueueSnapshot struct {
 
 // Snapshot captures this queue's counters at the current virtual time.
 func (q *Queue) Snapshot() QueueSnapshot {
-	s := QueueSnapshot{Target: q.target, Path: "tcp"}
+	s := QueueSnapshot{Target: q.target, Tenant: q.tenant, Path: "tcp"}
 	if q.SharedMemory {
 		s.Path = "shm"
 	}
@@ -114,6 +117,14 @@ type ClusterSnapshot struct {
 	// were scheduled), so post-mortems can correlate telemetry dips with
 	// the faults that caused them.
 	Faults []faults.Event `json:"faults,omitempty"`
+	// Tenants is the per-tenant telemetry (submits, completions, bytes,
+	// throttles, borrow/lend, latency and token-wait distributions),
+	// keyed by tenant name. It aliases Telemetry.Tenants for direct
+	// access and is elided from the JSON to avoid double-marshaling.
+	Tenants map[string]telemetry.TenantSnapshot `json:"-"`
+	// QoS merges the token-ledger accounting (taken/borrowed/lent/
+	// throttles) across every enforcement point, by tenant.
+	QoS []qos.TenantStats `json:"qos,omitempty"`
 }
 
 // Telemetry exposes the cluster's shared sink, shared by every
@@ -128,6 +139,8 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 		// telemetry.Snapshot.DeltaSince directly (interval rates).
 		Telemetry: c.tel.SnapshotAt(int64(c.engine.Now())),
 	}
+	snap.Tenants = snap.Telemetry.Tenants
+	snap.QoS = c.QoSStats()
 	for _, q := range c.queues {
 		snap.Queues = append(snap.Queues, q.Snapshot())
 	}

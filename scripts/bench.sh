@@ -32,12 +32,13 @@
 #   BENCH_RING     non-empty sweeps ring vs futures (default on; empty skips)
 #   BENCH_RDMA     non-empty sweeps the rdma fast path (default on; empty skips)
 #   BENCH_TUNE     non-empty sweeps the online self-tuner (default on; empty skips)
+#   BENCH_TENANTS  non-empty sweeps per-tenant QoS (default on; empty skips)
 #   BENCH_TUNE_DURATION window for the tuner runs (default 2s; the flip fires at 1s)
 #   BENCH_GOBENCH  benchtime for go test  (default 3x; empty skips)
 set -e
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr9.json}
+OUT=${BENCH_OUT:-BENCH_pr10.json}
 DUR=${BENCH_DURATION:-500ms}
 QD=${BENCH_QD:-64}
 SIZE=${BENCH_SIZE:-128K}
@@ -50,6 +51,7 @@ CLUSTER=${BENCH_CLUSTER:-on}
 RING=${BENCH_RING:-on}
 RDMA=${BENCH_RDMA:-on}
 TUNE=${BENCH_TUNE:-on}
+TENANTS=${BENCH_TENANTS:-on}
 TUNE_DUR=${BENCH_TUNE_DURATION:-2s}
 GOBENCH=${BENCH_GOBENCH:-3x}
 
@@ -175,6 +177,25 @@ go_bench() {
 		"$BIN" -fabric tcp-25g -rw randread -size 4K -qd "$QD" -t "$TUNE_DUR" \
 			-batch 1 -drv-batch 32 -tune \
 			-flip-at 1s -flip-rw read -flip-size 128K -stats-json
+	fi
+	# Per-tenant QoS: a polite latency-sensitive tenant sharing the
+	# tcp-25g fabric with a greedy throughput tenant (streams assigned
+	# round-robin), swept from no tenancy at all, through attribution
+	# only (tenants named, nobody shaped), to the greedy tenant capped —
+	# so the report records the polite tenant's p99 and the token
+	# borrow/lend ledger at each step, with and without SLO steering.
+	if [ -n "$TENANTS" ]; then
+		printf ',\n'
+		"$BIN" -fabric tcp-25g -rw randread -size 8K -qd 32 -streams 4 \
+			-t "$DUR" -stats-json
+		for slo in "none,none" "latency,throughput"; do
+			printf ',\n'
+			"$BIN" -fabric tcp-25g -rw randread -size 8K -qd 32 -streams 4 \
+				-t "$DUR" -tenants polite,greedy -slo "$slo" -stats-json
+			printf ',\n'
+			"$BIN" -fabric tcp-25g -rw randread -size 8K -qd 32 -streams 4 \
+				-t "$DUR" -tenants polite,greedy -slo "$slo" -rate 0,300 -stats-json
+		done
 	fi
 	printf '  ]'
 	if [ -n "$GOBENCH" ]; then
